@@ -1,0 +1,35 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test race bench vet fmt experiments-unit experiments-small clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/...
+
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' .
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+# Regenerate the paper's figures (seconds / minutes respectively).
+experiments-unit:
+	$(GO) run ./cmd/experiments -fig all -scale unit
+
+experiments-small:
+	$(GO) run ./cmd/experiments -fig all -scale small -v
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,105 @@
+// Command census executes an ego-centric pattern census script (PATTERN
+// definitions and SELECT queries, Section II of the paper) against a
+// stored graph and prints the result tables.
+//
+// Usage:
+//
+//	census -graph graph.egoc -query script.pcq [-alg PT-OPT] [-seed 1]
+//	census -graph graph.egoc -e 'PATTERN t {...} SELECT ...'
+//
+// Without -alg the engine picks automatically: pattern-driven (PT-OPT)
+// for selective patterns, node-driven (ND-PVOT) otherwise.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"egocensus/internal/core"
+	"egocensus/internal/storage"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "graph file written by gengraph (required)")
+		queryPath = flag.String("query", "", "script file with PATTERN/SELECT statements")
+		inline    = flag.String("e", "", "inline script text (alternative to -query)")
+		alg       = flag.String("alg", "", "force algorithm: ND-BAS, ND-DIFF, ND-PVOT, PT-BAS, PT-RND, PT-OPT")
+		seed      = flag.Int64("seed", 1, "seed for RND() sampling")
+		limit     = flag.Int("limit", 0, "print at most this many rows per table (0 = all)")
+		format    = flag.String("format", "table", "output format: table or csv")
+	)
+	flag.Parse()
+	if *graphPath == "" || (*queryPath == "" && *inline == "") {
+		fmt.Fprintln(os.Stderr, "census: -graph and one of -query/-e are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	src := *inline
+	if *queryPath != "" {
+		data, err := os.ReadFile(*queryPath)
+		if err != nil {
+			fatal(err)
+		}
+		src = string(data)
+	}
+	g, err := storage.Load(*graphPath)
+	if err != nil {
+		fatal(err)
+	}
+	e := core.NewEngine(g)
+	e.Alg = core.Algorithm(*alg)
+	e.Seed = *seed
+	tables, err := e.Execute(src)
+	if err != nil {
+		fatal(err)
+	}
+	for i, t := range tables {
+		if i > 0 {
+			fmt.Println()
+		}
+		if *format == "csv" {
+			if err := writeCSV(os.Stdout, t, *limit); err != nil {
+				fatal(err)
+			}
+			continue
+		}
+		fmt.Printf("-- query %d (%s, %d matches, %d rows, %v)\n", i+1, t.Algorithm, t.NumMatches, len(t.Rows), t.Elapsed.Round(time.Millisecond))
+		if *limit > 0 && len(t.Rows) > *limit {
+			trimmed := *t
+			trimmed.Rows = t.Rows[:*limit]
+			fmt.Print(core.FormatTable(&trimmed))
+			fmt.Printf("... (%d more rows)\n", len(t.Rows)-*limit)
+			continue
+		}
+		fmt.Print(core.FormatTable(t))
+	}
+}
+
+// writeCSV emits one table in RFC-4180 CSV for downstream analysis.
+func writeCSV(w io.Writer, t *core.Table, limit int) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return err
+	}
+	rows := t.Rows
+	if limit > 0 && len(rows) > limit {
+		rows = rows[:limit]
+	}
+	for _, r := range rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "census: %v\n", err)
+	os.Exit(1)
+}

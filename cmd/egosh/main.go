@@ -1,0 +1,370 @@
+// Command egosh is an interactive shell for ego-centric pattern census
+// queries: load or generate a graph, declare patterns, and run SELECT
+// statements, with results printed as tables.
+//
+//	$ egosh -graph g.egoc
+//	egosh> PATTERN tri { ?A-?B; ?B-?C; ?A-?C; }
+//	egosh> SELECT ID, COUNTP(tri, SUBGRAPH(ID, 2)) FROM nodes
+//	       ORDER BY COUNT DESC LIMIT 5;
+//
+// Statements may span lines; they execute when braces are balanced and the
+// line ends with ';'. Shell commands start with a backslash:
+//
+//	\open <file>          load a graph (binary .egoc or text)
+//	\gen <nodes> [labels] generate a preferential-attachment graph
+//	\alg <name|auto>      force an algorithm (ND-PVOT, PT-OPT, ...)
+//	\stats                print graph statistics
+//	\patterns             list declared patterns
+//	\help                 show this help
+//	\quit                 exit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"egocensus/internal/core"
+	"egocensus/internal/gen"
+	"egocensus/internal/graph"
+	"egocensus/internal/stats"
+	"egocensus/internal/storage"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "graph file to load on startup")
+		seed      = flag.Int64("seed", 1, "seed for \\gen and RND()")
+	)
+	flag.Parse()
+	sh := newShell(os.Stdout, *seed)
+	if *graphPath != "" {
+		if err := sh.open(*graphPath); err != nil {
+			fmt.Fprintf(os.Stderr, "egosh: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	sh.run(os.Stdin)
+}
+
+// shell holds REPL state; it is separated from main for testability.
+type shell struct {
+	out    io.Writer
+	engine *core.Engine
+	seed   int64
+	alg    core.Algorithm
+}
+
+func newShell(out io.Writer, seed int64) *shell {
+	sh := &shell{out: out, seed: seed}
+	sh.setGraph(graph.New(false))
+	return sh
+}
+
+func (sh *shell) setGraph(g *graph.Graph) {
+	e := core.NewEngine(g)
+	if sh.engine != nil {
+		for _, p := range sh.engine.Patterns() {
+			// Carry declared patterns across graph switches.
+			if err := e.DefinePattern(p); err != nil {
+				fmt.Fprintf(sh.out, "warning: %v\n", err)
+			}
+		}
+	}
+	e.Seed = sh.seed
+	e.Alg = sh.alg
+	sh.engine = e
+}
+
+func (sh *shell) open(path string) error {
+	var g *graph.Graph
+	var err error
+	if strings.HasSuffix(path, ".txt") || strings.HasSuffix(path, ".tsv") || strings.HasSuffix(path, ".el") {
+		g, err = storage.LoadText(path)
+	} else {
+		g, err = storage.Load(path)
+	}
+	if err != nil {
+		return err
+	}
+	sh.setGraph(g)
+	fmt.Fprintf(sh.out, "loaded %s: %d nodes, %d edges\n", path, g.NumNodes(), g.NumEdges())
+	return nil
+}
+
+func (sh *shell) run(in io.Reader) {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var buf strings.Builder
+	prompt := func() {
+		if buf.Len() == 0 {
+			fmt.Fprint(sh.out, "egosh> ")
+		} else {
+			fmt.Fprint(sh.out, "  ...> ")
+		}
+	}
+	prompt()
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, `\`) {
+			if !sh.command(trimmed) {
+				return
+			}
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if statementComplete(buf.String()) {
+			sh.execute(buf.String())
+			buf.Reset()
+		}
+		prompt()
+	}
+	if buf.Len() > 0 {
+		sh.execute(buf.String())
+	}
+	fmt.Fprintln(sh.out)
+}
+
+// statementComplete reports whether the buffered text forms complete
+// statements: balanced braces/parens and, outside any braces, a trailing
+// ';' (or a PATTERN block that just closed).
+func statementComplete(src string) bool {
+	depth := 0
+	inString := byte(0)
+	lastMeaningful := byte(0)
+	for i := 0; i < len(src); i++ {
+		c := src[i]
+		if inString != 0 {
+			if c == inString {
+				inString = 0
+			}
+			continue
+		}
+		switch c {
+		case '\'', '"':
+			inString = c
+		case '{', '(':
+			depth++
+		case '}', ')':
+			depth--
+		case '-':
+			if i+1 < len(src) && src[i+1] == '-' {
+				// comment to end of line
+				for i < len(src) && src[i] != '\n' {
+					i++
+				}
+				continue
+			}
+		}
+		if c != ' ' && c != '\t' && c != '\n' && c != '\r' {
+			lastMeaningful = c
+		}
+	}
+	if depth != 0 || inString != 0 {
+		return false
+	}
+	return lastMeaningful == ';' || lastMeaningful == '}'
+}
+
+func (sh *shell) execute(src string) {
+	if strings.TrimSpace(src) == "" {
+		return
+	}
+	tables, err := sh.engine.Execute(src)
+	if err != nil {
+		fmt.Fprintf(sh.out, "error: %v\n", err)
+		return
+	}
+	if len(tables) == 0 {
+		fmt.Fprintln(sh.out, "ok")
+		return
+	}
+	for _, t := range tables {
+		fmt.Fprintf(sh.out, "-- %s, %d matches, %d rows, %v\n",
+			t.Algorithm, t.NumMatches, len(t.Rows), t.Elapsed)
+		limit := 40
+		if len(t.Rows) > limit {
+			trimmed := *t
+			trimmed.Rows = t.Rows[:limit]
+			fmt.Fprint(sh.out, core.FormatTable(&trimmed))
+			fmt.Fprintf(sh.out, "... (%d more rows; use LIMIT)\n", len(t.Rows)-limit)
+			continue
+		}
+		fmt.Fprint(sh.out, core.FormatTable(t))
+	}
+}
+
+// command handles a backslash command; it returns false to exit the shell.
+func (sh *shell) command(line string) bool {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case `\quit`, `\q`, `\exit`:
+		return false
+	case `\help`:
+		fmt.Fprint(sh.out, `statements: PATTERN name { ... }  |  SELECT ... FROM nodes ... ;
+commands:
+  \open <file>           load a graph (.egoc binary, .txt/.tsv/.el text)
+  \save <file>           save the current graph
+  \gen <nodes> [labels]  generate a preferential-attachment graph (|E|=5|V|)
+  \alg <name|auto>       force ND-BAS/ND-DIFF/ND-PVOT/PT-BAS/PT-RND/PT-OPT
+  \dot <node> <k> <file> export S(node, k) as Graphviz DOT
+  \stats                 graph statistics
+  \patterns              list declared patterns
+  \quit                  exit
+`)
+	case `\save`:
+		if len(fields) != 2 {
+			fmt.Fprintln(sh.out, "usage: \\save <file>")
+			break
+		}
+		path := fields[1]
+		var err error
+		if strings.HasSuffix(path, ".txt") || strings.HasSuffix(path, ".tsv") || strings.HasSuffix(path, ".el") {
+			err = storage.SaveText(path, sh.engine.G)
+		} else {
+			err = storage.Save(path, sh.engine.G)
+		}
+		if err != nil {
+			fmt.Fprintf(sh.out, "error: %v\n", err)
+			break
+		}
+		fmt.Fprintf(sh.out, "saved %s (%d nodes, %d edges)\n", path, sh.engine.G.NumNodes(), sh.engine.G.NumEdges())
+	case `\open`:
+		if len(fields) != 2 {
+			fmt.Fprintln(sh.out, "usage: \\open <file>")
+			break
+		}
+		if err := sh.open(fields[1]); err != nil {
+			fmt.Fprintf(sh.out, "error: %v\n", err)
+		}
+	case `\gen`:
+		if len(fields) < 2 {
+			fmt.Fprintln(sh.out, "usage: \\gen <nodes> [labels]")
+			break
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil || n <= 0 {
+			fmt.Fprintln(sh.out, "error: invalid node count")
+			break
+		}
+		labels := 0
+		if len(fields) > 2 {
+			if labels, err = strconv.Atoi(fields[2]); err != nil || labels < 0 {
+				fmt.Fprintln(sh.out, "error: invalid label count")
+				break
+			}
+		}
+		g := gen.PreferentialAttachment(n, 5, sh.seed)
+		if labels > 0 {
+			gen.AssignLabels(g, labels, sh.seed+1)
+		}
+		sh.setGraph(g)
+		fmt.Fprintf(sh.out, "generated %d nodes, %d edges, %d labels\n", g.NumNodes(), g.NumEdges(), labels)
+	case `\alg`:
+		if len(fields) != 2 {
+			fmt.Fprintln(sh.out, "usage: \\alg <name|auto>")
+			break
+		}
+		if fields[1] == "auto" {
+			sh.alg = ""
+		} else {
+			sh.alg = core.Algorithm(strings.ToUpper(fields[1]))
+			valid := false
+			for _, a := range core.Algorithms {
+				if a == sh.alg {
+					valid = true
+					break
+				}
+			}
+			if !valid {
+				fmt.Fprintf(sh.out, "error: unknown algorithm %q\n", fields[1])
+				sh.alg = ""
+				break
+			}
+		}
+		sh.engine.Alg = sh.alg
+		fmt.Fprintf(sh.out, "algorithm: %s\n", orAuto(string(sh.alg)))
+	case `\dot`:
+		if len(fields) != 4 {
+			fmt.Fprintln(sh.out, "usage: \\dot <node> <k> <file.dot>")
+			break
+		}
+		node, err1 := strconv.Atoi(fields[1])
+		k, err2 := strconv.Atoi(fields[2])
+		if err1 != nil || err2 != nil || node < 0 || node >= sh.engine.G.NumNodes() || k < 0 {
+			fmt.Fprintln(sh.out, "error: invalid node or radius")
+			break
+		}
+		sg := sh.engine.G.EgoSubgraph(graph.NodeID(node), k)
+		f, err := os.Create(fields[3])
+		if err != nil {
+			fmt.Fprintf(sh.out, "error: %v\n", err)
+			break
+		}
+		ego := sg.ToLocal[graph.NodeID(node)]
+		sg.G.SetNodeAttr(ego, "highlight", "lightblue")
+		err = sg.G.WriteDOT(f, fmt.Sprintf("S(%d,%d)", node, k))
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(sh.out, "error: %v\n", err)
+			break
+		}
+		fmt.Fprintf(sh.out, "wrote %s (%d nodes, %d edges)\n", fields[3], sg.G.NumNodes(), sg.G.NumEdges())
+	case `\stats`:
+		g := sh.engine.G
+		ds := stats.Degrees(g)
+		_, comps := stats.Components(g)
+		fmt.Fprintf(sh.out, "nodes %d, edges %d, directed %v\n", g.NumNodes(), g.NumEdges(), g.Directed())
+		fmt.Fprintf(sh.out, "degree min/mean/median/max: %d/%.1f/%.0f/%d\n", ds.Min, ds.Mean, ds.Median, ds.Max)
+		fmt.Fprintf(sh.out, "components: %d (largest %d)\n", len(comps), largest(comps))
+		fmt.Fprintf(sh.out, "clustering: %.4f, diameter >= %d\n",
+			stats.GlobalClustering(g), stats.EstimateDiameter(g, 4))
+	case `\patterns`:
+		names := make([]string, 0)
+		for name := range sh.engine.Patterns() {
+			names = append(names, name)
+		}
+		if len(names) == 0 {
+			fmt.Fprintln(sh.out, "(none)")
+			break
+		}
+		sortStringsInPlace(names)
+		for _, n := range names {
+			fmt.Fprintln(sh.out, sh.engine.Patterns()[n].String())
+		}
+	default:
+		fmt.Fprintf(sh.out, "unknown command %s (try \\help)\n", fields[0])
+	}
+	return true
+}
+
+func orAuto(s string) string {
+	if s == "" {
+		return "auto"
+	}
+	return s
+}
+
+func largest(sizes []int) int {
+	if len(sizes) == 0 {
+		return 0
+	}
+	return sizes[0]
+}
+
+func sortStringsInPlace(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

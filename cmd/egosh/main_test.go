@@ -1,0 +1,171 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"egocensus/internal/gen"
+	"egocensus/internal/storage"
+)
+
+func runSession(t *testing.T, setup func(sh *shell), input string) string {
+	t.Helper()
+	var out strings.Builder
+	sh := newShell(&out, 1)
+	if setup != nil {
+		setup(sh)
+	}
+	sh.run(strings.NewReader(input))
+	return out.String()
+}
+
+func TestShellGenAndQuery(t *testing.T) {
+	out := runSession(t, nil, `\gen 200 2
+PATTERN tri { ?A-?B; ?B-?C; ?A-?C; }
+SELECT ID, COUNTP(tri, SUBGRAPH(ID, 1)) FROM nodes ORDER BY COUNT DESC LIMIT 3;
+\quit
+`)
+	for _, frag := range []string{"generated 200 nodes", "3 rows", "COUNTP(tri)"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestShellMultilineStatement(t *testing.T) {
+	out := runSession(t, nil, `\gen 50
+PATTERN sq {
+  ?A-?B; ?B-?C;
+  ?C-?D; ?D-?A;
+}
+SELECT ID, COUNTP(sq, SUBGRAPH(ID, 2)) FROM nodes LIMIT 2;
+\quit
+`)
+	if !strings.Contains(out, "2 rows") {
+		t.Fatalf("multiline statement failed:\n%s", out)
+	}
+}
+
+func TestShellOpenGraph(t *testing.T) {
+	g := gen.ErdosRenyi(30, 60, 5)
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "g.egoc")
+	txt := filepath.Join(dir, "g.txt")
+	if err := storage.Save(bin, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := storage.SaveText(txt, g); err != nil {
+		t.Fatal(err)
+	}
+	out := runSession(t, nil, "\\open "+bin+"\n\\open "+txt+"\n\\quit\n")
+	if strings.Count(out, "loaded") != 2 {
+		t.Fatalf("expected two loads:\n%s", out)
+	}
+}
+
+func TestShellAlgAndStats(t *testing.T) {
+	out := runSession(t, nil, `\gen 100
+\alg pt-opt
+\alg bogus
+\alg auto
+\stats
+\quit
+`)
+	for _, frag := range []string{"algorithm: PT-OPT", "unknown algorithm", "algorithm: auto", "degree min/mean"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestShellPatternsPersistAcrossGraphs(t *testing.T) {
+	out := runSession(t, nil, `\gen 30
+PATTERN e1 { ?A-?B; }
+\gen 40
+SELECT ID, COUNTP(e1, SUBGRAPH(ID, 1)) FROM nodes LIMIT 1;
+\patterns
+\quit
+`)
+	if !strings.Contains(out, "1 rows") || !strings.Contains(out, "PATTERN e1") {
+		t.Fatalf("patterns did not survive graph switch:\n%s", out)
+	}
+}
+
+func TestShellErrorsDoNotCrash(t *testing.T) {
+	out := runSession(t, nil, `garbage statement;
+\open /nonexistent/path
+\gen notanumber
+\unknowncmd
+\help
+\quit
+`)
+	for _, frag := range []string{"error:", "unknown command", "commands:"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestStatementComplete(t *testing.T) {
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"SELECT ID;", true},
+		{"SELECT ID", false},
+		{"PATTERN p { ?A; }", true},
+		{"PATTERN p { ?A;", false},
+		{"PATTERN p { ?A; } SELECT ID, COUNTP(p, SUBGRAPH(ID, 1)) FROM nodes;", true},
+		{"SELECT ID -- trailing comment\n;", true},
+		{"SELECT 'unclosed;", false},
+		{"", false},
+	}
+	for _, c := range cases {
+		if got := statementComplete(c.src); got != c.want {
+			t.Errorf("statementComplete(%q) = %v want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestShellRowLimitTruncation(t *testing.T) {
+	out := runSession(t, nil, `\gen 100
+PATTERN n1 { ?A; }
+SELECT ID, COUNTP(n1, SUBGRAPH(ID, 0)) FROM nodes;
+\quit
+`)
+	if !strings.Contains(out, "more rows; use LIMIT") {
+		t.Fatalf("expected truncation notice:\n%s", out)
+	}
+}
+
+func TestShellSaveGraph(t *testing.T) {
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "out.egoc")
+	txt := filepath.Join(dir, "out.txt")
+	out := runSession(t, nil, "\\gen 40\n\\save "+bin+"\n\\save "+txt+"\n\\save\n\\quit\n")
+	if strings.Count(out, "saved ") != 2 || !strings.Contains(out, "usage: \\save") {
+		t.Fatalf("save output wrong:\n%s", out)
+	}
+	g, err := storage.Load(bin)
+	if err != nil || g.NumNodes() != 40 {
+		t.Fatalf("saved binary graph unusable: %v", err)
+	}
+	g2, err := storage.LoadText(txt)
+	if err != nil || g2.NumNodes() != 40 {
+		t.Fatalf("saved text graph unusable: %v", err)
+	}
+}
+
+func TestShellDotExport(t *testing.T) {
+	dot := filepath.Join(t.TempDir(), "ego.dot")
+	out := runSession(t, nil, "\\gen 50\n\\dot 0 1 "+dot+"\n\\dot 9999 1 x\n\\quit\n")
+	if !strings.Contains(out, "wrote "+dot) || !strings.Contains(out, "invalid node") {
+		t.Fatalf("dot output wrong:\n%s", out)
+	}
+	data, err := os.ReadFile(dot)
+	if err != nil || !strings.Contains(string(data), "graph") {
+		t.Fatalf("dot file unusable: %v", err)
+	}
+}

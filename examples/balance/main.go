@@ -1,0 +1,79 @@
+// Structural balance (Section I of the paper): in a signed network,
+// triangles with an odd number of negative edges are unstable. This
+// example measures each node's local instability by counting unstable
+// triangles (one or three negative edges) in its 2-hop neighborhood, and
+// contrasts it with the count of balanced triangles.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	"egocensus"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 800, "network size")
+	pNeg := flag.Float64("pneg", 0.25, "probability that a tie is negative")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	g := egocensus.PreferentialAttachment(*nodes, 5, *seed)
+	egocensus.AssignSigns(g, *pNeg, *seed+1)
+	fmt.Printf("signed network: %d nodes, %d edges (~%.0f%% negative)\n\n",
+		g.NumNodes(), g.NumEdges(), *pNeg*100)
+
+	engine := egocensus.NewEngine(g)
+	// The unstable configurations: exactly one negative edge, or all
+	// three negative. Patterns come from the built-in library; declaring
+	// them in the language would work the same way.
+	if err := engine.DefinePattern(egocensus.UnstableTrianglePattern("unstable1", 1)); err != nil {
+		log.Fatal(err)
+	}
+	if err := engine.DefinePattern(egocensus.UnstableTrianglePattern("unstable3", 3)); err != nil {
+		log.Fatal(err)
+	}
+	tables, err := engine.Execute(`
+SELECT ID, COUNTP(unstable1, SUBGRAPH(ID, 2)) FROM nodes;
+SELECT ID, COUNTP(unstable3, SUBGRAPH(ID, 2)) FROM nodes;
+
+-- All triangles, for the instability ratio.
+PATTERN tri { ?A-?B; ?B-?C; ?A-?C; }
+SELECT ID, COUNTP(tri, SUBGRAPH(ID, 2)) FROM nodes;
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	u1, u3, all := tables[0], tables[1], tables[2]
+	fmt.Printf("global triangles: %d, with 1 negative edge: %d, with 3: %d\n\n",
+		all.NumMatches, u1.NumMatches, u3.NumMatches)
+
+	type nodeScore struct {
+		n                  egocensus.NodeID
+		unstable, total    int64
+		instabilityPercent float64
+	}
+	scores := make([]nodeScore, g.NumNodes())
+	for i := range scores {
+		scores[i].n = u1.TypedRows[i].Focal[0]
+		scores[i].unstable = u1.TypedRows[i].Count + u3.TypedRows[i].Count
+		scores[i].total = all.TypedRows[i].Count
+		if scores[i].total > 0 {
+			scores[i].instabilityPercent = 100 * float64(scores[i].unstable) / float64(scores[i].total)
+		}
+	}
+	sort.Slice(scores, func(i, j int) bool {
+		if scores[i].unstable != scores[j].unstable {
+			return scores[i].unstable > scores[j].unstable
+		}
+		return scores[i].n < scores[j].n
+	})
+	fmt.Println("most unstable ego networks (unstable triangles within 2 hops):")
+	for i := 0; i < 5 && i < len(scores); i++ {
+		s := scores[i]
+		fmt.Printf("  node %-5d unstable %-6d of %-6d triangles (%.1f%%)\n",
+			s.n, s.unstable, s.total, s.instabilityPercent)
+	}
+}

@@ -1,0 +1,105 @@
+// Brokerage analysis (Fig 1(c) of the paper): in a directed transaction
+// network where every node belongs to an organization, the middle node B
+// of an open directed triad A -> B -> C plays a role determined by the
+// organizations of the three nodes:
+//
+//   - coordinator: A, B and C all in the same organization,
+//   - gatekeeper:  A outside, B and C inside the same organization,
+//   - representative: A and B inside, C outside,
+//   - liaison:     all three in different organizations.
+//
+// Each role is one COUNTSP census with the subpattern {?B} at k=0: the
+// count for a node is the number of triads in which it is the broker.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	"egocensus"
+)
+
+func main() {
+	people := flag.Int("people", 400, "number of actors")
+	orgs := flag.Int("orgs", 6, "number of organizations")
+	edges := flag.Int("edges", 2400, "number of directed transactions")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+	rng := rand.New(rand.NewSource(*seed))
+
+	g := egocensus.NewGraph(true)
+	for i := 0; i < *people; i++ {
+		n := g.AddNode()
+		g.SetLabel(n, fmt.Sprintf("org%d", rng.Intn(*orgs)))
+	}
+	seen := map[[2]egocensus.NodeID]bool{}
+	for g.NumEdges() < *edges {
+		a := egocensus.NodeID(rng.Intn(*people))
+		b := egocensus.NodeID(rng.Intn(*people))
+		if a == b || seen[[2]egocensus.NodeID{a, b}] {
+			continue
+		}
+		seen[[2]egocensus.NodeID{a, b}] = true
+		g.AddEdge(a, b)
+	}
+	fmt.Printf("transaction network: %d actors in %d organizations, %d transactions\n\n",
+		*people, *orgs, *edges)
+
+	engine := egocensus.NewEngine(g)
+	tables, err := engine.Execute(`
+-- Coordinator: everyone in the same organization (Table I row 4).
+PATTERN coordinator_triad {
+  ?A->?B; ?B->?C; ?A!->?C;
+  [?A.LABEL=?B.LABEL]; [?B.LABEL=?C.LABEL];
+  SUBPATTERN broker {?B;}
+}
+SELECT ID, COUNTSP(broker, coordinator_triad, SUBGRAPH(ID, 0)) FROM nodes;
+
+-- Gatekeeper: the source is an outsider, broker and sink share an org.
+PATTERN gatekeeper_triad {
+  ?A->?B; ?B->?C; ?A!->?C;
+  [?A.LABEL!=?B.LABEL]; [?B.LABEL=?C.LABEL];
+  SUBPATTERN broker {?B;}
+}
+SELECT ID, COUNTSP(broker, gatekeeper_triad, SUBGRAPH(ID, 0)) FROM nodes;
+
+-- Representative: broker carries its own org's transaction outside.
+PATTERN representative_triad {
+  ?A->?B; ?B->?C; ?A!->?C;
+  [?A.LABEL=?B.LABEL]; [?B.LABEL!=?C.LABEL];
+  SUBPATTERN broker {?B;}
+}
+SELECT ID, COUNTSP(broker, representative_triad, SUBGRAPH(ID, 0)) FROM nodes;
+
+-- Liaison: all three organizations differ.
+PATTERN liaison_triad {
+  ?A->?B; ?B->?C; ?A!->?C;
+  [?A.LABEL!=?B.LABEL]; [?B.LABEL!=?C.LABEL]; [?A.LABEL!=?C.LABEL];
+  SUBPATTERN broker {?B;}
+}
+SELECT ID, COUNTSP(broker, liaison_triad, SUBGRAPH(ID, 0)) FROM nodes;
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	roles := []string{"coordinator", "gatekeeper", "representative", "liaison"}
+	for i, t := range tables {
+		rows := append([]egocensus.ResultRow(nil), t.TypedRows...)
+		sort.Slice(rows, func(a, b int) bool {
+			if rows[a].Count != rows[b].Count {
+				return rows[a].Count > rows[b].Count
+			}
+			return rows[a].Focal[0] < rows[b].Focal[0]
+		})
+		fmt.Printf("top %ss (%d triads in total):\n", roles[i], t.NumMatches)
+		for j := 0; j < 3 && j < len(rows); j++ {
+			n := rows[j].Focal[0]
+			fmt.Printf("  node %-4d (%s): %d brokered triads\n", n, g.LabelString(n), rows[j].Count)
+		}
+		fmt.Println()
+	}
+}

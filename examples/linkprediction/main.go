@@ -1,0 +1,67 @@
+// Link prediction (Section V-B of the paper): predict future scientific
+// collaborations from co-authorship history. The training graph covers
+// 2001–2005; ground truth is the pairs that first collaborate in
+// 2006–2010. Pairwise census measures — counts of nodes, edges and
+// triangles in each pair's common r-hop neighborhood — are ranked against
+// the Jaccard coefficient and a random predictor by precision@K.
+//
+// The corpus is synthetic (the repository has no DBLP access) but is
+// generated with repeat-collaboration and triadic-closure dynamics, which
+// is exactly the mechanism that makes common-neighborhood counts
+// predictive on the real data.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"egocensus"
+)
+
+func main() {
+	authors := flag.Int("authors", 800, "author population")
+	papers := flag.Int("papers", 140, "papers per year")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	cfg := egocensus.DefaultCoauthConfig()
+	cfg.Authors = *authors
+	cfg.PapersPerYear = *papers
+	cfg.Seed = *seed
+	corpus := egocensus.GenerateCoauthorship(cfg)
+
+	train, authorNode := corpus.Graph(2001, 2005)
+	positives := map[egocensus.Pair]bool{}
+	for pr := range corpus.NewPairs(2006, 2010) {
+		na, oka := authorNode[pr[0]]
+		nb, okb := authorNode[pr[1]]
+		if oka && okb {
+			positives[egocensus.MakePair(na, nb)] = true
+		}
+	}
+	fmt.Printf("training graph 2001-2005: %d authors, %d co-author edges\n", train.NumNodes(), train.NumEdges())
+	fmt.Printf("new collaborations 2006-2010 (both authors known): %d\n\n", len(positives))
+
+	eval := &egocensus.LinkPredEval{Train: train, Positives: positives}
+
+	fmt.Printf("%-12s  %8s  %8s  %8s\n", "measure", "p@50", "p@600", "AUC")
+	for _, m := range egocensus.LinkPredMeasures() {
+		// Each measure is the query
+		//   SELECT n1.ID, n2.ID, COUNTP(struct,
+		//          SUBGRAPH-INTERSECTION(n1.ID, n2.ID, r))
+		//   FROM nodes AS n1, nodes AS n2 WHERE n1.ID > n2.ID
+		scores, err := m.Score(train, egocensus.PTOpt, egocensus.Options{Seed: *seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s  %8.4f  %8.4f  %8.4f\n", m.Name,
+			eval.PrecisionAtK(scores, 50), eval.PrecisionAtK(scores, 600), eval.AUC(scores))
+	}
+	jac := egocensus.JaccardScores(train)
+	fmt.Printf("%-12s  %8.4f  %8.4f  %8.4f\n", "jaccard",
+		eval.PrecisionAtK(jac, 50), eval.PrecisionAtK(jac, 600), eval.AUC(jac))
+	rnd := egocensus.RandomScores(train, 5000, *seed+9)
+	fmt.Printf("%-12s  %8.4f  %8.4f  %8.4f\n", "random",
+		eval.PrecisionAtK(rnd, 50), eval.PrecisionAtK(rnd, 600), eval.AUC(rnd))
+}

@@ -1,0 +1,3 @@
+module egocensus
+
+go 1.22

@@ -1,0 +1,97 @@
+// Package centers implements the center-based distance machinery of
+// Section IV-B4: a small set of important nodes is picked apriori (highest
+// degree, per the paper, or random for the RND-CNTR ablation), exact BFS
+// distances from every center to every node are precomputed, and the
+// triangle inequality turns those rows into upper bounds on arbitrary
+// node-to-node distances.
+package centers
+
+import (
+	"math/rand"
+	"sort"
+
+	"egocensus/internal/graph"
+)
+
+// Strategy selects how centers are chosen.
+type Strategy int
+
+const (
+	// ByDegree picks the highest-degree nodes (the paper's DEG-CNTR).
+	ByDegree Strategy = iota
+	// Random picks uniform random nodes (the paper's RND-CNTR ablation).
+	Random
+)
+
+// Index holds a set of centers and their precomputed distance rows.
+type Index struct {
+	// Centers lists the chosen center nodes.
+	Centers []graph.NodeID
+	// Dist[i][n] is the hop distance from Centers[i] to node n (-1 when
+	// unreachable).
+	Dist [][]int32
+}
+
+// Build selects numCenters centers with the given strategy and runs one
+// full BFS per center. numCenters = 0 yields an empty index (centers
+// disabled), matching the paper's "0 centers" configuration.
+func Build(g *graph.Graph, numCenters int, strategy Strategy, seed int64) *Index {
+	idx := &Index{}
+	if numCenters <= 0 || g.NumNodes() == 0 {
+		return idx
+	}
+	if numCenters > g.NumNodes() {
+		numCenters = g.NumNodes()
+	}
+	switch strategy {
+	case ByDegree:
+		order := make([]graph.NodeID, g.NumNodes())
+		for i := range order {
+			order[i] = graph.NodeID(i)
+		}
+		sort.Slice(order, func(i, j int) bool {
+			di, dj := g.Degree(order[i]), g.Degree(order[j])
+			if di != dj {
+				return di > dj
+			}
+			return order[i] < order[j]
+		})
+		idx.Centers = append(idx.Centers, order[:numCenters]...)
+	case Random:
+		rng := rand.New(rand.NewSource(seed))
+		perm := rng.Perm(g.NumNodes())
+		for _, i := range perm[:numCenters] {
+			idx.Centers = append(idx.Centers, graph.NodeID(i))
+		}
+	default:
+		panic("centers: unknown strategy")
+	}
+	idx.Dist = make([][]int32, len(idx.Centers))
+	for i, c := range idx.Centers {
+		idx.Dist[i] = g.Distances(c)
+	}
+	return idx
+}
+
+// Len returns the number of centers.
+func (idx *Index) Len() int { return len(idx.Centers) }
+
+// Bound returns an upper bound on d(a, b) through the centers:
+// min_c d(a,c) + d(c,b). The second result is false when no center reaches
+// both nodes (bound unavailable).
+func (idx *Index) Bound(a, b graph.NodeID) (int32, bool) {
+	best := int32(-1)
+	for i := range idx.Centers {
+		da, db := idx.Dist[i][a], idx.Dist[i][b]
+		if da < 0 || db < 0 {
+			continue
+		}
+		if s := da + db; best < 0 || s < best {
+			best = s
+		}
+	}
+	return best, best >= 0
+}
+
+// FromCenter returns d(Centers[i], n).
+func (idx *Index) FromCenter(i int, n graph.NodeID) int32 { return idx.Dist[i][n] }

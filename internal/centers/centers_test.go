@@ -1,0 +1,89 @@
+package centers
+
+import (
+	"testing"
+	"testing/quick"
+
+	"egocensus/internal/gen"
+	"egocensus/internal/graph"
+)
+
+func TestBuildByDegreePicksHubs(t *testing.T) {
+	g := graph.New(false)
+	hub := g.AddNode()
+	for i := 0; i < 5; i++ {
+		l := g.AddNode()
+		g.AddEdge(hub, l)
+	}
+	idx := Build(g, 1, ByDegree, 0)
+	if idx.Len() != 1 || idx.Centers[0] != hub {
+		t.Fatalf("centers = %v, want [%d]", idx.Centers, hub)
+	}
+	if idx.FromCenter(0, hub) != 0 || idx.FromCenter(0, 1) != 1 {
+		t.Fatal("distance row wrong")
+	}
+}
+
+func TestBuildZeroCenters(t *testing.T) {
+	g := gen.ErdosRenyi(10, 20, 1)
+	idx := Build(g, 0, ByDegree, 0)
+	if idx.Len() != 0 {
+		t.Fatal("0 centers should produce empty index")
+	}
+	if _, ok := idx.Bound(0, 1); ok {
+		t.Fatal("empty index should not produce bounds")
+	}
+}
+
+func TestBuildClampsToNumNodes(t *testing.T) {
+	g := gen.ErdosRenyi(5, 6, 1)
+	idx := Build(g, 50, ByDegree, 0)
+	if idx.Len() != 5 {
+		t.Fatalf("centers = %d want 5", idx.Len())
+	}
+}
+
+func TestRandomStrategyDistinct(t *testing.T) {
+	g := gen.ErdosRenyi(30, 60, 2)
+	idx := Build(g, 10, Random, 7)
+	if idx.Len() != 10 {
+		t.Fatalf("centers = %d", idx.Len())
+	}
+	seen := map[graph.NodeID]bool{}
+	for _, c := range idx.Centers {
+		if seen[c] {
+			t.Fatal("duplicate random center")
+		}
+		seen[c] = true
+	}
+}
+
+func TestBoundIsValidUpperBound(t *testing.T) {
+	f := func(seed int64) bool {
+		g := gen.PreferentialAttachment(40, 2, seed)
+		idx := Build(g, 4, ByDegree, seed)
+		a := graph.NodeID(uint64(seed) % 40)
+		b := graph.NodeID((uint64(seed) >> 7) % 40)
+		bound, ok := idx.Bound(a, b)
+		if !ok {
+			return true // disconnected; nothing to verify
+		}
+		actual := g.HopDistance(a, b, -1)
+		return actual >= 0 && int32(actual) <= bound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoundUnreachable(t *testing.T) {
+	g := graph.New(false)
+	a := g.AddNode()
+	b := g.AddNode()
+	c := g.AddNode()
+	g.AddEdge(a, b)
+	idx := Build(g, 1, ByDegree, 0)
+	if _, ok := idx.Bound(a, c); ok {
+		t.Fatal("bound to isolated node should be unavailable")
+	}
+}

@@ -1,0 +1,440 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"egocensus/internal/gen"
+	"egocensus/internal/graph"
+	"egocensus/internal/pattern"
+)
+
+func TestEngineSingleNodeQuery(t *testing.T) {
+	g := gen.ErdosRenyi(20, 45, 7)
+	e := NewEngine(g)
+	tables, err := e.Execute(`
+PATTERN clq3 { ?A-?B; ?B-?C; ?A-?C; }
+SELECT ID, COUNTP(clq3, SUBGRAPH(ID, 2)) FROM nodes`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+	tab := tables[0]
+	if len(tab.TypedRows) != g.NumNodes() {
+		t.Fatalf("rows = %d want %d", len(tab.TypedRows), g.NumNodes())
+	}
+	// Validate against the direct API.
+	spec := Spec{Pattern: e.Patterns()["clq3"], K: 2}
+	want, err := Count(g, spec, NDBas, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.TypedRows {
+		if row.Count != want.Counts[row.Focal[0]] {
+			t.Fatalf("node %d count %d want %d", row.Focal[0], row.Count, want.Counts[row.Focal[0]])
+		}
+	}
+	if tab.Algorithm != NDPvot {
+		t.Fatalf("unlabeled pattern should auto-select ND-PVOT, got %s", tab.Algorithm)
+	}
+}
+
+func TestEngineAutoSelectsPTForSelective(t *testing.T) {
+	g := gen.ErdosRenyi(20, 45, 7)
+	gen.AssignLabels(g, 2, 8)
+	e := NewEngine(g)
+	tables, err := e.Execute(`
+PATTERN lt { ?A-?B; [?A.LABEL='l0']; }
+SELECT ID, COUNTP(lt, SUBGRAPH(ID, 1)) FROM nodes`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tables[0].Algorithm != PTOpt {
+		t.Fatalf("labeled pattern should auto-select PT-OPT, got %s", tables[0].Algorithm)
+	}
+}
+
+func TestEngineForcedAlgorithm(t *testing.T) {
+	g := gen.ErdosRenyi(15, 30, 9)
+	e := NewEngine(g)
+	e.Alg = PTBas
+	tables, err := e.Execute(`
+PATTERN e1 { ?A-?B; }
+SELECT ID, COUNTP(e1, SUBGRAPH(ID, 1)) FROM nodes`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tables[0].Algorithm != PTBas {
+		t.Fatalf("algorithm = %s want PT-BAS", tables[0].Algorithm)
+	}
+}
+
+func TestEngineWherePredicate(t *testing.T) {
+	g := gen.ErdosRenyi(20, 40, 11)
+	for i := 0; i < g.NumNodes(); i++ {
+		if i%2 == 0 {
+			g.SetNodeAttr(graph.NodeID(i), "kind", "even")
+		}
+	}
+	e := NewEngine(g)
+	tables, err := e.Execute(`
+PATTERN n1 { ?A; }
+SELECT ID, COUNTP(n1, SUBGRAPH(ID, 1)) FROM nodes WHERE kind = 'even'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables[0].TypedRows) != 10 {
+		t.Fatalf("rows = %d want 10", len(tables[0].TypedRows))
+	}
+	for _, row := range tables[0].TypedRows {
+		if row.Focal[0]%2 != 0 {
+			t.Fatalf("odd node %d selected", row.Focal[0])
+		}
+	}
+}
+
+func TestEngineRndSelectivity(t *testing.T) {
+	g := gen.ErdosRenyi(200, 400, 13)
+	e := NewEngine(g)
+	e.Seed = 5
+	tables, err := e.Execute(`
+PATTERN n1 { ?A; }
+SELECT ID, COUNTP(n1, SUBGRAPH(ID, 1)) FROM nodes WHERE RND() < 0.3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := len(tables[0].TypedRows)
+	if got < 30 || got > 90 {
+		t.Fatalf("RND() < 0.3 selected %d of 200 nodes", got)
+	}
+	// Deterministic given the seed.
+	tables2, err := e.Execute(`SELECT ID, COUNTP(n1, SUBGRAPH(ID, 1)) FROM nodes WHERE RND() < 0.3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables2[0].TypedRows) != got {
+		t.Fatal("RND() selection should be deterministic per seed")
+	}
+}
+
+func TestEnginePairQuery(t *testing.T) {
+	g := gen.ErdosRenyi(12, 26, 17)
+	e := NewEngine(g)
+	tables, err := e.Execute(`
+PATTERN n1 { ?A; }
+SELECT n1.ID, n2.ID, COUNTP(n1, SUBGRAPH-INTERSECTION(n1.ID, n2.ID, 1))
+FROM nodes AS n1, nodes AS n2
+WHERE n1.ID > n2.ID`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tables[0]
+	if len(tab.TypedRows) == 0 {
+		t.Fatal("no pair rows")
+	}
+	for _, row := range tab.TypedRows {
+		if row.Focal[0] <= row.Focal[1] {
+			t.Fatalf("row violates WHERE n1.ID > n2.ID: %v", row.Focal)
+		}
+		// Check the count against direct extraction.
+		want := int64(g.EgoIntersection(row.Focal[0], row.Focal[1], 1).G.NumNodes())
+		if row.Count != want {
+			t.Fatalf("pair %v count %d want %d", row.Focal, row.Count, want)
+		}
+	}
+}
+
+func TestEnginePairNodeDriven(t *testing.T) {
+	g := gen.ErdosRenyi(10, 22, 19)
+	e := NewEngine(g)
+	e.Alg = NDPvot
+	tables, err := e.Execute(`
+PATTERN e1 { ?A-?B; }
+SELECT n1.ID, n2.ID, COUNTP(e1, SUBGRAPH-UNION(n1.ID, n2.ID, 1))
+FROM nodes AS n1, nodes AS n2 WHERE n1.ID < n2.ID`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cross-check against PT-OPT on the same query.
+	e2 := NewEngine(g)
+	e2.Alg = PTOpt
+	if err := e2.DefinePattern(pattern.SingleEdge("e1", nil)); err != nil {
+		t.Fatal(err)
+	}
+	tables2, err := e2.Execute(`
+SELECT n1.ID, n2.ID, COUNTP(e1, SUBGRAPH-UNION(n1.ID, n2.ID, 1))
+FROM nodes AS n1, nodes AS n2 WHERE n1.ID < n2.ID`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowsKey := func(tab *Table) map[[2]graph.NodeID]int64 {
+		m := map[[2]graph.NodeID]int64{}
+		for _, r := range tab.TypedRows {
+			m[[2]graph.NodeID{r.Focal[0], r.Focal[1]}] = r.Count
+		}
+		return m
+	}
+	a, b := rowsKey(tables[0]), rowsKey(tables2[0])
+	if len(a) != len(b) {
+		t.Fatalf("row counts differ: ND %d PT %d", len(a), len(b))
+	}
+	for k, v := range a {
+		if b[k] != v {
+			t.Fatalf("pair %v: ND %d PT %d", k, v, b[k])
+		}
+	}
+}
+
+func TestEngineCoordinatorQuery(t *testing.T) {
+	g := graph.New(true)
+	nodes := make([]graph.NodeID, 4)
+	for i := range nodes {
+		nodes[i] = g.AddNode()
+		g.SetLabel(nodes[i], "org1")
+	}
+	g.AddEdge(nodes[0], nodes[1])
+	g.AddEdge(nodes[1], nodes[2])
+	e := NewEngine(g)
+	tables, err := e.Execute(`
+PATTERN triad {
+  ?A->?B; ?B->?C; ?A!->?C;
+  [?A.LABEL=?B.LABEL];
+  [?B.LABEL=?C.LABEL];
+  SUBPATTERN coordinator {?B;}
+}
+SELECT ID, COUNTSP(coordinator, triad, SUBGRAPH(ID, 0)) FROM nodes`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[graph.NodeID]int64{}
+	for _, row := range tables[0].TypedRows {
+		counts[row.Focal[0]] = row.Count
+	}
+	if counts[nodes[1]] != 1 || counts[nodes[0]] != 0 || counts[nodes[2]] != 0 {
+		t.Fatalf("coordinator counts wrong: %v", counts)
+	}
+}
+
+func TestEngineMultipleQueries(t *testing.T) {
+	g := gen.ErdosRenyi(15, 30, 23)
+	e := NewEngine(g)
+	tables, err := e.Execute(`
+PATTERN n1 { ?A; }
+PATTERN e1 { ?A-?B; }
+SELECT ID, COUNTP(n1, SUBGRAPH(ID, 1)) FROM nodes;
+SELECT ID, COUNTP(e1, SUBGRAPH(ID, 1)) FROM nodes;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("tables = %d want 2", len(tables))
+	}
+}
+
+func TestEngineCatalogPersistsAcrossExecutes(t *testing.T) {
+	g := gen.ErdosRenyi(10, 20, 29)
+	e := NewEngine(g)
+	if _, err := e.Execute(`PATTERN n1 { ?A; }`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Execute(`SELECT ID, COUNTP(n1, SUBGRAPH(ID, 1)) FROM nodes`); err != nil {
+		t.Fatalf("pattern from earlier Execute should be visible: %v", err)
+	}
+}
+
+func TestEngineDefinePattern(t *testing.T) {
+	g := gen.ErdosRenyi(10, 20, 31)
+	e := NewEngine(g)
+	if err := e.DefinePattern(pattern.Clique("k3", 3, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.DefinePattern(pattern.Clique("k3", 3, nil)); err == nil {
+		t.Fatal("duplicate DefinePattern should error")
+	}
+	bad := pattern.New("bad")
+	if err := e.DefinePattern(bad); err == nil {
+		t.Fatal("invalid pattern should error")
+	}
+	if _, err := e.Execute(`SELECT ID, COUNTP(k3, SUBGRAPH(ID, 2)) FROM nodes`); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineErrors(t *testing.T) {
+	g := gen.ErdosRenyi(10, 20, 37)
+	e := NewEngine(g)
+	if _, err := e.Execute(`SELECT ID, COUNTP(missing, SUBGRAPH(ID, 1)) FROM nodes`); err == nil {
+		t.Fatal("unknown pattern should error")
+	}
+	if _, err := e.Execute(`garbage`); err == nil {
+		t.Fatal("parse error should propagate")
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	g := gen.ErdosRenyi(5, 8, 41)
+	e := NewEngine(g)
+	tables, err := e.Execute(`
+PATTERN n1 { ?A; }
+SELECT ID, COUNTP(n1, SUBGRAPH(ID, 1)) FROM nodes`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatTable(tables[0])
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 { // header + 5 rows
+		t.Fatalf("formatted lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "ID") || !strings.Contains(lines[0], "COUNTP(n1)") {
+		t.Fatalf("header wrong: %s", lines[0])
+	}
+}
+
+func TestEngineAttrColumnRendering(t *testing.T) {
+	g := graph.New(false)
+	a, b := g.AddNode(), g.AddNode()
+	g.AddEdge(a, b)
+	g.SetNodeAttr(a, "name", "alice")
+	g.SetNodeAttr(b, "name", "bob")
+	e := NewEngine(g)
+	tables, err := e.Execute(`
+PATTERN n1 { ?A; }
+SELECT ID, name, COUNTP(n1, SUBGRAPH(ID, 0)) FROM nodes`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tables[0].Rows[0][1] != "alice" || tables[0].Rows[1][1] != "bob" {
+		t.Fatalf("attr column wrong: %v", tables[0].Rows)
+	}
+	// Every node contains exactly itself at k=0.
+	for _, r := range tables[0].TypedRows {
+		if r.Count != 1 {
+			t.Fatalf("k=0 single-node census should be 1, got %d", r.Count)
+		}
+	}
+}
+
+func TestEnginePairQueryWithRnd(t *testing.T) {
+	g := gen.ErdosRenyi(14, 30, 43)
+	e := NewEngine(g)
+	e.Seed = 7
+	tables, err := e.Execute(`
+PATTERN n1 { ?A; }
+SELECT n1.ID, n2.ID, COUNTP(n1, SUBGRAPH-INTERSECTION(n1.ID, n2.ID, 1))
+FROM nodes AS n1, nodes AS n2
+WHERE n1.ID > n2.ID AND RND() < 0.5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := tables[0]
+	// Deterministic per seed and independent of evaluation order.
+	tables2, err := e.Execute(`
+SELECT n1.ID, n2.ID, COUNTP(n1, SUBGRAPH-INTERSECTION(n1.ID, n2.ID, 1))
+FROM nodes AS n1, nodes AS n2
+WHERE n1.ID > n2.ID AND RND() < 0.5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.TypedRows) != len(tables2[0].TypedRows) {
+		t.Fatalf("RND pair sampling not deterministic: %d vs %d rows",
+			len(first.TypedRows), len(tables2[0].TypedRows))
+	}
+	for _, row := range first.TypedRows {
+		if row.Focal[0] <= row.Focal[1] {
+			t.Fatalf("row violates n1.ID > n2.ID: %v", row.Focal)
+		}
+	}
+}
+
+func TestEngineEmptyFocalSelection(t *testing.T) {
+	g := gen.ErdosRenyi(10, 20, 47)
+	e := NewEngine(g)
+	tables, err := e.Execute(`
+PATTERN n1 { ?A; }
+SELECT ID, COUNTP(n1, SUBGRAPH(ID, 1)) FROM nodes WHERE ID > 1000`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables[0].TypedRows) != 0 {
+		t.Fatalf("rows = %d want 0", len(tables[0].TypedRows))
+	}
+}
+
+func TestEngineElapsedPopulated(t *testing.T) {
+	g := gen.ErdosRenyi(50, 120, 53)
+	e := NewEngine(g)
+	tables, err := e.Execute(`
+PATTERN tri { ?A-?B; ?B-?C; ?A-?C; }
+SELECT ID, COUNTP(tri, SUBGRAPH(ID, 2)) FROM nodes`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tables[0].Elapsed <= 0 {
+		t.Fatal("Elapsed not recorded")
+	}
+}
+
+func TestExplainSingle(t *testing.T) {
+	g := gen.ErdosRenyi(20, 40, 59)
+	gen.AssignLabels(g, 2, 60)
+	e := NewEngine(g)
+	tables, err := e.Execute(`
+PATTERN lt { ?A-?B; ?B-?C; ?A-?C; [?A.LABEL='l0']; }
+EXPLAIN SELECT ID, COUNTP(lt, SUBGRAPH(ID, 2)) FROM nodes WHERE RND() < 0.5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tables[0]
+	if tab.Algorithm != PTOpt {
+		t.Fatalf("explained algorithm = %s", tab.Algorithm)
+	}
+	plan := strings.Join(flatten(tab.Rows), "\n")
+	for _, frag := range []string{"PT-OPT", "selective", "pattern lt", "WHERE clause", "centers"} {
+		if !strings.Contains(plan, frag) {
+			t.Fatalf("plan missing %q:\n%s", frag, plan)
+		}
+	}
+	if len(tab.TypedRows) != 0 {
+		t.Fatal("EXPLAIN must not produce result rows")
+	}
+}
+
+func TestExplainPairAndBatch(t *testing.T) {
+	g := gen.ErdosRenyi(15, 30, 61)
+	e := NewEngine(g)
+	tables, err := e.Execute(`
+PATTERN n1 { ?A; }
+PATTERN e1 { ?A-?B; }
+EXPLAIN SELECT n1.ID, n2.ID, COUNTP(e1, SUBGRAPH-INTERSECTION(n1.ID, n2.ID, 1))
+FROM nodes AS n1, nodes AS n2;
+EXPLAIN SELECT ID, COUNTP(n1, SUBGRAPH(ID, 1)), COUNTP(e1, SUBGRAPH(ID, 1)) FROM nodes;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairPlan := strings.Join(flatten(tables[0].Rows), "\n")
+	if !strings.Contains(pairPlan, "pairwise census") || !strings.Contains(pairPlan, "PT-OPT") {
+		t.Fatalf("pair plan wrong:\n%s", pairPlan)
+	}
+	batchPlan := strings.Join(flatten(tables[1].Rows), "\n")
+	if !strings.Contains(batchPlan, "CountMany") || !strings.Contains(batchPlan, "2 aggregates") {
+		t.Fatalf("batch plan wrong:\n%s", batchPlan)
+	}
+}
+
+func TestExplainParseErrors(t *testing.T) {
+	g := gen.ErdosRenyi(5, 8, 63)
+	e := NewEngine(g)
+	if _, err := e.Execute(`EXPLAIN PATTERN p {?A;}`); err == nil {
+		t.Fatal("EXPLAIN PATTERN should be rejected")
+	}
+}
+
+func flatten(rows [][]string) []string {
+	var out []string
+	for _, r := range rows {
+		out = append(out, r...)
+	}
+	return out
+}

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"egocensus/internal/gen"
+	"egocensus/internal/graph"
+	"egocensus/internal/pattern"
+)
+
+func TestTopKMatchesFullCensus(t *testing.T) {
+	g := gen.PreferentialAttachment(200, 4, 3)
+	spec := Spec{Pattern: pattern.Clique("clq3", 3, nil), K: 2}
+	full, err := Count(g, spec, NDPvot, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := TopK(g, spec, 10, NDPvot, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 10 {
+		t.Fatalf("top-k length = %d", len(top))
+	}
+	// Reference ranking.
+	type nc struct {
+		n graph.NodeID
+		c int64
+	}
+	ref := make([]nc, g.NumNodes())
+	for i := range ref {
+		ref[i] = nc{graph.NodeID(i), full.Counts[i]}
+	}
+	sort.Slice(ref, func(i, j int) bool {
+		if ref[i].c != ref[j].c {
+			return ref[i].c > ref[j].c
+		}
+		return ref[i].n < ref[j].n
+	})
+	for i, got := range top {
+		if got.Node != ref[i].n || got.Count != ref[i].c {
+			t.Fatalf("rank %d: got (%d,%d) want (%d,%d)", i, got.Node, got.Count, ref[i].n, ref[i].c)
+		}
+	}
+}
+
+func TestTopKEdgeCases(t *testing.T) {
+	g := gen.ErdosRenyi(10, 20, 5)
+	spec := Spec{Pattern: pattern.SingleNode("n", ""), K: 1}
+	if top, err := TopK(g, spec, 0, NDPvot, Options{}); err != nil || top != nil {
+		t.Fatalf("k=0 should be nil: %v %v", top, err)
+	}
+	top, err := TopK(g, spec, 100, NDPvot, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != g.NumNodes() {
+		t.Fatalf("k > n should return all nodes: %d", len(top))
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].Count > top[i-1].Count {
+			t.Fatal("ranking not descending")
+		}
+	}
+}
+
+func TestTopKWithFocalSubset(t *testing.T) {
+	g := gen.ErdosRenyi(30, 70, 7)
+	focal := []graph.NodeID{1, 5, 9}
+	spec := Spec{Pattern: pattern.Clique("clq3", 3, nil), K: 1, Focal: focal}
+	top, err := TopK(g, spec, 10, PTOpt, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 3 {
+		t.Fatalf("top-k over 3 focal nodes = %d entries", len(top))
+	}
+	for _, e := range top {
+		if e.Node != 1 && e.Node != 5 && e.Node != 9 {
+			t.Fatalf("non-focal node %d in top-k", e.Node)
+		}
+	}
+}
+
+func TestTopKPairs(t *testing.T) {
+	g := gen.ErdosRenyi(15, 35, 9)
+	spec := PairSpec{
+		Spec: Spec{Pattern: pattern.SingleNode("n", ""), K: 1},
+		Mode: Intersection,
+	}
+	full, err := CountPairs(g, spec, PTOpt, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := TopKPairs(g, spec, 5, PTOpt, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) > 5 {
+		t.Fatalf("top-k pairs = %d", len(top))
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].Count > top[i-1].Count {
+			t.Fatal("pair ranking not descending")
+		}
+	}
+	if len(top) > 0 {
+		best := top[0].Count
+		for _, c := range full.Counts {
+			if c > best {
+				t.Fatal("top pair is not maximal")
+			}
+		}
+	}
+	if got, err := TopKPairs(g, spec, 0, PTOpt, Options{}); err != nil || got != nil {
+		t.Fatal("k=0 should be nil")
+	}
+}
+
+func TestApproxExactAtRateOne(t *testing.T) {
+	g := gen.PreferentialAttachment(150, 3, 11)
+	gen.AssignLabels(g, 2, 12)
+	spec := Spec{Pattern: pattern.Clique("clq3", 3, []string{"l0", "l0", "l1"}), K: 2}
+	exact, err := Count(g, spec, PTOpt, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := CountApprox(g, spec, 1.0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if approx.SampledMatches != approx.NumMatches {
+		t.Fatal("rate 1 should keep every match")
+	}
+	for n := range exact.Counts {
+		if math.Abs(approx.Est[n]-float64(exact.Counts[n])) > 1e-9 {
+			t.Fatalf("node %d: approx %v exact %d", n, approx.Est[n], exact.Counts[n])
+		}
+	}
+}
+
+func TestApproxEstimatesAggregate(t *testing.T) {
+	g := gen.PreferentialAttachment(400, 5, 13)
+	spec := Spec{Pattern: pattern.Clique("clq3", 3, nil), K: 2}
+	exact, err := Count(g, spec, PTOpt, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var exactTotal float64
+	for _, c := range exact.Counts {
+		exactTotal += float64(c)
+	}
+	approx, err := CountApprox(g, spec, 0.5, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if approx.SampledMatches == 0 || approx.SampledMatches >= approx.NumMatches {
+		t.Fatalf("sample size implausible: %d of %d", approx.SampledMatches, approx.NumMatches)
+	}
+	var estTotal float64
+	for _, e := range approx.Est {
+		estTotal += e
+	}
+	relErr := math.Abs(estTotal-exactTotal) / exactTotal
+	if relErr > 0.25 {
+		t.Fatalf("aggregate relative error %.3f too high (est %.0f exact %.0f)", relErr, estTotal, exactTotal)
+	}
+}
+
+func TestApproxValidation(t *testing.T) {
+	g := gen.ErdosRenyi(10, 20, 15)
+	spec := Spec{Pattern: pattern.Clique("clq3", 3, nil), K: 1}
+	if _, err := CountApprox(g, spec, 0, Options{}); err == nil {
+		t.Fatal("rate 0 should error")
+	}
+	if _, err := CountApprox(g, spec, 1.5, Options{}); err == nil {
+		t.Fatal("rate > 1 should error")
+	}
+	empty := Spec{Pattern: pattern.Clique("clq9", 9, nil), K: 1}
+	res, err := CountApprox(g, empty, 0.5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumMatches != 0 || res.SampledMatches != 0 {
+		t.Fatal("no matches expected")
+	}
+}
+
+func TestParallelWorkersMatchSequential(t *testing.T) {
+	g := gen.PreferentialAttachment(300, 4, 17)
+	gen.AssignLabels(g, 3, 18)
+	specs := []Spec{
+		{Pattern: pattern.Clique("clq3", 3, nil), K: 2},
+		{Pattern: pattern.Clique("clq3l", 3, []string{"l0", "l1", "l2"}), K: 2},
+	}
+	for _, spec := range specs {
+		for _, alg := range []Algorithm{NDPvot, PTOpt, PTRnd} {
+			seq, err := Count(g, spec, alg, Options{Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := Count(g, spec, alg, Options{Seed: 1, Workers: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for n := range seq.Counts {
+				if seq.Counts[n] != par.Counts[n] {
+					t.Fatalf("%s %s node %d: seq %d par %d", spec.Pattern.Name, alg, n, seq.Counts[n], par.Counts[n])
+				}
+			}
+		}
+	}
+}
+
+func TestParallelWorkersWithFocalSubset(t *testing.T) {
+	g := gen.ErdosRenyi(50, 120, 19)
+	spec := Spec{Pattern: pattern.Clique("clq3", 3, nil), K: 1,
+		Focal: []graph.NodeID{0, 7, 13, 21, 44}}
+	seq, err := Count(g, spec, NDPvot, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Count(g, spec, NDPvot, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := range seq.Counts {
+		if seq.Counts[n] != par.Counts[n] {
+			t.Fatalf("node %d: seq %d par %d", n, seq.Counts[n], par.Counts[n])
+		}
+	}
+}
+
+func TestDisableShortcutsStillCorrect(t *testing.T) {
+	g := gen.PreferentialAttachment(200, 4, 23)
+	gen.AssignLabels(g, 3, 24)
+	spec := Spec{Pattern: pattern.Clique("clq3", 3, []string{"l0", "l1", "l2"}), K: 2}
+	want, err := Count(g, spec, PTOpt, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Count(g, spec, PTOpt, Options{Seed: 1, DisableShortcuts: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := range want.Counts {
+		if want.Counts[n] != got.Counts[n] {
+			t.Fatalf("node %d: with shortcuts %d, without %d", n, want.Counts[n], got.Counts[n])
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"egocensus/internal/gen"
+	"egocensus/internal/graph"
+	"egocensus/internal/pattern"
+)
+
+// checkIncrementalAgainstRecompute grows a graph edge by edge and compares
+// the maintained counts with a full recomputation after every insertion.
+func checkIncrementalAgainstRecompute(t *testing.T, directed bool, spec Spec, seed int64, nodes, edges int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(directed)
+	g.AddNodes(nodes)
+	if spec.Pattern.Node(0).Label != "" || hasLabelConstraint(spec.Pattern) {
+		gen.AssignLabels(g, 2, seed+1)
+	}
+	inc, err := NewIncremental(g, spec, Options{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[[2]graph.NodeID]bool{}
+	for added := 0; added < edges; added++ {
+		a := graph.NodeID(rng.Intn(nodes))
+		b := graph.NodeID(rng.Intn(nodes))
+		if a == b {
+			continue
+		}
+		key := [2]graph.NodeID{a, b}
+		if !directed && a > b {
+			key = [2]graph.NodeID{b, a}
+		}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		inc.AddEdge(a, b)
+
+		want, err := Count(inc.Graph(), spec, PTOpt, Options{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for n := range want.Counts {
+			if inc.Counts()[n] != want.Counts[n] {
+				t.Fatalf("after %d edges (last %d-%d): node %d incremental %d recompute %d (pattern %s k=%d)",
+					added+1, a, b, n, inc.Counts()[n], want.Counts[n], spec.Pattern.Name, spec.K)
+			}
+		}
+		if inc.NumMatches() != want.NumMatches {
+			t.Fatalf("match count drifted: %d vs %d", inc.NumMatches(), want.NumMatches)
+		}
+	}
+}
+
+func hasLabelConstraint(p *pattern.Pattern) bool {
+	for i := 0; i < p.NumNodes(); i++ {
+		if p.Node(i).Label != "" {
+			return true
+		}
+	}
+	return false
+}
+
+func TestIncrementalTriangle(t *testing.T) {
+	for _, k := range []int{0, 1, 2} {
+		spec := Spec{Pattern: pattern.Clique("clq3", 3, nil), K: k}
+		checkIncrementalAgainstRecompute(t, false, spec, int64(40+k), 12, 40)
+	}
+}
+
+func TestIncrementalLabeled(t *testing.T) {
+	spec := Spec{Pattern: pattern.Clique("clq3", 3, []string{"l0", "l0", "l1"}), K: 1}
+	checkIncrementalAgainstRecompute(t, false, spec, 50, 12, 40)
+}
+
+func TestIncrementalNegatedEdge(t *testing.T) {
+	// Open path with a forbidden chord: inserting the chord kills matches.
+	p := pattern.New("open")
+	a := p.MustAddNode("A", "")
+	b := p.MustAddNode("B", "")
+	c := p.MustAddNode("C", "")
+	p.MustAddEdge(a, b, false, false)
+	p.MustAddEdge(b, c, false, false)
+	p.MustAddEdge(a, c, false, true)
+	spec := Spec{Pattern: p, K: 1}
+	checkIncrementalAgainstRecompute(t, false, spec, 60, 10, 35)
+}
+
+func TestIncrementalSubpattern(t *testing.T) {
+	p := pattern.Clique("clq3", 3, nil)
+	if err := p.AddSubpattern("corner", []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	spec := Spec{Pattern: p, Subpattern: "corner", K: 1}
+	checkIncrementalAgainstRecompute(t, false, spec, 70, 10, 35)
+}
+
+func TestIncrementalDirectedTriad(t *testing.T) {
+	spec := Spec{Pattern: pattern.CoordinatorTriad("triad"), Subpattern: "coordinator", K: 0}
+	checkIncrementalAgainstRecompute(t, true, spec, 80, 10, 40)
+}
+
+func TestIncrementalDirectedPath(t *testing.T) {
+	p := pattern.New("dpath")
+	a := p.MustAddNode("A", "")
+	b := p.MustAddNode("B", "")
+	c := p.MustAddNode("C", "")
+	p.MustAddEdge(a, b, true, false)
+	p.MustAddEdge(b, c, true, false)
+	spec := Spec{Pattern: p, K: 1}
+	checkIncrementalAgainstRecompute(t, true, spec, 90, 10, 40)
+}
+
+func TestIncrementalAddNode(t *testing.T) {
+	g := gen.ErdosRenyi(8, 14, 3)
+	spec := Spec{Pattern: pattern.Clique("clq3", 3, nil), K: 1}
+	inc, err := NewIncremental(g, spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := inc.AddNode()
+	if int(n) != 8 || len(inc.Counts()) != 9 || inc.Counts()[8] != 0 {
+		t.Fatal("AddNode bookkeeping wrong")
+	}
+	// Wire the new node into a triangle.
+	inc.AddEdge(n, 0)
+	inc.AddEdge(n, 1)
+	want, err := Count(inc.Graph(), spec, NDPvot, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Counts {
+		if inc.Counts()[i] != want.Counts[i] {
+			t.Fatalf("node %d: %d vs %d", i, inc.Counts()[i], want.Counts[i])
+		}
+	}
+}
+
+func TestIncrementalValidation(t *testing.T) {
+	g := gen.ErdosRenyi(5, 8, 1)
+	if _, err := NewIncremental(g, Spec{Pattern: pattern.SingleNode("n", ""), K: 1}, Options{}); err == nil {
+		t.Fatal("edge-less pattern should be rejected")
+	}
+	spec := Spec{Pattern: pattern.Clique("clq3", 3, nil), K: 1, Focal: []graph.NodeID{0}}
+	if _, err := NewIncremental(g, spec, Options{}); err == nil {
+		t.Fatal("focal restriction should be rejected")
+	}
+}
+
+func TestIncrementalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.New(false)
+		n := 8 + rng.Intn(6)
+		g.AddNodes(n)
+		spec := Spec{Pattern: pattern.Clique("clq3", 3, nil), K: 1 + rng.Intn(2)}
+		inc, err := NewIncremental(g, spec, Options{Seed: seed})
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		for i := 0; i < 25; i++ {
+			a := graph.NodeID(rng.Intn(n))
+			b := graph.NodeID(rng.Intn(n))
+			if a == b {
+				continue
+			}
+			if g.HasEdge(a, b) {
+				continue
+			}
+			inc.AddEdge(a, b)
+		}
+		want, err := Count(inc.Graph(), spec, NDPvot, Options{})
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		for i := range want.Counts {
+			if inc.Counts()[i] != want.Counts[i] {
+				t.Logf("seed %d node %d: %d vs %d", seed, i, inc.Counts()[i], want.Counts[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"testing"
+
+	"egocensus/internal/gen"
+)
+
+func TestMultiAggregateQuery(t *testing.T) {
+	g := gen.PreferentialAttachment(150, 4, 3)
+	e := NewEngine(g)
+	tables, err := e.Execute(`
+PATTERN n1 { ?A; }
+PATTERN e1 { ?A-?B; }
+PATTERN tri { ?A-?B; ?B-?C; ?A-?C; }
+SELECT ID, COUNTP(n1, SUBGRAPH(ID, 1)), COUNTP(e1, SUBGRAPH(ID, 1)), COUNTP(tri, SUBGRAPH(ID, 1))
+FROM nodes`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tables[0]
+	if len(tab.Header) != 4 {
+		t.Fatalf("header = %v", tab.Header)
+	}
+	// Cross-check against separate single-aggregate runs.
+	for i, name := range []string{"n1", "e1", "tri"} {
+		spec := Spec{Pattern: e.Patterns()[name], K: 1}
+		want, err := Count(g, spec, NDPvot, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, row := range tab.TypedRows {
+			if row.Counts[i] != want.Counts[row.Focal[0]] {
+				t.Fatalf("aggregate %d node %d: %d want %d", i, row.Focal[0], row.Counts[i], want.Counts[row.Focal[0]])
+			}
+		}
+	}
+	// Rendered cells line up with the typed values.
+	for r, row := range tab.TypedRows {
+		for i := 0; i < 3; i++ {
+			cell := tab.Rows[r][i+1]
+			if cell == "" {
+				t.Fatalf("row %d missing aggregate cell %d", r, i)
+			}
+		}
+		if tab.Rows[r][1] == tab.Rows[r][2] && row.Counts[0] != row.Counts[1] {
+			t.Fatalf("row %d cells do not track counts", r)
+		}
+	}
+}
+
+func TestMultiAggregateForcedPTAlgorithm(t *testing.T) {
+	g := gen.ErdosRenyi(40, 100, 5)
+	e := NewEngine(g)
+	e.Alg = PTOpt
+	tables, err := e.Execute(`
+PATTERN e1 { ?A-?B; }
+PATTERN tri { ?A-?B; ?B-?C; ?A-?C; }
+SELECT ID, COUNTP(e1, SUBGRAPH(ID, 2)), COUNTP(tri, SUBGRAPH(ID, 2)) FROM nodes`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tables[0].Algorithm != PTOpt {
+		t.Fatalf("algorithm = %s", tables[0].Algorithm)
+	}
+	for _, name := range []string{"e1", "tri"} {
+		spec := Spec{Pattern: e.Patterns()[name], K: 2}
+		want, err := Count(g, spec, NDBas, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		i := 0
+		if name == "tri" {
+			i = 1
+		}
+		for _, row := range tables[0].TypedRows {
+			if row.Counts[i] != want.Counts[row.Focal[0]] {
+				t.Fatalf("%s node %d: %d want %d", name, row.Focal[0], row.Counts[i], want.Counts[row.Focal[0]])
+			}
+		}
+	}
+}
+
+func TestMultiAggregateOrderByUsesFirst(t *testing.T) {
+	g := gen.ErdosRenyi(30, 70, 7)
+	e := NewEngine(g)
+	tables, err := e.Execute(`
+PATTERN n1 { ?A; }
+PATTERN e1 { ?A-?B; }
+SELECT ID, COUNTP(n1, SUBGRAPH(ID, 1)), COUNTP(e1, SUBGRAPH(ID, 1))
+FROM nodes ORDER BY COUNT DESC LIMIT 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].TypedRows
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Counts[0] > rows[i-1].Counts[0] {
+			t.Fatal("ORDER BY COUNT must sort by the first aggregate")
+		}
+	}
+}
+
+func TestMultiAggregateValidation(t *testing.T) {
+	g := gen.ErdosRenyi(10, 20, 9)
+	e := NewEngine(g)
+	// Mismatched neighborhoods.
+	if _, err := e.Execute(`
+PATTERN n1 { ?A; }
+SELECT ID, COUNTP(n1, SUBGRAPH(ID, 1)), COUNTP(n1, SUBGRAPH(ID, 2)) FROM nodes`); err == nil {
+		t.Fatal("mixed radii should be rejected")
+	}
+	// Pairwise with multiple aggregates.
+	if _, err := e.Execute(`
+PATTERN n2 { ?A; }
+SELECT n1.ID, n2.ID,
+  COUNTP(n2, SUBGRAPH-INTERSECTION(n1.ID, n2.ID, 1)),
+  COUNTP(n2, SUBGRAPH-INTERSECTION(n1.ID, n2.ID, 1))
+FROM nodes AS n1, nodes AS n2`); err == nil {
+		t.Fatal("pairwise multi-aggregate should be rejected")
+	}
+}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"egocensus/internal/graph"
+	"egocensus/internal/match"
+)
+
+// countNDBas is the node-driven baseline (Section IV-A): extract S(n, k)
+// for every focal node and run pattern matching inside it. It repeats
+// overlapping work across neighborhoods and is computationally infeasible
+// beyond small graphs — the paper reports 218x slower than ND-PVOT at 20K
+// nodes — but it is the semantic reference the other algorithms are
+// validated against.
+//
+// COUNTSP censuses cannot be answered inside the extracted subgraph (the
+// pattern may extend beyond the neighborhood while only the subpattern
+// image must lie inside), so for those the baseline degrades to the naive
+// global scheme the paper describes as the starting point of pivot
+// indexing: match globally, then containment-check every match against
+// every focal node.
+func countNDBas(g *graph.Graph, spec Spec, opt Options) (*Result, error) {
+	if spec.Subpattern != "" {
+		return countNDBasSubpattern(g, spec, opt)
+	}
+	res := &Result{Counts: make([]int64, g.NumNodes())}
+	m := opt.matcher()
+	for _, n := range spec.focalList(g) {
+		sg := g.EgoSubgraph(n, spec.K)
+		emb := m.Embeddings(sg.G, spec.Pattern)
+		res.Counts[n] = int64(len(match.Deduplicate(spec.Pattern, emb, nil)))
+	}
+	return res, nil
+}
+
+// countNDBasSubpattern is the naive O(|V_sigma| * |M| * |V_SP|) scheme.
+func countNDBasSubpattern(g *graph.Graph, spec Spec, opt Options) (*Result, error) {
+	res := &Result{Counts: make([]int64, g.NumNodes())}
+	matches := globalMatches(g, spec, opt)
+	res.NumMatches = len(matches)
+	anchorIdx := spec.anchorNodes()
+	for _, n := range spec.focalList(g) {
+		reach := g.KHopNodes(n, spec.K)
+		for _, m := range matches {
+			inside := true
+			for _, idx := range anchorIdx {
+				if _, ok := reach[m[idx]]; !ok {
+					inside = false
+					break
+				}
+			}
+			if inside {
+				res.Counts[n]++
+			}
+		}
+	}
+	return res, nil
+}

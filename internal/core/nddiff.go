@@ -1,0 +1,120 @@
+package core
+
+import (
+	"egocensus/internal/graph"
+	"egocensus/internal/pattern"
+)
+
+// countNDDiff is the differential counting algorithm (Algorithm 3, after
+// the GADDI-style shared-neighborhood idea): matches are indexed by every
+// anchor node they contain; focal nodes are visited in a
+// neighbor-following order, and each node's match set is derived from the
+// previous node's by removing matches touching the receding frontier
+// (N_k(prev) - N_k(cur)) and adding matches touching the advancing
+// frontier (N_k(cur) - N_k(prev)) that are fully contained.
+func countNDDiff(g *graph.Graph, spec Spec, opt Options) (*Result, error) {
+	res := &Result{Counts: make([]int64, g.NumNodes())}
+	matches := globalMatches(g, spec, opt)
+	res.NumMatches = len(matches)
+	if len(matches) == 0 {
+		return res, nil
+	}
+	anchorIdx := spec.anchorNodes()
+
+	// Index every match under each of its (distinct) anchor images.
+	index := make(map[graph.NodeID][]int32)
+	for i, m := range matches {
+		for _, a := range matchAnchors(spec, anchorIdx, m) {
+			index[a] = append(index[a], int32(i))
+		}
+	}
+
+	focal := spec.focalList(g)
+	remaining := make(map[graph.NodeID]bool, len(focal))
+	for _, n := range focal {
+		remaining[n] = true
+	}
+
+	contained := func(m pattern.Match, reach map[graph.NodeID]int) bool {
+		for _, idx := range anchorIdx {
+			if _, ok := reach[m[idx]]; !ok {
+				return false
+			}
+		}
+		return true
+	}
+
+	current := make(map[int32]bool) // M[current] as match indices
+	var prevReach map[graph.NodeID]int
+
+	// Process focal nodes, following graph neighbors while possible.
+	for _, start := range focal {
+		if !remaining[start] {
+			continue
+		}
+		cur := start
+		prevReach = nil
+		for {
+			delete(remaining, cur)
+			reach := g.KHopNodes(cur, spec.K)
+			if prevReach == nil {
+				for k := range current {
+					delete(current, k)
+				}
+				// N1 = full neighborhood.
+				for n := range reach {
+					for _, mi := range index[n] {
+						if !current[mi] && contained(matches[mi], reach) {
+							current[mi] = true
+						}
+					}
+				}
+			} else {
+				// Remove matches touching N2 = N_k(prev) - N_k(cur).
+				for n := range prevReach {
+					if _, ok := reach[n]; ok {
+						continue
+					}
+					for _, mi := range index[n] {
+						delete(current, mi)
+					}
+				}
+				// Add matches touching N1 = N_k(cur) - N_k(prev).
+				for n := range reach {
+					if _, ok := prevReach[n]; ok {
+						continue
+					}
+					for _, mi := range index[n] {
+						if !current[mi] && contained(matches[mi], reach) {
+							current[mi] = true
+						}
+					}
+				}
+			}
+			res.Counts[cur] = int64(len(current))
+
+			// Continue with an unprocessed focal neighbor if one exists.
+			next := graph.NodeID(-1)
+			for _, h := range g.Out(cur) {
+				if remaining[h.To] {
+					next = h.To
+					break
+				}
+			}
+			if next < 0 && g.Directed() {
+				for _, h := range g.In(cur) {
+					if remaining[h.To] {
+						next = h.To
+						break
+					}
+				}
+			}
+			if next < 0 {
+				break
+			}
+			prevReach = reach
+			cur = next
+		}
+	}
+	return res, nil
+}

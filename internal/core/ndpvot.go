@@ -1,0 +1,142 @@
+package core
+
+import (
+	"sync"
+
+	"egocensus/internal/graph"
+	"egocensus/internal/pattern"
+)
+
+// pmi is a pattern match index: for a designated pattern node v, pmi maps a
+// graph node n' to the indices of the matches in which n' is the image of
+// v (Section IV-A1).
+type pmi map[graph.NodeID][]int32
+
+func buildPMI(matches []pattern.Match, pivot int) pmi {
+	idx := make(pmi, len(matches))
+	for i, m := range matches {
+		n := m[pivot]
+		idx[n] = append(idx[n], int32(i))
+	}
+	return idx
+}
+
+// countNDPvot is the pivot indexing algorithm (Algorithm 2): find all
+// matches once, index them by the image of an eccentricity-minimizing
+// pivot node, then BFS each focal node's neighborhood and count index
+// buckets — skipping containment checks whenever the triangle inequality
+// through the pivot already guarantees containment, and otherwise checking
+// only the pattern nodes that are distant enough from the pivot to be able
+// to escape the neighborhood.
+func countNDPvot(g *graph.Graph, spec Spec, opt Options) (*Result, error) {
+	res := &Result{Counts: make([]int64, g.NumNodes())}
+	matches := globalMatches(g, spec, opt)
+	res.NumMatches = len(matches)
+	if len(matches) == 0 {
+		return res, nil
+	}
+
+	p := spec.Pattern
+	anchorIdx := spec.anchorNodes()
+
+	// Pivot selection restricted to the anchor (subpattern) nodes, with
+	// eccentricity measured over the anchors (the only nodes whose
+	// containment matters).
+	dist := p.Distances()
+	pivot, maxV := -1, int(^uint(0)>>1)
+	for _, x := range anchorIdx {
+		ecc := 0
+		for _, y := range anchorIdx {
+			if dist[x][y] > ecc {
+				ecc = dist[x][y]
+			}
+		}
+		if ecc < maxV {
+			pivot, maxV = x, ecc
+		}
+	}
+
+	// distant[i] = anchor nodes u with d(pivot, u) >= i: the nodes that
+	// require an explicit containment check when k - d(n, n') = i - 1.
+	distant := make([][]int, maxV+2)
+	for _, u := range anchorIdx {
+		for i := 1; i <= maxV; i++ {
+			if dist[pivot][u] >= i {
+				distant[i] = append(distant[i], u)
+			}
+		}
+	}
+
+	index := buildPMI(matches, pivot)
+
+	countFor := func(n graph.NodeID) int64 {
+		reach := g.KHopNodes(n, spec.K)
+		var count int64
+		for nPrime, d := range reach {
+			bucket, ok := index[nPrime]
+			if !ok {
+				continue
+			}
+			if d+maxV <= spec.K {
+				// Containment guaranteed: d(n, mu(u)) <= d + d(pivot, u)
+				// <= d + maxV <= k for every anchor u.
+				count += int64(len(bucket))
+				continue
+			}
+			// Only anchors with d(pivot, u) > k - d can escape S(n, k).
+			checkIdx := spec.K - d + 1
+			if checkIdx < 1 {
+				checkIdx = 1
+			}
+			if checkIdx >= len(distant) {
+				checkIdx = len(distant) - 1
+			}
+			toCheck := distant[checkIdx]
+			for _, mi := range bucket {
+				m := matches[mi]
+				inside := true
+				for _, u := range toCheck {
+					if _, ok := reach[m[u]]; !ok {
+						inside = false
+						break
+					}
+				}
+				if inside {
+					count++
+				}
+			}
+		}
+		return count
+	}
+
+	focal := spec.focalList(g)
+	workers := opt.workers()
+	if workers <= 1 {
+		for _, n := range focal {
+			res.Counts[n] = countFor(n)
+		}
+		return res, nil
+	}
+	// Focal nodes are disjoint result slots, so workers write directly.
+	var wg sync.WaitGroup
+	chunk := (len(focal) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(focal) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(focal) {
+			hi = len(focal)
+		}
+		wg.Add(1)
+		go func(part []graph.NodeID) {
+			defer wg.Done()
+			for _, n := range part {
+				res.Counts[n] = countFor(n)
+			}
+		}(focal[lo:hi])
+	}
+	wg.Wait()
+	return res, nil
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"egocensus/internal/gen"
+	"egocensus/internal/graph"
+)
+
+func TestOrderByCountDescLimit(t *testing.T) {
+	g := gen.PreferentialAttachment(100, 3, 5)
+	e := NewEngine(g)
+	tables, err := e.Execute(`
+PATTERN tri { ?A-?B; ?B-?C; ?A-?C; }
+SELECT ID, COUNTP(tri, SUBGRAPH(ID, 2)) FROM nodes ORDER BY COUNT DESC LIMIT 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tables[0]
+	if len(tab.TypedRows) != 5 || len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d want 5", len(tab.TypedRows))
+	}
+	for i := 1; i < len(tab.TypedRows); i++ {
+		if tab.TypedRows[i].Count > tab.TypedRows[i-1].Count {
+			t.Fatal("not descending")
+		}
+	}
+	// Agrees with TopK.
+	spec := Spec{Pattern: e.Patterns()["tri"], K: 2}
+	top, err := TopK(g, spec, 5, NDPvot, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range tab.TypedRows {
+		if row.Focal[0] != top[i].Node || row.Count != top[i].Count {
+			t.Fatalf("row %d: (%d,%d) vs TopK (%d,%d)",
+				i, row.Focal[0], row.Count, top[i].Node, top[i].Count)
+		}
+	}
+}
+
+func TestOrderByCountAsc(t *testing.T) {
+	g := gen.ErdosRenyi(30, 70, 7)
+	e := NewEngine(g)
+	tables, err := e.Execute(`
+PATTERN n1 { ?A; }
+SELECT ID, COUNTP(n1, SUBGRAPH(ID, 1)) FROM nodes ORDER BY COUNT ASC`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].TypedRows
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Count < rows[i-1].Count {
+			t.Fatal("not ascending")
+		}
+		if rows[i].Count == rows[i-1].Count && rows[i].Focal[0] < rows[i-1].Focal[0] {
+			t.Fatal("tie-break not by node ID")
+		}
+	}
+}
+
+func TestOrderByColumn(t *testing.T) {
+	g := graph.New(false)
+	names := []string{"carol", "alice", "bob"}
+	for _, n := range names {
+		id := g.AddNode()
+		g.SetNodeAttr(id, "name", n)
+	}
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	e := NewEngine(g)
+	tables, err := e.Execute(`
+PATTERN n1 { ?A; }
+SELECT name, COUNTP(n1, SUBGRAPH(ID, 0)) FROM nodes ORDER BY name ASC`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := []string{tables[0].Rows[0][0], tables[0].Rows[1][0], tables[0].Rows[2][0]}
+	if got[0] != "alice" || got[1] != "bob" || got[2] != "carol" {
+		t.Fatalf("order = %v", got)
+	}
+}
+
+func TestOrderByPairQuery(t *testing.T) {
+	g := gen.ErdosRenyi(12, 28, 9)
+	e := NewEngine(g)
+	tables, err := e.Execute(`
+PATTERN n1 { ?A; }
+SELECT n1.ID, n2.ID, COUNTP(n1, SUBGRAPH-INTERSECTION(n1.ID, n2.ID, 1))
+FROM nodes AS n1, nodes AS n2
+WHERE n1.ID > n2.ID
+ORDER BY COUNT DESC LIMIT 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].TypedRows
+	if len(rows) > 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Count > rows[i-1].Count {
+			t.Fatal("pair rows not descending")
+		}
+	}
+}
+
+func TestOrderByParseErrors(t *testing.T) {
+	g := gen.ErdosRenyi(5, 8, 1)
+	e := NewEngine(g)
+	cases := []string{
+		`PATTERN n1 {?A;} SELECT ID, COUNTP(n1, SUBGRAPH(ID, 1)) FROM nodes LIMIT 0`,
+		`PATTERN n2 {?A;} SELECT ID, COUNTP(n2, SUBGRAPH(ID, 1)) FROM nodes ORDER BY zz.name`,
+		`PATTERN n3 {?A;} SELECT ID, COUNTP(n3, SUBGRAPH(ID, 1)) FROM nodes ORDER COUNT`,
+	}
+	for _, src := range cases {
+		if _, err := e.Execute(src); err == nil {
+			t.Fatalf("expected error for %q", src)
+		}
+	}
+}
+
+func TestOrderByStringRoundTrip(t *testing.T) {
+	g := gen.ErdosRenyi(5, 8, 1)
+	e := NewEngine(g)
+	tables, err := e.Execute(`
+PATTERN n1 {?A;}
+SELECT ID, COUNTP(n1, SUBGRAPH(ID, 1)) FROM nodes ORDER BY COUNT DESC LIMIT 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tables[0].Query.String()
+	for _, frag := range []string{"ORDER BY COUNT DESC", "LIMIT 2"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("rendered query missing %q: %s", frag, s)
+		}
+	}
+}

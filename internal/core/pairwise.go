@@ -1,0 +1,472 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"egocensus/internal/graph"
+	"egocensus/internal/match"
+)
+
+// PairMode selects the pairwise neighborhood combinator.
+type PairMode int
+
+const (
+	// Intersection censuses SUBGRAPH-INTERSECTION(n1, n2, k).
+	Intersection PairMode = iota
+	// Union censuses SUBGRAPH-UNION(n1, n2, k).
+	Union
+)
+
+// String renders the mode in query syntax.
+func (m PairMode) String() string {
+	if m == Union {
+		return "SUBGRAPH-UNION"
+	}
+	return "SUBGRAPH-INTERSECTION"
+}
+
+// Pair is an unordered node pair in canonical (A < B) order.
+type Pair struct {
+	A, B graph.NodeID
+}
+
+// MakePair returns the canonical form of a pair.
+func MakePair(a, b graph.NodeID) Pair {
+	if a > b {
+		a, b = b, a
+	}
+	return Pair{A: a, B: b}
+}
+
+// PairSpec describes a pairwise census:
+// COUNTP(pattern, SUBGRAPH-INTERSECTION/UNION(n1, n2, k)).
+type PairSpec struct {
+	Spec
+	Mode PairMode
+	// Pairs restricts the census to these pairs; nil means all pairs with
+	// a non-zero count (pattern-driven evaluation naturally produces
+	// exactly those).
+	Pairs []Pair
+}
+
+// PairResult maps pairs to counts. Pairs absent from the map have count 0.
+type PairResult struct {
+	Counts     map[Pair]int64
+	NumMatches int
+}
+
+// CountPairs evaluates a pairwise census. Pattern-driven algorithms
+// (PT-BAS, PT-OPT, PT-RND share the per-match neighborhood machinery)
+// report every pair with a non-zero count; node-driven algorithms (ND-BAS,
+// ND-PVOT) require an explicit pair list.
+func CountPairs(g *graph.Graph, spec PairSpec, alg Algorithm, opt Options) (*PairResult, error) {
+	if err := spec.Validate(g); err != nil {
+		return nil, err
+	}
+	switch alg {
+	case NDBas:
+		return pairNDBas(g, spec, opt)
+	case NDPvot:
+		return pairNDPvot(g, spec, opt)
+	case PTBas:
+		return pairPTDriven(g, spec, opt)
+	case PTOpt:
+		return pairPTOpt(g, spec, opt, false)
+	case PTRnd:
+		return pairPTOpt(g, spec, opt, true)
+	default:
+		return nil, fmt.Errorf("census: algorithm %q does not support pairwise censuses", alg)
+	}
+}
+
+// pairNDBas extracts the intersection/union induced subgraph per pair and
+// matches inside it — the reference semantics (COUNTP only; COUNTSP
+// censuses fall back to global matching plus containment checks).
+func pairNDBas(g *graph.Graph, spec PairSpec, opt Options) (*PairResult, error) {
+	if spec.Pairs == nil {
+		return nil, fmt.Errorf("census: ND-BAS pairwise requires an explicit pair list")
+	}
+	res := &PairResult{Counts: make(map[Pair]int64, len(spec.Pairs))}
+	if spec.Subpattern != "" {
+		return pairNDContainment(g, spec, opt)
+	}
+	m := opt.matcher()
+	for _, pr := range spec.Pairs {
+		var sg *graph.Subgraph
+		if spec.Mode == Intersection {
+			sg = g.EgoIntersection(pr.A, pr.B, spec.K)
+		} else {
+			sg = g.EgoUnion(pr.A, pr.B, spec.K)
+		}
+		if sg.G.NumNodes() == 0 {
+			continue
+		}
+		emb := m.Embeddings(sg.G, spec.Pattern)
+		if c := int64(len(match.Deduplicate(spec.Pattern, emb, nil))); c > 0 {
+			res.Counts[MakePair(pr.A, pr.B)] = c
+		}
+	}
+	return res, nil
+}
+
+// pairNDContainment matches globally and containment-checks each anchor
+// image against the combined neighborhood of each pair.
+func pairNDContainment(g *graph.Graph, spec PairSpec, opt Options) (*PairResult, error) {
+	res := &PairResult{Counts: make(map[Pair]int64, len(spec.Pairs))}
+	matches := globalMatches(g, spec.Spec, opt)
+	res.NumMatches = len(matches)
+	anchorIdx := spec.anchorNodes()
+	for _, pr := range spec.Pairs {
+		ra := g.KHopNodes(pr.A, spec.K)
+		rb := g.KHopNodes(pr.B, spec.K)
+		var count int64
+		for _, m := range matches {
+			inside := true
+			for _, idx := range anchorIdx {
+				_, inA := ra[m[idx]]
+				_, inB := rb[m[idx]]
+				if spec.Mode == Intersection {
+					if !inA || !inB {
+						inside = false
+						break
+					}
+				} else if !inA && !inB {
+					inside = false
+					break
+				}
+			}
+			if inside {
+				count++
+			}
+		}
+		if count > 0 {
+			res.Counts[MakePair(pr.A, pr.B)] = count
+		}
+	}
+	return res, nil
+}
+
+// pairNDPvot adapts the pivot indexing algorithm to pairs (Appendix B):
+// the traversal set becomes the intersection/union of the two k-hop
+// neighborhoods, and d(n, n') becomes max(d1, d2) for intersections and
+// min(d1, d2) for unions.
+func pairNDPvot(g *graph.Graph, spec PairSpec, opt Options) (*PairResult, error) {
+	if spec.Pairs == nil {
+		return nil, fmt.Errorf("census: ND-PVOT pairwise requires an explicit pair list")
+	}
+	res := &PairResult{Counts: make(map[Pair]int64, len(spec.Pairs))}
+	matches := globalMatches(g, spec.Spec, opt)
+	res.NumMatches = len(matches)
+	if len(matches) == 0 {
+		return res, nil
+	}
+	p := spec.Pattern
+	anchorIdx := spec.anchorNodes()
+	dist := p.Distances()
+	pivot, maxV := -1, int(^uint(0)>>1)
+	for _, x := range anchorIdx {
+		ecc := 0
+		for _, y := range anchorIdx {
+			if dist[x][y] > ecc {
+				ecc = dist[x][y]
+			}
+		}
+		if ecc < maxV {
+			pivot, maxV = x, ecc
+		}
+	}
+	index := buildPMI(matches, pivot)
+
+	inCombined := func(n graph.NodeID, ra, rb map[graph.NodeID]int) bool {
+		_, inA := ra[n]
+		_, inB := rb[n]
+		if spec.Mode == Intersection {
+			return inA && inB
+		}
+		return inA || inB
+	}
+
+	for _, pr := range spec.Pairs {
+		ra := g.KHopNodes(pr.A, spec.K)
+		rb := g.KHopNodes(pr.B, spec.K)
+		var count int64
+		visit := func(nPrime graph.NodeID, d int) {
+			bucket, ok := index[nPrime]
+			if !ok {
+				return
+			}
+			if d+maxV <= spec.K {
+				count += int64(len(bucket))
+				return
+			}
+			for _, mi := range bucket {
+				m := matches[mi]
+				inside := true
+				for _, u := range anchorIdx {
+					if dist[pivot][u]+d <= spec.K {
+						continue // cannot escape
+					}
+					if !inCombined(m[u], ra, rb) {
+						inside = false
+						break
+					}
+				}
+				if inside {
+					count++
+				}
+			}
+		}
+		if spec.Mode == Intersection {
+			for n, d1 := range ra {
+				d2, ok := rb[n]
+				if !ok {
+					continue
+				}
+				d := d1
+				if d2 > d {
+					d = d2
+				}
+				visit(n, d)
+			}
+		} else {
+			for n, d1 := range ra {
+				d := d1
+				if d2, ok := rb[n]; ok && d2 < d {
+					d = d2
+				}
+				visit(n, d)
+			}
+			for n, d2 := range rb {
+				if _, ok := ra[n]; ok {
+					continue // already visited
+				}
+				visit(n, d2)
+			}
+		}
+		if count > 0 {
+			res.Counts[MakePair(pr.A, pr.B)] = count
+		}
+	}
+	return res, nil
+}
+
+// pairPTOpt is the optimized pattern-driven pairwise evaluator: matches
+// are clustered exactly as in the single-node PT-OPT, each cluster runs one
+// simultaneous traversal producing per-node anchor-distance vectors, and
+// pairs are emitted per match from those shared vectors (Appendix B).
+func pairPTOpt(g *graph.Graph, spec PairSpec, opt Options, randomOrder bool) (*PairResult, error) {
+	res := &PairResult{Counts: make(map[Pair]int64)}
+	matches := globalMatches(g, spec.Spec, opt)
+	res.NumMatches = len(matches)
+	if len(matches) == 0 {
+		return res, nil
+	}
+	anchorIdx := spec.anchorNodes()
+
+	pmdCenters, clusterCenters := resolveCenters(g, opt)
+	clusters := clusterMatches(g, spec.Spec, opt, matches, anchorIdx, clusterCenters)
+	pdist := spec.Pattern.Distances()
+	tr := &traversal{
+		g:           g,
+		k:           spec.K,
+		pmdCenters:  pmdCenters,
+		randomOrder: randomOrder,
+		noShortcuts: opt.DisableShortcuts,
+		rng:         rand.New(rand.NewSource(opt.Seed + 1)),
+	}
+
+	var wanted map[Pair]bool
+	if spec.Pairs != nil {
+		wanted = make(map[Pair]bool, len(spec.Pairs))
+		for _, pr := range spec.Pairs {
+			wanted[MakePair(pr.A, pr.B)] = true
+		}
+	}
+	add := func(a, b graph.NodeID, c int64) {
+		pr := MakePair(a, b)
+		if wanted != nil && !wanted[pr] {
+			return
+		}
+		res.Counts[pr] += c
+	}
+
+	k := int32(spec.K)
+	for _, cluster := range clusters {
+		pmd, anchorPos := tr.computePMD(matches, cluster, anchorIdx, pdist)
+		for _, mi := range cluster {
+			m := matches[mi]
+			anchors := matchAnchors(spec.Spec, anchorIdx, m)
+			if len(anchors) > 63 {
+				return nil, fmt.Errorf("census: union/intersection supports at most 63 anchor nodes, got %d", len(anchors))
+			}
+			full := uint64(1)<<uint(len(anchors)) - 1
+			positions := make([]int, len(anchors))
+			for i, a := range anchors {
+				positions[i] = anchorPos[a]
+			}
+			if spec.Mode == Intersection {
+				var nm []graph.NodeID
+				for n, v := range pmd {
+					inAll := true
+					for _, pos := range positions {
+						if v[pos] > k {
+							inAll = false
+							break
+						}
+					}
+					if inAll {
+						nm = append(nm, n)
+					}
+				}
+				for i := 0; i < len(nm); i++ {
+					for j := i + 1; j < len(nm); j++ {
+						add(nm[i], nm[j], 1)
+					}
+				}
+				continue
+			}
+			groups := make(map[uint64][]graph.NodeID)
+			covered := make(map[graph.NodeID]bool)
+			for n, v := range pmd {
+				var mask uint64
+				for i, pos := range positions {
+					if v[pos] <= k {
+						mask |= 1 << uint(i)
+					}
+				}
+				if mask != 0 {
+					groups[mask] = append(groups[mask], n)
+					covered[n] = true
+				}
+			}
+			var complement []graph.NodeID
+			if len(groups[full]) > 0 {
+				for i := 0; i < g.NumNodes(); i++ {
+					if !covered[graph.NodeID(i)] {
+						complement = append(complement, graph.NodeID(i))
+					}
+				}
+			}
+			emitUnionPairs(groups, full, complement, add)
+		}
+	}
+	return res, nil
+}
+
+// emitUnionPairs adds one count for every unordered node pair whose masks
+// OR to the full anchor set. complement lists the nodes with an empty mask
+// (every graph node outside the traversed region): they pair with nodes
+// whose own mask already covers all anchors.
+func emitUnionPairs(groups map[uint64][]graph.NodeID, full uint64, complement []graph.NodeID, add func(a, b graph.NodeID, c int64)) {
+	if gf := groups[full]; len(gf) > 0 {
+		for _, a := range gf {
+			for _, b := range complement {
+				add(a, b, 1)
+			}
+		}
+	}
+	maskList := make([]uint64, 0, len(groups))
+	for mask := range groups {
+		maskList = append(maskList, mask)
+	}
+	for i := 0; i < len(maskList); i++ {
+		for j := i; j < len(maskList); j++ {
+			x, y := maskList[i], maskList[j]
+			if x|y != full {
+				continue
+			}
+			gx, gy := groups[x], groups[y]
+			if i == j {
+				for a := 0; a < len(gx); a++ {
+					for b := a + 1; b < len(gx); b++ {
+						add(gx[a], gx[b], 1)
+					}
+				}
+			} else {
+				for _, a := range gx {
+					for _, b := range gy {
+						add(a, b, 1)
+					}
+				}
+			}
+		}
+	}
+}
+
+// pairPTDriven processes each match once: compute the set of nodes within
+// k hops of each anchor, then emit pairs. For intersections every pair of
+// nodes that both reach all anchors gets the match (N[M] x N[M]); for
+// unions, nodes are grouped by the bitmask of anchors they reach and every
+// pair of masks whose union covers all anchors contributes (the paper's
+// 2-partition scheme, counted exactly once per pair).
+func pairPTDriven(g *graph.Graph, spec PairSpec, opt Options) (*PairResult, error) {
+	res := &PairResult{Counts: make(map[Pair]int64)}
+	matches := globalMatches(g, spec.Spec, opt)
+	res.NumMatches = len(matches)
+	if len(matches) == 0 {
+		return res, nil
+	}
+	anchorIdx := spec.anchorNodes()
+
+	var wanted map[Pair]bool
+	if spec.Pairs != nil {
+		wanted = make(map[Pair]bool, len(spec.Pairs))
+		for _, pr := range spec.Pairs {
+			wanted[MakePair(pr.A, pr.B)] = true
+		}
+	}
+	add := func(a, b graph.NodeID, c int64) {
+		pr := MakePair(a, b)
+		if wanted != nil && !wanted[pr] {
+			return
+		}
+		res.Counts[pr] += c
+	}
+
+	for _, m := range matches {
+		anchors := matchAnchors(spec.Spec, anchorIdx, m)
+		if len(anchors) > 63 {
+			return nil, fmt.Errorf("census: union/intersection supports at most 63 anchor nodes, got %d", len(anchors))
+		}
+		// masks[n] = bitmask of anchors within k hops of n.
+		masks := make(map[graph.NodeID]uint64)
+		for i, a := range anchors {
+			for n := range g.KHopNodes(a, spec.K) {
+				masks[n] |= 1 << uint(i)
+			}
+		}
+		full := uint64(1)<<uint(len(anchors)) - 1
+
+		if spec.Mode == Intersection {
+			var nm []graph.NodeID
+			for n, mask := range masks {
+				if mask == full {
+					nm = append(nm, n)
+				}
+			}
+			for i := 0; i < len(nm); i++ {
+				for j := i + 1; j < len(nm); j++ {
+					add(nm[i], nm[j], 1)
+				}
+			}
+			continue
+		}
+
+		// Union: group nodes by mask, then pair up complementary groups.
+		groups := make(map[uint64][]graph.NodeID)
+		for n, mask := range masks {
+			groups[mask] = append(groups[mask], n)
+		}
+		var complement []graph.NodeID
+		if len(groups[full]) > 0 {
+			for i := 0; i < g.NumNodes(); i++ {
+				if _, ok := masks[graph.NodeID(i)]; !ok {
+					complement = append(complement, graph.NodeID(i))
+				}
+			}
+		}
+		emitUnionPairs(groups, full, complement, add)
+	}
+	return res, nil
+}

@@ -1,0 +1,266 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"egocensus/internal/gen"
+	"egocensus/internal/graph"
+	"egocensus/internal/pattern"
+)
+
+// brutePairCounts computes the reference pairwise census from the
+// definition: global matches, anchors contained in the combined
+// neighborhood.
+func brutePairCounts(t *testing.T, g *graph.Graph, spec PairSpec, pairs []Pair) map[Pair]int64 {
+	t.Helper()
+	matches := globalMatches(g, spec.Spec, Options{})
+	anchorIdx := spec.anchorNodes()
+	out := make(map[Pair]int64)
+	for _, pr := range pairs {
+		ra := g.KHopNodes(pr.A, spec.K)
+		rb := g.KHopNodes(pr.B, spec.K)
+		for _, m := range matches {
+			inside := true
+			for _, idx := range anchorIdx {
+				_, inA := ra[m[idx]]
+				_, inB := rb[m[idx]]
+				if spec.Mode == Intersection {
+					if !inA || !inB {
+						inside = false
+						break
+					}
+				} else if !inA && !inB {
+					inside = false
+					break
+				}
+			}
+			if inside {
+				out[MakePair(pr.A, pr.B)]++
+			}
+		}
+	}
+	return out
+}
+
+func allPairs(g *graph.Graph) []Pair {
+	var pairs []Pair
+	for a := 0; a < g.NumNodes(); a++ {
+		for b := a + 1; b < g.NumNodes(); b++ {
+			pairs = append(pairs, Pair{graph.NodeID(a), graph.NodeID(b)})
+		}
+	}
+	return pairs
+}
+
+func checkPairAlgorithms(t *testing.T, g *graph.Graph, spec PairSpec) {
+	t.Helper()
+	pairs := spec.Pairs
+	if pairs == nil {
+		pairs = allPairs(g)
+	}
+	want := brutePairCounts(t, g, spec, pairs)
+	for _, alg := range []Algorithm{NDBas, NDPvot, PTBas, PTOpt, PTRnd} {
+		res, err := CountPairs(g, spec, alg, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		for _, pr := range pairs {
+			key := MakePair(pr.A, pr.B)
+			if res.Counts[key] != want[key] {
+				t.Fatalf("%s (%v): pair %v = %d want %d (k=%d, pattern=%s)",
+					alg, spec.Mode, key, res.Counts[key], want[key], spec.K, spec.Pattern.Name)
+			}
+		}
+		// No spurious pairs either.
+		for key, c := range res.Counts {
+			if c != 0 && want[key] != c {
+				t.Fatalf("%s (%v): spurious pair %v = %d want %d", alg, spec.Mode, key, c, want[key])
+			}
+		}
+	}
+}
+
+func TestPairwiseIntersectionNode(t *testing.T) {
+	g := gen.ErdosRenyi(16, 32, 71)
+	spec := PairSpec{
+		Spec: Spec{Pattern: pattern.SingleNode("n", ""), K: 1},
+		Mode: Intersection,
+	}
+	spec.Pairs = allPairs(g)
+	checkPairAlgorithms(t, g, spec)
+}
+
+func TestPairwiseIntersectionTriangle(t *testing.T) {
+	g := gen.ErdosRenyi(14, 35, 73)
+	spec := PairSpec{
+		Spec: Spec{Pattern: pattern.Clique("clq3", 3, nil), K: 2},
+		Mode: Intersection,
+	}
+	spec.Pairs = allPairs(g)
+	checkPairAlgorithms(t, g, spec)
+}
+
+func TestPairwiseUnionEdge(t *testing.T) {
+	g := gen.ErdosRenyi(12, 26, 79)
+	spec := PairSpec{
+		Spec: Spec{Pattern: pattern.SingleEdge("e", nil), K: 1},
+		Mode: Union,
+	}
+	spec.Pairs = allPairs(g)
+	checkPairAlgorithms(t, g, spec)
+}
+
+func TestPairwiseJaccardComponents(t *testing.T) {
+	// Jaccard coefficient = |N(a) ∩ N(b)| / |N(a) ∪ N(b)| can be computed
+	// from two pairwise single-node censuses (Section I reduction).
+	g := gen.ErdosRenyi(15, 30, 83)
+	inter := PairSpec{Spec: Spec{Pattern: pattern.SingleNode("n", ""), K: 1}, Mode: Intersection}
+	union := PairSpec{Spec: Spec{Pattern: pattern.SingleNode("n", ""), K: 1}, Mode: Union}
+	ri, err := CountPairs(g, inter, PTOpt, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ru, err := CountPairs(g, union, PTOpt, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < g.NumNodes(); a++ {
+		for b := a + 1; b < g.NumNodes(); b++ {
+			na := g.KHopNodes(graph.NodeID(a), 1)
+			nb := g.KHopNodes(graph.NodeID(b), 1)
+			var wantI, wantU int64
+			for n := range na {
+				if _, ok := nb[n]; ok {
+					wantI++
+				}
+			}
+			wantU = int64(len(na)) + int64(len(nb)) - wantI
+			key := MakePair(graph.NodeID(a), graph.NodeID(b))
+			if ri.Counts[key] != wantI {
+				t.Fatalf("pair %v intersection = %d want %d", key, ri.Counts[key], wantI)
+			}
+			if ru.Counts[key] != wantU {
+				t.Fatalf("pair %v union = %d want %d", key, ru.Counts[key], wantU)
+			}
+		}
+	}
+}
+
+func TestPairwisePairListRestriction(t *testing.T) {
+	g := gen.ErdosRenyi(18, 40, 89)
+	pairs := []Pair{{0, 5}, {2, 9}, {1, 17}}
+	spec := PairSpec{
+		Spec:  Spec{Pattern: pattern.SingleEdge("e", nil), K: 2},
+		Mode:  Intersection,
+		Pairs: pairs,
+	}
+	want := brutePairCounts(t, g, spec, pairs)
+	for _, alg := range []Algorithm{NDBas, NDPvot, PTBas, PTOpt} {
+		res, err := CountPairs(g, spec, alg, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if len(res.Counts) > len(pairs) {
+			t.Fatalf("%s: returned %d pairs, expected at most %d", alg, len(res.Counts), len(pairs))
+		}
+		for _, pr := range pairs {
+			key := MakePair(pr.A, pr.B)
+			if res.Counts[key] != want[key] {
+				t.Fatalf("%s: pair %v = %d want %d", alg, key, res.Counts[key], want[key])
+			}
+		}
+	}
+}
+
+func TestPairwiseSubpattern(t *testing.T) {
+	g := gen.ErdosRenyi(14, 30, 97)
+	p := pattern.Clique("clq3", 3, nil)
+	if err := p.AddSubpattern("corner", []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	spec := PairSpec{
+		Spec: Spec{Pattern: p, Subpattern: "corner", K: 1},
+		Mode: Intersection,
+	}
+	spec.Pairs = allPairs(g)
+	want := brutePairCounts(t, g, spec, spec.Pairs)
+	for _, alg := range []Algorithm{NDBas, NDPvot, PTBas, PTOpt} {
+		res, err := CountPairs(g, spec, alg, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		for _, pr := range spec.Pairs {
+			key := MakePair(pr.A, pr.B)
+			if res.Counts[key] != want[key] {
+				t.Fatalf("%s: pair %v = %d want %d", alg, key, res.Counts[key], want[key])
+			}
+		}
+	}
+}
+
+func TestPairwiseAgreeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := gen.ErdosRenyi(10+rng.Intn(8), 20+rng.Intn(15), seed)
+		mode := Intersection
+		if rng.Intn(2) == 1 {
+			mode = Union
+		}
+		var p *pattern.Pattern
+		if rng.Intn(2) == 0 {
+			p = pattern.SingleNode("n", "")
+		} else {
+			p = pattern.SingleEdge("e", nil)
+		}
+		k := 1 + rng.Intn(2)
+		spec := PairSpec{Spec: Spec{Pattern: p, K: k}, Mode: mode}
+		spec.Pairs = allPairs(g)
+		want := brutePairCounts(t, g, spec, spec.Pairs)
+		for _, alg := range []Algorithm{NDBas, NDPvot, PTBas, PTOpt, PTRnd} {
+			res, err := CountPairs(g, spec, alg, Options{Seed: seed})
+			if err != nil {
+				t.Log(err)
+				return false
+			}
+			for _, pr := range spec.Pairs {
+				key := MakePair(pr.A, pr.B)
+				if res.Counts[key] != want[key] {
+					t.Logf("seed %d %s %v pair %v: %d want %d", seed, alg, mode, key, res.Counts[key], want[key])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPairwiseErrors(t *testing.T) {
+	g := gen.ErdosRenyi(10, 15, 101)
+	spec := PairSpec{Spec: Spec{Pattern: pattern.SingleNode("n", ""), K: 1}, Mode: Intersection}
+	if _, err := CountPairs(g, spec, NDBas, Options{}); err == nil {
+		t.Fatal("ND-BAS without pair list should error")
+	}
+	if _, err := CountPairs(g, spec, NDPvot, Options{}); err == nil {
+		t.Fatal("ND-PVOT without pair list should error")
+	}
+	if _, err := CountPairs(g, spec, NDDiff, Options{}); err == nil {
+		t.Fatal("ND-DIFF pairwise should be unsupported")
+	}
+}
+
+func TestPairModeString(t *testing.T) {
+	if Intersection.String() != "SUBGRAPH-INTERSECTION" || Union.String() != "SUBGRAPH-UNION" {
+		t.Fatal("mode strings wrong")
+	}
+}
+
+func TestMakePairCanonical(t *testing.T) {
+	if MakePair(5, 2) != (Pair{2, 5}) || MakePair(2, 5) != (Pair{2, 5}) {
+		t.Fatal("MakePair not canonical")
+	}
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"egocensus/internal/graph"
+)
+
+// countPTBas is the pattern-driven baseline (Section IV-B): process every
+// match independently; BFS the k-hop neighborhood of each anchor node,
+// start from the anchor with the fewest k-hop neighbors, and keep the
+// nodes reachable within k hops from every other anchor. Each surviving
+// focal node's count is incremented by one per match.
+func countPTBas(g *graph.Graph, spec Spec, opt Options) (*Result, error) {
+	res := &Result{Counts: make([]int64, g.NumNodes())}
+	matches := globalMatches(g, spec, opt)
+	res.NumMatches = len(matches)
+	if len(matches) == 0 {
+		return res, nil
+	}
+	anchorIdx := spec.anchorNodes()
+	focal := spec.focalSet(g)
+
+	for _, m := range matches {
+		anchors := matchAnchors(spec, anchorIdx, m)
+		// One BFS per anchor; may re-traverse shared edges — that is the
+		// inefficiency simultaneous traversal removes.
+		reaches := make([]map[graph.NodeID]int, len(anchors))
+		minIdx := 0
+		for i, a := range anchors {
+			reaches[i] = g.KHopNodes(a, spec.K)
+			if len(reaches[i]) < len(reaches[minIdx]) {
+				minIdx = i
+			}
+		}
+		for n := range reaches[minIdx] {
+			inAll := true
+			for i := range reaches {
+				if i == minIdx {
+					continue
+				}
+				if _, ok := reaches[i][n]; !ok {
+					inAll = false
+					break
+				}
+			}
+			if !inAll {
+				continue
+			}
+			if focal != nil && !focal[n] {
+				continue
+			}
+			res.Counts[n]++
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+
+	"egocensus/internal/gen"
+	"egocensus/internal/pattern"
+)
+
+// TestSoakAllAlgorithmsLargeGraph cross-validates every algorithm on a
+// moderately large preferential-attachment graph — the workload class of
+// the paper's evaluation — including k=3 neighborhoods. Skipped with
+// -short.
+func TestSoakAllAlgorithmsLargeGraph(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test; run without -short")
+	}
+	g := gen.PreferentialAttachment(1500, 5, 99)
+	gen.AssignLabels(g, 4, 100)
+	specs := []Spec{
+		{Pattern: pattern.Clique("clq3", 3, []string{"l0", "l1", "l2"}), K: 2},
+		{Pattern: pattern.Clique("clq3", 3, []string{"l0", "l1", "l2"}), K: 3},
+		{Pattern: pattern.Square("sqr", []string{"l0", "l1", "l0", "l1"}), K: 2},
+	}
+	for _, spec := range specs {
+		var want []int64
+		for _, alg := range Algorithms {
+			if alg == NDBas {
+				continue // quadratic; covered at smaller sizes
+			}
+			res, err := Count(g, spec, alg, Options{Seed: 1})
+			if err != nil {
+				t.Fatalf("%s: %v", alg, err)
+			}
+			if want == nil {
+				want = res.Counts
+				continue
+			}
+			for n := range want {
+				if res.Counts[n] != want[n] {
+					t.Fatalf("%s (k=%d, %s): node %d = %d, first algorithm said %d",
+						alg, spec.K, spec.Pattern.Name, n, res.Counts[n], want[n])
+				}
+			}
+		}
+	}
+}
+
+// TestSoakPairwiseLargeGraph cross-validates the pairwise evaluators on a
+// larger instance. Skipped with -short.
+func TestSoakPairwiseLargeGraph(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test; run without -short")
+	}
+	g := gen.PreferentialAttachment(400, 4, 101)
+	gen.AssignLabels(g, 4, 102)
+	spec := PairSpec{
+		Spec: Spec{Pattern: pattern.Clique("clq3", 3, []string{"l0", "l1", "l2"}), K: 1},
+		Mode: Intersection,
+	}
+	ref, err := CountPairs(g, spec, PTBas, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []Algorithm{PTOpt, PTRnd} {
+		res, err := CountPairs(g, spec, alg, Options{Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if len(res.Counts) != len(ref.Counts) {
+			t.Fatalf("%s: %d pairs vs %d", alg, len(res.Counts), len(ref.Counts))
+		}
+		for pr, c := range ref.Counts {
+			if res.Counts[pr] != c {
+				t.Fatalf("%s: pair %v = %d want %d", alg, pr, res.Counts[pr], c)
+			}
+		}
+	}
+	// ND-PVOT over the non-zero pair list.
+	pairs := make([]Pair, 0, len(ref.Counts))
+	for pr := range ref.Counts {
+		pairs = append(pairs, pr)
+	}
+	nd := spec
+	nd.Pairs = pairs
+	res, err := CountPairs(g, nd, NDPvot, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pr, c := range ref.Counts {
+		if res.Counts[pr] != c {
+			t.Fatalf("ND-PVOT: pair %v = %d want %d", pr, res.Counts[pr], c)
+		}
+	}
+}

@@ -1,0 +1,439 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"egocensus/internal/centers"
+	"egocensus/internal/core"
+	"egocensus/internal/gen"
+	"egocensus/internal/graph"
+	"egocensus/internal/linkpred"
+	"egocensus/internal/match"
+	"egocensus/internal/pattern"
+)
+
+// edgeFactor is the paper's edge density: |E| = 5 |V|.
+const edgeFactor = 5
+
+// numLabels is the paper's label alphabet size.
+const numLabels = 4
+
+func sizesFor(scale Scale, unit, small, paper []int) []int {
+	switch scale {
+	case Small:
+		return small
+	case Paper:
+		return paper
+	default:
+		return unit
+	}
+}
+
+func labeledGraph(n int, seed int64) *graph.Graph {
+	g := gen.PreferentialAttachment(n, edgeFactor, seed)
+	gen.AssignLabels(g, numLabels, seed+1)
+	return g
+}
+
+// ptOptions prebuilds the 12 high-degree centers the paper treats as an
+// offline index (Section IV-B4 pre-computes center distances), so census
+// timings cover query evaluation only.
+func ptOptions(g *graph.Graph, seed int64) core.Options {
+	idx := centers.Build(g, 12, centers.ByDegree, seed)
+	return core.Options{Seed: seed, PMDCenters: idx, ClusterCenters: idx}
+}
+
+func clq3() *pattern.Pattern {
+	return pattern.Clique("clq3", 3, []string{"l0", "l1", "l2"})
+}
+
+func clq3Unlb() *pattern.Pattern {
+	return pattern.Clique("clq3-unlb", 3, nil)
+}
+
+func progressf(w io.Writer, format string, args ...interface{}) {
+	if w != nil {
+		fmt.Fprintf(w, format, args...)
+	}
+}
+
+// Fig4a compares the CN matcher against the GQL baseline across graph
+// sizes for the labeled clq3 and clq4 patterns (paper: 200K–1M nodes,
+// speedups 10–140x).
+func Fig4a(cfg Config, progress io.Writer) ([]Measurement, error) {
+	sizes := sizesFor(cfg.Scale,
+		[]int{2000, 4000},
+		[]int{20000, 40000, 60000, 80000, 100000},
+		[]int{200000, 400000, 600000, 800000, 1000000})
+	pats := []*pattern.Pattern{
+		clq3(),
+		pattern.Clique("clq4", 4, []string{"l0", "l1", "l2", "l3"}),
+	}
+	var out []Measurement
+	for _, n := range sizes {
+		g := labeledGraph(n, cfg.Seed)
+		g.BuildProfiles()
+		for _, p := range pats {
+			for _, m := range []match.Matcher{match.CN{}, match.GQL{}} {
+				var found int
+				secs := timeIt(func() {
+					found = len(match.FindMatches(m, g, p))
+				})
+				out = append(out, Measurement{
+					Labels: []KV{
+						{"size", fmt.Sprint(n)},
+						{"pattern", p.Name},
+						{"alg", m.Name()},
+					},
+					Seconds: secs,
+					Values:  []KV{{"matches", fmt.Sprint(found)}},
+				})
+				progressf(progress, "fig4a size=%d pattern=%s alg=%s: %.3fs (%d matches)\n",
+					n, p.Name, m.Name(), secs, found)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Fig4b compares CN against GQL on one graph across the Figure 3 pattern
+// set (paper: 1M nodes; GQL's sqr run took 37 hours, 480x CN).
+func Fig4b(cfg Config, progress io.Writer) ([]Measurement, error) {
+	n := map[Scale]int{Unit: 5000, Small: 50000, Paper: 1000000}[cfg.Scale]
+	g := labeledGraph(n, cfg.Seed)
+	g.BuildProfiles()
+	pats := []*pattern.Pattern{
+		clq3(),
+		pattern.Clique("clq4", 4, []string{"l0", "l1", "l2", "l3"}),
+		pattern.Square("sqr", []string{"l0", "l1", "l0", "l1"}),
+	}
+	var out []Measurement
+	for _, p := range pats {
+		for _, m := range []match.Matcher{match.CN{}, match.GQL{}} {
+			var found int
+			secs := timeIt(func() {
+				found = len(match.FindMatches(m, g, p))
+			})
+			out = append(out, Measurement{
+				Labels: []KV{
+					{"size", fmt.Sprint(n)},
+					{"pattern", p.Name},
+					{"alg", m.Name()},
+				},
+				Seconds: secs,
+				Values:  []KV{{"matches", fmt.Sprint(found)}},
+			})
+			progressf(progress, "fig4b pattern=%s alg=%s: %.3fs (%d matches)\n", p.Name, m.Name(), secs, found)
+		}
+	}
+	return out, nil
+}
+
+// runCensus times one census configuration.
+func runCensus(g *graph.Graph, spec core.Spec, alg core.Algorithm, opt core.Options) (Measurement, error) {
+	var res *core.Result
+	var err error
+	secs := timeIt(func() {
+		res, err = core.Count(g, spec, alg, opt)
+	})
+	if err != nil {
+		return Measurement{}, err
+	}
+	var total int64
+	for _, c := range res.Counts {
+		total += c
+	}
+	return Measurement{
+		Seconds: secs,
+		Values: []KV{
+			{"matches", fmt.Sprint(res.NumMatches)},
+			{"totalCount", fmt.Sprint(total)},
+		},
+	}, nil
+}
+
+// Fig4c runs the unlabeled triangle census (k=2) across graph sizes for
+// all six algorithms. ND-BAS runs only at the smallest size unless
+// IncludeNDBas is set (the paper reports it 218x slower than ND-PVOT at
+// 20K nodes and omits it from the plot).
+func Fig4c(cfg Config, progress io.Writer) ([]Measurement, error) {
+	sizes := sizesFor(cfg.Scale,
+		[]int{500, 1000, 2000},
+		[]int{5000, 10000, 20000},
+		[]int{20000, 40000, 60000, 80000, 100000})
+	var out []Measurement
+	for si, n := range sizes {
+		g := gen.PreferentialAttachment(n, edgeFactor, cfg.Seed)
+		g.BuildProfiles()
+		spec := core.Spec{Pattern: clq3Unlb(), K: 2}
+		opt := ptOptions(g, cfg.Seed)
+		for _, alg := range core.Algorithms {
+			if alg == core.NDBas && si > 0 && !cfg.IncludeNDBas {
+				continue
+			}
+			m, err := runCensus(g, spec, alg, opt)
+			if err != nil {
+				return nil, err
+			}
+			m.Labels = []KV{{"size", fmt.Sprint(n)}, {"alg", string(alg)}}
+			out = append(out, m)
+			progressf(progress, "fig4c size=%d alg=%s: %.3fs\n", n, alg, m.Seconds)
+		}
+	}
+	return out, nil
+}
+
+// Fig4d runs the labeled triangle census (k=2, 4 labels) across graph
+// sizes; pattern-driven algorithms win because the pattern is selective.
+func Fig4d(cfg Config, progress io.Writer) ([]Measurement, error) {
+	sizes := sizesFor(cfg.Scale,
+		[]int{1000, 2000, 4000},
+		[]int{20000, 50000, 100000},
+		[]int{200000, 400000, 600000, 800000, 1000000})
+	algs := []core.Algorithm{core.NDDiff, core.NDPvot, core.PTBas, core.PTRnd, core.PTOpt}
+	var out []Measurement
+	for _, n := range sizes {
+		g := labeledGraph(n, cfg.Seed)
+		g.BuildProfiles()
+		spec := core.Spec{Pattern: clq3(), K: 2}
+		opt := ptOptions(g, cfg.Seed)
+		for _, alg := range algs {
+			m, err := runCensus(g, spec, alg, opt)
+			if err != nil {
+				return nil, err
+			}
+			m.Labels = []KV{{"size", fmt.Sprint(n)}, {"alg", string(alg)}}
+			out = append(out, m)
+			progressf(progress, "fig4d size=%d alg=%s: %.3fs\n", n, alg, m.Seconds)
+		}
+	}
+	return out, nil
+}
+
+// Fig4e varies the focal-node selectivity R of WHERE RND() < R on an
+// unlabeled graph: node-driven runtimes grow linearly with R while
+// pattern-driven runtimes stay flat.
+func Fig4e(cfg Config, progress io.Writer) ([]Measurement, error) {
+	n := map[Scale]int{Unit: 2000, Small: 20000, Paper: 500000}[cfg.Scale]
+	g := gen.PreferentialAttachment(n, edgeFactor, cfg.Seed)
+	g.BuildProfiles()
+	algs := []core.Algorithm{core.NDDiff, core.NDPvot, core.PTBas, core.PTOpt}
+	opt := ptOptions(g, cfg.Seed)
+	var out []Measurement
+	for _, r := range []float64{0.2, 0.4, 0.6, 0.8, 1.0} {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(r*100)))
+		var focal []graph.NodeID
+		for i := 0; i < g.NumNodes(); i++ {
+			if rng.Float64() < r {
+				focal = append(focal, graph.NodeID(i))
+			}
+		}
+		spec := core.Spec{Pattern: clq3Unlb(), K: 2, Focal: focal}
+		for _, alg := range algs {
+			m, err := runCensus(g, spec, alg, opt)
+			if err != nil {
+				return nil, err
+			}
+			m.Labels = []KV{
+				{"size", fmt.Sprint(n)},
+				{"R", fmt.Sprintf("%.0f%%", r*100)},
+				{"alg", string(alg)},
+			}
+			out = append(out, m)
+			progressf(progress, "fig4e R=%.0f%% alg=%s: %.3fs\n", r*100, alg, m.Seconds)
+		}
+	}
+	return out, nil
+}
+
+// Fig4f varies the number of PMD centers (0–24) and their selection
+// strategy (DEG-CNTR vs RND-CNTR) while holding the clustering centers
+// fixed at 12 high-degree nodes, isolating the distance-initialization
+// effect exactly as the paper does.
+func Fig4f(cfg Config, progress io.Writer) ([]Measurement, error) {
+	n := map[Scale]int{Unit: 2000, Small: 20000, Paper: 1000000}[cfg.Scale]
+	g := labeledGraph(n, cfg.Seed)
+	g.BuildProfiles()
+	spec := core.Spec{Pattern: clq3(), K: 2}
+	clusterIdx := centers.Build(g, 12, centers.ByDegree, cfg.Seed)
+	var out []Measurement
+	for _, strat := range []struct {
+		name string
+		s    centers.Strategy
+	}{{"DEG-CNTR", centers.ByDegree}, {"RND-CNTR", centers.Random}} {
+		for _, nc := range []int{0, 4, 8, 12, 16, 20, 24} {
+			opt := core.Options{
+				Seed:           cfg.Seed,
+				PMDCenters:     centers.Build(g, nc, strat.s, cfg.Seed+int64(nc)),
+				ClusterCenters: clusterIdx,
+			}
+			m, err := runCensus(g, spec, core.PTOpt, opt)
+			if err != nil {
+				return nil, err
+			}
+			m.Labels = []KV{
+				{"size", fmt.Sprint(n)},
+				{"strategy", strat.name},
+				{"centers", fmt.Sprint(nc)},
+			}
+			out = append(out, m)
+			progressf(progress, "fig4f %s centers=%d: %.3fs\n", strat.name, nc, m.Seconds)
+		}
+	}
+	return out, nil
+}
+
+// Fig4g compares NO-CLUST, RND-CLUST and OPT-CLUST (K-means over center
+// distance features) while varying the cluster count.
+func Fig4g(cfg Config, progress io.Writer) ([]Measurement, error) {
+	n := map[Scale]int{Unit: 2000, Small: 20000, Paper: 1000000}[cfg.Scale]
+	clusterCounts := map[Scale][]int{
+		Unit:  {10, 20, 40, 80},
+		Small: {50, 100, 200, 400},
+		Paper: {100, 200, 300, 400, 500, 600},
+	}[cfg.Scale]
+	g := labeledGraph(n, cfg.Seed)
+	g.BuildProfiles()
+	spec := core.Spec{Pattern: clq3(), K: 2}
+	var out []Measurement
+
+	baseOpt := ptOptions(g, cfg.Seed)
+	noClust := baseOpt
+	noClust.NoClustering = true
+	m, err := runCensus(g, spec, core.PTOpt, noClust)
+	if err != nil {
+		return nil, err
+	}
+	m.Labels = []KV{{"size", fmt.Sprint(n)}, {"variant", "NO-CLUST"}, {"clusters", "-"}}
+	out = append(out, m)
+	progressf(progress, "fig4g NO-CLUST: %.3fs\n", m.Seconds)
+
+	for _, variant := range []struct {
+		name   string
+		random bool
+	}{{"RND-CLUST", true}, {"OPT-CLUST", false}} {
+		for _, k := range clusterCounts {
+			opt := baseOpt
+			opt.Clusters = k
+			opt.RandomClustering = variant.random
+			m, err := runCensus(g, spec, core.PTOpt, opt)
+			if err != nil {
+				return nil, err
+			}
+			m.Labels = []KV{
+				{"size", fmt.Sprint(n)},
+				{"variant", variant.name},
+				{"clusters", fmt.Sprint(k)},
+			}
+			out = append(out, m)
+			progressf(progress, "fig4g %s clusters=%d: %.3fs\n", variant.name, k, m.Seconds)
+		}
+	}
+	return out, nil
+}
+
+// Fig4h runs the link-prediction experiment: a temporal co-authorship
+// corpus (the DBLP substitute) split into a 2001–2005 training graph and
+// 2006–2010 new collaborations; precision@50 and @600 for the nine census
+// measures, Jaccard and random; plus the PT-OPT vs PT-BAS (and optionally
+// ND-BAS) runtime comparison of Section V-B.
+func Fig4h(cfg Config, progress io.Writer) ([]Measurement, error) {
+	ccfg := gen.DefaultCoauthConfig()
+	switch cfg.Scale {
+	case Unit:
+		ccfg.Authors, ccfg.PapersPerYear = 500, 80
+	case Small:
+		ccfg.Authors, ccfg.PapersPerYear = 1500, 250
+	}
+	ccfg.Seed = cfg.Seed
+	corpus := gen.GenerateCoauthorship(ccfg)
+	train, authorNode := corpus.Graph(2001, 2005)
+	train.BuildProfiles()
+	positives := map[core.Pair]bool{}
+	for pr := range corpus.NewPairs(2006, 2010) {
+		na, oka := authorNode[pr[0]]
+		nb, okb := authorNode[pr[1]]
+		if oka && okb {
+			positives[core.MakePair(na, nb)] = true
+		}
+	}
+	eval := &linkpred.Eval{Train: train, Positives: positives}
+	trainOpt := ptOptions(train, cfg.Seed)
+	progressf(progress, "fig4h corpus: %d authors, %d train edges, %d positives\n",
+		train.NumNodes(), train.NumEdges(), len(positives))
+
+	var out []Measurement
+	record := func(name, alg string, secs float64, scores map[core.Pair]float64) {
+		m := Measurement{
+			Labels:  []KV{{"measure", name}, {"alg", alg}},
+			Seconds: secs,
+			Values: []KV{
+				{"p@50", fmt.Sprintf("%.4f", eval.PrecisionAtK(scores, 50))},
+				{"p@600", fmt.Sprintf("%.4f", eval.PrecisionAtK(scores, 600))},
+			},
+		}
+		out = append(out, m)
+		progressf(progress, "fig4h %s (%s): %.3fs p@50=%s p@600=%s\n",
+			name, alg, secs, m.Values[0].Value, m.Values[1].Value)
+	}
+
+	for _, meas := range linkpred.Measures() {
+		var scores map[core.Pair]float64
+		var err error
+		secsOpt := timeIt(func() {
+			scores, err = meas.Score(train, core.PTOpt, trainOpt)
+		})
+		if err != nil {
+			return nil, err
+		}
+		record(meas.Name, "PT-OPT", secsOpt, scores)
+
+		var basScores map[core.Pair]float64
+		secsBas := timeIt(func() {
+			basScores, err = meas.Score(train, core.PTBas, trainOpt)
+		})
+		if err != nil {
+			return nil, err
+		}
+		record(meas.Name, "PT-BAS", secsBas, basScores)
+
+		if cfg.IncludeNDBas || cfg.Scale == Unit {
+			// ND-BAS needs an explicit pair list; give it exactly the
+			// non-zero pairs (a concession in its favor — the paper ran
+			// all pairs and reports it orders of magnitude slower).
+			pairs := make([]core.Pair, 0, len(scores))
+			for pr := range scores {
+				pairs = append(pairs, pr)
+			}
+			spec := core.PairSpec{
+				Spec:  core.Spec{Pattern: meas.Pattern(), K: meas.R},
+				Mode:  core.Intersection,
+				Pairs: pairs,
+			}
+			var ndRes *core.PairResult
+			secsND := timeIt(func() {
+				ndRes, err = core.CountPairs(train, spec, core.NDBas, core.Options{Seed: cfg.Seed})
+			})
+			if err != nil {
+				return nil, err
+			}
+			ndScores := make(map[core.Pair]float64, len(ndRes.Counts))
+			for pr, c := range ndRes.Counts {
+				ndScores[pr] = float64(c)
+			}
+			record(meas.Name, "ND-BAS", secsND, ndScores)
+		}
+	}
+
+	jsecs := timeIt(func() {
+		scores := linkpred.Jaccard(train)
+		record("jaccard", "-", 0, scores)
+	})
+	out[len(out)-1].Seconds = jsecs
+
+	rnd := linkpred.RandomScores(train, 5000, cfg.Seed+99)
+	record("random", "-", 0, rnd)
+	return out, nil
+}

@@ -1,0 +1,133 @@
+// Package gen builds the synthetic workloads used by the paper's
+// evaluation: Barabási–Albert preferential-attachment graphs (the database
+// graphs of Section V), Erdős–Rényi graphs, uniform random labellings,
+// signed networks for the structural-balance application, and a temporal
+// co-authorship generator that substitutes for the paper's DBLP corpus in
+// the link-prediction experiment (Fig 4(h)).
+//
+// All generators are deterministic given their seed.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"egocensus/internal/graph"
+)
+
+// PreferentialAttachment generates an undirected Barabási–Albert graph with
+// n nodes in which each new node attaches to m distinct existing nodes
+// chosen proportionally to degree. The result has roughly n*m edges; the
+// paper's experiments use m = 5 ("number of edges 5x the number of nodes").
+func PreferentialAttachment(n, m int, seed int64) *graph.Graph {
+	if n <= 0 {
+		panic("gen: n must be positive")
+	}
+	if m <= 0 {
+		panic("gen: m must be positive")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(false)
+	g.AddNodes(n)
+
+	// targets holds one entry per half-edge endpoint, so uniform sampling
+	// from it is degree-proportional sampling.
+	targets := make([]graph.NodeID, 0, 2*n*m)
+
+	// Seed clique over the first m+1 nodes (or all nodes if n <= m).
+	seedSize := m + 1
+	if seedSize > n {
+		seedSize = n
+	}
+	for i := 0; i < seedSize; i++ {
+		for j := i + 1; j < seedSize; j++ {
+			g.AddEdge(graph.NodeID(i), graph.NodeID(j))
+			targets = append(targets, graph.NodeID(i), graph.NodeID(j))
+		}
+	}
+
+	chosenSet := make(map[graph.NodeID]bool, m)
+	chosen := make([]graph.NodeID, 0, m)
+	for v := seedSize; v < n; v++ {
+		for _, id := range chosen {
+			delete(chosenSet, id)
+		}
+		chosen = chosen[:0]
+		for len(chosen) < m {
+			t := targets[rng.Intn(len(targets))]
+			if int(t) == v || chosenSet[t] {
+				continue
+			}
+			chosenSet[t] = true
+			chosen = append(chosen, t)
+		}
+		for _, t := range chosen {
+			g.AddEdge(graph.NodeID(v), t)
+			targets = append(targets, graph.NodeID(v), t)
+		}
+	}
+	return g
+}
+
+// ErdosRenyi generates an undirected G(n, m) random simple graph with
+// exactly m edges (m is capped at n*(n-1)/2).
+func ErdosRenyi(n, m int, seed int64) *graph.Graph {
+	if n <= 0 {
+		panic("gen: n must be positive")
+	}
+	maxEdges := n * (n - 1) / 2
+	if m > maxEdges {
+		m = maxEdges
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(false)
+	g.AddNodes(n)
+	seen := make(map[[2]graph.NodeID]bool, m)
+	for g.NumEdges() < m {
+		a := graph.NodeID(rng.Intn(n))
+		b := graph.NodeID(rng.Intn(n))
+		if a == b {
+			continue
+		}
+		if a > b {
+			a, b = b, a
+		}
+		key := [2]graph.NodeID{a, b}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		g.AddEdge(a, b)
+	}
+	return g
+}
+
+// AssignLabels gives every node a label drawn uniformly from numLabels
+// labels named "l0", "l1", .... It mirrors the paper's "labels are
+// generated randomly" setup with 4 labels.
+func AssignLabels(g *graph.Graph, numLabels int, seed int64) {
+	if numLabels <= 0 {
+		panic("gen: numLabels must be positive")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for n := 0; n < g.NumNodes(); n++ {
+		g.SetLabel(graph.NodeID(n), LabelName(rng.Intn(numLabels)))
+	}
+}
+
+// LabelName returns the canonical name of the i-th synthetic label.
+func LabelName(i int) string { return fmt.Sprintf("l%d", i) }
+
+// AssignSigns marks every edge with a "sign" attribute ("+" or "-"); each
+// edge is negative with probability pNeg. Used by the structural-balance
+// example to build signed networks.
+func AssignSigns(g *graph.Graph, pNeg float64, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for e := 0; e < g.NumEdges(); e++ {
+		sign := "+"
+		if rng.Float64() < pNeg {
+			sign = "-"
+		}
+		g.SetEdgeAttr(graph.EdgeID(e), "sign", sign)
+	}
+}

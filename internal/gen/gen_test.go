@@ -1,0 +1,271 @@
+package gen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"egocensus/internal/graph"
+)
+
+func TestPreferentialAttachmentBasic(t *testing.T) {
+	g := PreferentialAttachment(100, 5, 42)
+	if g.NumNodes() != 100 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	// seed clique (6 choose 2) + 94*5 edges
+	want := 15 + 94*5
+	if g.NumEdges() != want {
+		t.Fatalf("edges = %d want %d", g.NumEdges(), want)
+	}
+}
+
+func TestPreferentialAttachmentDeterministic(t *testing.T) {
+	a := PreferentialAttachment(50, 3, 7)
+	b := PreferentialAttachment(50, 3, 7)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed should give same graph")
+	}
+	for e := 0; e < a.NumEdges(); e++ {
+		if a.Edge(graph.EdgeID(e)) != b.Edge(graph.EdgeID(e)) {
+			t.Fatalf("edge %d differs", e)
+		}
+	}
+	c := PreferentialAttachment(50, 3, 8)
+	same := c.NumEdges() == a.NumEdges()
+	if same {
+		diff := false
+		for e := 0; e < a.NumEdges(); e++ {
+			if a.Edge(graph.EdgeID(e)) != c.Edge(graph.EdgeID(e)) {
+				diff = true
+				break
+			}
+		}
+		if !diff {
+			t.Fatal("different seeds produced identical graphs")
+		}
+	}
+}
+
+func TestPreferentialAttachmentSimple(t *testing.T) {
+	f := func(seed int64) bool {
+		g := PreferentialAttachment(60, 4, seed)
+		seen := map[[2]graph.NodeID]bool{}
+		for e := 0; e < g.NumEdges(); e++ {
+			ed := g.Edge(graph.EdgeID(e))
+			if ed.From == ed.To {
+				return false // self loop
+			}
+			a, b := ed.From, ed.To
+			if a > b {
+				a, b = b, a
+			}
+			if seen[[2]graph.NodeID{a, b}] {
+				return false // parallel edge
+			}
+			seen[[2]graph.NodeID{a, b}] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPreferentialAttachmentSkew(t *testing.T) {
+	g := PreferentialAttachment(2000, 5, 3)
+	maxDeg := 0
+	total := 0
+	for n := 0; n < g.NumNodes(); n++ {
+		d := g.Degree(graph.NodeID(n))
+		total += d
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	avg := float64(total) / float64(g.NumNodes())
+	if float64(maxDeg) < 5*avg {
+		t.Fatalf("expected heavy-tailed degrees: max %d avg %.1f", maxDeg, avg)
+	}
+}
+
+func TestPreferentialAttachmentSmallN(t *testing.T) {
+	g := PreferentialAttachment(3, 5, 1) // n <= m: just a clique on n nodes
+	if g.NumNodes() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("got %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+}
+
+func TestErdosRenyi(t *testing.T) {
+	g := ErdosRenyi(50, 100, 9)
+	if g.NumNodes() != 50 || g.NumEdges() != 100 {
+		t.Fatalf("got %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+	// capped at complete graph
+	g2 := ErdosRenyi(5, 100, 9)
+	if g2.NumEdges() != 10 {
+		t.Fatalf("capped edges = %d want 10", g2.NumEdges())
+	}
+}
+
+func TestAssignLabels(t *testing.T) {
+	g := ErdosRenyi(200, 300, 1)
+	AssignLabels(g, 4, 5)
+	counts := map[string]int{}
+	for n := 0; n < g.NumNodes(); n++ {
+		l := g.LabelString(graph.NodeID(n))
+		if l == "" {
+			t.Fatal("node left unlabeled")
+		}
+		counts[l]++
+	}
+	if len(counts) != 4 {
+		t.Fatalf("labels used = %v", counts)
+	}
+	for l, c := range counts {
+		if c < 20 {
+			t.Fatalf("label %s badly unbalanced: %d", l, c)
+		}
+	}
+}
+
+func TestAssignSigns(t *testing.T) {
+	g := ErdosRenyi(100, 400, 2)
+	AssignSigns(g, 0.3, 3)
+	neg := 0
+	for e := 0; e < g.NumEdges(); e++ {
+		s, ok := g.EdgeAttr(graph.EdgeID(e), "sign")
+		if !ok || (s != "+" && s != "-") {
+			t.Fatalf("edge %d sign = %q ok=%v", e, s, ok)
+		}
+		if s == "-" {
+			neg++
+		}
+	}
+	frac := float64(neg) / float64(g.NumEdges())
+	if frac < 0.2 || frac > 0.4 {
+		t.Fatalf("negative fraction %.2f far from 0.3", frac)
+	}
+}
+
+func TestCoauthorshipGeneration(t *testing.T) {
+	cfg := DefaultCoauthConfig()
+	cfg.Authors = 400
+	cfg.PapersPerYear = 60
+	c := GenerateCoauthorship(cfg)
+	if len(c.Papers) != 60*10 {
+		t.Fatalf("papers = %d", len(c.Papers))
+	}
+	for _, p := range c.Papers {
+		if p.Year < 2001 || p.Year > 2010 {
+			t.Fatalf("paper year %d out of range", p.Year)
+		}
+		if len(p.Authors) < 2 || len(p.Authors) > cfg.MaxTeam {
+			t.Fatalf("team size %d", len(p.Authors))
+		}
+		for i := 1; i < len(p.Authors); i++ {
+			if p.Authors[i] <= p.Authors[i-1] {
+				t.Fatal("authors not sorted-unique")
+			}
+		}
+	}
+}
+
+func TestCoauthorshipGraphWindow(t *testing.T) {
+	cfg := DefaultCoauthConfig()
+	cfg.Authors = 300
+	cfg.PapersPerYear = 50
+	c := GenerateCoauthorship(cfg)
+	g, authorNode := c.Graph(2001, 2005)
+	if g.NumNodes() == 0 || g.NumEdges() == 0 {
+		t.Fatal("empty train graph")
+	}
+	if g.NumNodes() != len(authorNode) {
+		t.Fatal("authorNode inconsistent")
+	}
+	// Every train-window co-author pair must be an edge.
+	for _, p := range c.Papers {
+		if p.Year > 2005 {
+			continue
+		}
+		for i, a := range p.Authors {
+			for _, b := range p.Authors[i+1:] {
+				if !g.HasEdge(authorNode[a], authorNode[b]) {
+					t.Fatalf("missing edge for pair %d-%d", a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestNewPairsExcludesOld(t *testing.T) {
+	cfg := DefaultCoauthConfig()
+	cfg.Authors = 300
+	cfg.PapersPerYear = 50
+	c := GenerateCoauthorship(cfg)
+	oldPairs := map[[2]int]bool{}
+	for _, p := range c.Papers {
+		if p.Year > 2005 {
+			continue
+		}
+		for i, a := range p.Authors {
+			for _, b := range p.Authors[i+1:] {
+				oldPairs[[2]int{a, b}] = true
+			}
+		}
+	}
+	newPairs := c.NewPairs(2006, 2010)
+	if len(newPairs) == 0 {
+		t.Fatal("no new pairs generated")
+	}
+	for pair := range newPairs {
+		if oldPairs[pair] {
+			t.Fatalf("pair %v already collaborated before window", pair)
+		}
+	}
+}
+
+func TestCoauthorshipClosureSignal(t *testing.T) {
+	// New links should preferentially form between authors with common
+	// neighbors in the train graph — the property the link-prediction
+	// experiment depends on.
+	cfg := DefaultCoauthConfig()
+	cfg.Authors = 600
+	cfg.PapersPerYear = 120
+	c := GenerateCoauthorship(cfg)
+	g, authorNode := c.Graph(2001, 2005)
+	newPairs := c.NewPairs(2006, 2010)
+
+	common := func(a, b graph.NodeID) int {
+		na := map[graph.NodeID]bool{}
+		for _, h := range g.Out(a) {
+			na[h.To] = true
+		}
+		cnt := 0
+		for _, h := range g.Out(b) {
+			if na[h.To] {
+				cnt++
+			}
+		}
+		return cnt
+	}
+
+	withCommon, total := 0, 0
+	for pair := range newPairs {
+		na, oka := authorNode[pair[0]]
+		nb, okb := authorNode[pair[1]]
+		if !oka || !okb {
+			continue
+		}
+		total++
+		if common(na, nb) > 0 {
+			withCommon++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no evaluable new pairs")
+	}
+	frac := float64(withCommon) / float64(total)
+	if frac < 0.15 {
+		t.Fatalf("only %.2f of new links have common neighbors; closure signal too weak", frac)
+	}
+}

@@ -1,0 +1,220 @@
+package gen
+
+import (
+	"math/rand"
+	"strconv"
+
+	"egocensus/internal/graph"
+)
+
+// This file adds further standard graph models used for robustness tests
+// and examples: Watts–Strogatz small worlds, random geometric graphs (the
+// "geometric networks" of the paper's motif-counting references), planted
+// community partitions, and a directed preferential-attachment variant for
+// the brokerage workloads.
+
+// WattsStrogatz generates an undirected small-world graph: a ring lattice
+// of n nodes with k neighbors per side, each edge rewired with probability
+// beta. Self loops and parallel edges are avoided by re-drawing; if no
+// valid target exists the edge keeps its lattice endpoint.
+func WattsStrogatz(n, k int, beta float64, seed int64) *graph.Graph {
+	if n <= 0 || k <= 0 || 2*k >= n {
+		panic("gen: WattsStrogatz requires 0 < 2k < n")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(false)
+	g.AddNodes(n)
+	has := make(map[[2]graph.NodeID]bool, n*k)
+	addEdge := func(a, b graph.NodeID) bool {
+		if a == b {
+			return false
+		}
+		x, y := a, b
+		if x > y {
+			x, y = y, x
+		}
+		if has[[2]graph.NodeID{x, y}] {
+			return false
+		}
+		has[[2]graph.NodeID{x, y}] = true
+		g.AddEdge(x, y)
+		return true
+	}
+	for i := 0; i < n; i++ {
+		for j := 1; j <= k; j++ {
+			a := graph.NodeID(i)
+			b := graph.NodeID((i + j) % n)
+			if rng.Float64() < beta {
+				rewired := false
+				for attempt := 0; attempt < 20; attempt++ {
+					c := graph.NodeID(rng.Intn(n))
+					if addEdge(a, c) {
+						rewired = true
+						break
+					}
+				}
+				if rewired {
+					continue
+				}
+			}
+			addEdge(a, b)
+		}
+	}
+	return g
+}
+
+// RandomGeometric generates an undirected random geometric graph: n nodes
+// placed uniformly in the unit square, edges between pairs within radius.
+// Node positions are stored in the "x"/"y" attributes.
+func RandomGeometric(n int, radius float64, seed int64) *graph.Graph {
+	if n <= 0 || radius <= 0 {
+		panic("gen: RandomGeometric requires positive n and radius")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(false)
+	g.AddNodes(n)
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i], ys[i] = rng.Float64(), rng.Float64()
+		g.SetNodeAttr(graph.NodeID(i), "x", formatFloat(xs[i]))
+		g.SetNodeAttr(graph.NodeID(i), "y", formatFloat(ys[i]))
+	}
+	// Grid-bucketed neighbor search keeps this O(n) for constant density.
+	cell := radius
+	grid := map[[2]int][]int{}
+	key := func(x, y float64) [2]int {
+		return [2]int{int(x / cell), int(y / cell)}
+	}
+	for i := 0; i < n; i++ {
+		k := key(xs[i], ys[i])
+		grid[k] = append(grid[k], i)
+	}
+	r2 := radius * radius
+	for i := 0; i < n; i++ {
+		k := key(xs[i], ys[i])
+		for dx := -1; dx <= 1; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				for _, j := range grid[[2]int{k[0] + dx, k[1] + dy}] {
+					if j <= i {
+						continue
+					}
+					ddx, ddy := xs[i]-xs[j], ys[i]-ys[j]
+					if ddx*ddx+ddy*ddy <= r2 {
+						g.AddEdge(graph.NodeID(i), graph.NodeID(j))
+					}
+				}
+			}
+		}
+	}
+	return g
+}
+
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'f', 6, 64)
+}
+
+// PlantedPartition generates an undirected community-structured graph: n
+// nodes in numCommunities equal groups, each node linking to degIn
+// within-community and degOut cross-community partners on average.
+// Community indices are stored as labels "c0", "c1", ....
+func PlantedPartition(n, numCommunities, degIn, degOut int, seed int64) *graph.Graph {
+	if n <= 0 || numCommunities <= 0 {
+		panic("gen: PlantedPartition requires positive n and communities")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(false)
+	g.AddNodes(n)
+	comm := make([][]graph.NodeID, numCommunities)
+	for i := 0; i < n; i++ {
+		c := i % numCommunities
+		comm[c] = append(comm[c], graph.NodeID(i))
+		g.SetLabel(graph.NodeID(i), "c"+itoa(c))
+	}
+	has := map[[2]graph.NodeID]bool{}
+	addEdge := func(a, b graph.NodeID) {
+		if a == b {
+			return
+		}
+		x, y := a, b
+		if x > y {
+			x, y = y, x
+		}
+		if has[[2]graph.NodeID{x, y}] {
+			return
+		}
+		has[[2]graph.NodeID{x, y}] = true
+		g.AddEdge(x, y)
+	}
+	for i := 0; i < n; i++ {
+		c := i % numCommunities
+		for e := 0; e < degIn; e++ {
+			pool := comm[c]
+			addEdge(graph.NodeID(i), pool[rng.Intn(len(pool))])
+		}
+		for e := 0; e < degOut; e++ {
+			addEdge(graph.NodeID(i), graph.NodeID(rng.Intn(n)))
+		}
+	}
+	return g
+}
+
+// DirectedPreferentialAttachment generates a directed graph where each new
+// node points m edges at existing nodes chosen proportionally to in-degree
+// plus one (a directed BA / Price model). Used by the brokerage workloads.
+func DirectedPreferentialAttachment(n, m int, seed int64) *graph.Graph {
+	if n <= 0 || m <= 0 {
+		panic("gen: n and m must be positive")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(true)
+	g.AddNodes(n)
+	// targets: one entry per node (the +1 smoothing) plus one per received
+	// edge.
+	targets := make([]graph.NodeID, 0, n*(m+1))
+	for i := 0; i < n && i <= m; i++ {
+		targets = append(targets, graph.NodeID(i))
+	}
+	for v := 1; v < n; v++ {
+		if v <= m {
+			// Early nodes: connect to all predecessors.
+			for u := 0; u < v; u++ {
+				g.AddEdge(graph.NodeID(v), graph.NodeID(u))
+				targets = append(targets, graph.NodeID(u))
+			}
+			targets = append(targets, graph.NodeID(v))
+			continue
+		}
+		chosen := map[graph.NodeID]bool{}
+		for len(chosen) < m {
+			t := targets[rng.Intn(len(targets))]
+			if int(t) >= v || chosen[t] {
+				continue
+			}
+			chosen[t] = true
+		}
+		// Deterministic order for reproducibility.
+		for u := 0; u < v; u++ {
+			if chosen[graph.NodeID(u)] {
+				g.AddEdge(graph.NodeID(v), graph.NodeID(u))
+				targets = append(targets, graph.NodeID(u))
+			}
+		}
+		targets = append(targets, graph.NodeID(v))
+	}
+	return g
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}

@@ -1,0 +1,179 @@
+package gen
+
+import (
+	"strconv"
+	"testing"
+	"testing/quick"
+
+	"egocensus/internal/graph"
+)
+
+func assertSimple(t *testing.T, g *graph.Graph) {
+	t.Helper()
+	seen := map[[2]graph.NodeID]bool{}
+	for e := 0; e < g.NumEdges(); e++ {
+		ed := g.Edge(graph.EdgeID(e))
+		if ed.From == ed.To {
+			t.Fatalf("self loop at edge %d", e)
+		}
+		a, b := ed.From, ed.To
+		if !g.Directed() && a > b {
+			a, b = b, a
+		}
+		if seen[[2]graph.NodeID{a, b}] {
+			t.Fatalf("parallel edge %d-%d", a, b)
+		}
+		seen[[2]graph.NodeID{a, b}] = true
+	}
+}
+
+func TestWattsStrogatzShape(t *testing.T) {
+	g := WattsStrogatz(100, 3, 0, 1) // beta=0: pure ring lattice
+	if g.NumNodes() != 100 || g.NumEdges() != 300 {
+		t.Fatalf("lattice shape: %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+	for n := 0; n < g.NumNodes(); n++ {
+		if g.Degree(graph.NodeID(n)) != 6 {
+			t.Fatalf("lattice degree %d at node %d", g.Degree(graph.NodeID(n)), n)
+		}
+	}
+	assertSimple(t, g)
+}
+
+func TestWattsStrogatzRewiring(t *testing.T) {
+	lattice := WattsStrogatz(200, 2, 0, 5)
+	rewired := WattsStrogatz(200, 2, 0.5, 5)
+	assertSimple(t, rewired)
+	if rewired.NumEdges() == 0 {
+		t.Fatal("no edges after rewiring")
+	}
+	// Rewiring must change the edge set.
+	diff := 0
+	for e := 0; e < lattice.NumEdges() && e < rewired.NumEdges(); e++ {
+		if lattice.Edge(graph.EdgeID(e)) != rewired.Edge(graph.EdgeID(e)) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("beta=0.5 should rewire some edges")
+	}
+}
+
+func TestWattsStrogatzValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for 2k >= n")
+		}
+	}()
+	WattsStrogatz(6, 3, 0.1, 1)
+}
+
+func TestRandomGeometric(t *testing.T) {
+	g := RandomGeometric(300, 0.1, 3)
+	assertSimple(t, g)
+	// Verify every edge respects the radius and positions are stored.
+	pos := func(n graph.NodeID) (x, y float64) {
+		xs, _ := g.NodeAttr(n, "x")
+		ys, _ := g.NodeAttr(n, "y")
+		x, _ = strconv.ParseFloat(xs, 64)
+		y, _ = strconv.ParseFloat(ys, 64)
+		return x, y
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		ed := g.Edge(graph.EdgeID(e))
+		x1, y1 := pos(ed.From)
+		x2, y2 := pos(ed.To)
+		d2 := (x1-x2)*(x1-x2) + (y1-y2)*(y1-y2)
+		if d2 > 0.1*0.1+1e-9 {
+			t.Fatalf("edge %d spans distance^2 %v > r^2", e, d2)
+		}
+	}
+	if g.NumEdges() == 0 {
+		t.Fatal("geometric graph suspiciously empty")
+	}
+}
+
+func TestRandomGeometricCompleteness(t *testing.T) {
+	// Every pair within radius must be connected (grid search misses none).
+	f := func(seed int64) bool {
+		g := RandomGeometric(60, 0.2, seed)
+		pos := make([][2]float64, g.NumNodes())
+		for n := 0; n < g.NumNodes(); n++ {
+			xs, _ := g.NodeAttr(graph.NodeID(n), "x")
+			ys, _ := g.NodeAttr(graph.NodeID(n), "y")
+			x, _ := strconv.ParseFloat(xs, 64)
+			y, _ := strconv.ParseFloat(ys, 64)
+			pos[n] = [2]float64{x, y}
+		}
+		for i := 0; i < g.NumNodes(); i++ {
+			for j := i + 1; j < g.NumNodes(); j++ {
+				dx := pos[i][0] - pos[j][0]
+				dy := pos[i][1] - pos[j][1]
+				// Stay away from the boundary: positions were rounded to 6
+				// decimals on storage.
+				if dx*dx+dy*dy < 0.2*0.2-1e-4 {
+					if !g.HasEdge(graph.NodeID(i), graph.NodeID(j)) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlantedPartition(t *testing.T) {
+	g := PlantedPartition(300, 3, 6, 1, 7)
+	assertSimple(t, g)
+	within, across := 0, 0
+	for e := 0; e < g.NumEdges(); e++ {
+		ed := g.Edge(graph.EdgeID(e))
+		if g.Label(ed.From) == g.Label(ed.To) {
+			within++
+		} else {
+			across++
+		}
+	}
+	if within <= 2*across {
+		t.Fatalf("community structure weak: %d within vs %d across", within, across)
+	}
+	// Labels assigned round-robin.
+	if g.LabelString(0) != "c0" || g.LabelString(1) != "c1" || g.LabelString(3) != "c0" {
+		t.Fatal("community labels wrong")
+	}
+}
+
+func TestDirectedPreferentialAttachment(t *testing.T) {
+	g := DirectedPreferentialAttachment(500, 3, 9)
+	if !g.Directed() {
+		t.Fatal("should be directed")
+	}
+	assertSimple(t, g)
+	// Every non-seed node has out-degree m.
+	for v := 4; v < g.NumNodes(); v++ {
+		if got := len(g.Out(graph.NodeID(v))); got != 3 {
+			t.Fatalf("node %d out-degree %d want 3", v, got)
+		}
+	}
+	// In-degree should be skewed toward early nodes.
+	maxIn := 0
+	for v := 0; v < g.NumNodes(); v++ {
+		if d := len(g.In(graph.NodeID(v))); d > maxIn {
+			maxIn = d
+		}
+	}
+	if maxIn < 10 {
+		t.Fatalf("in-degree skew too weak: max %d", maxIn)
+	}
+}
+
+func TestItoa(t *testing.T) {
+	for _, v := range []int{0, 1, 9, 10, 123, 99999} {
+		if itoa(v) != strconv.Itoa(v) {
+			t.Fatalf("itoa(%d) = %s", v, itoa(v))
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package graph
+
+// Reachability in this package ignores edge direction: the paper defines
+// the k-hop neighborhood of n as the subgraph incident on the nodes
+// reachable from n in k hops or less, and treats directedness as a pattern
+// matching concern, not a traversal concern.
+
+// BFSVisitor receives nodes in breadth-first order together with their
+// hop distance from the source. Returning false stops the traversal.
+type BFSVisitor func(n NodeID, dist int) bool
+
+// BFS traverses the graph breadth-first from src up to maxDepth hops
+// (maxDepth < 0 means unbounded) and invokes visit for every reached node,
+// including src at distance 0.
+func (g *Graph) BFS(src NodeID, maxDepth int, visit BFSVisitor) {
+	g.mustNode(src)
+	dist := make(map[NodeID]int, 64)
+	dist[src] = 0
+	queue := []NodeID{src}
+	if !visit(src, 0) {
+		return
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		d := dist[n]
+		if maxDepth >= 0 && d == maxDepth {
+			continue
+		}
+		for _, h := range g.neighborsAll(n) {
+			if _, seen := dist[h]; seen {
+				continue
+			}
+			dist[h] = d + 1
+			if !visit(h, d+1) {
+				return
+			}
+			queue = append(queue, h)
+		}
+	}
+}
+
+// neighborsAll iterates neighbors ignoring direction (out then in for
+// directed graphs). Duplicates are possible for reciprocal edge pairs; BFS
+// callers deduplicate through their visited sets.
+func (g *Graph) neighborsAll(n NodeID) []NodeID {
+	out := make([]NodeID, 0, len(g.out[n]))
+	for _, h := range g.out[n] {
+		out = append(out, h.To)
+	}
+	if g.directed {
+		for _, h := range g.in[n] {
+			out = append(out, h.To)
+		}
+	}
+	return out
+}
+
+// KHopNodes returns the set of nodes reachable from n within k hops
+// (including n itself, which is at distance 0), as a map from node to its
+// hop distance. This is N_k(n) in the paper's notation, plus n.
+func (g *Graph) KHopNodes(n NodeID, k int) map[NodeID]int {
+	res := make(map[NodeID]int, 64)
+	g.BFS(n, k, func(m NodeID, d int) bool {
+		res[m] = d
+		return true
+	})
+	return res
+}
+
+// Distances computes single-source shortest hop distances from src to all
+// nodes, returned as a slice indexed by NodeID with -1 for unreachable
+// nodes. Used to build the center distance index.
+func (g *Graph) Distances(src NodeID) []int32 {
+	g.mustNode(src)
+	dist := make([]int32, len(g.out))
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := make([]NodeID, 0, 256)
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		d := dist[n]
+		for _, h := range g.out[n] {
+			if dist[h.To] < 0 {
+				dist[h.To] = d + 1
+				queue = append(queue, h.To)
+			}
+		}
+		if g.directed {
+			for _, h := range g.in[n] {
+				if dist[h.To] < 0 {
+					dist[h.To] = d + 1
+					queue = append(queue, h.To)
+				}
+			}
+		}
+	}
+	return dist
+}
+
+// HopDistance returns the undirected shortest hop distance between a and b,
+// or -1 if b is unreachable from a. The search is cut off beyond maxDepth
+// hops when maxDepth >= 0.
+func (g *Graph) HopDistance(a, b NodeID, maxDepth int) int {
+	found := -1
+	g.BFS(a, maxDepth, func(n NodeID, d int) bool {
+		if n == b {
+			found = d
+			return false
+		}
+		return true
+	})
+	return found
+}

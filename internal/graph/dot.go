@@ -1,0 +1,51 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the graph in Graphviz DOT format for visualization:
+// node labels become DOT labels, a "sign" edge attribute of "-" renders
+// dashed, and any "highlight" node attribute colors the node. Intended for
+// small graphs and neighborhood subgraphs (e.g. g.EgoSubgraph(n, k).G).
+func (g *Graph) WriteDOT(w io.Writer, name string) error {
+	bw := bufio.NewWriter(w)
+	kind, sep := "graph", "--"
+	if g.directed {
+		kind, sep = "digraph", "->"
+	}
+	fmt.Fprintf(bw, "%s %q {\n", kind, name)
+	for n := 0; n < g.NumNodes(); n++ {
+		id := NodeID(n)
+		var attrs []string
+		label := g.LabelString(id)
+		if label != "" {
+			attrs = append(attrs, fmt.Sprintf("label=%q", fmt.Sprintf("%d:%s", n, label)))
+		}
+		if hl, ok := g.NodeAttr(id, "highlight"); ok && hl != "" {
+			attrs = append(attrs, "style=filled", fmt.Sprintf("fillcolor=%q", hl))
+		}
+		if len(attrs) > 0 {
+			fmt.Fprintf(bw, "  %d [%s];\n", n, strings.Join(attrs, ", "))
+		} else {
+			fmt.Fprintf(bw, "  %d;\n", n)
+		}
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		ed := g.Edge(EdgeID(e))
+		var attrs []string
+		if sign, ok := g.EdgeAttr(EdgeID(e), "sign"); ok && sign == "-" {
+			attrs = append(attrs, "style=dashed")
+		}
+		if len(attrs) > 0 {
+			fmt.Fprintf(bw, "  %d %s %d [%s];\n", ed.From, sep, ed.To, strings.Join(attrs, ", "))
+		} else {
+			fmt.Fprintf(bw, "  %d %s %d;\n", ed.From, sep, ed.To)
+		}
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}

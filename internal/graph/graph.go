@@ -1,0 +1,357 @@
+// Package graph provides the property-graph substrate used by the
+// ego-centric pattern census engine: an adjacency-list graph with node and
+// edge attributes, a label dictionary, node profiles, and neighborhood
+// traversal primitives.
+//
+// The graph may be directed or undirected. Nodes are identified by dense
+// NodeID values assigned at insertion time; edges by dense EdgeID values.
+// Attributes are free-form string key/value pairs; the special node
+// attribute "label" is interned through a label dictionary because the
+// matching algorithms index on it.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node in a Graph. IDs are dense: valid IDs are
+// 0 .. NumNodes()-1.
+type NodeID int32
+
+// EdgeID identifies an edge in a Graph. IDs are dense: valid IDs are
+// 0 .. NumEdges()-1.
+type EdgeID int32
+
+// LabelID is an interned node label. NoLabel marks unlabeled nodes.
+type LabelID int32
+
+// NoLabel is the LabelID of nodes without a "label" attribute.
+const NoLabel LabelID = 0
+
+// LabelAttr is the reserved node attribute name holding the node label.
+const LabelAttr = "label"
+
+// Half is one directed half-edge in an adjacency list.
+type Half struct {
+	To   NodeID
+	Edge EdgeID
+}
+
+// Edge is a stored edge. For undirected graphs From/To record insertion
+// order but carry no direction semantics.
+type Edge struct {
+	From NodeID
+	To   NodeID
+}
+
+// Graph is an in-memory adjacency-list property graph.
+//
+// For undirected graphs, each edge appears in the Out list of both
+// endpoints and In lists are unused. For directed graphs, Out holds
+// outgoing and In incoming half-edges.
+type Graph struct {
+	directed bool
+
+	out  [][]Half
+	in   [][]Half // directed graphs only
+	edgs []Edge
+
+	labels    []LabelID // per node
+	labelDict *LabelDict
+
+	nodeAttrs []map[string]string // lazily allocated per node
+	edgeAttrs []map[string]string // lazily allocated per edge
+
+	profiles [][]int32 // lazily built label profiles, per node
+}
+
+// New returns an empty graph. If directed is true, edges added with AddEdge
+// are directed from -> to.
+func New(directed bool) *Graph {
+	return &Graph{directed: directed, labelDict: NewLabelDict()}
+}
+
+// Directed reports whether the graph is directed.
+func (g *Graph) Directed() bool { return g.directed }
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.out) }
+
+// NumEdges returns the number of edges.
+func (g *Graph) NumEdges() int { return len(g.edgs) }
+
+// Labels returns the label dictionary.
+func (g *Graph) Labels() *LabelDict { return g.labelDict }
+
+// AddNode adds a node and returns its ID.
+func (g *Graph) AddNode() NodeID {
+	id := NodeID(len(g.out))
+	g.out = append(g.out, nil)
+	if g.directed {
+		g.in = append(g.in, nil)
+	}
+	g.labels = append(g.labels, NoLabel)
+	g.nodeAttrs = append(g.nodeAttrs, nil)
+	g.profiles = nil // invalidate
+	return id
+}
+
+// AddNodes adds n nodes and returns the ID of the first.
+func (g *Graph) AddNodes(n int) NodeID {
+	first := NodeID(len(g.out))
+	for i := 0; i < n; i++ {
+		g.AddNode()
+	}
+	return first
+}
+
+// AddEdge adds an edge between from and to and returns its ID. Self loops
+// and parallel edges are permitted by the representation; the census
+// semantics of the paper assume simple graphs, and the generators in
+// internal/gen only produce simple graphs.
+func (g *Graph) AddEdge(from, to NodeID) EdgeID {
+	g.mustNode(from)
+	g.mustNode(to)
+	id := EdgeID(len(g.edgs))
+	g.edgs = append(g.edgs, Edge{From: from, To: to})
+	g.edgeAttrs = append(g.edgeAttrs, nil)
+	g.out[from] = append(g.out[from], Half{To: to, Edge: id})
+	if g.directed {
+		g.in[to] = append(g.in[to], Half{To: from, Edge: id})
+	} else if from != to {
+		g.out[to] = append(g.out[to], Half{To: from, Edge: id})
+	}
+	g.profiles = nil
+	return id
+}
+
+func (g *Graph) mustNode(n NodeID) {
+	if n < 0 || int(n) >= len(g.out) {
+		panic(fmt.Sprintf("graph: node %d out of range [0,%d)", n, len(g.out)))
+	}
+}
+
+// HasEdge reports whether an edge from -> to exists (any edge between the
+// endpoints for undirected graphs).
+func (g *Graph) HasEdge(from, to NodeID) bool {
+	g.mustNode(from)
+	g.mustNode(to)
+	// Scan the shorter list when undirected.
+	list := g.out[from]
+	if !g.directed && len(g.out[to]) < len(list) {
+		list, from, to = g.out[to], to, from
+	}
+	for _, h := range list {
+		if h.To == to {
+			return true
+		}
+	}
+	return false
+}
+
+// FindEdge returns the ID of an edge from -> to, or -1 if none exists.
+func (g *Graph) FindEdge(from, to NodeID) EdgeID {
+	g.mustNode(from)
+	g.mustNode(to)
+	for _, h := range g.out[from] {
+		if h.To == to {
+			return h.Edge
+		}
+	}
+	return -1
+}
+
+// Out returns the outgoing half-edges of n (all incident half-edges for
+// undirected graphs). The returned slice is owned by the graph and must not
+// be modified.
+func (g *Graph) Out(n NodeID) []Half {
+	g.mustNode(n)
+	return g.out[n]
+}
+
+// In returns the incoming half-edges of n. For undirected graphs it is the
+// same as Out.
+func (g *Graph) In(n NodeID) []Half {
+	g.mustNode(n)
+	if !g.directed {
+		return g.out[n]
+	}
+	return g.in[n]
+}
+
+// Degree returns the degree of n: out-degree + in-degree for directed
+// graphs, number of incident edges for undirected graphs.
+func (g *Graph) Degree(n NodeID) int {
+	g.mustNode(n)
+	if g.directed {
+		return len(g.out[n]) + len(g.in[n])
+	}
+	return len(g.out[n])
+}
+
+// Edge returns the endpoints of edge e.
+func (g *Graph) Edge(e EdgeID) Edge {
+	if e < 0 || int(e) >= len(g.edgs) {
+		panic(fmt.Sprintf("graph: edge %d out of range [0,%d)", e, len(g.edgs)))
+	}
+	return g.edgs[e]
+}
+
+// SetLabel sets the label attribute of n, interning it in the dictionary.
+func (g *Graph) SetLabel(n NodeID, label string) {
+	g.mustNode(n)
+	g.labels[n] = g.labelDict.Intern(label)
+	g.profiles = nil
+}
+
+// Label returns the interned label of n (NoLabel if unset).
+func (g *Graph) Label(n NodeID) LabelID {
+	g.mustNode(n)
+	return g.labels[n]
+}
+
+// LabelString returns the string label of n ("" if unset).
+func (g *Graph) LabelString(n NodeID) string {
+	return g.labelDict.Name(g.Label(n))
+}
+
+// SetNodeAttr sets an attribute on node n. Setting LabelAttr is equivalent
+// to SetLabel.
+func (g *Graph) SetNodeAttr(n NodeID, key, value string) {
+	g.mustNode(n)
+	if key == LabelAttr {
+		g.SetLabel(n, value)
+		return
+	}
+	if g.nodeAttrs[n] == nil {
+		g.nodeAttrs[n] = make(map[string]string, 2)
+	}
+	g.nodeAttrs[n][key] = value
+}
+
+// NodeAttr returns an attribute of node n. The LabelAttr key returns the
+// label. ok is false when the attribute is unset.
+func (g *Graph) NodeAttr(n NodeID, key string) (value string, ok bool) {
+	g.mustNode(n)
+	if key == LabelAttr {
+		if g.labels[n] == NoLabel {
+			return "", false
+		}
+		return g.labelDict.Name(g.labels[n]), true
+	}
+	if g.nodeAttrs[n] == nil {
+		return "", false
+	}
+	v, ok := g.nodeAttrs[n][key]
+	return v, ok
+}
+
+// NodeAttrs returns a copy of all attributes of node n, including the label.
+func (g *Graph) NodeAttrs(n NodeID) map[string]string {
+	g.mustNode(n)
+	m := make(map[string]string, len(g.nodeAttrs[n])+1)
+	for k, v := range g.nodeAttrs[n] {
+		m[k] = v
+	}
+	if g.labels[n] != NoLabel {
+		m[LabelAttr] = g.labelDict.Name(g.labels[n])
+	}
+	return m
+}
+
+// SetEdgeAttr sets an attribute on edge e.
+func (g *Graph) SetEdgeAttr(e EdgeID, key, value string) {
+	if e < 0 || int(e) >= len(g.edgs) {
+		panic(fmt.Sprintf("graph: edge %d out of range [0,%d)", e, len(g.edgs)))
+	}
+	if g.edgeAttrs[e] == nil {
+		g.edgeAttrs[e] = make(map[string]string, 2)
+	}
+	g.edgeAttrs[e][key] = value
+}
+
+// EdgeAttr returns an attribute of edge e.
+func (g *Graph) EdgeAttr(e EdgeID, key string) (value string, ok bool) {
+	if e < 0 || int(e) >= len(g.edgs) {
+		panic(fmt.Sprintf("graph: edge %d out of range [0,%d)", e, len(g.edgs)))
+	}
+	if g.edgeAttrs[e] == nil {
+		return "", false
+	}
+	v, ok := g.edgeAttrs[e][key]
+	return v, ok
+}
+
+// EdgeAttrs returns a copy of all attributes of edge e.
+func (g *Graph) EdgeAttrs(e EdgeID) map[string]string {
+	if e < 0 || int(e) >= len(g.edgs) {
+		panic(fmt.Sprintf("graph: edge %d out of range [0,%d)", e, len(g.edgs)))
+	}
+	m := make(map[string]string, len(g.edgeAttrs[e]))
+	for k, v := range g.edgeAttrs[e] {
+		m[k] = v
+	}
+	return m
+}
+
+// Neighbors returns the sorted distinct neighbor IDs of n (union of in and
+// out neighbors for directed graphs), excluding n itself unless a self loop
+// exists.
+func (g *Graph) Neighbors(n NodeID) []NodeID {
+	g.mustNode(n)
+	seen := make(map[NodeID]struct{}, len(g.out[n]))
+	for _, h := range g.out[n] {
+		seen[h.To] = struct{}{}
+	}
+	if g.directed {
+		for _, h := range g.in[n] {
+			seen[h.To] = struct{}{}
+		}
+	}
+	out := make([]NodeID, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		directed:  g.directed,
+		out:       make([][]Half, len(g.out)),
+		edgs:      append([]Edge(nil), g.edgs...),
+		labels:    append([]LabelID(nil), g.labels...),
+		labelDict: g.labelDict.Clone(),
+		nodeAttrs: make([]map[string]string, len(g.nodeAttrs)),
+		edgeAttrs: make([]map[string]string, len(g.edgeAttrs)),
+	}
+	for i, l := range g.out {
+		c.out[i] = append([]Half(nil), l...)
+	}
+	if g.directed {
+		c.in = make([][]Half, len(g.in))
+		for i, l := range g.in {
+			c.in[i] = append([]Half(nil), l...)
+		}
+	}
+	for i, m := range g.nodeAttrs {
+		if m != nil {
+			c.nodeAttrs[i] = make(map[string]string, len(m))
+			for k, v := range m {
+				c.nodeAttrs[i][k] = v
+			}
+		}
+	}
+	for i, m := range g.edgeAttrs {
+		if m != nil {
+			c.edgeAttrs[i] = make(map[string]string, len(m))
+			for k, v := range m {
+				c.edgeAttrs[i][k] = v
+			}
+		}
+	}
+	return c
+}

@@ -1,0 +1,58 @@
+package graph
+
+// LabelDict interns node label strings to dense LabelIDs. ID 0 (NoLabel) is
+// reserved for the empty/unset label.
+type LabelDict struct {
+	names []string
+	ids   map[string]LabelID
+}
+
+// NewLabelDict returns a dictionary containing only the reserved NoLabel
+// entry.
+func NewLabelDict() *LabelDict {
+	return &LabelDict{
+		names: []string{""},
+		ids:   map[string]LabelID{"": NoLabel},
+	}
+}
+
+// Intern returns the LabelID for name, assigning a new one if needed.
+func (d *LabelDict) Intern(name string) LabelID {
+	if id, ok := d.ids[name]; ok {
+		return id
+	}
+	id := LabelID(len(d.names))
+	d.names = append(d.names, name)
+	d.ids[name] = id
+	return id
+}
+
+// Lookup returns the LabelID for name without interning; ok is false when
+// the label is unknown.
+func (d *LabelDict) Lookup(name string) (id LabelID, ok bool) {
+	id, ok = d.ids[name]
+	return id, ok
+}
+
+// Name returns the string for a LabelID ("" for NoLabel or out-of-range).
+func (d *LabelDict) Name(id LabelID) string {
+	if id < 0 || int(id) >= len(d.names) {
+		return ""
+	}
+	return d.names[id]
+}
+
+// Size returns the number of interned labels including NoLabel.
+func (d *LabelDict) Size() int { return len(d.names) }
+
+// Clone returns a deep copy of the dictionary.
+func (d *LabelDict) Clone() *LabelDict {
+	c := &LabelDict{
+		names: append([]string(nil), d.names...),
+		ids:   make(map[string]LabelID, len(d.ids)),
+	}
+	for k, v := range d.ids {
+		c.ids[k] = v
+	}
+	return c
+}

@@ -1,0 +1,57 @@
+package graph
+
+// Profile is a node's neighborhood label profile: Profile[l] is the number
+// of neighbors carrying label l (Section III-A of the paper). Index 0
+// counts unlabeled neighbors.
+type Profile []int32
+
+// Contains reports whether every per-label count of sub is <= the
+// corresponding count of p, i.e. profile(sub) ⊑ profile(p). sub may be
+// shorter than p (missing entries are zero); any excess entries in sub must
+// be zero.
+func (p Profile) Contains(sub Profile) bool {
+	for l, c := range sub {
+		if c == 0 {
+			continue
+		}
+		if l >= len(p) || p[l] < c {
+			return false
+		}
+	}
+	return true
+}
+
+// BuildProfiles computes and caches the label profile of every node. It is
+// called lazily by NodeProfile; call it eagerly to front-load the cost
+// (mirroring the paper's stored profile index).
+func (g *Graph) BuildProfiles() {
+	nl := g.labelDict.Size()
+	profiles := make([][]int32, len(g.out))
+	flat := make([]int32, len(g.out)*nl)
+	for n := range g.out {
+		row := flat[n*nl : (n+1)*nl : (n+1)*nl]
+		for _, h := range g.out[n] {
+			row[g.labels[h.To]]++
+		}
+		if g.directed {
+			for _, h := range g.in[n] {
+				row[g.labels[h.To]]++
+			}
+		}
+		profiles[n] = row
+	}
+	g.profiles = profiles
+}
+
+// NodeProfile returns the (cached) neighborhood label profile of n. Both
+// in- and out-neighbors contribute for directed graphs. A neighbor reached
+// through parallel edges (or both edge directions) is counted once per
+// half-edge, matching the adjacency-list representation the matching
+// algorithms traverse.
+func (g *Graph) NodeProfile(n NodeID) Profile {
+	g.mustNode(n)
+	if g.profiles == nil {
+		g.BuildProfiles()
+	}
+	return g.profiles[n]
+}

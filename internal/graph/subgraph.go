@@ -1,0 +1,104 @@
+package graph
+
+import "sort"
+
+// Subgraph is an extracted neighborhood subgraph: a Graph plus the mapping
+// between its dense local node IDs and the original graph's node IDs.
+// Subgraphs are what the node-driven baseline census algorithm (ND-BAS)
+// runs pattern matching on.
+type Subgraph struct {
+	// G is the extracted graph. Its node IDs are local.
+	G *Graph
+	// ToGlobal maps local node IDs to node IDs of the source graph.
+	ToGlobal []NodeID
+	// ToLocal maps source node IDs to local IDs.
+	ToLocal map[NodeID]NodeID
+}
+
+// InducedSubgraph extracts the subgraph of g incident on the given node
+// set: all the nodes, and every edge of g whose endpoints are both in the
+// set. Node attributes and labels are copied; edge attributes are copied.
+func (g *Graph) InducedSubgraph(nodes []NodeID) *Subgraph {
+	ordered := append([]NodeID(nil), nodes...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
+	sg := &Subgraph{
+		G:        New(g.directed),
+		ToGlobal: ordered,
+		ToLocal:  make(map[NodeID]NodeID, len(ordered)),
+	}
+	for i, n := range ordered {
+		local := sg.G.AddNode()
+		sg.ToLocal[n] = local
+		if g.labels[n] != NoLabel {
+			sg.G.SetLabel(local, g.labelDict.Name(g.labels[n]))
+		}
+		for k, v := range g.nodeAttrs[n] {
+			sg.G.SetNodeAttr(local, k, v)
+		}
+		_ = i
+	}
+	for _, n := range ordered {
+		for _, h := range g.out[n] {
+			to, ok := sg.ToLocal[h.To]
+			if !ok {
+				continue
+			}
+			if !g.directed {
+				// Emit each undirected edge once: when n is the smaller
+				// endpoint (ties: self loop).
+				if h.To < n {
+					continue
+				}
+				if h.To == n && g.edgs[h.Edge].From != n {
+					continue
+				}
+			}
+			e := sg.G.AddEdge(sg.ToLocal[n], to)
+			for k, v := range g.edgeAttrs[h.Edge] {
+				sg.G.SetEdgeAttr(e, k, v)
+			}
+		}
+	}
+	return sg
+}
+
+// EgoSubgraph extracts S(n, k): the induced subgraph on the nodes reachable
+// from n within k hops (including n).
+func (g *Graph) EgoSubgraph(n NodeID, k int) *Subgraph {
+	reach := g.KHopNodes(n, k)
+	nodes := make([]NodeID, 0, len(reach))
+	for m := range reach {
+		nodes = append(nodes, m)
+	}
+	return g.InducedSubgraph(nodes)
+}
+
+// EgoIntersection extracts the induced subgraph on N_k(a) ∩ N_k(b)
+// (including a or b themselves when they fall in both neighborhoods).
+func (g *Graph) EgoIntersection(a, b NodeID, k int) *Subgraph {
+	ra := g.KHopNodes(a, k)
+	rb := g.KHopNodes(b, k)
+	nodes := make([]NodeID, 0)
+	for m := range ra {
+		if _, ok := rb[m]; ok {
+			nodes = append(nodes, m)
+		}
+	}
+	return g.InducedSubgraph(nodes)
+}
+
+// EgoUnion extracts the induced subgraph on N_k(a) ∪ N_k(b).
+func (g *Graph) EgoUnion(a, b NodeID, k int) *Subgraph {
+	ra := g.KHopNodes(a, k)
+	rb := g.KHopNodes(b, k)
+	nodes := make([]NodeID, 0, len(ra)+len(rb))
+	for m := range ra {
+		nodes = append(nodes, m)
+	}
+	for m := range rb {
+		if _, ok := ra[m]; !ok {
+			nodes = append(nodes, m)
+		}
+	}
+	return g.InducedSubgraph(nodes)
+}

@@ -1,0 +1,116 @@
+// Package kmeans is a small dense-vector K-means implementation (MacQueen /
+// Lloyd iterations) used by the pattern-driven census algorithm to cluster
+// pattern matches by their center-distance feature vectors (Section IV-B5).
+package kmeans
+
+import "math/rand"
+
+// Result describes a clustering: the assignment of each point to a cluster
+// and the final centroids.
+type Result struct {
+	// Assign[i] is the cluster index of point i.
+	Assign []int
+	// Centroids holds the final cluster centroids.
+	Centroids [][]float64
+}
+
+// Cluster groups points into k clusters with at most maxIter Lloyd
+// iterations. Points must share a dimension. k is clamped to [1,
+// len(points)]; centroids are seeded by random distinct points. The run is
+// deterministic given seed.
+func Cluster(points [][]float64, k, maxIter int, seed int64) Result {
+	n := len(points)
+	if n == 0 {
+		return Result{}
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	dim := len(points[0])
+	rng := rand.New(rand.NewSource(seed))
+
+	centroids := make([][]float64, k)
+	perm := rng.Perm(n)
+	for i := 0; i < k; i++ {
+		centroids[i] = append([]float64(nil), points[perm[i]]...)
+	}
+
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	counts := make([]int, k)
+	sums := make([][]float64, k)
+	for i := range sums {
+		sums[i] = make([]float64, dim)
+	}
+
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for i, p := range points {
+			best, bestD := 0, sqDist(p, centroids[0])
+			for c := 1; c < k; c++ {
+				if d := sqDist(p, centroids[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		for c := 0; c < k; c++ {
+			counts[c] = 0
+			for d := 0; d < dim; d++ {
+				sums[c][d] = 0
+			}
+		}
+		for i, p := range points {
+			c := assign[i]
+			counts[c]++
+			for d := 0; d < dim; d++ {
+				sums[c][d] += p[d]
+			}
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster with a random point.
+				copy(centroids[c], points[rng.Intn(n)])
+				continue
+			}
+			for d := 0; d < dim; d++ {
+				centroids[c][d] = sums[c][d] / float64(counts[c])
+			}
+		}
+	}
+	return Result{Assign: assign, Centroids: centroids}
+}
+
+// RandomAssign assigns points to k clusters uniformly at random — the
+// RND-CLUST ablation of Fig 4(g).
+func RandomAssign(n, k int, seed int64) []int {
+	if k < 1 {
+		k = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = rng.Intn(k)
+	}
+	return assign
+}
+
+func sqDist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}

@@ -1,0 +1,114 @@
+package kmeans
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTwoWellSeparatedClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var points [][]float64
+	for i := 0; i < 50; i++ {
+		points = append(points, []float64{rng.Float64(), rng.Float64()})
+	}
+	for i := 0; i < 50; i++ {
+		points = append(points, []float64{100 + rng.Float64(), 100 + rng.Float64()})
+	}
+	res := Cluster(points, 2, 20, 42)
+	first := res.Assign[0]
+	for i := 1; i < 50; i++ {
+		if res.Assign[i] != first {
+			t.Fatalf("point %d left its cluster", i)
+		}
+	}
+	second := res.Assign[50]
+	if second == first {
+		t.Fatal("clusters should be separated")
+	}
+	for i := 51; i < 100; i++ {
+		if res.Assign[i] != second {
+			t.Fatalf("point %d left its cluster", i)
+		}
+	}
+}
+
+func TestClusterEdgeCases(t *testing.T) {
+	if res := Cluster(nil, 3, 10, 0); res.Assign != nil {
+		t.Fatal("empty input should give empty result")
+	}
+	points := [][]float64{{1}, {2}, {3}}
+	res := Cluster(points, 0, 10, 0) // k clamps to 1
+	for _, a := range res.Assign {
+		if a != 0 {
+			t.Fatal("k=1 must put everything in cluster 0")
+		}
+	}
+	res = Cluster(points, 10, 10, 0) // k clamps to n
+	if len(res.Centroids) != 3 {
+		t.Fatalf("centroids = %d want 3", len(res.Centroids))
+	}
+}
+
+func TestClusterDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var points [][]float64
+	for i := 0; i < 40; i++ {
+		points = append(points, []float64{rng.Float64() * 10, rng.Float64() * 10})
+	}
+	a := Cluster(points, 4, 10, 9)
+	b := Cluster(points, 4, 10, 9)
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("same seed should give same clustering")
+		}
+	}
+}
+
+func TestAssignmentsInRangeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(60)
+		k := 1 + rng.Intn(8)
+		points := make([][]float64, n)
+		for i := range points {
+			points[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		}
+		res := Cluster(points, k, 10, seed)
+		if len(res.Assign) != n {
+			return false
+		}
+		for _, a := range res.Assign {
+			if a < 0 || a >= len(res.Centroids) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomAssign(t *testing.T) {
+	assign := RandomAssign(100, 5, 3)
+	if len(assign) != 100 {
+		t.Fatal("length wrong")
+	}
+	seen := map[int]bool{}
+	for _, a := range assign {
+		if a < 0 || a >= 5 {
+			t.Fatalf("assignment %d out of range", a)
+		}
+		seen[a] = true
+	}
+	if len(seen) < 2 {
+		t.Fatal("random assignment suspiciously degenerate")
+	}
+	zeroK := RandomAssign(10, 0, 3) // clamps to 1
+	for _, a := range zeroK {
+		if a != 0 {
+			t.Fatal("k=0 should clamp to single cluster")
+		}
+	}
+}

@@ -1,0 +1,260 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+
+	"egocensus/internal/pattern"
+)
+
+// Statement is a parsed top-level statement: a PATTERN definition or a
+// SELECT query.
+type Statement interface{ stmt() }
+
+// PatternStmt is a PATTERN definition.
+type PatternStmt struct {
+	Pattern *pattern.Pattern
+}
+
+func (*PatternStmt) stmt() {}
+
+// NeighborhoodKind selects the search neighborhood constructor.
+type NeighborhoodKind int
+
+// Neighborhood kinds.
+const (
+	NSubgraph NeighborhoodKind = iota
+	NIntersection
+	NUnion
+)
+
+func (k NeighborhoodKind) String() string {
+	switch k {
+	case NIntersection:
+		return "SUBGRAPH-INTERSECTION"
+	case NUnion:
+		return "SUBGRAPH-UNION"
+	default:
+		return "SUBGRAPH"
+	}
+}
+
+// Neighborhood is a parsed search neighborhood: SUBGRAPH(ref, k) or
+// SUBGRAPH-INTERSECTION/UNION(ref1, ref2, k).
+type Neighborhood struct {
+	Kind NeighborhoodKind
+	// Refs holds the focal node references ("ID", or "n1.ID") — one for
+	// SUBGRAPH, two for INTERSECTION/UNION.
+	Refs []ColumnRef
+	K    int
+}
+
+// CountAgg is a COUNTP or COUNTSP aggregate.
+type CountAgg struct {
+	// Subpattern is empty for COUNTP.
+	Subpattern   string
+	PatternName  string
+	Neighborhood Neighborhood
+}
+
+// ColumnRef references a column, optionally qualified by a FROM alias:
+// ID, n1.ID, n2.age.
+type ColumnRef struct {
+	Alias string // "" when unqualified
+	Name  string
+}
+
+func (c ColumnRef) String() string {
+	if c.Alias == "" {
+		return c.Name
+	}
+	return c.Alias + "." + c.Name
+}
+
+// SelectItem is one item of the SELECT list: a column reference or the
+// count aggregate.
+type SelectItem struct {
+	Col   *ColumnRef
+	Count *CountAgg
+}
+
+// OrderBy is an optional ORDER BY clause. The census language orders by
+// the count aggregate (ORDER BY COUNT) or by a column reference.
+type OrderBy struct {
+	// ByCount orders by the COUNTP/COUNTSP value; otherwise Col is used.
+	ByCount bool
+	Col     ColumnRef
+	Desc    bool
+}
+
+// SelectStmt is a parsed census query.
+type SelectStmt struct {
+	// Explain marks an EXPLAIN-prefixed query: the engine reports the
+	// evaluation plan instead of running the census.
+	Explain bool
+	Items   []SelectItem
+	// Aliases holds the FROM-clause aliases in order; len 1 for
+	// single-node censuses, 2 for pairwise. Unaliased "FROM nodes" yields
+	// a single empty alias.
+	Aliases []string
+	Where   Expr // nil when absent
+	// Order is the optional ORDER BY clause (nil when absent).
+	Order *OrderBy
+	// Limit bounds the result rows; 0 means unlimited.
+	Limit int
+}
+
+func (*SelectStmt) stmt() {}
+
+// CountItem returns the first count aggregate of the query.
+func (s *SelectStmt) CountItem() (*CountAgg, error) {
+	aggs := s.CountItems()
+	if len(aggs) == 0 {
+		return nil, fmt.Errorf("query has no COUNTP/COUNTSP aggregate")
+	}
+	return aggs[0], nil
+}
+
+// CountItems returns every count aggregate of the query in SELECT-list
+// order. Multiple aggregates are allowed when they share the same search
+// neighborhood (validated at parse time).
+func (s *SelectStmt) CountItems() []*CountAgg {
+	var out []*CountAgg
+	for _, it := range s.Items {
+		if it.Count != nil {
+			out = append(out, it.Count)
+		}
+	}
+	return out
+}
+
+// Expr is a WHERE-clause expression.
+type Expr interface {
+	exprString() string
+}
+
+// BoolExpr combines two expressions with AND/OR.
+type BoolExpr struct {
+	Op   string // "AND" | "OR"
+	L, R Expr
+}
+
+func (e *BoolExpr) exprString() string {
+	return "(" + e.L.exprString() + " " + e.Op + " " + e.R.exprString() + ")"
+}
+
+// NotExpr negates an expression.
+type NotExpr struct{ E Expr }
+
+func (e *NotExpr) exprString() string { return "NOT " + e.E.exprString() }
+
+// CmpExpr compares two operands.
+type CmpExpr struct {
+	Op   pattern.CmpOp
+	L, R Operand
+}
+
+func (e *CmpExpr) exprString() string {
+	return e.L.String() + e.Op.String() + e.R.String()
+}
+
+// Operand is a WHERE-clause operand.
+type Operand interface {
+	String() string
+}
+
+// ColOperand references a column of the focal node(s).
+type ColOperand struct{ Ref ColumnRef }
+
+func (o ColOperand) String() string { return o.Ref.String() }
+
+// LitOperand is a literal string or number.
+type LitOperand struct{ Value string }
+
+func (o LitOperand) String() string { return "'" + o.Value + "'" }
+
+// RndOperand is the RND() pseudo-random sampling function of Section V-A5.
+type RndOperand struct{}
+
+func (RndOperand) String() string { return "RND()" }
+
+// Script is a parsed sequence of statements with a pattern catalog.
+type Script struct {
+	Statements []Statement
+	Patterns   map[string]*pattern.Pattern
+}
+
+// Queries returns the SELECT statements of the script in order.
+func (s *Script) Queries() []*SelectStmt {
+	var out []*SelectStmt
+	for _, st := range s.Statements {
+		if q, ok := st.(*SelectStmt); ok {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// String renders a SELECT statement in query syntax (used in tests for
+// the parse/print/parse fixpoint).
+func (s *SelectStmt) String() string {
+	var b strings.Builder
+	if s.Explain {
+		b.WriteString("EXPLAIN ")
+	}
+	b.WriteString("SELECT ")
+	for i, it := range s.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if it.Col != nil {
+			b.WriteString(it.Col.String())
+			continue
+		}
+		c := it.Count
+		if c.Subpattern != "" {
+			fmt.Fprintf(&b, "COUNTSP(%s, %s, ", c.Subpattern, c.PatternName)
+		} else {
+			fmt.Fprintf(&b, "COUNTP(%s, ", c.PatternName)
+		}
+		b.WriteString(c.Neighborhood.Kind.String())
+		b.WriteString("(")
+		for j, r := range c.Neighborhood.Refs {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(r.String())
+		}
+		fmt.Fprintf(&b, ", %d))", c.Neighborhood.K)
+	}
+	b.WriteString(" FROM ")
+	for i, a := range s.Aliases {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString("nodes")
+		if a != "" {
+			b.WriteString(" AS " + a)
+		}
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE " + s.Where.exprString())
+	}
+	if s.Order != nil {
+		b.WriteString(" ORDER BY ")
+		if s.Order.ByCount {
+			b.WriteString("COUNT")
+		} else {
+			b.WriteString(s.Order.Col.String())
+		}
+		if s.Order.Desc {
+			b.WriteString(" DESC")
+		} else {
+			b.WriteString(" ASC")
+		}
+	}
+	if s.Limit > 0 {
+		fmt.Fprintf(&b, " LIMIT %d", s.Limit)
+	}
+	return b.String()
+}

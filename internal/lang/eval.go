@@ -1,0 +1,112 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"egocensus/internal/graph"
+	"egocensus/internal/pattern"
+)
+
+// Binding binds a FROM-clause alias to a concrete focal node.
+type Binding struct {
+	Alias string
+	Node  graph.NodeID
+}
+
+// EvalWhere evaluates a WHERE expression for the given focal bindings.
+// rnd supplies the value of RND() (called at most once per occurrence);
+// it may be nil when the expression contains no RND().
+func EvalWhere(e Expr, g *graph.Graph, bindings []Binding, rnd func() float64) (bool, error) {
+	switch x := e.(type) {
+	case *BoolExpr:
+		l, err := EvalWhere(x.L, g, bindings, rnd)
+		if err != nil {
+			return false, err
+		}
+		// Short-circuit.
+		if x.Op == "AND" && !l {
+			return false, nil
+		}
+		if x.Op == "OR" && l {
+			return true, nil
+		}
+		return EvalWhere(x.R, g, bindings, rnd)
+	case *NotExpr:
+		v, err := EvalWhere(x.E, g, bindings, rnd)
+		return !v, err
+	case *CmpExpr:
+		lv, lok, err := operandValue(x.L, g, bindings, rnd)
+		if err != nil {
+			return false, err
+		}
+		rv, rok, err := operandValue(x.R, g, bindings, rnd)
+		if err != nil {
+			return false, err
+		}
+		if !lok || !rok {
+			return false, nil // missing attribute: predicate fails
+		}
+		return pattern.Compare(x.Op, lv, rv), nil
+	}
+	return false, fmt.Errorf("lang: unknown expression type %T", e)
+}
+
+func operandValue(o Operand, g *graph.Graph, bindings []Binding, rnd func() float64) (string, bool, error) {
+	switch x := o.(type) {
+	case LitOperand:
+		return x.Value, true, nil
+	case RndOperand:
+		if rnd == nil {
+			return "", false, fmt.Errorf("lang: RND() not available in this context")
+		}
+		return strconv.FormatFloat(rnd(), 'f', -1, 64), true, nil
+	case ColOperand:
+		n, err := resolveBinding(x.Ref.Alias, bindings)
+		if err != nil {
+			return "", false, err
+		}
+		if strings.EqualFold(x.Ref.Name, "ID") {
+			return strconv.Itoa(int(n)), true, nil
+		}
+		attr := x.Ref.Name
+		if strings.EqualFold(attr, graph.LabelAttr) {
+			attr = graph.LabelAttr
+		}
+		v, ok := g.NodeAttr(n, attr)
+		return v, ok, nil
+	}
+	return "", false, fmt.Errorf("lang: unknown operand type %T", o)
+}
+
+func resolveBinding(alias string, bindings []Binding) (graph.NodeID, error) {
+	if alias == "" {
+		if len(bindings) == 0 {
+			return 0, fmt.Errorf("lang: no focal binding available")
+		}
+		return bindings[0].Node, nil
+	}
+	for _, b := range bindings {
+		if b.Alias == alias {
+			return b.Node, nil
+		}
+	}
+	return 0, fmt.Errorf("lang: unbound alias %q", alias)
+}
+
+// UsesRnd reports whether the expression contains an RND() call — the
+// engine uses this to set up the deterministic per-node random stream.
+func UsesRnd(e Expr) bool {
+	switch x := e.(type) {
+	case *BoolExpr:
+		return UsesRnd(x.L) || UsesRnd(x.R)
+	case *NotExpr:
+		return UsesRnd(x.E)
+	case *CmpExpr:
+		_, l := x.L.(RndOperand)
+		_, r := x.R.(RndOperand)
+		return l || r
+	}
+	return false
+}

@@ -1,0 +1,47 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse asserts the parser never panics and that anything it accepts
+// renders back to parseable text (run with `go test -fuzz=FuzzParse`;
+// the seed corpus runs under plain `go test`).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		tableI,
+		`PATTERN p {?A;}`,
+		`PATTERN p {?A-?B; [?A.LABEL='x'];} SELECT ID, COUNTP(p, SUBGRAPH(ID, 2)) FROM nodes`,
+		`SELECT n1.ID, n2.ID, COUNTP(q, SUBGRAPH-UNION(n1.ID, n2.ID, 3)) FROM nodes AS n1, nodes AS n2 WHERE RND() < 0.5`,
+		`PATTERN t {?A->?B; ?A!->?C; ?B-?C; SUBPATTERN s {?B;}}`,
+		`PATTERN x {?A-?B; [EDGE(?A,?B).sign='-'];} SELECT ID, COUNTP(x, SUBGRAPH(ID, 1)) FROM nodes ORDER BY COUNT DESC LIMIT 5`,
+		"PATTERN p {?A;} -- comment\nSELECT ID, COUNTP(p, SUBGRAPH(ID, 0)) FROM nodes;",
+		`}{][)(;;;???`,
+		`"unterminated`,
+		`PATTERN`,
+		strings.Repeat("(", 100),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		script, err := Parse(src)
+		if err != nil || script == nil {
+			return
+		}
+		// Accepted input: every query must render to re-parseable text.
+		for _, q := range script.Queries() {
+			printed := q.String()
+			if _, err := ParseWith(printed, script.Patterns); err != nil {
+				t.Fatalf("accepted %q but re-parse of %q failed: %v", src, printed, err)
+			}
+		}
+		for _, p := range script.Patterns {
+			printed := p.String()
+			if _, err := Parse(printed); err != nil {
+				t.Fatalf("pattern render %q does not re-parse: %v", printed, err)
+			}
+		}
+	})
+}

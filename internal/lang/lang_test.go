@@ -1,0 +1,364 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+
+	"egocensus/internal/graph"
+	"egocensus/internal/pattern"
+)
+
+func mustParse(t *testing.T, src string) *Script {
+	t.Helper()
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse error: %v\nsource:\n%s", err, src)
+	}
+	return s
+}
+
+// The four rows of Table I, verbatim from the paper.
+const tableI = `
+PATTERN single_node {?A;}
+SELECT ID, COUNTP(single_node, SUBGRAPH(ID, 2)) FROM nodes
+
+PATTERN single_edge {?A-?B;}
+SELECT n1.ID, n2.ID,
+  COUNTP(single_edge, SUBGRAPH-INTERSECTION(n1.ID, n2.ID, 1))
+FROM nodes AS n1, nodes AS n2
+
+PATTERN square {
+  ?A-?B; ?B-?C;
+  ?C-?D; ?D-?A;
+}
+SELECT ID, COUNTP(square, SUBGRAPH(ID, 2)) FROM nodes
+
+PATTERN triad {
+  ?A->?B; ?B->?C; ?A!->?C;
+  [?A.LABEL=?B.LABEL];
+  [?B.LABEL=?C.LABEL];
+  SUBPATTERN coordinator {?B;}
+}
+SELECT ID, COUNTSP(coordinator, triad, SUBGRAPH(ID, 0)) FROM nodes
+`
+
+func TestParseTableI(t *testing.T) {
+	s := mustParse(t, tableI)
+	if len(s.Patterns) != 4 {
+		t.Fatalf("patterns = %d want 4", len(s.Patterns))
+	}
+	qs := s.Queries()
+	if len(qs) != 4 {
+		t.Fatalf("queries = %d want 4", len(qs))
+	}
+
+	// Row 1: single node census.
+	agg, err := qs[0].CountItem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.PatternName != "single_node" || agg.Neighborhood.Kind != NSubgraph || agg.Neighborhood.K != 2 {
+		t.Fatalf("row 1 aggregate wrong: %+v", agg)
+	}
+	if s.Patterns["single_node"].NumNodes() != 1 {
+		t.Fatal("single_node should have one node")
+	}
+
+	// Row 2: pairwise intersection.
+	agg, _ = qs[1].CountItem()
+	if agg.Neighborhood.Kind != NIntersection || agg.Neighborhood.K != 1 {
+		t.Fatalf("row 2 neighborhood wrong: %+v", agg.Neighborhood)
+	}
+	if len(qs[1].Aliases) != 2 || qs[1].Aliases[0] != "n1" || qs[1].Aliases[1] != "n2" {
+		t.Fatalf("row 2 aliases = %v", qs[1].Aliases)
+	}
+
+	// Row 3: square.
+	sq := s.Patterns["square"]
+	if sq.NumNodes() != 4 || len(sq.Edges()) != 4 {
+		t.Fatalf("square shape wrong: %d nodes %d edges", sq.NumNodes(), len(sq.Edges()))
+	}
+
+	// Row 4: coordinator triad.
+	triad := s.Patterns["triad"]
+	if triad.NumNodes() != 3 {
+		t.Fatal("triad nodes wrong")
+	}
+	var negated, directed int
+	for _, e := range triad.Edges() {
+		if e.Negated {
+			negated++
+		}
+		if e.Directed {
+			directed++
+		}
+	}
+	if negated != 1 || directed != 3 {
+		t.Fatalf("triad edges: %d directed %d negated", directed, negated)
+	}
+	if len(triad.Predicates()) != 2 {
+		t.Fatalf("triad predicates = %d want 2", len(triad.Predicates()))
+	}
+	sub, ok := triad.Subpattern("coordinator")
+	if !ok || len(sub) != 1 {
+		t.Fatalf("coordinator subpattern = %v %v", sub, ok)
+	}
+	agg, _ = qs[3].CountItem()
+	if agg.Subpattern != "coordinator" || agg.Neighborhood.K != 0 {
+		t.Fatalf("row 4 aggregate wrong: %+v", agg)
+	}
+}
+
+func TestLabelConstantPushdown(t *testing.T) {
+	s := mustParse(t, `
+PATTERN p {
+  ?A-?B;
+  [?A.LABEL='author'];
+  [?B.age > 30];
+}
+SELECT ID, COUNTP(p, SUBGRAPH(ID, 1)) FROM nodes
+`)
+	p := s.Patterns["p"]
+	if p.Node(0).Label != "author" {
+		t.Fatalf("label not pushed down: %+v", p.Node(0))
+	}
+	if len(p.Predicates()) != 1 {
+		t.Fatalf("predicates = %d want 1 (only the age filter)", len(p.Predicates()))
+	}
+	// Reversed operand order pushes down too.
+	s2 := mustParse(t, `
+PATTERN q { ?A; ['x' = ?A.label]; }
+SELECT ID, COUNTP(q, SUBGRAPH(ID, 0)) FROM nodes`)
+	if s2.Patterns["q"].Node(0).Label != "x" {
+		t.Fatal("reversed label constant not pushed down")
+	}
+}
+
+func TestEdgeAttributePredicate(t *testing.T) {
+	s := mustParse(t, `
+PATTERN unstable {
+  ?A-?B; ?B-?C; ?A-?C;
+  [EDGE(?A,?B).sign = '-'];
+}
+SELECT ID, COUNTP(unstable, SUBGRAPH(ID, 2)) FROM nodes`)
+	p := s.Patterns["unstable"]
+	if len(p.Predicates()) != 1 {
+		t.Fatal("edge predicate missing")
+	}
+	pr := p.Predicates()[0]
+	if pr.L.EdgeFrom < 0 || pr.L.Attr != "sign" {
+		t.Fatalf("edge operand wrong: %+v", pr.L)
+	}
+}
+
+func TestParseWhere(t *testing.T) {
+	s := mustParse(t, `
+PATTERN n {?A;}
+SELECT ID, COUNTP(n, SUBGRAPH(ID, 1)) FROM nodes
+WHERE (RND() < 0.5 AND age >= 18) OR NOT label = 'bot'`)
+	q := s.Queries()[0]
+	if q.Where == nil {
+		t.Fatal("WHERE missing")
+	}
+	if !UsesRnd(q.Where) {
+		t.Fatal("UsesRnd should detect RND()")
+	}
+	rendered := q.Where.exprString()
+	for _, frag := range []string{"RND()", "OR", "AND", "NOT"} {
+		if !strings.Contains(rendered, frag) {
+			t.Fatalf("rendered WHERE missing %q: %s", frag, rendered)
+		}
+	}
+}
+
+func TestEvalWhere(t *testing.T) {
+	g := graph.New(false)
+	a := g.AddNode()
+	g.SetNodeAttr(a, "age", "25")
+	g.SetLabel(a, "person")
+	b := g.AddNode()
+	g.SetNodeAttr(b, "age", "7")
+
+	src := `
+PATTERN n {?A;}
+SELECT n1.ID, n2.ID, COUNTP(n, SUBGRAPH-INTERSECTION(n1.ID, n2.ID, 1))
+FROM nodes AS n1, nodes AS n2
+WHERE n1.age > n2.age AND n1.ID != n2.ID`
+	q := mustParse(t, src).Queries()[0]
+	bind := []Binding{{Alias: "n1", Node: a}, {Alias: "n2", Node: b}}
+	ok, err := EvalWhere(q.Where, g, bind, nil)
+	if err != nil || !ok {
+		t.Fatalf("EvalWhere = %v, %v; want true", ok, err)
+	}
+	// Swapped: 7 > 25 is false.
+	bind = []Binding{{Alias: "n1", Node: b}, {Alias: "n2", Node: a}}
+	ok, err = EvalWhere(q.Where, g, bind, nil)
+	if err != nil || ok {
+		t.Fatalf("EvalWhere = %v, %v; want false", ok, err)
+	}
+}
+
+func TestEvalWhereMissingAttr(t *testing.T) {
+	g := graph.New(false)
+	a := g.AddNode()
+	q := mustParse(t, `
+PATTERN n {?A;}
+SELECT ID, COUNTP(n, SUBGRAPH(ID, 1)) FROM nodes WHERE age > 10`).Queries()[0]
+	ok, err := EvalWhere(q.Where, g, []Binding{{Node: a}}, nil)
+	if err != nil || ok {
+		t.Fatalf("missing attribute should fail the predicate: %v %v", ok, err)
+	}
+}
+
+func TestEvalWhereRnd(t *testing.T) {
+	g := graph.New(false)
+	a := g.AddNode()
+	q := mustParse(t, `
+PATTERN n {?A;}
+SELECT ID, COUNTP(n, SUBGRAPH(ID, 1)) FROM nodes WHERE RND() < 0.5`).Queries()[0]
+	ok, err := EvalWhere(q.Where, g, []Binding{{Node: a}}, func() float64 { return 0.3 })
+	if err != nil || !ok {
+		t.Fatalf("RND 0.3 < 0.5 should pass: %v %v", ok, err)
+	}
+	ok, err = EvalWhere(q.Where, g, []Binding{{Node: a}}, func() float64 { return 0.9 })
+	if err != nil || ok {
+		t.Fatalf("RND 0.9 < 0.5 should fail: %v %v", ok, err)
+	}
+	if _, err := EvalWhere(q.Where, g, []Binding{{Node: a}}, nil); err == nil {
+		t.Fatal("RND without a stream should error")
+	}
+}
+
+func TestEvalWhereIDComparison(t *testing.T) {
+	g := graph.New(false)
+	g.AddNodes(10)
+	q := mustParse(t, `
+PATTERN n {?A;}
+SELECT n1.ID, n2.ID, COUNTP(n, SUBGRAPH-UNION(n1.ID, n2.ID, 1))
+FROM nodes AS n1, nodes AS n2 WHERE n1.ID > n2.ID`).Queries()[0]
+	check := func(a, b graph.NodeID, want bool) {
+		t.Helper()
+		ok, err := EvalWhere(q.Where, g, []Binding{{Alias: "n1", Node: a}, {Alias: "n2", Node: b}}, nil)
+		if err != nil || ok != want {
+			t.Fatalf("ID compare (%d,%d) = %v, %v; want %v", a, b, ok, err, want)
+		}
+	}
+	check(5, 3, true)
+	check(3, 5, false)
+	check(9, 9, false)
+	// Numeric (not lexicographic) comparison: 10 > 9.
+	check(9, 2, true)
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"unknown pattern", `SELECT ID, COUNTP(nope, SUBGRAPH(ID, 1)) FROM nodes`},
+		{"unknown subpattern", `PATTERN p {?A;} SELECT ID, COUNTSP(s, p, SUBGRAPH(ID, 1)) FROM nodes`},
+		{"arity mismatch pair", `PATTERN p {?A;} SELECT ID, COUNTP(p, SUBGRAPH-INTERSECTION(n1.ID, n2.ID, 1)) FROM nodes`},
+		{"arity mismatch single", `PATTERN p {?A;} SELECT n1.ID, COUNTP(p, SUBGRAPH(n1.ID, 1)) FROM nodes AS n1, nodes AS n2`},
+		{"bad alias", `PATTERN p {?A;} SELECT zz.ID, COUNTP(p, SUBGRAPH(ID, 1)) FROM nodes`},
+		{"bad alias in where", `PATTERN p {?A;} SELECT ID, COUNTP(p, SUBGRAPH(ID, 1)) FROM nodes WHERE zz.age > 1`},
+		{"no aggregate", `PATTERN p {?A;} SELECT ID FROM nodes`},
+		{"three relations", `PATTERN p {?A;} SELECT ID, COUNTP(p, SUBGRAPH(ID, 1)) FROM nodes AS a, nodes AS b, nodes AS c`},
+		{"duplicate pattern", `PATTERN p {?A;} PATTERN p {?B;}`},
+		{"disconnected pattern", `PATTERN p {?A; ?B;} SELECT ID, COUNTP(p, SUBGRAPH(ID, 1)) FROM nodes`},
+		{"self loop", `PATTERN p {?A-?A;}`},
+		{"subpattern unknown var", `PATTERN p {?A; SUBPATTERN s {?Z;}}`},
+		{"bad neighborhood", `PATTERN p {?A;} SELECT ID, COUNTP(p, SUBGRAPH-FOO(ID, 1)) FROM nodes`},
+		{"negative radius lexes as error", `PATTERN p {?A;} SELECT ID, COUNTP(p, SUBGRAPH(ID, x)) FROM nodes`},
+		{"anchor not ID", `PATTERN p {?A;} SELECT ID, COUNTP(p, SUBGRAPH(age, 1)) FROM nodes`},
+		{"unterminated string", `PATTERN p {?A; [?A.label='x]}`},
+		{"garbage", `FOO BAR`},
+		{"lone question mark", `PATTERN p {? ;}`},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.src); err == nil {
+			t.Errorf("%s: expected parse error", c.name)
+		}
+	}
+}
+
+func TestParseWithCatalog(t *testing.T) {
+	p := pattern.Clique("clq3", 3, nil)
+	s, err := ParseWith(`SELECT ID, COUNTP(clq3, SUBGRAPH(ID, 2)) FROM nodes`,
+		map[string]*pattern.Pattern{"clq3": p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Queries()) != 1 {
+		t.Fatal("query missing")
+	}
+}
+
+func TestComments(t *testing.T) {
+	s := mustParse(t, `
+-- the simplest pattern
+PATTERN n {?A;} -- trailing comment
+SELECT ID, COUNTP(n, SUBGRAPH(ID, 1)) FROM nodes`)
+	if len(s.Patterns) != 1 {
+		t.Fatal("comment handling broke parsing")
+	}
+}
+
+func TestSelectStringRoundTrip(t *testing.T) {
+	srcs := []string{
+		`PATTERN n {?A;} SELECT ID, COUNTP(n, SUBGRAPH(ID, 2)) FROM nodes`,
+		`PATTERN n {?A;} SELECT n1.ID, n2.ID, COUNTP(n, SUBGRAPH-INTERSECTION(n1.ID, n2.ID, 1)) FROM nodes AS n1, nodes AS n2 WHERE n1.ID > n2.ID`,
+		`PATTERN t {?A->?B; ?B->?C; SUBPATTERN mid {?B;}} SELECT ID, COUNTSP(mid, t, SUBGRAPH(ID, 0)) FROM nodes WHERE RND() < 0.25`,
+	}
+	for _, src := range srcs {
+		s1 := mustParse(t, src)
+		q1 := s1.Queries()[0]
+		printed := q1.String()
+		// Re-parse the printed query with the same pattern catalog.
+		s2, err := ParseWith(printed, s1.Patterns)
+		if err != nil {
+			t.Fatalf("re-parse of %q: %v", printed, err)
+		}
+		q2 := s2.Queries()[0]
+		if q2.String() != printed {
+			t.Fatalf("print/parse not a fixpoint:\n%s\n%s", printed, q2.String())
+		}
+	}
+}
+
+func TestPatternStringParsesBack(t *testing.T) {
+	src := `
+PATTERN triad {
+  ?A->?B; ?B->?C; ?A!->?C;
+  [?A.age>?B.age];
+  SUBPATTERN mid {?B;}
+}`
+	s1 := mustParse(t, src)
+	printed := s1.Patterns["triad"].String()
+	s2, err := Parse(printed)
+	if err != nil {
+		t.Fatalf("pattern String() does not re-parse: %v\n%s", err, printed)
+	}
+	p2 := s2.Patterns["triad"]
+	if p2.NumNodes() != 3 || len(p2.Edges()) != 3 || len(p2.Predicates()) != 1 {
+		t.Fatalf("round-tripped pattern differs: %s", p2.String())
+	}
+}
+
+func TestLexerPositions(t *testing.T) {
+	toks, err := Lex("PATTERN p\n{?A;}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Line != 1 || toks[2].Line != 2 {
+		t.Fatalf("positions wrong: %+v", toks[:3])
+	}
+}
+
+func TestCaseInsensitiveKeywords(t *testing.T) {
+	s := mustParse(t, `
+pattern n {?A;}
+select id, countp(n, subgraph(id, 1)) from nodes where rnd() < 1`)
+	if len(s.Queries()) != 1 {
+		t.Fatal("lower-case keywords should parse")
+	}
+}

@@ -1,0 +1,211 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// lexer tokenizes query text. Comments run from "--" to end of line.
+type lexer struct {
+	src  []rune
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: []rune(src), line: 1, col: 1}
+}
+
+// Lex tokenizes the whole input.
+func Lex(src string) ([]Token, error) {
+	lx := newLexer(src)
+	var out []Token
+	for {
+		tok, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tok)
+		if tok.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}
+
+func (lx *lexer) peek() rune {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *lexer) peekAt(off int) rune {
+	if lx.pos+off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos+off]
+}
+
+func (lx *lexer) advance() rune {
+	r := lx.src[lx.pos]
+	lx.pos++
+	if r == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return r
+}
+
+func (lx *lexer) errorf(format string, args ...interface{}) error {
+	return fmt.Errorf("line %d:%d: %s", lx.line, lx.col, fmt.Sprintf(format, args...))
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}
+
+func (lx *lexer) next() (Token, error) {
+	// skip whitespace and comments
+	for lx.pos < len(lx.src) {
+		r := lx.peek()
+		if unicode.IsSpace(r) {
+			lx.advance()
+			continue
+		}
+		if r == '-' && lx.peekAt(1) == '-' {
+			for lx.pos < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+			continue
+		}
+		break
+	}
+	tok := Token{Line: lx.line, Col: lx.col}
+	if lx.pos >= len(lx.src) {
+		tok.Kind = TokEOF
+		return tok, nil
+	}
+	r := lx.peek()
+	switch {
+	case isIdentStart(r):
+		var b strings.Builder
+		for lx.pos < len(lx.src) && isIdentPart(lx.peek()) {
+			b.WriteRune(lx.advance())
+		}
+		tok.Kind = TokIdent
+		tok.Text = b.String()
+		return tok, nil
+	case unicode.IsDigit(r):
+		var b strings.Builder
+		for lx.pos < len(lx.src) && (unicode.IsDigit(lx.peek()) || lx.peek() == '.') {
+			b.WriteRune(lx.advance())
+		}
+		tok.Kind = TokNumber
+		tok.Text = b.String()
+		return tok, nil
+	case r == '?':
+		lx.advance()
+		if !isIdentStart(lx.peek()) {
+			return tok, lx.errorf("expected variable name after '?'")
+		}
+		var b strings.Builder
+		for lx.pos < len(lx.src) && isIdentPart(lx.peek()) {
+			b.WriteRune(lx.advance())
+		}
+		tok.Kind = TokVariable
+		tok.Text = b.String()
+		return tok, nil
+	case r == '\'' || r == '"':
+		quote := lx.advance()
+		var b strings.Builder
+		for {
+			if lx.pos >= len(lx.src) {
+				return tok, lx.errorf("unterminated string")
+			}
+			c := lx.advance()
+			if c == quote {
+				break
+			}
+			b.WriteRune(c)
+		}
+		tok.Kind = TokString
+		tok.Text = b.String()
+		return tok, nil
+	}
+	lx.advance()
+	switch r {
+	case '{':
+		tok.Kind = TokLBrace
+	case '}':
+		tok.Kind = TokRBrace
+	case '(':
+		tok.Kind = TokLParen
+	case ')':
+		tok.Kind = TokRParen
+	case '[':
+		tok.Kind = TokLBracket
+	case ']':
+		tok.Kind = TokRBracket
+	case ';':
+		tok.Kind = TokSemi
+	case ',':
+		tok.Kind = TokComma
+	case '.':
+		tok.Kind = TokDot
+	case '*':
+		tok.Kind = TokStar
+	case '-':
+		if lx.peek() == '>' {
+			lx.advance()
+			tok.Kind = TokArrow
+		} else {
+			tok.Kind = TokDash
+		}
+	case '!':
+		switch {
+		case lx.peek() == '-' && lx.peekAt(1) == '>':
+			lx.advance()
+			lx.advance()
+			tok.Kind = TokBangArrow
+		case lx.peek() == '-':
+			lx.advance()
+			tok.Kind = TokBangDash
+		case lx.peek() == '=':
+			lx.advance()
+			tok.Kind = TokNe
+		default:
+			return tok, lx.errorf("unexpected '!'")
+		}
+	case '=':
+		tok.Kind = TokEq
+	case '<':
+		switch lx.peek() {
+		case '=':
+			lx.advance()
+			tok.Kind = TokLe
+		case '>':
+			lx.advance()
+			tok.Kind = TokNe
+		default:
+			tok.Kind = TokLt
+		}
+	case '>':
+		if lx.peek() == '=' {
+			lx.advance()
+			tok.Kind = TokGe
+		} else {
+			tok.Kind = TokGt
+		}
+	default:
+		return tok, lx.errorf("unexpected character %q", r)
+	}
+	return tok, nil
+}

@@ -1,0 +1,768 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"egocensus/internal/pattern"
+)
+
+// Parse parses a script: any number of PATTERN definitions and SELECT
+// queries. Pattern names referenced by queries must be defined in the same
+// script or pre-registered via ParseWith.
+func Parse(src string) (*Script, error) {
+	return ParseWith(src, nil)
+}
+
+// ParseWith parses a script against a pre-populated pattern catalog
+// (patterns defined by earlier scripts in the same session).
+func ParseWith(src string, catalog map[string]*pattern.Pattern) (*Script, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, script: &Script{Patterns: map[string]*pattern.Pattern{}}}
+	for name, pat := range catalog {
+		p.script.Patterns[name] = pat
+	}
+	for !p.at(TokEOF) {
+		switch {
+		case p.atKeyword("PATTERN"):
+			st, err := p.parsePattern()
+			if err != nil {
+				return nil, err
+			}
+			p.script.Statements = append(p.script.Statements, st)
+		case p.atKeyword("SELECT"):
+			st, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			p.script.Statements = append(p.script.Statements, st)
+		case p.atKeyword("EXPLAIN"):
+			p.advance()
+			if !p.atKeyword("SELECT") {
+				return nil, p.errorf("EXPLAIN must be followed by SELECT")
+			}
+			st, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			st.Explain = true
+			p.script.Statements = append(p.script.Statements, st)
+		case p.at(TokSemi):
+			p.advance()
+		default:
+			return nil, p.errorf("expected PATTERN or SELECT, found %s", p.cur())
+		}
+	}
+	return p.script, nil
+}
+
+type parser struct {
+	toks   []Token
+	pos    int
+	script *Script
+}
+
+func (p *parser) cur() Token { return p.toks[p.pos] }
+func (p *parser) advance() Token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) at(k TokenKind) bool { return p.cur().Kind == k }
+
+func (p *parser) atKeyword(kw string) bool {
+	return p.cur().Kind == TokIdent && strings.EqualFold(p.cur().Text, kw)
+}
+
+func (p *parser) expect(k TokenKind) (Token, error) {
+	if !p.at(k) {
+		return Token{}, p.errorf("expected %s, found %s", k, p.cur())
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.atKeyword(kw) {
+		return p.errorf("expected %s, found %s", kw, p.cur())
+	}
+	p.advance()
+	return nil
+}
+
+func (p *parser) errorf(format string, args ...interface{}) error {
+	t := p.cur()
+	return fmt.Errorf("line %d:%d: %s", t.Line, t.Col, fmt.Sprintf(format, args...))
+}
+
+// parsePattern parses: PATTERN name { items }.
+func (p *parser) parsePattern() (*PatternStmt, error) {
+	if err := p.expectKeyword("PATTERN"); err != nil {
+		return nil, err
+	}
+	nameTok, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	name := nameTok.Text
+	if _, dup := p.script.Patterns[name]; dup {
+		return nil, p.errorf("pattern %s already defined", name)
+	}
+	pat := pattern.New(name)
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	// nodeIdx resolves (or lazily creates) pattern nodes by variable.
+	nodeIdx := func(variable string) (int, error) {
+		if idx, ok := pat.NodeIndex(variable); ok {
+			return idx, nil
+		}
+		return pat.AddNode(variable, "")
+	}
+	for !p.at(TokRBrace) {
+		switch {
+		case p.at(TokVariable):
+			v := p.advance()
+			from, err := nodeIdx(v.Text)
+			if err != nil {
+				return nil, p.errorf("%v", err)
+			}
+			switch p.cur().Kind {
+			case TokSemi:
+				p.advance() // bare node declaration
+			case TokDash, TokArrow, TokBangDash, TokBangArrow:
+				op := p.advance()
+				to, err2 := p.expect(TokVariable)
+				if err2 != nil {
+					return nil, err2
+				}
+				toIdx, err2 := nodeIdx(to.Text)
+				if err2 != nil {
+					return nil, p.errorf("%v", err2)
+				}
+				directed := op.Kind == TokArrow || op.Kind == TokBangArrow
+				negated := op.Kind == TokBangDash || op.Kind == TokBangArrow
+				if err2 := pat.AddEdge(from, toIdx, directed, negated); err2 != nil {
+					return nil, p.errorf("%v", err2)
+				}
+				if _, err2 := p.expect(TokSemi); err2 != nil {
+					return nil, err2
+				}
+			default:
+				return nil, p.errorf("expected ';' or edge operator after ?%s, found %s", v.Text, p.cur())
+			}
+		case p.at(TokLBracket):
+			if err := p.parsePatternPredicate(pat, nodeIdx); err != nil {
+				return nil, err
+			}
+		case p.atKeyword("SUBPATTERN"):
+			if err := p.parseSubpattern(pat); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, p.errorf("unexpected %s in pattern body", p.cur())
+		}
+	}
+	p.advance() // }
+	if err := pat.Validate(); err != nil {
+		return nil, err
+	}
+	p.script.Patterns[name] = pat
+	return &PatternStmt{Pattern: pat}, nil
+}
+
+// parsePatternPredicate parses: [operand cmp operand] ';'?
+// Predicates of the form ?A.LABEL = 'const' on an unconstrained node are
+// pushed down into the node's label (the footnote-1 optimization); all
+// other predicates are kept as match-time filters.
+func (p *parser) parsePatternPredicate(pat *pattern.Pattern, nodeIdx func(string) (int, error)) error {
+	p.advance() // [
+	l, err := p.parsePatternOperand(pat, nodeIdx)
+	if err != nil {
+		return err
+	}
+	op, err := p.parseCmpOp()
+	if err != nil {
+		return err
+	}
+	r, err := p.parsePatternOperand(pat, nodeIdx)
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(TokRBracket); err != nil {
+		return err
+	}
+	if p.at(TokSemi) {
+		p.advance()
+	}
+	// Label-constant pushdown.
+	if op == pattern.OpEq {
+		if idx, c, ok := labelConst(l, r); ok && pat.Node(idx).Label == "" {
+			pat.SetLabel(idx, c)
+			return nil
+		}
+	}
+	pat.AddPredicate(pattern.Predicate{Op: op, L: l, R: r})
+	return nil
+}
+
+// labelConst recognizes ?A.LABEL = 'const' in either operand order.
+func labelConst(l, r pattern.Operand) (nodeIdx int, c string, ok bool) {
+	isLabelRef := func(o pattern.Operand) bool {
+		return o.Node >= 0 && strings.EqualFold(o.Attr, "label")
+	}
+	isConst := func(o pattern.Operand) bool {
+		return o.Node < 0 && o.EdgeFrom < 0
+	}
+	switch {
+	case isLabelRef(l) && isConst(r):
+		return l.Node, r.Const, true
+	case isLabelRef(r) && isConst(l):
+		return r.Node, l.Const, true
+	}
+	return 0, "", false
+}
+
+// parsePatternOperand parses ?A.attr | EDGE(?A,?B).attr | literal.
+func (p *parser) parsePatternOperand(pat *pattern.Pattern, nodeIdx func(string) (int, error)) (pattern.Operand, error) {
+	switch {
+	case p.at(TokVariable):
+		v := p.advance()
+		idx, err := nodeIdx(v.Text)
+		if err != nil {
+			return pattern.Operand{}, p.errorf("%v", err)
+		}
+		if _, err := p.expect(TokDot); err != nil {
+			return pattern.Operand{}, err
+		}
+		attr, err := p.expect(TokIdent)
+		if err != nil {
+			return pattern.Operand{}, err
+		}
+		return pattern.NodeAttr(idx, attr.Text), nil
+	case p.atKeyword("EDGE"):
+		p.advance()
+		if _, err := p.expect(TokLParen); err != nil {
+			return pattern.Operand{}, err
+		}
+		a, err := p.expect(TokVariable)
+		if err != nil {
+			return pattern.Operand{}, err
+		}
+		ai, err := nodeIdx(a.Text)
+		if err != nil {
+			return pattern.Operand{}, p.errorf("%v", err)
+		}
+		if _, err := p.expect(TokComma); err != nil {
+			return pattern.Operand{}, err
+		}
+		b, err := p.expect(TokVariable)
+		if err != nil {
+			return pattern.Operand{}, err
+		}
+		bi, err := nodeIdx(b.Text)
+		if err != nil {
+			return pattern.Operand{}, p.errorf("%v", err)
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return pattern.Operand{}, err
+		}
+		if _, err := p.expect(TokDot); err != nil {
+			return pattern.Operand{}, err
+		}
+		attr, err := p.expect(TokIdent)
+		if err != nil {
+			return pattern.Operand{}, err
+		}
+		return pattern.EdgeAttr(ai, bi, attr.Text), nil
+	case p.at(TokString), p.at(TokNumber):
+		t := p.advance()
+		return pattern.Const(t.Text), nil
+	}
+	return pattern.Operand{}, p.errorf("expected operand, found %s", p.cur())
+}
+
+func (p *parser) parseCmpOp() (pattern.CmpOp, error) {
+	switch p.cur().Kind {
+	case TokEq:
+		p.advance()
+		return pattern.OpEq, nil
+	case TokNe:
+		p.advance()
+		return pattern.OpNe, nil
+	case TokLt:
+		p.advance()
+		return pattern.OpLt, nil
+	case TokLe:
+		p.advance()
+		return pattern.OpLe, nil
+	case TokGt:
+		p.advance()
+		return pattern.OpGt, nil
+	case TokGe:
+		p.advance()
+		return pattern.OpGe, nil
+	}
+	return 0, p.errorf("expected comparison operator, found %s", p.cur())
+}
+
+// parseSubpattern parses: SUBPATTERN name { ?A; ?B; }
+func (p *parser) parseSubpattern(pat *pattern.Pattern) error {
+	p.advance() // SUBPATTERN
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(TokLBrace); err != nil {
+		return err
+	}
+	var nodes []int
+	for !p.at(TokRBrace) {
+		v, err := p.expect(TokVariable)
+		if err != nil {
+			return err
+		}
+		idx, ok := pat.NodeIndex(v.Text)
+		if !ok {
+			return p.errorf("subpattern %s references undefined variable ?%s", name.Text, v.Text)
+		}
+		nodes = append(nodes, idx)
+		if p.at(TokSemi) {
+			p.advance()
+		}
+	}
+	p.advance() // }
+	if err := pat.AddSubpattern(name.Text, nodes); err != nil {
+		return p.errorf("%v", err)
+	}
+	return nil
+}
+
+// parseSelect parses a census SELECT statement.
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	p.advance() // SELECT
+	st := &SelectStmt{}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		st.Items = append(st.Items, item)
+		if !p.at(TokComma) {
+			break
+		}
+		p.advance()
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.expectKeyword("NODES"); err != nil {
+			return nil, err
+		}
+		alias := ""
+		if p.atKeyword("AS") {
+			p.advance()
+			a, err := p.expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			alias = a.Text
+		}
+		st.Aliases = append(st.Aliases, alias)
+		if !p.at(TokComma) {
+			break
+		}
+		p.advance()
+	}
+	if len(st.Aliases) > 2 {
+		return nil, p.errorf("at most two nodes relations are supported (single-node or pairwise census)")
+	}
+	if p.atKeyword("WHERE") {
+		p.advance()
+		e, err := p.parseOrExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = e
+	}
+	if p.atKeyword("ORDER") {
+		p.advance()
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		ob := &OrderBy{}
+		if p.atKeyword("COUNT") {
+			p.advance()
+			ob.ByCount = true
+		} else {
+			ref, err := p.parseColumnRef()
+			if err != nil {
+				return nil, err
+			}
+			ob.Col = ref
+		}
+		switch {
+		case p.atKeyword("DESC"):
+			p.advance()
+			ob.Desc = true
+		case p.atKeyword("ASC"):
+			p.advance()
+		}
+		st.Order = ob
+	}
+	if p.atKeyword("LIMIT") {
+		p.advance()
+		nTok, err := p.expect(TokNumber)
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.Atoi(nTok.Text)
+		if err != nil || n <= 0 {
+			return nil, p.errorf("invalid LIMIT %q", nTok.Text)
+		}
+		st.Limit = n
+	}
+	if p.at(TokSemi) {
+		p.advance()
+	}
+	if err := p.validateSelect(st); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	switch {
+	case p.atKeyword("COUNTP"):
+		p.advance()
+		if _, err := p.expect(TokLParen); err != nil {
+			return SelectItem{}, err
+		}
+		patName, err := p.expect(TokIdent)
+		if err != nil {
+			return SelectItem{}, err
+		}
+		if _, err := p.expect(TokComma); err != nil {
+			return SelectItem{}, err
+		}
+		nb, err := p.parseNeighborhood()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return SelectItem{}, err
+		}
+		return SelectItem{Count: &CountAgg{PatternName: patName.Text, Neighborhood: nb}}, nil
+	case p.atKeyword("COUNTSP"):
+		p.advance()
+		if _, err := p.expect(TokLParen); err != nil {
+			return SelectItem{}, err
+		}
+		subName, err := p.expect(TokIdent)
+		if err != nil {
+			return SelectItem{}, err
+		}
+		if _, err := p.expect(TokComma); err != nil {
+			return SelectItem{}, err
+		}
+		patName, err := p.expect(TokIdent)
+		if err != nil {
+			return SelectItem{}, err
+		}
+		if _, err := p.expect(TokComma); err != nil {
+			return SelectItem{}, err
+		}
+		nb, err := p.parseNeighborhood()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return SelectItem{}, err
+		}
+		return SelectItem{Count: &CountAgg{
+			Subpattern:   subName.Text,
+			PatternName:  patName.Text,
+			Neighborhood: nb,
+		}}, nil
+	case p.at(TokIdent):
+		ref, err := p.parseColumnRef()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		return SelectItem{Col: &ref}, nil
+	}
+	return SelectItem{}, p.errorf("expected column or COUNTP/COUNTSP, found %s", p.cur())
+}
+
+// parseColumnRef parses ID or alias.col.
+func (p *parser) parseColumnRef() (ColumnRef, error) {
+	first, err := p.expect(TokIdent)
+	if err != nil {
+		return ColumnRef{}, err
+	}
+	if p.at(TokDot) {
+		p.advance()
+		second, err := p.expect(TokIdent)
+		if err != nil {
+			return ColumnRef{}, err
+		}
+		return ColumnRef{Alias: first.Text, Name: second.Text}, nil
+	}
+	return ColumnRef{Name: first.Text}, nil
+}
+
+// parseNeighborhood parses SUBGRAPH(ref, k) or
+// SUBGRAPH-INTERSECTION/UNION(ref1, ref2, k). The hyphenated names lex as
+// IDENT DASH IDENT.
+func (p *parser) parseNeighborhood() (Neighborhood, error) {
+	if !p.atKeyword("SUBGRAPH") {
+		return Neighborhood{}, p.errorf("expected SUBGRAPH, SUBGRAPH-INTERSECTION or SUBGRAPH-UNION, found %s", p.cur())
+	}
+	p.advance()
+	nb := Neighborhood{Kind: NSubgraph}
+	if p.at(TokDash) {
+		p.advance()
+		mod, err := p.expect(TokIdent)
+		if err != nil {
+			return nb, err
+		}
+		switch strings.ToUpper(mod.Text) {
+		case "INTERSECTION":
+			nb.Kind = NIntersection
+		case "UNION":
+			nb.Kind = NUnion
+		default:
+			return nb, p.errorf("unknown neighborhood SUBGRAPH-%s", mod.Text)
+		}
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nb, err
+	}
+	wantRefs := 1
+	if nb.Kind != NSubgraph {
+		wantRefs = 2
+	}
+	for i := 0; i < wantRefs; i++ {
+		ref, err := p.parseColumnRef()
+		if err != nil {
+			return nb, err
+		}
+		nb.Refs = append(nb.Refs, ref)
+		if _, err := p.expect(TokComma); err != nil {
+			return nb, err
+		}
+	}
+	kTok, err := p.expect(TokNumber)
+	if err != nil {
+		return nb, err
+	}
+	k, err := strconv.Atoi(kTok.Text)
+	if err != nil || k < 0 {
+		return nb, p.errorf("invalid radius %q", kTok.Text)
+	}
+	nb.K = k
+	if _, err := p.expect(TokRParen); err != nil {
+		return nb, err
+	}
+	return nb, nil
+}
+
+// WHERE expression grammar: or := and (OR and)*; and := unary (AND unary)*;
+// unary := NOT unary | '(' or ')' | comparison.
+func (p *parser) parseOrExpr() (Expr, error) {
+	l, err := p.parseAndExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("OR") {
+		p.advance()
+		r, err := p.parseAndExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BoolExpr{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAndExpr() (Expr, error) {
+	l, err := p.parseUnaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("AND") {
+		p.advance()
+		r, err := p.parseUnaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BoolExpr{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnaryExpr() (Expr, error) {
+	if p.atKeyword("NOT") {
+		p.advance()
+		e, err := p.parseUnaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{E: e}, nil
+	}
+	if p.at(TokLParen) {
+		p.advance()
+		e, err := p.parseOrExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	l, err := p.parseWhereOperand()
+	if err != nil {
+		return nil, err
+	}
+	op, err := p.parseCmpOp()
+	if err != nil {
+		return nil, err
+	}
+	r, err := p.parseWhereOperand()
+	if err != nil {
+		return nil, err
+	}
+	return &CmpExpr{Op: op, L: l, R: r}, nil
+}
+
+func (p *parser) parseWhereOperand() (Operand, error) {
+	switch {
+	case p.atKeyword("RND"):
+		p.advance()
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return RndOperand{}, nil
+	case p.at(TokIdent):
+		ref, err := p.parseColumnRef()
+		if err != nil {
+			return nil, err
+		}
+		return ColOperand{Ref: ref}, nil
+	case p.at(TokString), p.at(TokNumber):
+		t := p.advance()
+		return LitOperand{Value: t.Text}, nil
+	}
+	return nil, p.errorf("expected WHERE operand, found %s", p.cur())
+}
+
+// validateSelect checks cross-references: the pattern exists, the
+// subpattern exists, the neighborhood arity matches the FROM clause, and
+// column/neighborhood references use declared aliases.
+func (p *parser) validateSelect(st *SelectStmt) error {
+	aggs := st.CountItems()
+	if len(aggs) == 0 {
+		return p.errorf("query has no COUNTP/COUNTSP aggregate")
+	}
+	for _, agg := range aggs {
+		pat, ok := p.script.Patterns[agg.PatternName]
+		if !ok {
+			return p.errorf("unknown pattern %q", agg.PatternName)
+		}
+		if agg.Subpattern != "" {
+			if _, ok := pat.Subpattern(agg.Subpattern); !ok {
+				return p.errorf("pattern %s has no subpattern %q", agg.PatternName, agg.Subpattern)
+			}
+		}
+	}
+	first := aggs[0]
+	for _, agg := range aggs[1:] {
+		if !sameNeighborhood(first.Neighborhood, agg.Neighborhood) {
+			return p.errorf("all aggregates in one query must share the same search neighborhood")
+		}
+	}
+	wantRefs := 1
+	if first.Neighborhood.Kind != NSubgraph {
+		wantRefs = 2
+	}
+	if len(st.Aliases) != wantRefs {
+		return p.errorf("%s requires %d nodes relation(s) in FROM, found %d",
+			first.Neighborhood.Kind, wantRefs, len(st.Aliases))
+	}
+	validAlias := func(a string) bool {
+		if a == "" {
+			return len(st.Aliases) == 1
+		}
+		for _, x := range st.Aliases {
+			if x == a {
+				return true
+			}
+		}
+		return false
+	}
+	for _, r := range first.Neighborhood.Refs {
+		if !strings.EqualFold(r.Name, "ID") {
+			return p.errorf("neighborhood anchors must reference ID, found %s", r)
+		}
+		if !validAlias(r.Alias) {
+			return p.errorf("unknown alias %q in neighborhood reference", r.Alias)
+		}
+	}
+	for _, it := range st.Items {
+		if it.Col != nil && !validAlias(it.Col.Alias) {
+			return p.errorf("unknown alias %q in select list", it.Col.Alias)
+		}
+	}
+	if st.Order != nil && !st.Order.ByCount && !validAlias(st.Order.Col.Alias) {
+		return p.errorf("unknown alias %q in ORDER BY", st.Order.Col.Alias)
+	}
+	var checkExpr func(e Expr) error
+	checkExpr = func(e Expr) error {
+		switch x := e.(type) {
+		case *BoolExpr:
+			if err := checkExpr(x.L); err != nil {
+				return err
+			}
+			return checkExpr(x.R)
+		case *NotExpr:
+			return checkExpr(x.E)
+		case *CmpExpr:
+			for _, o := range []Operand{x.L, x.R} {
+				if c, ok := o.(ColOperand); ok && !validAlias(c.Ref.Alias) {
+					return p.errorf("unknown alias %q in WHERE clause", c.Ref.Alias)
+				}
+			}
+		}
+		return nil
+	}
+	if st.Where != nil {
+		if err := checkExpr(st.Where); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sameNeighborhood reports whether two neighborhoods are identical.
+func sameNeighborhood(a, b Neighborhood) bool {
+	if a.Kind != b.Kind || a.K != b.K || len(a.Refs) != len(b.Refs) {
+		return false
+	}
+	for i := range a.Refs {
+		if a.Refs[i] != b.Refs[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,151 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+// Exhaustive malformed-input cases: every parse path must fail cleanly
+// with a positioned error, never panic.
+func TestParserErrorPaths(t *testing.T) {
+	cases := []string{
+		// pattern bodies
+		`PATTERN`,
+		`PATTERN p`,
+		`PATTERN p {`,
+		`PATTERN p {?A`,
+		`PATTERN p {?A-}`,
+		`PATTERN p {?A-?B}`,
+		`PATTERN p {?A ?B;}`,
+		`PATTERN p {5;}`,
+		`PATTERN p {?A; [?A.];}`,
+		`PATTERN p {?A; [?A.label];}`,
+		`PATTERN p {?A; [?A.label=];}`,
+		`PATTERN p {?A; [?A.label='x'};`,
+		`PATTERN p {?A; [=?A.label];}`,
+		`PATTERN p {?A; [EDGE(?A).w='1'];}`,
+		`PATTERN p {?A; [EDGE(?A,?B.w='1'];}`,
+		`PATTERN p {?A; [EDGE(?A,?B)w='1'];}`,
+		`PATTERN p {?A; [EDGE(?A,?B).='1'];}`,
+		`PATTERN p {?A; SUBPATTERN {?A;}}`,
+		`PATTERN p {?A; SUBPATTERN s ?A;}`,
+		`PATTERN p {?A; SUBPATTERN s {5;}}`,
+		// select statements
+		`SELECT`,
+		`SELECT FROM nodes`,
+		`PATTERN p {?A;} SELECT ID COUNTP(p, SUBGRAPH(ID, 1)) FROM nodes`,
+		`PATTERN p {?A;} SELECT ID, COUNTP FROM nodes`,
+		`PATTERN p {?A;} SELECT ID, COUNTP(p SUBGRAPH(ID, 1)) FROM nodes`,
+		`PATTERN p {?A;} SELECT ID, COUNTP(p, NEIGHBORHOOD(ID, 1)) FROM nodes`,
+		`PATTERN p {?A;} SELECT ID, COUNTP(p, SUBGRAPH(ID 1)) FROM nodes`,
+		`PATTERN p {?A;} SELECT ID, COUNTP(p, SUBGRAPH(ID, 1) FROM nodes`,
+		`PATTERN p {?A;} SELECT ID, COUNTP(p, SUBGRAPH(ID, 1))`,
+		`PATTERN p {?A;} SELECT ID, COUNTP(p, SUBGRAPH(ID, 1)) FROM edges`,
+		`PATTERN p {?A;} SELECT ID, COUNTP(p, SUBGRAPH(ID, 1)) FROM nodes AS`,
+		`PATTERN p {?A;} SELECT ID, COUNTSP(s, p) FROM nodes`,
+		`PATTERN p {?A;} SELECT ID, COUNTSP(s p, SUBGRAPH(ID, 1)) FROM nodes`,
+		`PATTERN p {?A;} SELECT ID, COUNTP(p, SUBGRAPH-UNION(ID, 1)) FROM nodes`,
+		// where clauses
+		`PATTERN p {?A;} SELECT ID, COUNTP(p, SUBGRAPH(ID, 1)) FROM nodes WHERE`,
+		`PATTERN p {?A;} SELECT ID, COUNTP(p, SUBGRAPH(ID, 1)) FROM nodes WHERE age`,
+		`PATTERN p {?A;} SELECT ID, COUNTP(p, SUBGRAPH(ID, 1)) FROM nodes WHERE age >`,
+		`PATTERN p {?A;} SELECT ID, COUNTP(p, SUBGRAPH(ID, 1)) FROM nodes WHERE (age > 1`,
+		`PATTERN p {?A;} SELECT ID, COUNTP(p, SUBGRAPH(ID, 1)) FROM nodes WHERE RND( < 1`,
+		`PATTERN p {?A;} SELECT ID, COUNTP(p, SUBGRAPH(ID, 1)) FROM nodes WHERE RND() <`,
+		`PATTERN p {?A;} SELECT ID, COUNTP(p, SUBGRAPH(ID, 1)) FROM nodes WHERE NOT`,
+		`PATTERN p {?A;} SELECT ID, COUNTP(p, SUBGRAPH(ID, 1)) FROM nodes WHERE ; > 1`,
+		// order/limit
+		`PATTERN p {?A;} SELECT ID, COUNTP(p, SUBGRAPH(ID, 1)) FROM nodes ORDER BY`,
+		`PATTERN p {?A;} SELECT ID, COUNTP(p, SUBGRAPH(ID, 1)) FROM nodes LIMIT`,
+		`PATTERN p {?A;} SELECT ID, COUNTP(p, SUBGRAPH(ID, 1)) FROM nodes LIMIT x`,
+		// lexer errors
+		`PATTERN p {?A; [?A.label ! 'x'];}`,
+		`PATTERN p {?A;} SELECT #`,
+		"PATTERN p {?A; [?A.label='x\x00",
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestTokenKindStrings(t *testing.T) {
+	kinds := []TokenKind{
+		TokEOF, TokIdent, TokVariable, TokNumber, TokString,
+		TokLBrace, TokRBrace, TokLParen, TokRParen, TokLBracket, TokRBracket,
+		TokSemi, TokComma, TokDot, TokStar,
+		TokDash, TokArrow, TokBangDash, TokBangArrow,
+		TokEq, TokNe, TokLt, TokLe, TokGt, TokGe,
+	}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || strings.HasPrefix(s, "token(") {
+			t.Errorf("kind %d has no name", k)
+		}
+		if seen[s] {
+			t.Errorf("duplicate token name %q", s)
+		}
+		seen[s] = true
+	}
+	if !strings.HasPrefix(TokenKind(99).String(), "token(") {
+		t.Error("unknown kind should render numerically")
+	}
+	tok := Token{Kind: TokIdent, Text: "hello"}
+	if !strings.Contains(tok.String(), "hello") {
+		t.Errorf("token string = %q", tok.String())
+	}
+	if (Token{Kind: TokSemi}).String() != "';'" {
+		t.Error("textless token should render its kind")
+	}
+}
+
+func TestLexerOperators(t *testing.T) {
+	toks, err := Lex(`= != <> < <= > >= - -> !- !-> *`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokenKind{TokEq, TokNe, TokNe, TokLt, TokLe, TokGt, TokGe,
+		TokDash, TokArrow, TokBangDash, TokBangArrow, TokStar, TokEOF}
+	if len(toks) != len(want) {
+		t.Fatalf("tokens = %d want %d", len(toks), len(want))
+	}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Fatalf("token %d = %s want %s", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestLexerDoubleQuotedStrings(t *testing.T) {
+	toks, err := Lex(`"double" 'single'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Text != "double" || toks[1].Text != "single" {
+		t.Fatalf("strings = %q %q", toks[0].Text, toks[1].Text)
+	}
+}
+
+func TestNeighborhoodKindString(t *testing.T) {
+	if NSubgraph.String() != "SUBGRAPH" ||
+		NIntersection.String() != "SUBGRAPH-INTERSECTION" ||
+		NUnion.String() != "SUBGRAPH-UNION" {
+		t.Fatal("neighborhood kind strings wrong")
+	}
+}
+
+func TestEvalWhereUnboundAlias(t *testing.T) {
+	q := mustParse(t, `
+PATTERN n {?A;}
+SELECT n1.ID, n2.ID, COUNTP(n, SUBGRAPH-INTERSECTION(n1.ID, n2.ID, 1))
+FROM nodes AS n1, nodes AS n2 WHERE n1.ID > n2.ID`).Queries()[0]
+	// Bindings missing n2: evaluation must error, not panic.
+	if _, err := EvalWhere(q.Where, nil, []Binding{{Alias: "n1", Node: 0}}, nil); err == nil {
+		t.Fatal("unbound alias should error")
+	}
+	if _, err := EvalWhere(q.Where, nil, nil, nil); err == nil {
+		t.Fatal("empty bindings should error")
+	}
+}

@@ -1,0 +1,117 @@
+// Package lang implements the paper's SQL-based declarative language for
+// ego-centric pattern census queries (Section II): PATTERN definitions
+// with variables, undirected/directed/negated edges, attribute predicates
+// and subpatterns, and SELECT statements with the COUNTP/COUNTSP
+// aggregates over SUBGRAPH, SUBGRAPH-INTERSECTION and SUBGRAPH-UNION
+// search neighborhoods, focal-node restriction via WHERE (including the
+// RND() < R sampling predicate used in the paper's selectivity
+// experiments).
+package lang
+
+import "fmt"
+
+// TokenKind classifies lexical tokens.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokVariable // ?A
+	TokNumber
+	TokString // 'x' or "x"
+
+	TokLBrace   // {
+	TokRBrace   // }
+	TokLParen   // (
+	TokRParen   // )
+	TokLBracket // [
+	TokRBracket // ]
+	TokSemi     // ;
+	TokComma    // ,
+	TokDot      // .
+	TokStar     // *
+
+	TokDash      // -
+	TokArrow     // ->
+	TokBangDash  // !-
+	TokBangArrow // !->
+
+	TokEq // =
+	TokNe // != or <>
+	TokLt // <
+	TokLe // <=
+	TokGt // >
+	TokGe // >=
+)
+
+func (k TokenKind) String() string {
+	switch k {
+	case TokEOF:
+		return "end of input"
+	case TokIdent:
+		return "identifier"
+	case TokVariable:
+		return "variable"
+	case TokNumber:
+		return "number"
+	case TokString:
+		return "string"
+	case TokLBrace:
+		return "'{'"
+	case TokRBrace:
+		return "'}'"
+	case TokLParen:
+		return "'('"
+	case TokRParen:
+		return "')'"
+	case TokLBracket:
+		return "'['"
+	case TokRBracket:
+		return "']'"
+	case TokSemi:
+		return "';'"
+	case TokComma:
+		return "','"
+	case TokDot:
+		return "'.'"
+	case TokStar:
+		return "'*'"
+	case TokDash:
+		return "'-'"
+	case TokArrow:
+		return "'->'"
+	case TokBangDash:
+		return "'!-'"
+	case TokBangArrow:
+		return "'!->'"
+	case TokEq:
+		return "'='"
+	case TokNe:
+		return "'!='"
+	case TokLt:
+		return "'<'"
+	case TokLe:
+		return "'<='"
+	case TokGt:
+		return "'>'"
+	case TokGe:
+		return "'>='"
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	if t.Text != "" {
+		return fmt.Sprintf("%s %q", t.Kind, t.Text)
+	}
+	return t.Kind.String()
+}

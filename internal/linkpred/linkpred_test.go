@@ -1,0 +1,287 @@
+package linkpred
+
+import (
+	"math"
+	"testing"
+
+	"egocensus/internal/core"
+	"egocensus/internal/gen"
+	"egocensus/internal/graph"
+)
+
+func TestMeasuresEnumeration(t *testing.T) {
+	ms := Measures()
+	if len(ms) != 9 {
+		t.Fatalf("measures = %d want 9", len(ms))
+	}
+	seen := map[string]bool{}
+	for _, m := range ms {
+		if seen[m.Name] {
+			t.Fatalf("duplicate measure %s", m.Name)
+		}
+		seen[m.Name] = true
+		p := m.Pattern()
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+	}
+	if !seen["node@2"] || !seen["triangle@3"] || !seen["edge@1"] {
+		t.Fatalf("expected canonical names, got %v", seen)
+	}
+}
+
+func TestJaccardHandComputed(t *testing.T) {
+	// Path 0-1-2 plus edge 0-2 would be a triangle; use a square 0-1-2-3.
+	g := graph.New(false)
+	g.AddNodes(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 0)
+	scores := Jaccard(g)
+	// Nodes 0 and 2 share neighbors {1, 3}: J = 2 / (2+2-2) = 1.
+	if got := scores[core.MakePair(0, 2)]; math.Abs(got-1.0) > 1e-12 {
+		t.Fatalf("J(0,2) = %v want 1", got)
+	}
+	// Nodes 0 and 1 share no neighbors: absent.
+	if _, ok := scores[core.MakePair(0, 1)]; ok {
+		t.Fatal("J(0,1) should be unscored (no common neighbors)")
+	}
+}
+
+func TestJaccardAgainstDirectComputation(t *testing.T) {
+	g := gen.ErdosRenyi(30, 70, 5)
+	scores := Jaccard(g)
+	for a := 0; a < g.NumNodes(); a++ {
+		for b := a + 1; b < g.NumNodes(); b++ {
+			na := g.Neighbors(graph.NodeID(a))
+			nb := g.Neighbors(graph.NodeID(b))
+			set := map[graph.NodeID]bool{}
+			for _, x := range na {
+				set[x] = true
+			}
+			common := 0
+			for _, x := range nb {
+				if set[x] {
+					common++
+				}
+			}
+			want := 0.0
+			if common > 0 {
+				want = float64(common) / float64(len(na)+len(nb)-common)
+			}
+			got := scores[core.MakePair(graph.NodeID(a), graph.NodeID(b))]
+			if math.Abs(got-want) > 1e-12 {
+				t.Fatalf("J(%d,%d) = %v want %v", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestScoreMatchesEngineSemantics(t *testing.T) {
+	g := gen.ErdosRenyi(15, 35, 7)
+	m := Measure{Name: "node@1", Structure: "node", R: 1}
+	scores, err := m.Score(g, core.PTOpt, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pr, s := range scores {
+		want := float64(g.EgoIntersection(pr.A, pr.B, 1).G.NumNodes())
+		if s != want {
+			t.Fatalf("pair %v score %v want %v", pr, s, want)
+		}
+	}
+}
+
+func TestPrecisionAtK(t *testing.T) {
+	g := graph.New(false)
+	g.AddNodes(6)
+	g.AddEdge(0, 1) // existing link: must be skipped in ranking
+	e := &Eval{
+		Train: g,
+		Positives: map[core.Pair]bool{
+			core.MakePair(2, 3): true,
+			core.MakePair(4, 5): true,
+		},
+	}
+	scores := map[core.Pair]float64{
+		core.MakePair(0, 1): 100, // existing edge: skipped
+		core.MakePair(2, 3): 10,  // hit
+		core.MakePair(1, 4): 5,   // miss
+		core.MakePair(4, 5): 3,   // hit
+	}
+	if got := e.PrecisionAtK(scores, 1); got != 1.0 {
+		t.Fatalf("P@1 = %v want 1", got)
+	}
+	if got := e.PrecisionAtK(scores, 2); got != 0.5 {
+		t.Fatalf("P@2 = %v want 0.5", got)
+	}
+	if got := e.PrecisionAtK(scores, 3); math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("P@3 = %v want 2/3", got)
+	}
+	// Fewer candidates than K: denominator stays K.
+	if got := e.PrecisionAtK(scores, 10); got != 0.2 {
+		t.Fatalf("P@10 = %v want 0.2", got)
+	}
+	if got := e.PrecisionAtK(scores, 0); got != 0 {
+		t.Fatalf("P@0 = %v want 0", got)
+	}
+}
+
+func TestPrecisionDeterministicTieBreak(t *testing.T) {
+	g := graph.New(false)
+	g.AddNodes(10)
+	e := &Eval{Train: g, Positives: map[core.Pair]bool{core.MakePair(0, 1): true}}
+	scores := map[core.Pair]float64{}
+	for a := 0; a < 5; a++ {
+		for b := a + 1; b < 5; b++ {
+			scores[core.MakePair(graph.NodeID(a), graph.NodeID(b))] = 1.0 // all tied
+		}
+	}
+	p1 := e.PrecisionAtK(scores, 3)
+	p2 := e.PrecisionAtK(scores, 3)
+	if p1 != p2 {
+		t.Fatal("tie-break should be deterministic")
+	}
+	// Pair (0,1) sorts first among ties, so P@3 includes the positive.
+	if p1 != 1.0/3 {
+		t.Fatalf("P@3 = %v want 1/3", p1)
+	}
+}
+
+func TestRandomScores(t *testing.T) {
+	g := gen.ErdosRenyi(20, 30, 9)
+	scores := RandomScores(g, 50, 3)
+	if len(scores) != 50 {
+		t.Fatalf("pairs = %d want 50", len(scores))
+	}
+	for pr := range scores {
+		if pr.A == pr.B {
+			t.Fatal("self pair generated")
+		}
+	}
+	if len(RandomScores(graph.New(false), 10, 1)) != 0 {
+		t.Fatal("empty graph should yield no pairs")
+	}
+}
+
+func TestEndToEndOnCoauthorship(t *testing.T) {
+	cfg := gen.DefaultCoauthConfig()
+	cfg.Authors = 500
+	cfg.PapersPerYear = 90
+	corpus := gen.GenerateCoauthorship(cfg)
+	train, authorNode := corpus.Graph(2001, 2005)
+	positives := map[core.Pair]bool{}
+	for pair := range corpus.NewPairs(2006, 2010) {
+		na, oka := authorNode[pair[0]]
+		nb, okb := authorNode[pair[1]]
+		if oka && okb {
+			positives[core.MakePair(na, nb)] = true
+		}
+	}
+	if len(positives) < 20 {
+		t.Fatalf("too few positives to evaluate: %d", len(positives))
+	}
+	e := &Eval{Train: train, Positives: positives}
+
+	m := Measure{Name: "node@2", Structure: "node", R: 2}
+	scores, err := m.Score(train, core.PTOpt, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pAt50 := e.PrecisionAtK(scores, 50)
+
+	rnd := RandomScores(train, len(scores), 7)
+	pRnd := e.PrecisionAtK(rnd, 50)
+
+	if pAt50 <= pRnd {
+		t.Fatalf("common-neighbor measure (%.3f) should beat random (%.3f)", pAt50, pRnd)
+	}
+	if pAt50 == 0 {
+		t.Fatal("node@2 precision should be positive on closure-driven corpus")
+	}
+}
+
+func TestAUCHandComputed(t *testing.T) {
+	g := graph.New(false)
+	g.AddNodes(8)
+	e := &Eval{Train: g, Positives: map[core.Pair]bool{
+		core.MakePair(0, 1): true,
+		core.MakePair(2, 3): true,
+	}}
+	// Perfect ranking: positives above negatives.
+	perfect := map[core.Pair]float64{
+		core.MakePair(0, 1): 10,
+		core.MakePair(2, 3): 9,
+		core.MakePair(4, 5): 1,
+		core.MakePair(6, 7): 0.5,
+	}
+	if got := e.AUC(perfect); got != 1.0 {
+		t.Fatalf("perfect AUC = %v", got)
+	}
+	// Inverted ranking.
+	inverted := map[core.Pair]float64{
+		core.MakePair(0, 1): 0.1,
+		core.MakePair(2, 3): 0.2,
+		core.MakePair(4, 5): 5,
+		core.MakePair(6, 7): 6,
+	}
+	if got := e.AUC(inverted); got != 0.0 {
+		t.Fatalf("inverted AUC = %v", got)
+	}
+	// All tied: 0.5.
+	tied := map[core.Pair]float64{
+		core.MakePair(0, 1): 1,
+		core.MakePair(2, 3): 1,
+		core.MakePair(4, 5): 1,
+		core.MakePair(6, 7): 1,
+	}
+	if got := e.AUC(tied); got != 0.5 {
+		t.Fatalf("tied AUC = %v", got)
+	}
+	// Degenerate: no negatives.
+	if got := e.AUC(map[core.Pair]float64{core.MakePair(0, 1): 1}); got != 0.5 {
+		t.Fatalf("degenerate AUC = %v", got)
+	}
+}
+
+func TestAUCExcludesTrainEdgesAndAddsUnscoredPositives(t *testing.T) {
+	g := graph.New(false)
+	g.AddNodes(6)
+	g.AddEdge(0, 1) // existing edge: excluded even if scored
+	e := &Eval{Train: g, Positives: map[core.Pair]bool{
+		core.MakePair(2, 3): true, // unscored positive -> rank at 0
+	}}
+	scores := map[core.Pair]float64{
+		core.MakePair(0, 1): 100, // must be ignored
+		core.MakePair(4, 5): 1,   // negative above the unscored positive
+	}
+	if got := e.AUC(scores); got != 0.0 {
+		t.Fatalf("AUC = %v want 0 (positive ranked below negative)", got)
+	}
+}
+
+func TestAUCBetterOnCoauthorship(t *testing.T) {
+	cfg := gen.DefaultCoauthConfig()
+	cfg.Authors, cfg.PapersPerYear = 400, 70
+	corpus := gen.GenerateCoauthorship(cfg)
+	train, authorNode := corpus.Graph(2001, 2005)
+	positives := map[core.Pair]bool{}
+	for pr := range corpus.NewPairs(2006, 2010) {
+		na, oka := authorNode[pr[0]]
+		nb, okb := authorNode[pr[1]]
+		if oka && okb {
+			positives[core.MakePair(na, nb)] = true
+		}
+	}
+	e := &Eval{Train: train, Positives: positives}
+	m := Measure{Name: "node@2", Structure: "node", R: 2}
+	scores, err := m.Score(train, core.PTOpt, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	auc := e.AUC(scores)
+	if auc <= 0.5 {
+		t.Fatalf("census measure AUC = %.3f, should beat chance", auc)
+	}
+}

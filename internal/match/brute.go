@@ -1,0 +1,76 @@
+package match
+
+import (
+	"egocensus/internal/graph"
+	"egocensus/internal/pattern"
+)
+
+// Brute is a reference matcher used to cross-validate CN and GQL in tests:
+// plain backtracking over all graph nodes with direct structure, label,
+// predicate, and negated-edge checks. Exponential; only for small graphs.
+type Brute struct{}
+
+// Name implements Matcher.
+func (Brute) Name() string { return "BRUTE" }
+
+// Embeddings implements Matcher.
+func (Brute) Embeddings(g *graph.Graph, p *pattern.Pattern) []pattern.Match {
+	if p.NumNodes() == 0 {
+		return nil
+	}
+	np := p.NumNodes()
+	reqs := pairRequirements(p)
+	assignment := make(pattern.Match, np)
+	used := make(map[graph.NodeID]bool, np)
+	var results []pattern.Match
+
+	var recurse func(v int)
+	recurse = func(v int) {
+		if v == np {
+			m := make(pattern.Match, np)
+			copy(m, assignment)
+			if p.EvalAll(g, m) {
+				results = append(results, m)
+			}
+			return
+		}
+		wantLabel := p.Node(v).Label
+	nodes:
+		for i := 0; i < g.NumNodes(); i++ {
+			n := graph.NodeID(i)
+			if used[n] {
+				continue
+			}
+			if wantLabel != "" && g.LabelString(n) != wantLabel {
+				continue
+			}
+			// check positive edges to already-assigned neighbors
+			for j, u := range p.PositiveNeighbors(v) {
+				if u >= v || assignment[u] < 0 {
+					continue
+				}
+				r := reqs[v][j]
+				img := assignment[u]
+				if r.needOut && !directedEdgeExists(g, n, img) {
+					continue nodes
+				}
+				if r.needIn && !directedEdgeExists(g, img, n) {
+					continue nodes
+				}
+				if r.needAny && !directedEdgeExists(g, n, img) && !directedEdgeExists(g, img, n) {
+					continue nodes
+				}
+			}
+			assignment[v] = n
+			used[n] = true
+			recurse(v + 1)
+			delete(used, n)
+			assignment[v] = -1
+		}
+	}
+	for i := range assignment {
+		assignment[i] = -1
+	}
+	recurse(0)
+	return results
+}

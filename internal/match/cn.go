@@ -1,0 +1,240 @@
+package match
+
+import (
+	"egocensus/internal/graph"
+	"egocensus/internal/pattern"
+)
+
+// CN is the paper's candidate-neighbor pattern matching algorithm
+// (Algorithm 1): profile-filtered candidates, per-candidate candidate
+// neighbor sets, simultaneous pruning of both, and match extraction that
+// joins candidate neighbor sets instead of scanning candidate sets.
+type CN struct{}
+
+// Name implements Matcher.
+func (CN) Name() string { return "CN" }
+
+// cnState holds the candidate structures for one matching run.
+type cnState struct {
+	g *graph.Graph
+	p *pattern.Pattern
+
+	cand   [][]graph.NodeID                    // C(v), live list
+	inCand []map[graph.NodeID]bool             // membership view of C(v)
+	reqs   [][]edgeReq                         // direction requirements per (v, j)
+	cn     []map[graph.NodeID][][]graph.NodeID // cn[v][n][j] = CN(n, v, v_j)
+}
+
+// Embeddings implements Matcher.
+func (CN) Embeddings(g *graph.Graph, p *pattern.Pattern) []pattern.Match {
+	if p.NumNodes() == 0 {
+		return nil
+	}
+	st := &cnState{g: g, p: p, reqs: pairRequirements(p)}
+
+	// Step 1: enumerate candidates.
+	st.cand = enumerateCandidates(g, p)
+	st.inCand = make([]map[graph.NodeID]bool, p.NumNodes())
+	for v, list := range st.cand {
+		st.inCand[v] = make(map[graph.NodeID]bool, len(list))
+		for _, n := range list {
+			st.inCand[v][n] = true
+		}
+	}
+
+	// Step 2: initialize candidate neighbor sets.
+	st.initCandidateNeighbors()
+
+	// Step 3: simultaneously prune candidates and candidate neighbors.
+	st.prune()
+
+	// Step 4: extract matches by joining candidate neighbor sets.
+	return st.extract()
+}
+
+func (st *cnState) initCandidateNeighbors() {
+	p, g := st.p, st.g
+	st.cn = make([]map[graph.NodeID][][]graph.NodeID, p.NumNodes())
+	for v := 0; v < p.NumNodes(); v++ {
+		nbrs := p.PositiveNeighbors(v)
+		st.cn[v] = make(map[graph.NodeID][][]graph.NodeID, len(st.cand[v]))
+		for _, n := range st.cand[v] {
+			out, in := neighborSets(g, n)
+			sets := make([][]graph.NodeID, len(nbrs))
+			for j, u := range nbrs {
+				req := st.reqs[v][j]
+				var set []graph.NodeID
+				for _, nb := range distinctNeighbors(g, n) {
+					if nb == n {
+						continue
+					}
+					if !st.inCand[u][nb] {
+						continue
+					}
+					if !req.satisfies(nb, out, in) {
+						continue
+					}
+					set = append(set, nb)
+				}
+				sets[j] = set
+			}
+			st.cn[v][n] = sets
+		}
+	}
+}
+
+// prune alternates the two pruning rules of Section III-C until fixpoint:
+// drop candidates with an empty candidate neighbor set, and drop candidate
+// neighbors that are no longer candidates themselves.
+func (st *cnState) prune() {
+	p := st.p
+	for changed := true; changed; {
+		changed = false
+		// Rule 1: every candidate needs a non-empty CN set per pattern
+		// neighbor.
+		for v := 0; v < p.NumNodes(); v++ {
+			live := st.cand[v][:0]
+			for _, n := range st.cand[v] {
+				ok := true
+				for _, set := range st.cn[v][n] {
+					if len(set) == 0 {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					live = append(live, n)
+				} else {
+					delete(st.inCand[v], n)
+					delete(st.cn[v], n)
+					changed = true
+				}
+			}
+			st.cand[v] = live
+		}
+		// Rule 2: candidate neighbors must still be candidates.
+		for v := 0; v < p.NumNodes(); v++ {
+			nbrs := p.PositiveNeighbors(v)
+			for n, sets := range st.cn[v] {
+				for j := range sets {
+					u := nbrs[j]
+					liveSet := sets[j][:0]
+					for _, nb := range sets[j] {
+						if st.inCand[u][nb] {
+							liveSet = append(liveSet, nb)
+						} else {
+							changed = true
+						}
+					}
+					sets[j] = liveSet
+				}
+				st.cn[v][n] = sets
+			}
+		}
+	}
+}
+
+// extract performs the forward join of Algorithm 1 lines 14-21 as a
+// backtracking search over the connected-prefix order: the possible images
+// of the next pattern node are the intersection of the candidate neighbor
+// sets of the already-assigned neighbors.
+func (st *cnState) extract() []pattern.Match {
+	p := st.p
+	order := p.SearchOrder()
+	n := p.NumNodes()
+
+	// posInOrder[v] = position of pattern node v in the order.
+	posInOrder := make([]int, n)
+	for i, v := range order {
+		posInOrder[v] = i
+	}
+	// earlier[i] = for order[i], the list of (assigned pattern node u,
+	// index j of order[i] in u's PositiveNeighbors list).
+	type backEdge struct{ u, j int }
+	earlier := make([][]backEdge, n)
+	for i := 1; i < n; i++ {
+		v := order[i]
+		for _, u := range p.PositiveNeighbors(v) {
+			if posInOrder[u] < i {
+				// find index of v within u's neighbor list
+				for j, w := range p.PositiveNeighbors(u) {
+					if w == v {
+						earlier[i] = append(earlier[i], backEdge{u, j})
+						break
+					}
+				}
+			}
+		}
+	}
+
+	assignment := make(pattern.Match, n)
+	used := make(map[graph.NodeID]bool, n)
+	var results []pattern.Match
+
+	var recurse func(i int)
+	recurse = func(i int) {
+		if i == n {
+			m := make(pattern.Match, n)
+			copy(m, assignment)
+			if p.EvalAll(st.g, m) {
+				results = append(results, m)
+			}
+			return
+		}
+		v := order[i]
+		if i == 0 {
+			for _, cand := range st.cand[v] {
+				assignment[v] = cand
+				used[cand] = true
+				recurse(1)
+				delete(used, cand)
+			}
+			return
+		}
+		// Intersect the candidate neighbor sets of all earlier neighbors,
+		// seeding from the smallest set.
+		be := earlier[i]
+		smallest := -1
+		size := int(^uint(0) >> 1)
+		for idx, b := range be {
+			set := st.cn[b.u][assignment[b.u]][b.j]
+			if len(set) < size {
+				size = len(set)
+				smallest = idx
+			}
+		}
+		if smallest < 0 {
+			return // disconnected order; Validate prevents this
+		}
+		seed := st.cn[be[smallest].u][assignment[be[smallest].u]][be[smallest].j]
+	cands:
+		for _, cand := range seed {
+			if used[cand] {
+				continue
+			}
+			for idx, b := range be {
+				if idx == smallest {
+					continue
+				}
+				if !contains(st.cn[b.u][assignment[b.u]][b.j], cand) {
+					continue cands
+				}
+			}
+			assignment[v] = cand
+			used[cand] = true
+			recurse(i + 1)
+			delete(used, cand)
+		}
+	}
+	recurse(0)
+	return results
+}
+
+func contains(list []graph.NodeID, n graph.NodeID) bool {
+	for _, x := range list {
+		if x == n {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,428 @@
+package match
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"egocensus/internal/gen"
+	"egocensus/internal/graph"
+	"egocensus/internal/pattern"
+)
+
+func matchSetKeys(p *pattern.Pattern, ms []pattern.Match) []string {
+	keys := make([]string, len(ms))
+	for i, m := range ms {
+		keys[i] = p.Key(m, nil)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sameMatchSets(t *testing.T, p *pattern.Pattern, a, b []pattern.Match, nameA, nameB string) {
+	t.Helper()
+	ka := matchSetKeys(p, a)
+	kb := matchSetKeys(p, b)
+	if len(ka) != len(kb) {
+		t.Fatalf("%s found %d matches, %s found %d", nameA, len(ka), nameB, len(kb))
+	}
+	for i := range ka {
+		if ka[i] != kb[i] {
+			t.Fatalf("match sets differ at %d: %s=%q %s=%q", i, nameA, ka[i], nameB, kb[i])
+		}
+	}
+}
+
+func triangleGraph() *graph.Graph {
+	// Two triangles sharing an edge: (0,1,2) and (1,2,3).
+	g := graph.New(false)
+	g.AddNodes(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 3)
+	g.AddEdge(2, 3)
+	return g
+}
+
+func TestCNTriangleCount(t *testing.T) {
+	g := triangleGraph()
+	p := pattern.Clique("clq3", 3, nil)
+	ms := FindMatches(CN{}, g, p)
+	if len(ms) != 2 {
+		t.Fatalf("triangles = %d want 2", len(ms))
+	}
+}
+
+func TestEmbeddingsIncludeAutomorphisms(t *testing.T) {
+	g := triangleGraph()
+	p := pattern.Clique("clq3", 3, nil)
+	emb := CN{}.Embeddings(g, p)
+	if len(emb) != 12 { // 2 triangles x 3! automorphisms
+		t.Fatalf("embeddings = %d want 12", len(emb))
+	}
+	if got := len(Deduplicate(p, emb, nil)); got != 2 {
+		t.Fatalf("deduplicated = %d want 2", got)
+	}
+}
+
+func TestDeduplicateWithSubpattern(t *testing.T) {
+	g := triangleGraph()
+	p := pattern.Clique("clq3", 3, nil)
+	if err := p.AddSubpattern("hub", []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	sub, _ := p.Subpattern("hub")
+	emb := CN{}.Embeddings(g, p)
+	// Each triangle counts once per distinct hub image: 3 per triangle.
+	if got := len(Deduplicate(p, emb, sub)); got != 6 {
+		t.Fatalf("subpattern-deduplicated = %d want 6", got)
+	}
+}
+
+func TestLabeledMatching(t *testing.T) {
+	g := triangleGraph()
+	g.SetLabel(0, "x")
+	g.SetLabel(1, "x")
+	g.SetLabel(2, "y")
+	g.SetLabel(3, "y")
+	p := pattern.Clique("clq3", 3, []string{"x", "x", "y"})
+	ms := FindMatches(CN{}, g, p)
+	if len(ms) != 1 {
+		t.Fatalf("labeled triangles = %d want 1 (0,1,2)", len(ms))
+	}
+	p2 := pattern.Clique("clq3", 3, []string{"y", "y", "x"})
+	ms2 := FindMatches(CN{}, g, p2)
+	if len(ms2) != 1 {
+		t.Fatalf("labeled triangles = %d want 1 (1,2,3)", len(ms2))
+	}
+	p3 := pattern.Clique("clq3", 3, []string{"x", "x", "x"})
+	if got := FindMatches(CN{}, g, p3); len(got) != 0 {
+		t.Fatalf("expected no all-x triangles, got %d", len(got))
+	}
+}
+
+func TestUnknownLabelMatchesNothing(t *testing.T) {
+	g := triangleGraph()
+	p := pattern.Clique("clq3", 3, []string{"zz", "zz", "zz"})
+	if got := FindMatches(CN{}, g, p); len(got) != 0 {
+		t.Fatalf("unknown label matched %d", len(got))
+	}
+	// Unlabeled pattern node with a neighbor constrained to an unknown label.
+	p2 := pattern.SingleEdge("e", []string{"", "zz"})
+	if got := FindMatches(CN{}, g, p2); len(got) != 0 {
+		t.Fatalf("unknown neighbor label matched %d", len(got))
+	}
+}
+
+func TestDirectedMatching(t *testing.T) {
+	g := graph.New(true)
+	a, b, c := g.AddNode(), g.AddNode(), g.AddNode()
+	g.AddEdge(a, b)
+	g.AddEdge(b, c)
+	g.AddEdge(a, c)
+
+	p := pattern.New("dtriad")
+	pa := p.MustAddNode("A", "")
+	pb := p.MustAddNode("B", "")
+	pc := p.MustAddNode("C", "")
+	p.MustAddEdge(pa, pb, true, false)
+	p.MustAddEdge(pb, pc, true, false)
+	p.MustAddEdge(pa, pc, true, false)
+
+	ms := FindMatches(CN{}, g, p)
+	if len(ms) != 1 {
+		t.Fatalf("directed triads = %d want 1", len(ms))
+	}
+	if ms[0][pa] != a || ms[0][pb] != b || ms[0][pc] != c {
+		t.Fatalf("wrong assignment %v", ms[0])
+	}
+}
+
+func TestCoordinatorTriad(t *testing.T) {
+	g := graph.New(true)
+	nodes := make([]graph.NodeID, 4)
+	for i := range nodes {
+		nodes[i] = g.AddNode()
+		g.SetLabel(nodes[i], "org1")
+	}
+	g.SetLabel(nodes[3], "org2")
+	g.AddEdge(nodes[0], nodes[1]) // A -> B
+	g.AddEdge(nodes[1], nodes[2]) // B -> C: open triad, same org
+	g.AddEdge(nodes[0], nodes[3]) // A -> D (different org)
+	g.AddEdge(nodes[3], nodes[2]) // D -> C
+
+	p := pattern.CoordinatorTriad("triad")
+	ms := FindMatches(CN{}, g, p)
+	// Only 0->1->2 is an open same-label triad; 0->3->2 has mixed labels.
+	if len(ms) != 1 {
+		t.Fatalf("coordinator triads = %d want 1", len(ms))
+	}
+	if ms[0][1] != nodes[1] {
+		t.Fatalf("coordinator should be node 1, got %v", ms[0])
+	}
+	// Closing A -> C violates the negated edge.
+	g.AddEdge(nodes[0], nodes[2])
+	if got := FindMatches(CN{}, g, p); len(got) != 0 {
+		t.Fatalf("closed triad still matched: %d", len(got))
+	}
+}
+
+func TestSignedTrianglePredicates(t *testing.T) {
+	g := triangleGraph()
+	// Triangle (0,1,2): signs -,+,+  => unstable (1 negative)
+	// Triangle (1,2,3): signs +,+,+  => stable
+	g.SetEdgeAttr(g.FindEdge(0, 1), "sign", "-")
+	g.SetEdgeAttr(g.FindEdge(1, 2), "sign", "+")
+	g.SetEdgeAttr(g.FindEdge(0, 2), "sign", "+")
+	g.SetEdgeAttr(g.FindEdge(1, 3), "sign", "+")
+	g.SetEdgeAttr(g.FindEdge(2, 3), "sign", "+")
+
+	one := pattern.UnstableTriangle("u1", 1)
+	if got := FindMatches(CN{}, g, one); len(got) != 1 {
+		t.Fatalf("1-negative triangles = %d want 1", len(got))
+	}
+	three := pattern.UnstableTriangle("u3", 3)
+	if got := FindMatches(CN{}, g, three); len(got) != 0 {
+		t.Fatalf("3-negative triangles = %d want 0", len(got))
+	}
+}
+
+func TestSingleNodePattern(t *testing.T) {
+	g := triangleGraph()
+	g.SetLabel(0, "x")
+	g.SetLabel(1, "x")
+	p := pattern.SingleNode("n", "x")
+	if got := FindMatches(CN{}, g, p); len(got) != 2 {
+		t.Fatalf("single-node matches = %d want 2", len(got))
+	}
+	p2 := pattern.SingleNode("n", "")
+	if got := FindMatches(CN{}, g, p2); len(got) != 4 {
+		t.Fatalf("unlabeled single-node matches = %d want 4", len(got))
+	}
+}
+
+func TestProfilePruningRespectsDegree(t *testing.T) {
+	// star center has degree 3; leaves degree 1. A 4-clique pattern needs
+	// degree >= 3 everywhere, so candidates after profile filter should
+	// exclude leaves and matching must find nothing.
+	g := graph.New(false)
+	c := g.AddNode()
+	for i := 0; i < 3; i++ {
+		l := g.AddNode()
+		g.AddEdge(c, l)
+	}
+	p := pattern.Clique("clq4", 4, nil)
+	if got := FindMatches(CN{}, g, p); len(got) != 0 {
+		t.Fatalf("clique in star = %d want 0", len(got))
+	}
+}
+
+func TestGQLAgreesOnFixedCases(t *testing.T) {
+	g := triangleGraph()
+	for _, p := range []*pattern.Pattern{
+		pattern.Clique("clq3", 3, nil),
+		pattern.Square("sqr", nil),
+		pattern.Chain("ch3", 3, nil),
+		pattern.SingleEdge("e", nil),
+	} {
+		cn := FindMatches(CN{}, g, p)
+		gql := FindMatches(GQL{}, g, p)
+		brute := FindMatches(Brute{}, g, p)
+		sameMatchSets(t, p, cn, gql, "CN", "GQL")
+		sameMatchSets(t, p, cn, brute, "CN", "BRUTE")
+	}
+}
+
+func randomLabeledGraph(seed int64, n, m, labels int) *graph.Graph {
+	g := gen.ErdosRenyi(n, m, seed)
+	if labels > 0 {
+		gen.AssignLabels(g, labels, seed+1)
+	}
+	return g
+}
+
+// The central matching property: CN, GQL and brute force agree on random
+// graphs across a spread of patterns.
+func TestMatchersAgreeProperty(t *testing.T) {
+	patterns := []func() *pattern.Pattern{
+		func() *pattern.Pattern { return pattern.Clique("clq3", 3, nil) },
+		func() *pattern.Pattern { return pattern.Clique("clq3l", 3, []string{"l0", "l1", "l0"}) },
+		func() *pattern.Pattern { return pattern.Square("sqr", nil) },
+		func() *pattern.Pattern { return pattern.Chain("ch4", 4, []string{"l0", "", "l1", ""}) },
+		func() *pattern.Pattern { return pattern.Star("st4", 4, nil) },
+	}
+	f := func(seed int64) bool {
+		g := randomLabeledGraph(seed, 18, 36, 2)
+		for _, mk := range patterns {
+			p := mk()
+			cn := matchSetKeys(p, FindMatches(CN{}, g, p))
+			gql := matchSetKeys(p, FindMatches(GQL{}, g, p))
+			brute := matchSetKeys(p, FindMatches(Brute{}, g, p))
+			if len(cn) != len(brute) || len(gql) != len(brute) {
+				t.Logf("seed %d pattern %s: cn=%d gql=%d brute=%d", seed, p.Name, len(cn), len(gql), len(brute))
+				return false
+			}
+			for i := range cn {
+				if cn[i] != brute[i] || gql[i] != brute[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatchersAgreeDirectedProperty(t *testing.T) {
+	mkGraph := func(seed int64) *graph.Graph {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.New(true)
+		g.AddNodes(14)
+		seen := map[[2]graph.NodeID]bool{}
+		for i := 0; i < 30; i++ {
+			a := graph.NodeID(rng.Intn(14))
+			b := graph.NodeID(rng.Intn(14))
+			if a == b || seen[[2]graph.NodeID{a, b}] {
+				continue
+			}
+			seen[[2]graph.NodeID{a, b}] = true
+			g.AddEdge(a, b)
+		}
+		gen.AssignLabels(g, 2, seed+1)
+		return g
+	}
+	mkPatterns := func() []*pattern.Pattern {
+		triad := pattern.New("dtriad")
+		a := triad.MustAddNode("A", "")
+		b := triad.MustAddNode("B", "")
+		c := triad.MustAddNode("C", "")
+		triad.MustAddEdge(a, b, true, false)
+		triad.MustAddEdge(b, c, true, false)
+		triad.MustAddEdge(a, c, true, true)
+
+		recip := pattern.New("recip")
+		x := recip.MustAddNode("X", "")
+		y := recip.MustAddNode("Y", "")
+		recip.MustAddEdge(x, y, true, false)
+		recip.MustAddEdge(y, x, true, false)
+
+		return []*pattern.Pattern{triad, recip, pattern.CoordinatorTriad("coord")}
+	}
+	f := func(seed int64) bool {
+		g := mkGraph(seed)
+		for _, p := range mkPatterns() {
+			cn := matchSetKeys(p, FindMatches(CN{}, g, p))
+			brute := matchSetKeys(p, FindMatches(Brute{}, g, p))
+			gql := matchSetKeys(p, FindMatches(GQL{}, g, p))
+			if len(cn) != len(brute) || len(gql) != len(brute) {
+				t.Logf("seed %d pattern %s: cn=%d gql=%d brute=%d", seed, p.Name, len(cn), len(gql), len(brute))
+				return false
+			}
+			for i := range cn {
+				if cn[i] != brute[i] || gql[i] != brute[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatchersOnPreferentialAttachment(t *testing.T) {
+	g := gen.PreferentialAttachment(200, 3, 11)
+	gen.AssignLabels(g, 4, 12)
+	p := pattern.Clique("clq3", 3, []string{"l0", "l1", "l2"})
+	cn := FindMatches(CN{}, g, p)
+	gql := FindMatches(GQL{}, g, p)
+	sameMatchSets(t, p, cn, gql, "CN", "GQL")
+	if len(cn) == 0 {
+		t.Log("warning: no labeled triangles in this instance")
+	}
+}
+
+func TestEmptyPattern(t *testing.T) {
+	g := triangleGraph()
+	p := pattern.New("empty")
+	if got := (CN{}).Embeddings(g, p); got != nil {
+		t.Fatal("empty pattern should yield nil")
+	}
+	if got := (GQL{}).Embeddings(g, p); got != nil {
+		t.Fatal("empty pattern should yield nil (GQL)")
+	}
+	if got := (Brute{}).Embeddings(g, p); got != nil {
+		t.Fatal("empty pattern should yield nil (BRUTE)")
+	}
+}
+
+func TestMatcherNames(t *testing.T) {
+	if (CN{}).Name() != "CN" || (GQL{}).Name() != "GQL" || (Brute{}).Name() != "BRUTE" {
+		t.Fatal("matcher names wrong")
+	}
+}
+
+func TestPatternLargerThanGraph(t *testing.T) {
+	g := graph.New(false)
+	a, b := g.AddNode(), g.AddNode()
+	g.AddEdge(a, b)
+	p := pattern.Clique("clq3", 3, nil)
+	if got := FindMatches(CN{}, g, p); len(got) != 0 {
+		t.Fatalf("matches = %d want 0", len(got))
+	}
+}
+
+// Negated edges verified independently of EvalAll: every returned
+// embedding must lack the forbidden adjacency when checked directly
+// against the graph's edge list.
+func TestNegatedEdgeIndependentCheck(t *testing.T) {
+	f := func(seed int64) bool {
+		g := gen.ErdosRenyi(16, 40, seed)
+		p := pattern.New("openpath")
+		a := p.MustAddNode("A", "")
+		b := p.MustAddNode("B", "")
+		c := p.MustAddNode("C", "")
+		p.MustAddEdge(a, b, false, false)
+		p.MustAddEdge(b, c, false, false)
+		p.MustAddEdge(a, c, false, true)
+		for _, m := range FindMatches(CN{}, g, p) {
+			// direct scan of the edge table, bypassing FindEdge/EvalAll
+			for e := 0; e < g.NumEdges(); e++ {
+				ed := g.Edge(graph.EdgeID(e))
+				if (ed.From == m[a] && ed.To == m[c]) || (ed.From == m[c] && ed.To == m[a]) {
+					return false
+				}
+			}
+			if !g.HasEdge(m[a], m[b]) || !g.HasEdge(m[b], m[c]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Dedup invariant: the number of embeddings of an unlabeled n-clique is
+// exactly n! per distinct match.
+func TestCliqueAutomorphismFactor(t *testing.T) {
+	g := gen.ErdosRenyi(14, 45, 77)
+	for _, n := range []int{3, 4} {
+		p := pattern.Clique("clq", n, nil)
+		emb := len(CN{}.Embeddings(g, p))
+		ms := len(FindMatches(CN{}, g, p))
+		fact := 1
+		for i := 2; i <= n; i++ {
+			fact *= i
+		}
+		if emb != ms*fact {
+			t.Fatalf("clq%d: %d embeddings for %d matches (want factor %d)", n, emb, ms, fact)
+		}
+	}
+}

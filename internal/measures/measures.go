@@ -1,0 +1,193 @@
+// Package measures implements the classic ego-centric measures that
+// Section I of the paper shows to be special cases of pattern census
+// queries — degree, (k-)clustering coefficient, Jaccard coefficient, and
+// the brokerage role scores of Fig 1(c) — each expressed and evaluated as
+// the corresponding census. The package both demonstrates the reductions
+// and provides ready-made analysis tools; its tests verify every reduction
+// against a direct computation.
+package measures
+
+import (
+	"fmt"
+
+	"egocensus/internal/core"
+	"egocensus/internal/graph"
+	"egocensus/internal/pattern"
+)
+
+// Degree computes each node's degree as a census: single-node pattern in
+// the 1-hop neighborhood, minus one for the ego itself.
+func Degree(g *graph.Graph, alg core.Algorithm, opt core.Options) ([]int64, error) {
+	spec := core.Spec{Pattern: pattern.SingleNode("single_node", ""), K: 1}
+	res, err := core.Count(g, spec, alg, opt)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int64, g.NumNodes())
+	for n := range out {
+		out[n] = res.Counts[n] - 1
+	}
+	return out, nil
+}
+
+// ClusteringCoefficient computes each node's k-clustering coefficient
+// (Jiang & Claramunt; k=1 is the standard local clustering coefficient) as
+// two censuses: edges among the k-hop neighborhood versus nodes in it.
+//
+// The coefficient is E / (N*(N-1)/2) where N and E are the node and edge
+// counts of S(n, k) excluding the ego and its incident edges.
+func ClusteringCoefficient(g *graph.Graph, k int, alg core.Algorithm, opt core.Options) ([]float64, error) {
+	nodeSpec := core.Spec{Pattern: pattern.SingleNode("single_node", ""), K: k}
+	nodes, err := core.Count(g, nodeSpec, alg, opt)
+	if err != nil {
+		return nil, err
+	}
+	edgeSpec := core.Spec{Pattern: pattern.SingleEdge("single_edge", nil), K: k}
+	edges, err := core.Count(g, edgeSpec, alg, opt)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, g.NumNodes())
+	for n := range out {
+		id := graph.NodeID(n)
+		// Exclude the ego and its incident edges within the neighborhood.
+		alters := nodes.Counts[n] - 1
+		if alters < 2 {
+			continue
+		}
+		within := edges.Counts[n] - egoIncidentWithin(g, id, k)
+		out[n] = float64(within) / (float64(alters) * float64(alters-1) / 2)
+	}
+	return out, nil
+}
+
+// egoIncidentWithin counts edges incident on the ego with the other
+// endpoint inside N_k (for k >= 1 that is simply the ego's distinct
+// neighbor count, since neighbors are within 1 <= k hops).
+func egoIncidentWithin(g *graph.Graph, n graph.NodeID, k int) int64 {
+	if k < 1 {
+		return 0
+	}
+	return int64(len(g.Neighbors(n)))
+}
+
+// Jaccard computes the Jaccard coefficient of a node pair from two
+// pairwise censuses (|N1 ∩ N1| / |N1 ∪ N1| over closed 1-hop
+// neighborhoods), as sketched in Section I.
+func Jaccard(g *graph.Graph, a, b graph.NodeID, alg core.Algorithm, opt core.Options) (float64, error) {
+	pairs := []core.Pair{core.MakePair(a, b)}
+	inter := core.PairSpec{
+		Spec:  core.Spec{Pattern: pattern.SingleNode("single_node", ""), K: 1},
+		Mode:  core.Intersection,
+		Pairs: pairs,
+	}
+	ri, err := core.CountPairs(g, inter, alg, opt)
+	if err != nil {
+		return 0, err
+	}
+	union := inter
+	union.Mode = core.Union
+	ru, err := core.CountPairs(g, union, alg, opt)
+	if err != nil {
+		return 0, err
+	}
+	u := ru.Counts[core.MakePair(a, b)]
+	if u == 0 {
+		return 0, nil
+	}
+	return float64(ri.Counts[core.MakePair(a, b)]) / float64(u), nil
+}
+
+// BrokerageRole names one of the Fig 1(c) broker types for the open triad
+// A -> B -> C with broker B. (The "itinerant broker"/consultant role of
+// Gould–Fernandez requires B outside with A and C in one shared
+// organization.)
+type BrokerageRole string
+
+// The five Gould–Fernandez brokerage roles.
+const (
+	Coordinator    BrokerageRole = "coordinator"    // A, B, C same org
+	Gatekeeper     BrokerageRole = "gatekeeper"     // A outside; B, C same org
+	Representative BrokerageRole = "representative" // A, B same org; C outside
+	Consultant     BrokerageRole = "consultant"     // A, C same org; B outside
+	Liaison        BrokerageRole = "liaison"        // all three different
+)
+
+// BrokerageRoles lists all roles.
+var BrokerageRoles = []BrokerageRole{Coordinator, Gatekeeper, Representative, Consultant, Liaison}
+
+// brokeragePattern builds the open-triad pattern for a role, with the
+// "broker" subpattern on the middle node.
+func brokeragePattern(role BrokerageRole) (*pattern.Pattern, error) {
+	p := pattern.New("triad_" + string(role))
+	a := p.MustAddNode("A", "")
+	b := p.MustAddNode("B", "")
+	c := p.MustAddNode("C", "")
+	p.MustAddEdge(a, b, true, false)
+	p.MustAddEdge(b, c, true, false)
+	p.MustAddEdge(a, c, true, true)
+	eq := func(x, y int) pattern.Predicate {
+		return pattern.Predicate{Op: pattern.OpEq, L: pattern.NodeAttr(x, "LABEL"), R: pattern.NodeAttr(y, "LABEL")}
+	}
+	ne := func(x, y int) pattern.Predicate {
+		return pattern.Predicate{Op: pattern.OpNe, L: pattern.NodeAttr(x, "LABEL"), R: pattern.NodeAttr(y, "LABEL")}
+	}
+	switch role {
+	case Coordinator:
+		p.AddPredicate(eq(a, b))
+		p.AddPredicate(eq(b, c))
+	case Gatekeeper:
+		p.AddPredicate(ne(a, b))
+		p.AddPredicate(eq(b, c))
+	case Representative:
+		p.AddPredicate(eq(a, b))
+		p.AddPredicate(ne(b, c))
+	case Consultant:
+		p.AddPredicate(eq(a, c))
+		p.AddPredicate(ne(a, b))
+		p.AddPredicate(ne(b, c))
+	case Liaison:
+		p.AddPredicate(ne(a, b))
+		p.AddPredicate(ne(b, c))
+		p.AddPredicate(ne(a, c))
+	default:
+		return nil, fmt.Errorf("measures: unknown brokerage role %q", role)
+	}
+	if err := p.AddSubpattern("broker", []int{b}); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// BrokerageScores counts, for every node, the open directed triads
+// A -> B -> C in which the node is the broker B of the given role — a
+// COUNTSP census at k=0 (Table I row 4 generalized to all five roles).
+// The graph must be directed with organizations as node labels.
+func BrokerageScores(g *graph.Graph, role BrokerageRole, alg core.Algorithm, opt core.Options) ([]int64, error) {
+	if !g.Directed() {
+		return nil, fmt.Errorf("measures: brokerage requires a directed graph")
+	}
+	p, err := brokeragePattern(role)
+	if err != nil {
+		return nil, err
+	}
+	spec := core.Spec{Pattern: p, Subpattern: "broker", K: 0}
+	res, err := core.Count(g, spec, alg, opt)
+	if err != nil {
+		return nil, err
+	}
+	return res.Counts, nil
+}
+
+// AllBrokerageScores runs every role census and returns scores[role][n].
+func AllBrokerageScores(g *graph.Graph, alg core.Algorithm, opt core.Options) (map[BrokerageRole][]int64, error) {
+	out := make(map[BrokerageRole][]int64, len(BrokerageRoles))
+	for _, role := range BrokerageRoles {
+		scores, err := BrokerageScores(g, role, alg, opt)
+		if err != nil {
+			return nil, err
+		}
+		out[role] = scores
+	}
+	return out, nil
+}

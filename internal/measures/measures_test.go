@@ -1,0 +1,226 @@
+package measures
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"egocensus/internal/core"
+	"egocensus/internal/gen"
+	"egocensus/internal/graph"
+)
+
+func TestDegreeReduction(t *testing.T) {
+	g := gen.ErdosRenyi(40, 90, 3)
+	for _, alg := range []core.Algorithm{core.NDPvot, core.PTOpt} {
+		deg, err := Degree(g, alg, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for n := 0; n < g.NumNodes(); n++ {
+			if deg[n] != int64(len(g.Neighbors(graph.NodeID(n)))) {
+				t.Fatalf("%s: node %d degree %d want %d", alg, n, deg[n], len(g.Neighbors(graph.NodeID(n))))
+			}
+		}
+	}
+}
+
+func TestClusteringCoefficientReduction(t *testing.T) {
+	g := gen.ErdosRenyi(30, 70, 5)
+	cc, err := ClusteringCoefficient(g, 1, core.NDPvot, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < g.NumNodes(); n++ {
+		id := graph.NodeID(n)
+		nbrs := g.Neighbors(id)
+		k := len(nbrs)
+		var want float64
+		if k >= 2 {
+			set := map[graph.NodeID]bool{}
+			for _, m := range nbrs {
+				set[m] = true
+			}
+			links := 0
+			for e := 0; e < g.NumEdges(); e++ {
+				ed := g.Edge(graph.EdgeID(e))
+				if set[ed.From] && set[ed.To] {
+					links++
+				}
+			}
+			want = float64(links) / (float64(k) * float64(k-1) / 2)
+		}
+		if math.Abs(cc[n]-want) > 1e-12 {
+			t.Fatalf("node %d: cc %v want %v", n, cc[n], want)
+		}
+	}
+}
+
+func TestKClusteringCoefficientDefinition(t *testing.T) {
+	// k-clustering coefficient: edges among the k-hop alters over alter
+	// pairs. Verify the census-based value against a direct computation on
+	// the extracted neighborhood.
+	g := gen.ErdosRenyi(25, 55, 7)
+	k := 2
+	cc, err := ClusteringCoefficient(g, k, core.PTOpt, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < g.NumNodes(); n++ {
+		id := graph.NodeID(n)
+		reach := g.KHopNodes(id, k)
+		alters := len(reach) - 1
+		var want float64
+		if alters >= 2 {
+			within := 0
+			for e := 0; e < g.NumEdges(); e++ {
+				ed := g.Edge(graph.EdgeID(e))
+				if ed.From == id || ed.To == id {
+					continue
+				}
+				_, inA := reach[ed.From]
+				_, inB := reach[ed.To]
+				if inA && inB {
+					within++
+				}
+			}
+			want = float64(within) / (float64(alters) * float64(alters-1) / 2)
+		}
+		if math.Abs(cc[n]-want) > 1e-12 {
+			t.Fatalf("node %d: k-cc %v want %v", n, cc[n], want)
+		}
+	}
+}
+
+func TestJaccardReduction(t *testing.T) {
+	g := gen.ErdosRenyi(20, 45, 9)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 15; trial++ {
+		a := graph.NodeID(rng.Intn(g.NumNodes()))
+		b := graph.NodeID(rng.Intn(g.NumNodes()))
+		if a == b {
+			continue
+		}
+		got, err := Jaccard(g, a, b, core.PTOpt, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Direct closed-neighborhood Jaccard.
+		na := g.KHopNodes(a, 1)
+		nb := g.KHopNodes(b, 1)
+		inter := 0
+		for n := range na {
+			if _, ok := nb[n]; ok {
+				inter++
+			}
+		}
+		union := len(na) + len(nb) - inter
+		want := 0.0
+		if union > 0 {
+			want = float64(inter) / float64(union)
+		}
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("J(%d,%d) = %v want %v", a, b, got, want)
+		}
+	}
+}
+
+func brokerGraph() *graph.Graph {
+	// A -> B -> C open triads across two orgs.
+	g := graph.New(true)
+	for i := 0; i < 6; i++ {
+		g.AddNode()
+	}
+	// org1: 0,1,2 ; org2: 3,4,5
+	for i := 0; i < 3; i++ {
+		g.SetLabel(graph.NodeID(i), "org1")
+		g.SetLabel(graph.NodeID(i+3), "org2")
+	}
+	g.AddEdge(0, 1) // org1 -> org1
+	g.AddEdge(1, 2) // 0->1->2 coordinator (broker 1)
+	g.AddEdge(3, 1) // org2 -> org1
+	// 3->1->2: A outside, B,C inside => gatekeeper (broker 1)
+	g.AddEdge(1, 4) // org1 -> org2
+	// 0->1->4: A,B inside, C outside => representative (broker 1)
+	// 3->1->4: A,C same org2, B org1 => consultant (broker 1)
+	g.AddEdge(5, 3) // org2 -> org2
+	return g
+}
+
+func TestBrokerageScores(t *testing.T) {
+	g := brokerGraph()
+	want := map[BrokerageRole]map[graph.NodeID]int64{
+		Coordinator:    {1: 1},       // 0->1->2
+		Gatekeeper:     {1: 1},       // 3->1->2
+		Representative: {1: 1, 3: 1}, // 0->1->4 and 5->3->1
+		Consultant:     {1: 1},       // 3->1->4
+		Liaison:        {},
+	}
+	all, err := AllBrokerageScores(g, core.NDPvot, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for role, scores := range all {
+		for n := 0; n < g.NumNodes(); n++ {
+			if scores[n] != want[role][graph.NodeID(n)] {
+				t.Fatalf("%s: node %d = %d want %d", role, n, scores[n], want[role][graph.NodeID(n)])
+			}
+		}
+	}
+}
+
+func TestBrokerageClosedTriadExcluded(t *testing.T) {
+	g := brokerGraph()
+	g.AddEdge(0, 2) // closes the coordinator triad 0->1->2
+	scores, err := BrokerageScores(g, Coordinator, core.PTOpt, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scores[1] != 0 {
+		t.Fatalf("closed triad should not count: %d", scores[1])
+	}
+}
+
+func TestBrokerageRolesAgreeAcrossAlgorithms(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := graph.New(true)
+	for i := 0; i < 40; i++ {
+		n := g.AddNode()
+		g.SetLabel(n, []string{"org1", "org2", "org3"}[rng.Intn(3)])
+	}
+	seen := map[[2]graph.NodeID]bool{}
+	for len(seen) < 120 {
+		a := graph.NodeID(rng.Intn(40))
+		b := graph.NodeID(rng.Intn(40))
+		if a == b || seen[[2]graph.NodeID{a, b}] {
+			continue
+		}
+		seen[[2]graph.NodeID{a, b}] = true
+		g.AddEdge(a, b)
+	}
+	for _, role := range BrokerageRoles {
+		var want []int64
+		for _, alg := range []core.Algorithm{core.NDBas, core.NDPvot, core.PTBas, core.PTOpt} {
+			scores, err := BrokerageScores(g, role, alg, core.Options{})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", role, alg, err)
+			}
+			if want == nil {
+				want = scores
+				continue
+			}
+			for n := range want {
+				if scores[n] != want[n] {
+					t.Fatalf("%s/%s: node %d = %d want %d", role, alg, n, scores[n], want[n])
+				}
+			}
+		}
+	}
+}
+
+func TestBrokerageRequiresDirected(t *testing.T) {
+	g := gen.ErdosRenyi(10, 15, 1)
+	if _, err := BrokerageScores(g, Coordinator, core.NDPvot, core.Options{}); err == nil {
+		t.Fatal("undirected graph should be rejected")
+	}
+}

@@ -1,0 +1,133 @@
+package pattern
+
+import "fmt"
+
+// This file provides programmatic constructors for the patterns of the
+// paper's Figure 3 and Table I, reused by tests, benchmarks, and examples.
+// A labels argument of nil builds the unlabeled variant; otherwise one
+// label per node is required.
+
+func varName(i int) string { return string(rune('A'+i%26)) + suffix(i) }
+
+func suffix(i int) string {
+	if i < 26 {
+		return ""
+	}
+	return fmt.Sprintf("%d", i/26)
+}
+
+func labeled(p *Pattern, n int, labels []string) []int {
+	if labels != nil && len(labels) != n {
+		panic(fmt.Sprintf("pattern %s: want %d labels, got %d", p.Name, n, len(labels)))
+	}
+	idx := make([]int, n)
+	for i := 0; i < n; i++ {
+		l := ""
+		if labels != nil {
+			l = labels[i]
+		}
+		idx[i] = p.MustAddNode(varName(i), l)
+	}
+	return idx
+}
+
+// SingleNode builds the single_node pattern of Table I row 1.
+func SingleNode(name, label string) *Pattern {
+	p := New(name)
+	var labels []string
+	if label != "" {
+		labels = []string{label}
+	}
+	labeled(p, 1, labels)
+	return p
+}
+
+// SingleEdge builds the single_edge pattern of Table I row 2.
+func SingleEdge(name string, labels []string) *Pattern {
+	p := New(name)
+	idx := labeled(p, 2, labels)
+	p.MustAddEdge(idx[0], idx[1], false, false)
+	return p
+}
+
+// Clique builds an n-clique; n=3 with labels is the paper's clq3, n=4 clq4,
+// n=3 unlabeled is clq3-unlb.
+func Clique(name string, n int, labels []string) *Pattern {
+	p := New(name)
+	idx := labeled(p, n, labels)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			p.MustAddEdge(idx[i], idx[j], false, false)
+		}
+	}
+	return p
+}
+
+// Square builds the 4-cycle sqr pattern of Figure 3 / Table I row 3.
+func Square(name string, labels []string) *Pattern {
+	p := New(name)
+	idx := labeled(p, 4, labels)
+	p.MustAddEdge(idx[0], idx[1], false, false)
+	p.MustAddEdge(idx[1], idx[2], false, false)
+	p.MustAddEdge(idx[2], idx[3], false, false)
+	p.MustAddEdge(idx[3], idx[0], false, false)
+	return p
+}
+
+// Chain builds a simple path on n nodes.
+func Chain(name string, n int, labels []string) *Pattern {
+	p := New(name)
+	idx := labeled(p, n, labels)
+	for i := 0; i+1 < n; i++ {
+		p.MustAddEdge(idx[i], idx[i+1], false, false)
+	}
+	return p
+}
+
+// Star builds a star with one hub and n-1 leaves.
+func Star(name string, n int, labels []string) *Pattern {
+	p := New(name)
+	idx := labeled(p, n, labels)
+	for i := 1; i < n; i++ {
+		p.MustAddEdge(idx[0], idx[i], false, false)
+	}
+	return p
+}
+
+// CoordinatorTriad builds the brokerage triad of Table I row 4:
+// ?A->?B; ?B->?C; ?A!->?C with all three nodes sharing the same LABEL, and
+// a "coordinator" subpattern containing the middle node ?B.
+func CoordinatorTriad(name string) *Pattern {
+	p := New(name)
+	a := p.MustAddNode("A", "")
+	b := p.MustAddNode("B", "")
+	c := p.MustAddNode("C", "")
+	p.MustAddEdge(a, b, true, false)
+	p.MustAddEdge(b, c, true, false)
+	p.MustAddEdge(a, c, true, true)
+	p.AddPredicate(Predicate{Op: OpEq, L: NodeAttr(a, "LABEL"), R: NodeAttr(b, "LABEL")})
+	p.AddPredicate(Predicate{Op: OpEq, L: NodeAttr(b, "LABEL"), R: NodeAttr(c, "LABEL")})
+	if err := p.AddSubpattern("coordinator", []int{b}); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// UnstableTriangle builds the structural-balance pattern: a triangle with
+// an odd number of negative "sign" edges is unstable. oddNeg picks which of
+// the two unstable configurations to build: 1 or 3 negative edges.
+func UnstableTriangle(name string, numNeg int) *Pattern {
+	if numNeg != 1 && numNeg != 3 {
+		panic("pattern: unstable triangles have 1 or 3 negative edges")
+	}
+	p := Clique(name, 3, nil)
+	pairs := [][2]int{{0, 1}, {1, 2}, {0, 2}}
+	for i, pr := range pairs {
+		sign := "+"
+		if i < numNeg {
+			sign = "-"
+		}
+		p.AddPredicate(Predicate{Op: OpEq, L: EdgeAttr(pr[0], pr[1], "sign"), R: Const(sign)})
+	}
+	return p
+}

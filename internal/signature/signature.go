@@ -1,0 +1,196 @@
+// Package signature implements the paper's graph-indexing application
+// (Section I): per-node census counts of a family of small patterns are
+// treated as node signatures, and candidate sets for subgraph pattern
+// matching are pruned by signature dominance — a query node v can only
+// match a database node n whose signature dominates v's, because any
+// embedding maps every structure in v's k-hop neighborhood injectively
+// into n's.
+//
+// Soundness requires the signature patterns to be monotone: unlabeled or
+// label-constrained structure only, no negated edges, no predicates
+// (embeddings preserve structure and labels, and can only shrink
+// distances). The constructors in this package only build such patterns.
+package signature
+
+import (
+	"fmt"
+
+	"egocensus/internal/core"
+	"egocensus/internal/graph"
+	"egocensus/internal/match"
+	"egocensus/internal/pattern"
+)
+
+// Config selects the signature family.
+type Config struct {
+	// K is the neighborhood radius of the censuses (default 1).
+	K int
+	// Patterns is the signature pattern family; nil uses DefaultPatterns.
+	// Patterns must be monotone (see package comment).
+	Patterns []*pattern.Pattern
+}
+
+// DefaultPatterns is the standard signature family: node, edge, triangle,
+// and 3-path counts.
+func DefaultPatterns() []*pattern.Pattern {
+	return []*pattern.Pattern{
+		pattern.SingleNode("sig_node", ""),
+		pattern.SingleEdge("sig_edge", nil),
+		pattern.Clique("sig_tri", 3, nil),
+		pattern.Chain("sig_path3", 3, nil),
+	}
+}
+
+// Index holds the per-node signatures of a database graph.
+type Index struct {
+	cfg Config
+	// Sig[n][i] is the count of pattern i in S(n, K).
+	Sig [][]int64
+}
+
+// Build computes the signature index with one shared-traversal batch
+// census (CountMany).
+func Build(g *graph.Graph, cfg Config) (*Index, error) {
+	if cfg.K <= 0 {
+		cfg.K = 1
+	}
+	if cfg.Patterns == nil {
+		cfg.Patterns = DefaultPatterns()
+	}
+	if err := validateMonotone(cfg.Patterns); err != nil {
+		return nil, err
+	}
+	specs := make([]core.Spec, len(cfg.Patterns))
+	for i, p := range cfg.Patterns {
+		specs[i] = core.Spec{Pattern: p, K: cfg.K}
+	}
+	results, err := core.CountMany(g, specs, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	idx := &Index{cfg: cfg, Sig: make([][]int64, g.NumNodes())}
+	for n := 0; n < g.NumNodes(); n++ {
+		row := make([]int64, len(results))
+		for i, res := range results {
+			row[i] = res.Counts[n]
+		}
+		idx.Sig[n] = row
+	}
+	return idx, nil
+}
+
+func validateMonotone(pats []*pattern.Pattern) error {
+	for _, p := range pats {
+		if err := p.Validate(); err != nil {
+			return err
+		}
+		for _, e := range p.Edges() {
+			if e.Negated {
+				return fmt.Errorf("signature: pattern %s has a negated edge (not monotone)", p.Name)
+			}
+		}
+		if len(p.Predicates()) > 0 {
+			return fmt.Errorf("signature: pattern %s has predicates (not monotone)", p.Name)
+		}
+	}
+	return nil
+}
+
+// QuerySignatures computes the signatures of every node of a query
+// pattern's *structure graph*: the query's positive edges materialized as
+// an unlabeled graph (labels are handled by the matcher's own label
+// filter; including them here would also be sound but rarely prunes
+// more). Returns one signature row per query node.
+func (idx *Index) QuerySignatures(q *pattern.Pattern) ([][]int64, error) {
+	qg := graph.New(false)
+	qg.AddNodes(q.NumNodes())
+	for _, e := range q.Edges() {
+		if e.Negated {
+			continue
+		}
+		qg.AddEdge(graph.NodeID(e.From), graph.NodeID(e.To))
+	}
+	specs := make([]core.Spec, len(idx.cfg.Patterns))
+	for i, p := range idx.cfg.Patterns {
+		specs[i] = core.Spec{Pattern: p, K: idx.cfg.K}
+	}
+	results, err := core.CountMany(qg, specs, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]int64, q.NumNodes())
+	for v := 0; v < q.NumNodes(); v++ {
+		row := make([]int64, len(results))
+		for i, res := range results {
+			row[i] = res.Counts[v]
+		}
+		out[v] = row
+	}
+	return out, nil
+}
+
+// Dominates reports whether signature a dominates b component-wise.
+func Dominates(a, b []int64) bool {
+	for i := range b {
+		if a[i] < b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Candidates returns the database nodes whose signatures dominate query
+// node v's — a superset of the nodes that can appear as v's image in any
+// match (the pruning set for subgraph search). Label filtering is applied
+// first when the query node is labeled.
+func (idx *Index) Candidates(g *graph.Graph, q *pattern.Pattern, qsig [][]int64, v int) []graph.NodeID {
+	want := q.Node(v).Label
+	var out []graph.NodeID
+	for n := 0; n < g.NumNodes(); n++ {
+		id := graph.NodeID(n)
+		if want != "" && g.LabelString(id) != want {
+			continue
+		}
+		if Dominates(idx.Sig[n], qsig[v]) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Matcher wraps an exact matcher with signature pre-filtering: embeddings
+// are searched only among signature-dominating candidates. It implements
+// match.Matcher.
+type Matcher struct {
+	Index *Index
+	// Inner is the exact matcher (default CN).
+	Inner match.Matcher
+}
+
+// Name implements match.Matcher.
+func (m Matcher) Name() string { return "SIG+" + m.inner().Name() }
+
+func (m Matcher) inner() match.Matcher {
+	if m.Inner == nil {
+		return match.CN{}
+	}
+	return m.Inner
+}
+
+// Embeddings implements match.Matcher: it verifies candidate survival for
+// every query node first (an empty pruned set proves zero matches without
+// running the inner matcher), then delegates. The signature check is a
+// pure pre-filter, so results equal the inner matcher's.
+func (m Matcher) Embeddings(g *graph.Graph, p *pattern.Pattern) []pattern.Match {
+	if m.Index != nil && p.NumNodes() > 0 {
+		qsig, err := m.Index.QuerySignatures(p)
+		if err == nil {
+			for v := 0; v < p.NumNodes(); v++ {
+				if len(m.Index.Candidates(g, p, qsig, v)) == 0 {
+					return nil
+				}
+			}
+		}
+	}
+	return m.inner().Embeddings(g, p)
+}

@@ -1,0 +1,177 @@
+package signature
+
+import (
+	"testing"
+	"testing/quick"
+
+	"egocensus/internal/gen"
+	"egocensus/internal/graph"
+	"egocensus/internal/match"
+	"egocensus/internal/pattern"
+)
+
+func TestBuildDefault(t *testing.T) {
+	g := gen.PreferentialAttachment(100, 3, 1)
+	idx, err := Build(g, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx.Sig) != 100 || len(idx.Sig[0]) != 4 {
+		t.Fatalf("signature shape wrong: %d x %d", len(idx.Sig), len(idx.Sig[0]))
+	}
+	// node census at k=1 = degree + 1.
+	for n := 0; n < g.NumNodes(); n++ {
+		if idx.Sig[n][0] != int64(g.Degree(graph.NodeID(n))+1) {
+			t.Fatalf("node %d signature[0] = %d want deg+1", n, idx.Sig[n][0])
+		}
+	}
+}
+
+func TestMonotoneValidation(t *testing.T) {
+	g := gen.ErdosRenyi(10, 20, 1)
+	bad := pattern.New("neg")
+	a := bad.MustAddNode("A", "")
+	b := bad.MustAddNode("B", "")
+	bad.MustAddEdge(a, b, false, false)
+	c := bad.MustAddNode("C", "")
+	bad.MustAddEdge(b, c, false, false)
+	bad.MustAddEdge(a, c, false, true)
+	if _, err := Build(g, Config{Patterns: []*pattern.Pattern{bad}}); err == nil {
+		t.Fatal("negated signature pattern should be rejected")
+	}
+	pred := pattern.UnstableTriangle("u", 1)
+	if _, err := Build(g, Config{Patterns: []*pattern.Pattern{pred}}); err == nil {
+		t.Fatal("predicated signature pattern should be rejected")
+	}
+}
+
+// The soundness property: signature pruning never removes a true match
+// image. For every embedding found by CN, every query node's image must
+// be in the pruned candidate set.
+func TestPruningSoundProperty(t *testing.T) {
+	queries := []func() *pattern.Pattern{
+		func() *pattern.Pattern { return pattern.Clique("q_tri", 3, nil) },
+		func() *pattern.Pattern { return pattern.Square("q_sqr", nil) },
+		func() *pattern.Pattern { return pattern.Chain("q_ch4", 4, nil) },
+		func() *pattern.Pattern { return pattern.Clique("q_k4", 4, nil) },
+	}
+	f := func(seed int64) bool {
+		g := gen.ErdosRenyi(25, 60, seed)
+		gen.AssignLabels(g, 2, seed+1)
+		idx, err := Build(g, Config{K: 1})
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		for _, mk := range queries {
+			q := mk()
+			qsig, err := idx.QuerySignatures(q)
+			if err != nil {
+				t.Log(err)
+				return false
+			}
+			cands := make([]map[graph.NodeID]bool, q.NumNodes())
+			for v := 0; v < q.NumNodes(); v++ {
+				cands[v] = map[graph.NodeID]bool{}
+				for _, n := range idx.Candidates(g, q, qsig, v) {
+					cands[v][n] = true
+				}
+			}
+			for _, m := range match.FindMatches(match.CN{}, g, q) {
+				for v, img := range m {
+					if !cands[v][img] {
+						t.Logf("seed %d query %s: image %d of node %d pruned away", seed, q.Name, img, v)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPruningIsEffective(t *testing.T) {
+	// A hub-and-spoke graph has many nodes but few that can host a
+	// triangle; the signature must prune the leaves.
+	g := graph.New(false)
+	hub := g.AddNode()
+	for i := 0; i < 30; i++ {
+		l := g.AddNode()
+		g.AddEdge(hub, l)
+	}
+	// one triangle
+	a, b := g.AddNode(), g.AddNode()
+	g.AddEdge(hub, a)
+	g.AddEdge(hub, b)
+	g.AddEdge(a, b)
+
+	idx, err := Build(g, Config{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := pattern.Clique("tri", 3, nil)
+	qsig, err := idx.QuerySignatures(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := idx.Candidates(g, q, qsig, 0)
+	if len(c) != 3 {
+		t.Fatalf("candidates = %d want 3 (hub + 2 triangle nodes), got %v", len(c), c)
+	}
+}
+
+func TestSignatureMatcherEquivalence(t *testing.T) {
+	g := gen.ErdosRenyi(30, 75, 9)
+	gen.AssignLabels(g, 2, 10)
+	idx, err := Build(g, Config{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := Matcher{Index: idx}
+	if sig.Name() != "SIG+CN" {
+		t.Fatalf("name = %s", sig.Name())
+	}
+	for _, q := range []*pattern.Pattern{
+		pattern.Clique("tri", 3, nil),
+		pattern.Clique("tril", 3, []string{"l0", "l0", "l1"}),
+		pattern.Square("sqr", nil),
+	} {
+		want := match.FindMatches(match.CN{}, g, q)
+		got := match.FindMatches(sig, g, q)
+		if len(want) != len(got) {
+			t.Fatalf("%s: %d vs %d matches", q.Name, len(got), len(want))
+		}
+	}
+}
+
+func TestSignatureMatcherShortCircuits(t *testing.T) {
+	// A tree has no triangles; the signature proves it without search.
+	g := graph.New(false)
+	g.AddNodes(15)
+	for i := 1; i < 15; i++ {
+		g.AddEdge(graph.NodeID(i), graph.NodeID((i-1)/2))
+	}
+	idx, err := Build(g, Config{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := Matcher{Index: idx}
+	if got := sig.Embeddings(g, pattern.Clique("tri", 3, nil)); got != nil {
+		t.Fatalf("tree should have no triangles, got %d", len(got))
+	}
+}
+
+func TestDominates(t *testing.T) {
+	if !Dominates([]int64{3, 2, 1}, []int64{3, 1, 0}) {
+		t.Fatal("should dominate")
+	}
+	if Dominates([]int64{3, 2, 1}, []int64{3, 3, 0}) {
+		t.Fatal("should not dominate")
+	}
+	if !Dominates([]int64{1, 2, 3}, nil) {
+		t.Fatal("empty signature is always dominated")
+	}
+}

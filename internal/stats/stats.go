@@ -1,0 +1,285 @@
+// Package stats computes the global (socio-centric) network statistics the
+// paper contrasts ego-centric analysis against (Section I / VI): degree
+// distributions, clustering coefficients, connected components, core
+// numbers, and sampled diameter estimates. The examples and experiment
+// harness use it to characterize generated workloads, and the clustering
+// coefficient doubles as an independent check of the census reductions.
+package stats
+
+import (
+	"math"
+	"sort"
+
+	"egocensus/internal/graph"
+)
+
+// DegreeHistogram returns counts[d] = number of nodes with degree d.
+func DegreeHistogram(g *graph.Graph) []int {
+	maxDeg := 0
+	degs := make([]int, g.NumNodes())
+	for n := 0; n < g.NumNodes(); n++ {
+		d := g.Degree(graph.NodeID(n))
+		degs[n] = d
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	hist := make([]int, maxDeg+1)
+	for _, d := range degs {
+		hist[d]++
+	}
+	return hist
+}
+
+// DegreeStats summarizes the degree distribution.
+type DegreeStats struct {
+	Min, Max int
+	Mean     float64
+	Median   float64
+}
+
+// Degrees computes summary statistics of the degree distribution.
+func Degrees(g *graph.Graph) DegreeStats {
+	n := g.NumNodes()
+	if n == 0 {
+		return DegreeStats{}
+	}
+	degs := make([]int, n)
+	total := 0
+	for i := 0; i < n; i++ {
+		degs[i] = g.Degree(graph.NodeID(i))
+		total += degs[i]
+	}
+	sort.Ints(degs)
+	st := DegreeStats{
+		Min:  degs[0],
+		Max:  degs[n-1],
+		Mean: float64(total) / float64(n),
+	}
+	if n%2 == 1 {
+		st.Median = float64(degs[n/2])
+	} else {
+		st.Median = float64(degs[n/2-1]+degs[n/2]) / 2
+	}
+	return st
+}
+
+// LocalClustering returns each node's local clustering coefficient: the
+// fraction of its neighbor pairs that are connected. Nodes with degree < 2
+// have coefficient 0. Direction is ignored.
+func LocalClustering(g *graph.Graph) []float64 {
+	out := make([]float64, g.NumNodes())
+	for n := 0; n < g.NumNodes(); n++ {
+		id := graph.NodeID(n)
+		nbrs := g.Neighbors(id)
+		k := len(nbrs)
+		if k < 2 {
+			continue
+		}
+		links := 0
+		set := make(map[graph.NodeID]bool, k)
+		for _, m := range nbrs {
+			set[m] = true
+		}
+		for _, m := range nbrs {
+			for _, h := range g.Out(m) {
+				if h.To != id && set[h.To] {
+					links++
+				}
+			}
+			if g.Directed() {
+				for _, h := range g.In(m) {
+					if h.To != id && set[h.To] {
+						links++
+					}
+				}
+			}
+		}
+		// Each neighbor-neighbor edge was seen from both endpoints (or
+		// twice via out+in for reciprocal pairs in directed graphs).
+		out[n] = float64(links) / 2 / (float64(k) * float64(k-1) / 2)
+	}
+	return out
+}
+
+// GlobalClustering returns the mean local clustering coefficient (the
+// Watts–Strogatz average).
+func GlobalClustering(g *graph.Graph) float64 {
+	if g.NumNodes() == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, c := range LocalClustering(g) {
+		sum += c
+	}
+	return sum / float64(g.NumNodes())
+}
+
+// Components labels connected components (direction ignored): comp[n] is
+// the component index of node n, and sizes[i] the size of component i,
+// largest first. Component indices are ordered by decreasing size.
+func Components(g *graph.Graph) (comp []int, sizes []int) {
+	n := g.NumNodes()
+	comp = make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var rawSizes []int
+	for i := 0; i < n; i++ {
+		if comp[i] >= 0 {
+			continue
+		}
+		idx := len(rawSizes)
+		size := 0
+		g.BFS(graph.NodeID(i), -1, func(m graph.NodeID, _ int) bool {
+			comp[m] = idx
+			size++
+			return true
+		})
+		rawSizes = append(rawSizes, size)
+	}
+	// Relabel components by decreasing size.
+	order := make([]int, len(rawSizes))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return rawSizes[order[a]] > rawSizes[order[b]] })
+	rank := make([]int, len(rawSizes))
+	for r, old := range order {
+		rank[old] = r
+	}
+	for i := range comp {
+		comp[i] = rank[comp[i]]
+	}
+	sizes = make([]int, len(rawSizes))
+	for old, r := range rank {
+		sizes[r] = rawSizes[old]
+	}
+	return comp, sizes
+}
+
+// EstimateDiameter lower-bounds the diameter by running BFS from samples
+// nodes (deterministically spread over the node range) and taking the
+// largest finite eccentricity seen.
+func EstimateDiameter(g *graph.Graph, samples int) int {
+	n := g.NumNodes()
+	if n == 0 || samples <= 0 {
+		return 0
+	}
+	if samples > n {
+		samples = n
+	}
+	best := 0
+	for s := 0; s < samples; s++ {
+		src := graph.NodeID(s * n / samples)
+		ecc := 0
+		g.BFS(src, -1, func(_ graph.NodeID, d int) bool {
+			if d > ecc {
+				ecc = d
+			}
+			return true
+		})
+		if ecc > best {
+			best = ecc
+		}
+	}
+	return best
+}
+
+// CoreNumbers computes the k-core decomposition (direction ignored):
+// core[n] is the largest k such that n belongs to a subgraph of minimum
+// degree k. Linear-time bucket algorithm (Batagelj–Zaveršnik).
+func CoreNumbers(g *graph.Graph) []int {
+	n := g.NumNodes()
+	deg := make([]int, n)
+	maxDeg := 0
+	for i := 0; i < n; i++ {
+		deg[i] = len(distinctUndirected(g, graph.NodeID(i)))
+		if deg[i] > maxDeg {
+			maxDeg = deg[i]
+		}
+	}
+	// Bucket sort nodes by degree.
+	binStart := make([]int, maxDeg+2)
+	for _, d := range deg {
+		binStart[d+1]++
+	}
+	for i := 1; i < len(binStart); i++ {
+		binStart[i] += binStart[i-1]
+	}
+	pos := make([]int, n)
+	vert := make([]int, n)
+	fill := append([]int(nil), binStart...)
+	for v := 0; v < n; v++ {
+		pos[v] = fill[deg[v]]
+		vert[pos[v]] = v
+		fill[deg[v]]++
+	}
+	core := append([]int(nil), deg...)
+	cur := append([]int(nil), deg...)
+	for i := 0; i < n; i++ {
+		v := vert[i]
+		core[v] = cur[v]
+		for _, u := range distinctUndirected(g, graph.NodeID(v)) {
+			ui := int(u)
+			if cur[ui] > cur[v] {
+				// Move u one bucket down: swap with the first node of its
+				// current bucket.
+				du := cur[ui]
+				pu := pos[ui]
+				pw := binStart[du]
+				w := vert[pw]
+				if ui != w {
+					vert[pu], vert[pw] = w, ui
+					pos[ui], pos[w] = pw, pu
+				}
+				binStart[du]++
+				cur[ui]--
+			}
+		}
+	}
+	return core
+}
+
+func distinctUndirected(g *graph.Graph, n graph.NodeID) []graph.NodeID {
+	seen := make(map[graph.NodeID]bool)
+	var out []graph.NodeID
+	add := func(m graph.NodeID) {
+		if m != n && !seen[m] {
+			seen[m] = true
+			out = append(out, m)
+		}
+	}
+	for _, h := range g.Out(n) {
+		add(h.To)
+	}
+	if g.Directed() {
+		for _, h := range g.In(n) {
+			add(h.To)
+		}
+	}
+	return out
+}
+
+// PowerLawExponent fits alpha of P(d) ~ d^-alpha over degrees >= dmin with
+// the discrete maximum-likelihood estimator; returns 0 when fewer than two
+// qualifying nodes exist. Preferential-attachment graphs should fit
+// alpha ~= 3.
+func PowerLawExponent(g *graph.Graph, dmin int) float64 {
+	if dmin < 1 {
+		dmin = 1
+	}
+	count := 0
+	sum := 0.0
+	for n := 0; n < g.NumNodes(); n++ {
+		d := g.Degree(graph.NodeID(n))
+		if d >= dmin {
+			count++
+			sum += math.Log(float64(d) / (float64(dmin) - 0.5))
+		}
+	}
+	if count < 2 || sum == 0 {
+		return 0
+	}
+	return 1 + float64(count)/sum
+}

@@ -1,0 +1,196 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"egocensus/internal/gen"
+	"egocensus/internal/graph"
+)
+
+func triangleWithTail() *graph.Graph {
+	// Triangle 0-1-2 plus tail 2-3.
+	g := graph.New(false)
+	g.AddNodes(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 2)
+	g.AddEdge(2, 3)
+	return g
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	g := triangleWithTail()
+	hist := DegreeHistogram(g)
+	// degrees: 2,2,3,1
+	want := []int{0, 1, 2, 1}
+	if len(hist) != len(want) {
+		t.Fatalf("hist = %v", hist)
+	}
+	for i := range want {
+		if hist[i] != want[i] {
+			t.Fatalf("hist[%d] = %d want %d", i, hist[i], want[i])
+		}
+	}
+}
+
+func TestDegreeStats(t *testing.T) {
+	g := triangleWithTail()
+	st := Degrees(g)
+	if st.Min != 1 || st.Max != 3 || st.Mean != 2 || st.Median != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if got := Degrees(graph.New(false)); got != (DegreeStats{}) {
+		t.Fatal("empty graph stats should be zero")
+	}
+}
+
+func TestLocalClustering(t *testing.T) {
+	g := triangleWithTail()
+	c := LocalClustering(g)
+	// Node 0: neighbors {1,2}, connected: 1.0. Node 2: neighbors {0,1,3},
+	// one of three pairs connected: 1/3. Node 3: degree 1: 0.
+	if c[0] != 1 || c[1] != 1 {
+		t.Fatalf("c0,c1 = %v,%v", c[0], c[1])
+	}
+	if math.Abs(c[2]-1.0/3) > 1e-12 {
+		t.Fatalf("c2 = %v", c[2])
+	}
+	if c[3] != 0 {
+		t.Fatalf("c3 = %v", c[3])
+	}
+	wantGlobal := (1 + 1 + 1.0/3 + 0) / 4
+	if math.Abs(GlobalClustering(g)-wantGlobal) > 1e-12 {
+		t.Fatalf("global = %v", GlobalClustering(g))
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := triangleWithTail()
+	g.AddNodes(2)
+	g.AddEdge(4, 5)
+	comp, sizes := Components(g)
+	if len(sizes) != 2 || sizes[0] != 4 || sizes[1] != 2 {
+		t.Fatalf("sizes = %v", sizes)
+	}
+	if comp[0] != 0 || comp[3] != 0 || comp[4] != 1 || comp[5] != 1 {
+		t.Fatalf("comp = %v", comp)
+	}
+}
+
+func TestComponentsOrderedBySize(t *testing.T) {
+	g := graph.New(false)
+	g.AddNodes(5)
+	g.AddEdge(0, 1) // size-2 component first in discovery order
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 4) // size-3 component second
+	_, sizes := Components(g)
+	if sizes[0] != 3 || sizes[1] != 2 {
+		t.Fatalf("sizes = %v (must be decreasing)", sizes)
+	}
+}
+
+func TestEstimateDiameter(t *testing.T) {
+	g := graph.New(false)
+	g.AddNodes(6)
+	for i := 0; i < 5; i++ {
+		g.AddEdge(graph.NodeID(i), graph.NodeID(i+1))
+	}
+	if d := EstimateDiameter(g, 6); d != 5 {
+		t.Fatalf("path diameter = %d want 5", d)
+	}
+	if d := EstimateDiameter(g, 1); d < 1 || d > 5 {
+		t.Fatalf("sampled diameter = %d", d)
+	}
+	if EstimateDiameter(graph.New(false), 3) != 0 {
+		t.Fatal("empty graph diameter should be 0")
+	}
+}
+
+func TestCoreNumbers(t *testing.T) {
+	g := triangleWithTail()
+	core := CoreNumbers(g)
+	want := []int{2, 2, 2, 1}
+	for i := range want {
+		if core[i] != want[i] {
+			t.Fatalf("core = %v want %v", core, want)
+		}
+	}
+}
+
+func TestCoreNumbersClique(t *testing.T) {
+	g := graph.New(false)
+	g.AddNodes(5)
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			g.AddEdge(graph.NodeID(i), graph.NodeID(j))
+		}
+	}
+	l := g.AddNode()
+	g.AddEdge(0, l)
+	core := CoreNumbers(g)
+	for i := 0; i < 5; i++ {
+		if core[i] != 4 {
+			t.Fatalf("clique core = %v", core)
+		}
+	}
+	if core[l] != 1 {
+		t.Fatalf("leaf core = %d", core[l])
+	}
+}
+
+// Property: core numbers are valid — every node has at least core[n]
+// neighbors with core >= core[n].
+func TestCoreNumbersProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := gen.ErdosRenyi(40, 90, seed)
+		core := CoreNumbers(g)
+		for n := 0; n < g.NumNodes(); n++ {
+			cnt := 0
+			for _, h := range g.Out(graph.NodeID(n)) {
+				if core[h.To] >= core[n] {
+					cnt++
+				}
+			}
+			if cnt < core[n] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowerLawExponentOnBA(t *testing.T) {
+	g := gen.PreferentialAttachment(20000, 5, 7)
+	alpha := PowerLawExponent(g, 10)
+	if alpha < 2.2 || alpha > 3.8 {
+		t.Fatalf("BA exponent = %.2f, expected near 3", alpha)
+	}
+	if PowerLawExponent(graph.New(false), 1) != 0 {
+		t.Fatal("empty graph should give 0")
+	}
+}
+
+func TestDirectedStats(t *testing.T) {
+	g := graph.New(true)
+	a, b, c := g.AddNode(), g.AddNode(), g.AddNode()
+	g.AddEdge(a, b)
+	g.AddEdge(b, c)
+	g.AddEdge(c, a)
+	cl := LocalClustering(g)
+	for i, v := range cl {
+		if v != 1 {
+			t.Fatalf("directed triangle clustering[%d] = %v", i, v)
+		}
+	}
+	core := CoreNumbers(g)
+	for _, v := range core {
+		if v != 2 {
+			t.Fatalf("directed triangle core = %v", core)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package storage
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"egocensus/internal/gen"
+	"egocensus/internal/graph"
+)
+
+func TestTextRoundTrip(t *testing.T) {
+	g := sampleGraph()
+	path := filepath.Join(t.TempDir(), "g.txt")
+	if err := SaveText(path, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadText(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGraphsEqual(t, g, g2)
+}
+
+func TestTextRoundTripDirected(t *testing.T) {
+	g := graph.New(true)
+	a, b := g.AddNode(), g.AddNode()
+	g.SetLabel(a, "x")
+	e := g.AddEdge(a, b)
+	g.SetEdgeAttr(e, "w", "2")
+	path := filepath.Join(t.TempDir(), "g.txt")
+	if err := SaveText(path, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadText(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGraphsEqual(t, g, g2)
+}
+
+func TestTextBareEdgeList(t *testing.T) {
+	src := `
+# a SNAP-style edge list
+0 1
+1 2
+2 0
+`
+	g, err := ReadText(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 3 || g.Directed() {
+		t.Fatalf("got %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+}
+
+func TestTextSparseIDsDensified(t *testing.T) {
+	src := "100 5\n5 7\n"
+	g, err := ReadText(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 {
+		t.Fatalf("nodes = %d want 3 (densified)", g.NumNodes())
+	}
+	// first-appearance order: 100 -> 0, 5 -> 1, 7 -> 2
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 2) {
+		t.Fatal("edges not mapped")
+	}
+}
+
+func TestTextAttributes(t *testing.T) {
+	src := `graph directed
+node 0 label=author name=alice
+node 1 label=author
+edge 0 1 since=2003
+`
+	g, err := ReadText(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Directed() {
+		t.Fatal("directed header ignored")
+	}
+	if g.LabelString(0) != "author" {
+		t.Fatal("label attr not applied")
+	}
+	if v, _ := g.NodeAttr(0, "name"); v != "alice" {
+		t.Fatal("node attr missing")
+	}
+	if v, _ := g.EdgeAttr(0, "since"); v != "2003" {
+		t.Fatal("edge attr missing")
+	}
+}
+
+func TestTextErrors(t *testing.T) {
+	cases := []string{
+		"graph sideways\n",
+		"node\n",
+		"edge 0\n",
+		"node 0 broken\n",
+		"edge 0 1 =x\n",
+		"0 1\ngraph directed\n", // header after records
+		"zz 1\n",
+		"justoneword\n",
+	}
+	for _, src := range cases {
+		if _, err := ReadText(strings.NewReader(src)); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestTextEmptyInput(t *testing.T) {
+	g, err := ReadText(strings.NewReader("# nothing\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 0 {
+		t.Fatal("empty input should give empty graph")
+	}
+}
+
+func TestTextLargeGraph(t *testing.T) {
+	g := gen.PreferentialAttachment(500, 4, 2)
+	gen.AssignLabels(g, 3, 3)
+	path := filepath.Join(t.TempDir(), "g.txt")
+	if err := SaveText(path, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadText(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGraphsEqual(t, g, g2)
+}
+
+// FuzzReadText asserts the text reader never panics and that accepted
+// graphs round-trip through WriteText.
+func FuzzReadText(f *testing.F) {
+	seeds := []string{
+		"graph directed\nnode 0 label=x\nedge 0 1 w=2\n",
+		"0 1\n1 2\n2 0\n",
+		"# comment only\n",
+		"node 5\n",
+		"edge 1\n",
+		"graph sideways\n",
+		"\x00\x01\x02",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		g, err := ReadText(strings.NewReader(src))
+		if err != nil || g == nil {
+			return
+		}
+		var buf strings.Builder
+		if err := WriteText(&buf, g); err != nil {
+			t.Fatalf("accepted graph failed to render: %v", err)
+		}
+		g2, err := ReadText(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("rendered graph does not re-parse: %v", err)
+		}
+		if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip changed shape: %d/%d vs %d/%d",
+				g.NumNodes(), g.NumEdges(), g2.NumNodes(), g2.NumEdges())
+		}
+	})
+}
