@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench vet fmt experiments-unit experiments-small clean
+.PHONY: all build test race bench bench-report vet fmt experiments-unit experiments-small clean
 
 all: build test
 
@@ -17,6 +17,11 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
+
+# Headline workloads as machine-readable JSON (checked in as BENCH_<n>.json),
+# including the speedup against the recorded pre-CSR seed baseline.
+bench-report:
+	$(GO) run ./cmd/benchreport -o BENCH_1.json
 
 vet:
 	$(GO) vet ./...

@@ -1,0 +1,212 @@
+// Command benchreport runs the repository's headline benchmark workloads
+// (the Fig 4(a) matching workload, the Fig 4(c) census workload, the raw
+// MatchCN series, and a full-graph ND-BAS census at several worker
+// counts) and writes the results as machine-readable JSON for regression
+// tracking (`make bench-report`, checked in as BENCH_<n>.json).
+//
+// Usage:
+//
+//	benchreport [-o BENCH_1.json] [-ndbas-nodes 1200] [-quick]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"egocensus/internal/centers"
+	"egocensus/internal/core"
+	"egocensus/internal/gen"
+	"egocensus/internal/graph"
+	"egocensus/internal/match"
+	"egocensus/internal/pattern"
+)
+
+// Entry is one benchmark measurement.
+type Entry struct {
+	Name     string  `json:"name"`
+	Workers  int     `json:"workers,omitempty"`
+	N        int     `json:"iterations"`
+	NsPerOp  int64   `json:"ns_per_op"`
+	AllocsOp int64   `json:"allocs_per_op"`
+	BytesOp  int64   `json:"bytes_per_op"`
+	Seconds  float64 `json:"seconds_per_op"`
+}
+
+// Report is the checked-in benchmark artifact.
+type Report struct {
+	Date    string  `json:"date"`
+	GoOS    string  `json:"goos"`
+	GoArch  string  `json:"goarch"`
+	NumCPU  int     `json:"num_cpu"`
+	Entries []Entry `json:"entries"`
+	// NDBasSpeedup is ns/op(workers=1 reference entry) divided by
+	// ns/op(workers=8): the acceptance metric of the parallel census
+	// drivers. On single-CPU machines the gain comes from the CSR kernel
+	// rather than concurrency.
+	NDBasSpeedup float64 `json:"ndbas_speedup_8w,omitempty"`
+	// Seed holds the pre-rewrite baseline (map-based adjacency, per-call
+	// BFS maps, ego-subgraph extraction, sequential drivers) recorded on
+	// this machine before the CSR kernel landed, and the derived ratios.
+	Seed *SeedComparison `json:"seed_comparison,omitempty"`
+}
+
+// SeedComparison compares the current kernel against the recorded
+// pre-CSR baseline on the same workloads and machine.
+type SeedComparison struct {
+	NDBasSeqNsPerOp    int64   `json:"ndbas_seed_seq_ns_per_op"`
+	NDBasSeqAllocsOp   int64   `json:"ndbas_seed_seq_allocs_per_op"`
+	MatchCNNsPerOp     int64   `json:"match_cn_seed_ns_per_op"`
+	MatchCNAllocsOp    int64   `json:"match_cn_seed_allocs_per_op"`
+	NDBasSpeedupVsSeed float64 `json:"ndbas_8w_speedup_vs_seed"`
+	MatchCNAllocsRatio float64 `json:"match_cn_allocs_vs_seed"`
+}
+
+// Pre-rewrite numbers for the workloads below, recorded with this same
+// command at the growth seed (n=1200 labeled clq3 k=2 ND-BAS census;
+// MatchCN on the labeled 4000-node Fig 4(a) graph; linux/amd64, 1 CPU).
+const (
+	seedNDBasSeqNsPerOp  = 382091831
+	seedNDBasSeqAllocsOp = 1688835
+	seedMatchCNNsPerOp   = 5941920
+	seedMatchCNAllocsOp  = 22968
+	seedNDBasNodes       = 1200
+)
+
+func measure(name string, workers int, fn func(b *testing.B)) Entry {
+	r := testing.Benchmark(fn)
+	e := Entry{
+		Name:     name,
+		Workers:  workers,
+		N:        r.N,
+		NsPerOp:  r.NsPerOp(),
+		AllocsOp: r.AllocsPerOp(),
+		BytesOp:  r.AllocedBytesPerOp(),
+		Seconds:  float64(r.NsPerOp()) / 1e9,
+	}
+	fmt.Fprintf(os.Stderr, "%-32s workers=%-2d %12d ns/op %12d allocs/op (%d iters)\n",
+		e.Name, e.Workers, e.NsPerOp, e.AllocsOp, e.N)
+	return e
+}
+
+func labeledGraph(n int) *graph.Graph {
+	g := gen.PreferentialAttachment(n, 5, 1)
+	gen.AssignLabels(g, 4, 2)
+	g.BuildProfiles()
+	return g
+}
+
+func unlabeledGraph(n int) *graph.Graph {
+	g := gen.PreferentialAttachment(n, 5, 1)
+	g.BuildProfiles()
+	return g
+}
+
+func main() {
+	var (
+		out        = flag.String("o", "BENCH_1.json", "output JSON path")
+		ndbasNodes = flag.Int("ndbas-nodes", 1200, "graph size for the ND-BAS census workload")
+		quick      = flag.Bool("quick", false, "skip the slower Fig4c per-algorithm sweep")
+	)
+	flag.Parse()
+
+	rep := &Report{
+		Date:   time.Now().UTC().Format(time.RFC3339),
+		GoOS:   runtime.GOOS,
+		GoArch: runtime.GOARCH,
+		NumCPU: runtime.NumCPU(),
+	}
+
+	clq3 := pattern.Clique("clq3", 3, []string{"l0", "l1", "l2"})
+
+	// Fig 4(a): CN matching on the labeled 4000-node graph.
+	g4a := labeledGraph(4000)
+	rep.Entries = append(rep.Entries, measure("fig4a/clq3/CN", 0, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			match.FindMatches(match.CN{}, g4a, clq3)
+		}
+	}))
+
+	// MatchCN raw series point (allocations are the acceptance metric).
+	mcn := measure("match-cn/n=4000", 0, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			match.FindMatches(match.CN{}, g4a, clq3)
+		}
+	})
+	rep.Entries = append(rep.Entries, mcn)
+
+	// Full-graph ND-BAS census on the Fig 4(a) workload class (labeled
+	// clq3, k=2) at 1 and 8 workers — the headline speedup metric.
+	gnd := labeledGraph(*ndbasNodes)
+	spec := core.Spec{Pattern: clq3, K: 2}
+	var seq, par Entry
+	for _, w := range []int{1, 8} {
+		w := w
+		e := measure(fmt.Sprintf("ndbas-census/n=%d", *ndbasNodes), w, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Count(gnd, spec, core.NDBas, core.Options{Seed: 1, Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		rep.Entries = append(rep.Entries, e)
+		if w == 1 {
+			seq = e
+		} else {
+			par = e
+		}
+	}
+	if par.NsPerOp > 0 {
+		rep.NDBasSpeedup = float64(seq.NsPerOp) / float64(par.NsPerOp)
+	}
+	if *ndbasNodes == seedNDBasNodes && par.NsPerOp > 0 {
+		rep.Seed = &SeedComparison{
+			NDBasSeqNsPerOp:    seedNDBasSeqNsPerOp,
+			NDBasSeqAllocsOp:   seedNDBasSeqAllocsOp,
+			MatchCNNsPerOp:     seedMatchCNNsPerOp,
+			MatchCNAllocsOp:    seedMatchCNAllocsOp,
+			NDBasSpeedupVsSeed: float64(seedNDBasSeqNsPerOp) / float64(par.NsPerOp),
+			MatchCNAllocsRatio: float64(mcn.AllocsOp) / float64(seedMatchCNAllocsOp),
+		}
+		fmt.Fprintf(os.Stderr, "ndbas 8w vs seed sequential: %.2fx; match-cn allocs vs seed: %.3fx\n",
+			rep.Seed.NDBasSpeedupVsSeed, rep.Seed.MatchCNAllocsRatio)
+	}
+
+	// Fig 4(c): unlabeled triangle census, every algorithm.
+	if !*quick {
+		g4c := unlabeledGraph(1000)
+		cidx := centers.Build(g4c, 12, centers.ByDegree, 1)
+		spec4c := core.Spec{Pattern: pattern.Clique("clq3-unlb", 3, nil), K: 2}
+		for _, alg := range core.Algorithms {
+			alg := alg
+			rep.Entries = append(rep.Entries, measure("fig4c/"+string(alg), 0, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					opt := core.Options{Seed: 1, PMDCenters: cidx, ClusterCenters: cidx}
+					if _, err := core.Count(g4c, spec4c, alg, opt); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}))
+		}
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (ndbas 8-worker speedup: %.2fx)\n", *out, rep.NDBasSpeedup)
+}

@@ -29,6 +29,7 @@ func main() {
 		queryPath = flag.String("query", "", "script file with PATTERN/SELECT statements")
 		inline    = flag.String("e", "", "inline script text (alternative to -query)")
 		alg       = flag.String("alg", "", "force algorithm: ND-BAS, ND-DIFF, ND-PVOT, PT-BAS, PT-RND, PT-OPT")
+		workers   = flag.Int("workers", core.DefaultWorkers(), "parallel workers for the counting phase (1 = sequential)")
 		seed      = flag.Int64("seed", 1, "seed for RND() sampling")
 		limit     = flag.Int("limit", 0, "print at most this many rows per table (0 = all)")
 		format    = flag.String("format", "table", "output format: table or csv")
@@ -53,6 +54,7 @@ func main() {
 	}
 	e := core.NewEngine(g)
 	e.Alg = core.Algorithm(*alg)
+	e.Opt.Workers = *workers
 	e.Seed = *seed
 	tables, err := e.Execute(src)
 	if err != nil {

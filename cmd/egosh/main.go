@@ -53,14 +53,15 @@ func main() {
 
 // shell holds REPL state; it is separated from main for testability.
 type shell struct {
-	out    io.Writer
-	engine *core.Engine
-	seed   int64
-	alg    core.Algorithm
+	out     io.Writer
+	engine  *core.Engine
+	seed    int64
+	alg     core.Algorithm
+	workers int
 }
 
 func newShell(out io.Writer, seed int64) *shell {
-	sh := &shell{out: out, seed: seed}
+	sh := &shell{out: out, seed: seed, workers: core.DefaultWorkers()}
 	sh.setGraph(graph.New(false))
 	return sh
 }
@@ -77,6 +78,7 @@ func (sh *shell) setGraph(g *graph.Graph) {
 	}
 	e.Seed = sh.seed
 	e.Alg = sh.alg
+	e.Opt.Workers = sh.workers
 	sh.engine = e
 }
 
@@ -214,6 +216,7 @@ commands:
   \save <file>           save the current graph
   \gen <nodes> [labels]  generate a preferential-attachment graph (|E|=5|V|)
   \alg <name|auto>       force ND-BAS/ND-DIFF/ND-PVOT/PT-BAS/PT-RND/PT-OPT
+  \workers <n|auto>      parallel workers for the counting phase (auto = one per CPU)
   \dot <node> <k> <file> export S(node, k) as Graphviz DOT
   \stats                 graph statistics
   \patterns              list declared patterns
@@ -291,6 +294,23 @@ commands:
 		}
 		sh.engine.Alg = sh.alg
 		fmt.Fprintf(sh.out, "algorithm: %s\n", orAuto(string(sh.alg)))
+	case `\workers`:
+		if len(fields) != 2 {
+			fmt.Fprintf(sh.out, "workers: %d (usage: \\workers <n|auto>)\n", sh.workers)
+			break
+		}
+		if fields[1] == "auto" {
+			sh.workers = core.DefaultWorkers()
+		} else {
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 1 {
+				fmt.Fprintln(sh.out, "error: workers must be a positive integer or auto")
+				break
+			}
+			sh.workers = n
+		}
+		sh.engine.Opt.Workers = sh.workers
+		fmt.Fprintf(sh.out, "workers: %d\n", sh.workers)
 	case `\dot`:
 		if len(fields) != 4 {
 			fmt.Fprintln(sh.out, "usage: \\dot <node> <k> <file.dot>")

@@ -101,6 +101,10 @@ var (
 type (
 	// Matcher finds pattern embeddings in a graph.
 	Matcher = match.Matcher
+	// MaskedMatcher is a Matcher that can restrict matching to a node
+	// subset in place on the parent graph; the node-driven census drivers
+	// use it to avoid extracting neighborhood subgraphs.
+	MaskedMatcher = match.MaskedMatcher
 	// CN is the paper's candidate-neighbor matching algorithm
 	// (Algorithm 1).
 	CN = match.CN
@@ -151,6 +155,11 @@ const (
 	Intersection = core.Intersection
 	Union        = core.Union
 )
+
+// DefaultWorkers returns the worker count the front ends use for "auto"
+// parallelism (one worker per CPU); set Options.Workers to it to use every
+// core for the counting phase.
+func DefaultWorkers() int { return core.DefaultWorkers() }
 
 // Count evaluates a single-node census with the chosen algorithm.
 func Count(g *Graph, spec Spec, alg Algorithm, opt Options) (*Result, error) {

@@ -13,6 +13,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"egocensus/internal/centers"
 	"egocensus/internal/graph"
@@ -244,21 +245,36 @@ func globalMatches(g *graph.Graph, spec Spec, opt Options) []pattern.Match {
 
 // matchAnchors returns the deduplicated image nodes of the spec's anchor
 // pattern nodes under m, i.e. the graph nodes that must fall inside the
-// neighborhood.
+// neighborhood. Small anchor sets (the common case — pattern nodes) dedup
+// by linear scan; larger ones sort to avoid quadratic work.
 func matchAnchors(spec Spec, anchorIdx []int, m pattern.Match) []graph.NodeID {
 	out := make([]graph.NodeID, 0, len(anchorIdx))
-	for _, idx := range anchorIdx {
-		img := m[idx]
-		dup := false
-		for _, x := range out {
-			if x == img {
-				dup = true
-				break
+	if len(anchorIdx) <= 8 {
+		for _, idx := range anchorIdx {
+			img := m[idx]
+			dup := false
+			for _, x := range out {
+				if x == img {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				out = append(out, img)
 			}
 		}
-		if !dup {
-			out = append(out, img)
+		return out
+	}
+	for _, idx := range anchorIdx {
+		out = append(out, m[idx])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	w := 0
+	for i, v := range out {
+		if i == 0 || v != out[w-1] {
+			out[w] = v
+			w++
 		}
 	}
-	return out
+	return out[:w]
 }

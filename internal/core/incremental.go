@@ -107,17 +107,19 @@ func (inc *Incremental) insertMatch(m pattern.Match, credit bool) {
 func (inc *Incremental) containingNodes(m pattern.Match) map[graph.NodeID]bool {
 	anchors := matchAnchors(inc.spec, inc.anchorIdx, m)
 	var res map[graph.NodeID]bool
+	s := graph.AcquireScratch(inc.g.NumNodes())
+	defer s.Release()
 	for _, a := range anchors {
-		reach := inc.g.KHopNodes(a, inc.spec.K)
+		reach := inc.g.KHop(a, inc.spec.K, s)
 		if res == nil {
-			res = make(map[graph.NodeID]bool, len(reach))
-			for n := range reach {
+			res = make(map[graph.NodeID]bool, reach.Len())
+			for _, n := range reach.Nodes {
 				res[n] = true
 			}
 			continue
 		}
 		for n := range res {
-			if _, ok := reach[n]; !ok {
+			if !reach.Contains(n) {
 				delete(res, n)
 			}
 		}

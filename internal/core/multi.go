@@ -35,7 +35,7 @@ func CountMany(g *graph.Graph, specs []Spec, opt Options) ([]*Result, error) {
 	// Per-spec pivot machinery, as in countNDPvot.
 	type pvState struct {
 		matches []patternMatch
-		index   pmi
+		index   [][]int32
 		maxV    int
 		distant [][]int
 	}
@@ -69,7 +69,7 @@ func CountMany(g *graph.Graph, specs []Spec, opt Options) ([]*Result, error) {
 				}
 			}
 		}
-		st := &pvState{maxV: maxV, distant: distant, index: buildPMI(matches, pivot)}
+		st := &pvState{maxV: maxV, distant: distant, index: buildPMI(g.NumNodes(), matches, pivot)}
 		st.matches = make([]patternMatch, len(matches))
 		for mi, m := range matches {
 			st.matches[mi] = m
@@ -77,18 +77,24 @@ func CountMany(g *graph.Graph, specs []Spec, opt Options) ([]*Result, error) {
 		states[i] = st
 	}
 
-	for _, n := range specs[0].focalList(g) {
-		reach := g.KHopNodes(n, k) // the shared traversal
+	prepare(g)
+	focal := specs[0].focalList(g)
+	parallelFor(opt.workers(), len(focal), func(fi int) {
+		n := focal[fi]
+		s := graph.AcquireScratch(g.NumNodes())
+		defer s.Release()
+		reach := g.KHop(n, k, s) // the shared traversal
 		for i, st := range states {
 			if st == nil {
 				continue
 			}
 			var count int64
-			for nPrime, d := range reach {
-				bucket, ok := st.index[nPrime]
-				if !ok {
+			for _, nPrime := range reach.Nodes {
+				bucket := st.index[nPrime]
+				if len(bucket) == 0 {
 					continue
 				}
+				d := int(reach.Dist(nPrime))
 				if d+st.maxV <= k {
 					count += int64(len(bucket))
 					continue
@@ -105,7 +111,7 @@ func CountMany(g *graph.Graph, specs []Spec, opt Options) ([]*Result, error) {
 					m := st.matches[mi]
 					inside := true
 					for _, u := range toCheck {
-						if _, ok := reach[m[u]]; !ok {
+						if !reach.Contains(m[u]) {
 							inside = false
 							break
 						}
@@ -117,7 +123,7 @@ func CountMany(g *graph.Graph, specs []Spec, opt Options) ([]*Result, error) {
 			}
 			results[i].Counts[n] = count
 		}
-	}
+	})
 	return results, nil
 }
 

@@ -5,30 +5,50 @@ import (
 	"egocensus/internal/match"
 )
 
-// countNDBas is the node-driven baseline (Section IV-A): extract S(n, k)
-// for every focal node and run pattern matching inside it. It repeats
-// overlapping work across neighborhoods and is computationally infeasible
-// beyond small graphs — the paper reports 218x slower than ND-PVOT at 20K
-// nodes — but it is the semantic reference the other algorithms are
-// validated against.
+// countNDBas is the node-driven baseline (Section IV-A): match the pattern
+// inside S(n, k) for every focal node. It repeats overlapping work across
+// neighborhoods and is computationally infeasible beyond small graphs —
+// the paper reports 218x slower than ND-PVOT at 20K nodes — but it is the
+// semantic reference the other algorithms are validated against.
 //
-// COUNTSP censuses cannot be answered inside the extracted subgraph (the
-// pattern may extend beyond the neighborhood while only the subpattern
-// image must lie inside), so for those the baseline degrades to the naive
-// global scheme the paper describes as the starting point of pivot
-// indexing: match globally, then containment-check every match against
-// every focal node.
+// With a masked matcher (the default CN), the per-node matching runs in
+// place on the parent graph restricted to the k-hop reach, so no subgraph
+// is ever extracted; other matchers fall back to extraction. Focal nodes
+// are processed in parallel across Options.Workers — each owns a disjoint
+// result slot, so workers write counts directly.
+//
+// COUNTSP censuses cannot be answered inside the neighborhood (the pattern
+// may extend beyond it while only the subpattern image must lie inside),
+// so for those the baseline degrades to the naive global scheme the paper
+// describes as the starting point of pivot indexing: match globally, then
+// containment-check every match against every focal node.
 func countNDBas(g *graph.Graph, spec Spec, opt Options) (*Result, error) {
 	if spec.Subpattern != "" {
 		return countNDBasSubpattern(g, spec, opt)
 	}
 	res := &Result{Counts: make([]int64, g.NumNodes())}
 	m := opt.matcher()
-	for _, n := range spec.focalList(g) {
+	focal := spec.focalList(g)
+	prepare(g)
+
+	if mm, ok := m.(match.MaskedMatcher); ok {
+		parallelFor(opt.workers(), len(focal), func(i int) {
+			n := focal[i]
+			s := graph.AcquireScratch(g.NumNodes())
+			reach := g.KHop(n, spec.K, s)
+			emb := mm.EmbeddingsWithin(g, spec.Pattern, reach)
+			res.Counts[n] = int64(match.CountDistinct(spec.Pattern, emb, nil))
+			s.Release()
+		})
+		return res, nil
+	}
+
+	parallelFor(opt.workers(), len(focal), func(i int) {
+		n := focal[i]
 		sg := g.EgoSubgraph(n, spec.K)
 		emb := m.Embeddings(sg.G, spec.Pattern)
-		res.Counts[n] = int64(len(match.Deduplicate(spec.Pattern, emb, nil)))
-	}
+		res.Counts[n] = int64(match.CountDistinct(spec.Pattern, emb, nil))
+	})
 	return res, nil
 }
 
@@ -38,20 +58,27 @@ func countNDBasSubpattern(g *graph.Graph, spec Spec, opt Options) (*Result, erro
 	matches := globalMatches(g, spec, opt)
 	res.NumMatches = len(matches)
 	anchorIdx := spec.anchorNodes()
-	for _, n := range spec.focalList(g) {
-		reach := g.KHopNodes(n, spec.K)
+	focal := spec.focalList(g)
+	prepare(g)
+	parallelFor(opt.workers(), len(focal), func(i int) {
+		n := focal[i]
+		s := graph.AcquireScratch(g.NumNodes())
+		reach := g.KHop(n, spec.K, s)
+		var count int64
 		for _, m := range matches {
 			inside := true
 			for _, idx := range anchorIdx {
-				if _, ok := reach[m[idx]]; !ok {
+				if !reach.Contains(m[idx]) {
 					inside = false
 					break
 				}
 			}
 			if inside {
-				res.Counts[n]++
+				count++
 			}
 		}
-	}
+		res.Counts[n] = count
+		s.Release()
+	})
 	return res, nil
 }

@@ -12,6 +12,13 @@ import (
 // previous node's by removing matches touching the receding frontier
 // (N_k(prev) - N_k(cur)) and adding matches touching the advancing
 // frontier (N_k(cur) - N_k(prev)) that are fully contained.
+//
+// The neighbor-following order decomposes the focal nodes into chains that
+// depend only on adjacency, not on the match sets, so the chains are
+// carved out first and then processed in parallel across Options.Workers —
+// each chain owns disjoint result slots. Within a chain, the current match
+// set is an epoch-stamped dense vector and the two live neighborhoods are
+// pooled scratch reaches.
 func countNDDiff(g *graph.Graph, spec Spec, opt Options) (*Result, error) {
 	res := &Result{Counts: make([]int64, g.NumNodes())}
 	matches := globalMatches(g, spec, opt)
@@ -20,91 +27,43 @@ func countNDDiff(g *graph.Graph, spec Spec, opt Options) (*Result, error) {
 		return res, nil
 	}
 	anchorIdx := spec.anchorNodes()
+	prepare(g)
 
 	// Index every match under each of its (distinct) anchor images.
-	index := make(map[graph.NodeID][]int32)
+	index := make([][]int32, g.NumNodes())
 	for i, m := range matches {
 		for _, a := range matchAnchors(spec, anchorIdx, m) {
 			index[a] = append(index[a], int32(i))
 		}
 	}
 
+	// Decompose the focal list into neighbor-following chains. The
+	// successor rule (first unprocessed out-neighbor, then in-neighbor)
+	// reproduces the sequential visiting order exactly.
 	focal := spec.focalList(g)
-	remaining := make(map[graph.NodeID]bool, len(focal))
+	remaining := make([]bool, g.NumNodes())
 	for _, n := range focal {
 		remaining[n] = true
 	}
-
-	contained := func(m pattern.Match, reach map[graph.NodeID]int) bool {
-		for _, idx := range anchorIdx {
-			if _, ok := reach[m[idx]]; !ok {
-				return false
-			}
-		}
-		return true
-	}
-
-	current := make(map[int32]bool) // M[current] as match indices
-	var prevReach map[graph.NodeID]int
-
-	// Process focal nodes, following graph neighbors while possible.
+	var chains [][]graph.NodeID
 	for _, start := range focal {
 		if !remaining[start] {
 			continue
 		}
-		cur := start
-		prevReach = nil
-		for {
-			delete(remaining, cur)
-			reach := g.KHopNodes(cur, spec.K)
-			if prevReach == nil {
-				for k := range current {
-					delete(current, k)
-				}
-				// N1 = full neighborhood.
-				for n := range reach {
-					for _, mi := range index[n] {
-						if !current[mi] && contained(matches[mi], reach) {
-							current[mi] = true
-						}
-					}
-				}
-			} else {
-				// Remove matches touching N2 = N_k(prev) - N_k(cur).
-				for n := range prevReach {
-					if _, ok := reach[n]; ok {
-						continue
-					}
-					for _, mi := range index[n] {
-						delete(current, mi)
-					}
-				}
-				// Add matches touching N1 = N_k(cur) - N_k(prev).
-				for n := range reach {
-					if _, ok := prevReach[n]; ok {
-						continue
-					}
-					for _, mi := range index[n] {
-						if !current[mi] && contained(matches[mi], reach) {
-							current[mi] = true
-						}
-					}
-				}
-			}
-			res.Counts[cur] = int64(len(current))
-
-			// Continue with an unprocessed focal neighbor if one exists.
+		chain := []graph.NodeID{start}
+		remaining[start] = false
+		for cur := start; ; {
 			next := graph.NodeID(-1)
-			for _, h := range g.Out(cur) {
-				if remaining[h.To] {
-					next = h.To
+			for _, nb := range g.OutNeighbors(cur) {
+				if remaining[nb] {
+					next = nb
 					break
 				}
 			}
 			if next < 0 && g.Directed() {
-				for _, h := range g.In(cur) {
-					if remaining[h.To] {
-						next = h.To
+				for _, nb := range g.InNeighbors(cur) {
+					if remaining[nb] {
+						next = nb
 						break
 					}
 				}
@@ -112,9 +71,105 @@ func countNDDiff(g *graph.Graph, spec Spec, opt Options) (*Result, error) {
 			if next < 0 {
 				break
 			}
-			prevReach = reach
+			remaining[next] = false
+			chain = append(chain, next)
 			cur = next
 		}
+		chains = append(chains, chain)
 	}
+
+	contained := func(m pattern.Match, reach graph.Reach) bool {
+		for _, idx := range anchorIdx {
+			if !reach.Contains(m[idx]) {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Per-worker current-set vectors, epoch-stamped per chain. Workers are
+	// identified by the chain-claiming goroutine, so each chain allocates
+	// nothing beyond its first use of the pooled scratches.
+	workers := opt.workers()
+	cur := make([][]int32, workers)
+	curEpoch := make([]int32, workers)
+	runChain := func(w int, chain []graph.NodeID) {
+		if cur[w] == nil {
+			cur[w] = make([]int32, len(matches))
+		}
+		inCur := cur[w]
+		sa := graph.AcquireScratch(g.NumNodes())
+		sb := graph.AcquireScratch(g.NumNodes())
+		defer sa.Release()
+		defer sb.Release()
+
+		curEpoch[w]++
+		epoch := curEpoch[w]
+		if epoch <= 0 { // wraparound
+			for i := range inCur {
+				inCur[i] = 0
+			}
+			curEpoch[w] = 1
+			epoch = 1
+		}
+		var count int64
+		var prevReach graph.Reach
+		havePrev := false
+		for ci, n := range chain {
+			s := sa
+			if ci%2 == 1 {
+				s = sb
+			}
+			reach := g.KHop(n, spec.K, s)
+			if !havePrev {
+				for _, nb := range reach.Nodes {
+					for _, mi := range index[nb] {
+						if inCur[mi] != epoch && contained(matches[mi], reach) {
+							inCur[mi] = epoch
+							count++
+						}
+					}
+				}
+			} else {
+				// Remove matches touching N2 = N_k(prev) - N_k(cur).
+				for _, nb := range prevReach.Nodes {
+					if reach.Contains(nb) {
+						continue
+					}
+					for _, mi := range index[nb] {
+						if inCur[mi] == epoch {
+							inCur[mi] = 0
+							count--
+						}
+					}
+				}
+				// Add matches touching N1 = N_k(cur) - N_k(prev).
+				for _, nb := range reach.Nodes {
+					if prevReach.Contains(nb) {
+						continue
+					}
+					for _, mi := range index[nb] {
+						if inCur[mi] != epoch && contained(matches[mi], reach) {
+							inCur[mi] = epoch
+							count++
+						}
+					}
+				}
+			}
+			res.Counts[n] = count
+			prevReach = reach
+			havePrev = true
+		}
+	}
+
+	if workers <= 1 || len(chains) == 1 {
+		for _, chain := range chains {
+			runChain(0, chain)
+		}
+		return res, nil
+	}
+	parallelForWorker(workers, len(chains), func(w, i int) {
+		runChain(w, chains[i])
+	})
 	return res, nil
 }

@@ -1,19 +1,15 @@
 package core
 
 import (
-	"sync"
-
 	"egocensus/internal/graph"
 	"egocensus/internal/pattern"
 )
 
-// pmi is a pattern match index: for a designated pattern node v, pmi maps a
-// graph node n' to the indices of the matches in which n' is the image of
-// v (Section IV-A1).
-type pmi map[graph.NodeID][]int32
-
-func buildPMI(matches []pattern.Match, pivot int) pmi {
-	idx := make(pmi, len(matches))
+// buildPMI builds a pattern match index for a designated pattern node v: a
+// dense per-graph-node table mapping n' to the indices of the matches in
+// which n' is the image of v (Section IV-A1).
+func buildPMI(numNodes int, matches []pattern.Match, pivot int) [][]int32 {
+	idx := make([][]int32, numNodes)
 	for i, m := range matches {
 		n := m[pivot]
 		idx[n] = append(idx[n], int32(i))
@@ -27,7 +23,8 @@ func buildPMI(matches []pattern.Match, pivot int) pmi {
 // buckets — skipping containment checks whenever the triangle inequality
 // through the pivot already guarantees containment, and otherwise checking
 // only the pattern nodes that are distant enough from the pivot to be able
-// to escape the neighborhood.
+// to escape the neighborhood. Focal nodes are processed in parallel across
+// Options.Workers; each owns a disjoint result slot.
 func countNDPvot(g *graph.Graph, spec Spec, opt Options) (*Result, error) {
 	res := &Result{Counts: make([]int64, g.NumNodes())}
 	matches := globalMatches(g, spec, opt)
@@ -38,6 +35,7 @@ func countNDPvot(g *graph.Graph, spec Spec, opt Options) (*Result, error) {
 
 	p := spec.Pattern
 	anchorIdx := spec.anchorNodes()
+	prepare(g)
 
 	// Pivot selection restricted to the anchor (subpattern) nodes, with
 	// eccentricity measured over the anchors (the only nodes whose
@@ -67,16 +65,22 @@ func countNDPvot(g *graph.Graph, spec Spec, opt Options) (*Result, error) {
 		}
 	}
 
-	index := buildPMI(matches, pivot)
+	index := buildPMI(g.NumNodes(), matches, pivot)
 
-	countFor := func(n graph.NodeID) int64 {
-		reach := g.KHopNodes(n, spec.K)
+	// Focal nodes are disjoint result slots, so workers write directly.
+	focal := spec.focalList(g)
+	parallelFor(opt.workers(), len(focal), func(fi int) {
+		n := focal[fi]
+		s := graph.AcquireScratch(g.NumNodes())
+		defer s.Release()
+		reach := g.KHop(n, spec.K, s)
 		var count int64
-		for nPrime, d := range reach {
-			bucket, ok := index[nPrime]
-			if !ok {
+		for _, nPrime := range reach.Nodes {
+			bucket := index[nPrime]
+			if len(bucket) == 0 {
 				continue
 			}
+			d := int(reach.Dist(nPrime))
 			if d+maxV <= spec.K {
 				// Containment guaranteed: d(n, mu(u)) <= d + d(pivot, u)
 				// <= d + maxV <= k for every anchor u.
@@ -96,7 +100,7 @@ func countNDPvot(g *graph.Graph, spec Spec, opt Options) (*Result, error) {
 				m := matches[mi]
 				inside := true
 				for _, u := range toCheck {
-					if _, ok := reach[m[u]]; !ok {
+					if !reach.Contains(m[u]) {
 						inside = false
 						break
 					}
@@ -106,37 +110,7 @@ func countNDPvot(g *graph.Graph, spec Spec, opt Options) (*Result, error) {
 				}
 			}
 		}
-		return count
-	}
-
-	focal := spec.focalList(g)
-	workers := opt.workers()
-	if workers <= 1 {
-		for _, n := range focal {
-			res.Counts[n] = countFor(n)
-		}
-		return res, nil
-	}
-	// Focal nodes are disjoint result slots, so workers write directly.
-	var wg sync.WaitGroup
-	chunk := (len(focal) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		if lo >= len(focal) {
-			break
-		}
-		hi := lo + chunk
-		if hi > len(focal) {
-			hi = len(focal)
-		}
-		wg.Add(1)
-		go func(part []graph.NodeID) {
-			defer wg.Done()
-			for _, n := range part {
-				res.Counts[n] = countFor(n)
-			}
-		}(focal[lo:hi])
-	}
-	wg.Wait()
+		res.Counts[n] = count
+	})
 	return res, nil
 }

@@ -117,15 +117,19 @@ func pairNDContainment(g *graph.Graph, spec PairSpec, opt Options) (*PairResult,
 	matches := globalMatches(g, spec.Spec, opt)
 	res.NumMatches = len(matches)
 	anchorIdx := spec.anchorNodes()
+	sa := graph.AcquireScratch(g.NumNodes())
+	sb := graph.AcquireScratch(g.NumNodes())
+	defer sa.Release()
+	defer sb.Release()
 	for _, pr := range spec.Pairs {
-		ra := g.KHopNodes(pr.A, spec.K)
-		rb := g.KHopNodes(pr.B, spec.K)
+		ra := g.KHop(pr.A, spec.K, sa)
+		rb := g.KHop(pr.B, spec.K, sb)
 		var count int64
 		for _, m := range matches {
 			inside := true
 			for _, idx := range anchorIdx {
-				_, inA := ra[m[idx]]
-				_, inB := rb[m[idx]]
+				inA := ra.Contains(m[idx])
+				inB := rb.Contains(m[idx])
 				if spec.Mode == Intersection {
 					if !inA || !inB {
 						inside = false
@@ -176,24 +180,28 @@ func pairNDPvot(g *graph.Graph, spec PairSpec, opt Options) (*PairResult, error)
 			pivot, maxV = x, ecc
 		}
 	}
-	index := buildPMI(matches, pivot)
+	index := buildPMI(g.NumNodes(), matches, pivot)
 
-	inCombined := func(n graph.NodeID, ra, rb map[graph.NodeID]int) bool {
-		_, inA := ra[n]
-		_, inB := rb[n]
+	inCombined := func(n graph.NodeID, ra, rb graph.Reach) bool {
+		inA := ra.Contains(n)
+		inB := rb.Contains(n)
 		if spec.Mode == Intersection {
 			return inA && inB
 		}
 		return inA || inB
 	}
 
+	sa := graph.AcquireScratch(g.NumNodes())
+	sb := graph.AcquireScratch(g.NumNodes())
+	defer sa.Release()
+	defer sb.Release()
 	for _, pr := range spec.Pairs {
-		ra := g.KHopNodes(pr.A, spec.K)
-		rb := g.KHopNodes(pr.B, spec.K)
+		ra := g.KHop(pr.A, spec.K, sa)
+		rb := g.KHop(pr.B, spec.K, sb)
 		var count int64
 		visit := func(nPrime graph.NodeID, d int) {
-			bucket, ok := index[nPrime]
-			if !ok {
+			bucket := index[nPrime]
+			if len(bucket) == 0 {
 				return
 			}
 			if d+maxV <= spec.K {
@@ -218,30 +226,30 @@ func pairNDPvot(g *graph.Graph, spec PairSpec, opt Options) (*PairResult, error)
 			}
 		}
 		if spec.Mode == Intersection {
-			for n, d1 := range ra {
-				d2, ok := rb[n]
-				if !ok {
+			for _, n := range ra.Nodes {
+				d2 := rb.Dist(n)
+				if d2 < 0 {
 					continue
 				}
-				d := d1
-				if d2 > d {
-					d = d2
+				d := int(ra.Dist(n))
+				if int(d2) > d {
+					d = int(d2)
 				}
 				visit(n, d)
 			}
 		} else {
-			for n, d1 := range ra {
-				d := d1
-				if d2, ok := rb[n]; ok && d2 < d {
-					d = d2
+			for _, n := range ra.Nodes {
+				d := int(ra.Dist(n))
+				if d2 := rb.Dist(n); d2 >= 0 && int(d2) < d {
+					d = int(d2)
 				}
 				visit(n, d)
 			}
-			for n, d2 := range rb {
-				if _, ok := ra[n]; ok {
+			for _, n := range rb.Nodes {
+				if ra.Contains(n) {
 					continue // already visited
 				}
-				visit(n, d2)
+				visit(n, int(rb.Dist(n)))
 			}
 		}
 		if count > 0 {
@@ -431,11 +439,14 @@ func pairPTDriven(g *graph.Graph, spec PairSpec, opt Options) (*PairResult, erro
 		}
 		// masks[n] = bitmask of anchors within k hops of n.
 		masks := make(map[graph.NodeID]uint64)
+		s := graph.AcquireScratch(g.NumNodes())
 		for i, a := range anchors {
-			for n := range g.KHopNodes(a, spec.K) {
+			reach := g.KHop(a, spec.K, s)
+			for _, n := range reach.Nodes {
 				masks[n] |= 1 << uint(i)
 			}
 		}
+		s.Release()
 		full := uint64(1)<<uint(len(anchors)) - 1
 
 		if spec.Mode == Intersection {

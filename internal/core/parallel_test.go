@@ -1,0 +1,110 @@
+package core
+
+import (
+	"testing"
+
+	"egocensus/internal/gen"
+	"egocensus/internal/match"
+	"egocensus/internal/pattern"
+)
+
+// TestParallelDeterminism verifies that the parallel counting phase is
+// bit-for-bit identical to the sequential one: for every algorithm,
+// Workers=1 and Workers=8 must produce the same Result.Counts on a seeded
+// preferential-attachment graph. Run under -race by the soak suite, this
+// also exercises the scratch pooling and per-worker merge paths for data
+// races.
+func TestParallelDeterminism(t *testing.T) {
+	g := gen.PreferentialAttachment(400, 4, 7)
+	gen.AssignLabels(g, 3, 8)
+	specs := []Spec{
+		{Pattern: pattern.Clique("clq3", 3, []string{"l0", "l1", "l2"}), K: 2},
+		{Pattern: pattern.Chain("chain3", 3, []string{"l0", "l1", "l0"}), K: 1},
+		{Pattern: pattern.CoordinatorTriad("triad"), Subpattern: "coordinator", K: 2},
+	}
+	for _, spec := range specs {
+		for _, alg := range Algorithms {
+			seq, err := Count(g, spec, alg, Options{Seed: 1, Workers: 1})
+			if err != nil {
+				t.Fatalf("%s/%s sequential: %v", alg, spec.Pattern.Name, err)
+			}
+			par, err := Count(g, spec, alg, Options{Seed: 1, Workers: 8})
+			if err != nil {
+				t.Fatalf("%s/%s parallel: %v", alg, spec.Pattern.Name, err)
+			}
+			if seq.NumMatches != par.NumMatches {
+				t.Fatalf("%s/%s: NumMatches %d (1 worker) vs %d (8 workers)",
+					alg, spec.Pattern.Name, seq.NumMatches, par.NumMatches)
+			}
+			for n := range seq.Counts {
+				if seq.Counts[n] != par.Counts[n] {
+					t.Fatalf("%s/%s: node %d = %d with 1 worker, %d with 8 workers",
+						alg, spec.Pattern.Name, n, seq.Counts[n], par.Counts[n])
+				}
+			}
+		}
+	}
+}
+
+// TestMaskedMatchingEqualsExtraction pins the tentpole equivalence the
+// ND-BAS rewrite relies on: matching inside the extracted ego subgraph
+// equals masked matching on the parent graph, for labeled, unlabeled, and
+// directed patterns.
+func TestMaskedMatchingEqualsExtraction(t *testing.T) {
+	und := gen.PreferentialAttachment(300, 4, 21)
+	gen.AssignLabels(und, 3, 22)
+	specs := []Spec{
+		{Pattern: pattern.Clique("clq3", 3, []string{"l0", "l1", "l2"}), K: 2},
+		{Pattern: pattern.Clique("clq3u", 3, nil), K: 1},
+		{Pattern: pattern.Star("star4", 4, []string{"l0", "l1", "l2", "l1"}), K: 2},
+	}
+	for _, spec := range specs {
+		masked, err := Count(und, spec, NDBas, Options{Workers: 2})
+		if err != nil {
+			t.Fatalf("%s masked: %v", spec.Pattern.Name, err)
+		}
+		// Forcing the GQL matcher (no EmbeddingsWithin) exercises the
+		// extraction fallback.
+		extracted, err := Count(und, spec, NDBas, Options{Matcher: match.GQL{}})
+		if err != nil {
+			t.Fatalf("%s extracted: %v", spec.Pattern.Name, err)
+		}
+		for n := range masked.Counts {
+			if masked.Counts[n] != extracted.Counts[n] {
+				t.Fatalf("%s: node %d = %d masked, %d extracted",
+					spec.Pattern.Name, n, masked.Counts[n], extracted.Counts[n])
+			}
+		}
+	}
+}
+
+// TestParallelForHelpers covers the pool helpers directly: full coverage of
+// the index space, worker clamping, and merge equivalence.
+func TestParallelForHelpers(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		hits := make([]int64, 100)
+		parallelFor(workers, len(hits), func(i int) { hits[i]++ })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("parallelFor(workers=%d): index %d visited %d times", workers, i, h)
+			}
+		}
+		dst := make([]int64, 10)
+		parallelMerge(workers, 40, dst, func(w int, counts []int64, i int) {
+			counts[i%10] += int64(i)
+		})
+		for i, v := range dst {
+			want := int64(i + (i + 10) + (i + 20) + (i + 30))
+			if v != want {
+				t.Fatalf("parallelMerge(workers=%d): slot %d = %d, want %d", workers, i, v, want)
+			}
+		}
+		seen := make([]int64, 25)
+		parallelForWorker(workers, len(seen), func(w, i int) { seen[i]++ })
+		for i, h := range seen {
+			if h != 1 {
+				t.Fatalf("parallelForWorker(workers=%d): index %d visited %d times", workers, i, h)
+			}
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"egocensus/internal/graph"
+)
+
+// DefaultWorkers is the worker count the front ends use for "auto"
+// parallelism: one worker per CPU.
+func DefaultWorkers() int { return runtime.NumCPU() }
+
+// prepare eagerly builds the graph's shared read-only indexes (CSR
+// adjacency, label profiles) so parallel census workers never race on a
+// lazy build.
+func prepare(g *graph.Graph) {
+	g.BuildCSR()
+	g.BuildProfiles()
+}
+
+// parallelFor runs body(i) for every i in [0, n) across up to `workers`
+// goroutines. Work items are claimed through an atomic counter, so uneven
+// item costs balance across workers. workers <= 1 (or n <= 1) runs inline.
+// body must only touch per-item or per-goroutine state.
+func parallelFor(workers, n int, body func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				body(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// parallelForWorker is parallelFor with the worker index passed to the
+// body, for callers that keep per-worker state (scratch vectors, RNGs).
+func parallelForWorker(workers, n int, body func(w, i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			body(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				body(w, i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// parallelMerge runs body(w, counts, i) for every i in [0, n), giving each
+// worker w a private int64 accumulator vector the same length as dst, and
+// sums the vectors into dst afterwards. Because int64 addition is
+// commutative and associative, the merged result is identical for every
+// worker count — parallel censuses stay bit-for-bit equal to sequential
+// ones. workers <= 1 accumulates directly into dst.
+func parallelMerge(workers, n int, dst []int64, body func(w int, counts []int64, i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			body(0, dst, i)
+		}
+		return
+	}
+	perWorker := make([][]int64, workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		perWorker[w] = make([]int64, len(dst))
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				body(w, perWorker[w], i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, pc := range perWorker {
+		for i, c := range pc {
+			dst[i] += c
+		}
+	}
+}

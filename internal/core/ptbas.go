@@ -7,8 +7,10 @@ import (
 // countPTBas is the pattern-driven baseline (Section IV-B): process every
 // match independently; BFS the k-hop neighborhood of each anchor node,
 // start from the anchor with the fewest k-hop neighbors, and keep the
-// nodes reachable within k hops from every other anchor. Each surviving
-// focal node's count is incremented by one per match.
+// nodes reachable within k hops from every other anchor. Matches are
+// processed in parallel across Options.Workers with per-worker count
+// vectors merged at the end (int64 sums are order-invariant, so parallel
+// results equal sequential ones exactly).
 func countPTBas(g *graph.Graph, spec Spec, opt Options) (*Result, error) {
 	res := &Result{Counts: make([]int64, g.NumNodes())}
 	matches := globalMatches(g, spec, opt)
@@ -18,26 +20,33 @@ func countPTBas(g *graph.Graph, spec Spec, opt Options) (*Result, error) {
 	}
 	anchorIdx := spec.anchorNodes()
 	focal := spec.focalSet(g)
+	prepare(g)
 
-	for _, m := range matches {
+	maxAnchors := len(anchorIdx)
+	parallelMerge(opt.workers(), len(matches), res.Counts, func(w int, counts []int64, mi int) {
+		m := matches[mi]
 		anchors := matchAnchors(spec, anchorIdx, m)
 		// One BFS per anchor; may re-traverse shared edges — that is the
-		// inefficiency simultaneous traversal removes.
-		reaches := make([]map[graph.NodeID]int, len(anchors))
+		// inefficiency simultaneous traversal removes. Each reach needs its
+		// own scratch because all stay live for the intersection.
+		scratches := make([]*graph.Scratch, 0, maxAnchors)
+		reaches := make([]graph.Reach, 0, maxAnchors)
 		minIdx := 0
 		for i, a := range anchors {
-			reaches[i] = g.KHopNodes(a, spec.K)
-			if len(reaches[i]) < len(reaches[minIdx]) {
+			s := graph.AcquireScratch(g.NumNodes())
+			scratches = append(scratches, s)
+			reaches = append(reaches, g.KHop(a, spec.K, s))
+			if reaches[i].Len() < reaches[minIdx].Len() {
 				minIdx = i
 			}
 		}
-		for n := range reaches[minIdx] {
+		for _, n := range reaches[minIdx].Nodes {
 			inAll := true
 			for i := range reaches {
 				if i == minIdx {
 					continue
 				}
-				if _, ok := reaches[i][n]; !ok {
+				if !reaches[i].Contains(n) {
 					inAll = false
 					break
 				}
@@ -48,8 +57,11 @@ func countPTBas(g *graph.Graph, spec Spec, opt Options) (*Result, error) {
 			if focal != nil && !focal[n] {
 				continue
 			}
-			res.Counts[n]++
+			counts[n]++
 		}
-	}
+		for _, s := range scratches {
+			s.Release()
+		}
+	})
 	return res, nil
 }

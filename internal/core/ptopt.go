@@ -2,7 +2,6 @@ package core
 
 import (
 	"math/rand"
-	"sync"
 
 	"egocensus/internal/centers"
 	"egocensus/internal/graph"
@@ -43,42 +42,17 @@ func ptCensusOnMatches(g *graph.Graph, spec Spec, opt Options, matches []pattern
 
 	// Pattern distances for the shortcut initialization.
 	pdist := spec.Pattern.Distances()
+	prepare(g)
 
-	workers := opt.workers()
-	if workers <= 1 || len(clusters) == 1 {
-		tr := &traversal{
-			g:           g,
-			k:           spec.K,
-			pmdCenters:  pmdCenters,
-			randomOrder: randomOrder,
-			noShortcuts: opt.DisableShortcuts,
-			rng:         rand.New(rand.NewSource(opt.Seed + 1)),
-		}
-		for _, cluster := range clusters {
-			tr.processCluster(matches, cluster, anchorIdx, pdist, focal, counts)
-		}
-		return counts, nil
-	}
-
-	// Each worker owns a private counts slice (cluster membership passes
-	// may touch any node) and a private traversal/rng; results are summed.
-	if workers > len(clusters) {
-		workers = len(clusters)
-	}
-	perWorker := make([][]int64, workers)
-	var wg sync.WaitGroup
-	next := make(chan []int, len(clusters))
-	for _, c := range clusters {
-		next <- c
-	}
-	close(next)
-	for w := 0; w < workers; w++ {
-		w := w
-		perWorker[w] = make([]int64, g.NumNodes())
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			tr := &traversal{
+	// Each worker owns a lazily created traversal with a private rng; the
+	// per-worker count vectors (cluster membership passes may touch any
+	// node) are summed by parallelMerge, so any worker count yields the
+	// same census.
+	trs := make([]*traversal, opt.workers())
+	parallelMerge(opt.workers(), len(clusters), counts, func(w int, dst []int64, ci int) {
+		tr := trs[w]
+		if tr == nil {
+			tr = &traversal{
 				g:           g,
 				k:           spec.K,
 				pmdCenters:  pmdCenters,
@@ -86,17 +60,10 @@ func ptCensusOnMatches(g *graph.Graph, spec Spec, opt Options, matches []pattern
 				noShortcuts: opt.DisableShortcuts,
 				rng:         rand.New(rand.NewSource(opt.Seed + 1 + int64(w))),
 			}
-			for cluster := range next {
-				tr.processCluster(matches, cluster, anchorIdx, pdist, focal, perWorker[w])
-			}
-		}()
-	}
-	wg.Wait()
-	for _, pc := range perWorker {
-		for i, c := range pc {
-			counts[i] += c
+			trs[w] = tr
 		}
-	}
+		tr.processCluster(matches, clusters[ci], anchorIdx, pdist, focal, dst)
+	})
 	return counts, nil
 }
 

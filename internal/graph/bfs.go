@@ -4,6 +4,10 @@ package graph
 // the k-hop neighborhood of n as the subgraph incident on the nodes
 // reachable from n in k hops or less, and treats directedness as a pattern
 // matching concern, not a traversal concern.
+//
+// All traversals run on the flat CSR adjacency view (csr.go) with pooled
+// epoch-stamped scratch arrays (scratch.go): no per-call map or frontier
+// allocation survives on the hot paths.
 
 // BFSVisitor receives nodes in breadth-first order together with their
 // hop distance from the source. Returning false stops the traversal.
@@ -14,57 +18,50 @@ type BFSVisitor func(n NodeID, dist int) bool
 // including src at distance 0.
 func (g *Graph) BFS(src NodeID, maxDepth int, visit BFSVisitor) {
 	g.mustNode(src)
-	dist := make(map[NodeID]int, 64)
-	dist[src] = 0
-	queue := []NodeID{src}
+	c := g.ensureCSR()
+	s := AcquireScratch(len(g.out))
+	defer s.Release()
+	s.begin(len(g.out))
+	s.mark[src] = s.epoch
+	s.dist[src] = 0
+	s.nodes = append(s.nodes, src)
 	if !visit(src, 0) {
 		return
 	}
-	for len(queue) > 0 {
-		n := queue[0]
-		queue = queue[1:]
-		d := dist[n]
-		if maxDepth >= 0 && d == maxDepth {
+	for head := 0; head < len(s.nodes); head++ {
+		n := s.nodes[head]
+		d := s.dist[n]
+		if maxDepth >= 0 && int(d) == maxDepth {
 			continue
 		}
-		for _, h := range g.neighborsAll(n) {
-			if _, seen := dist[h]; seen {
+		for _, nb := range c.all(n) {
+			if s.mark[nb] == s.epoch {
 				continue
 			}
-			dist[h] = d + 1
-			if !visit(h, d+1) {
+			s.mark[nb] = s.epoch
+			s.dist[nb] = d + 1
+			if !visit(nb, int(d)+1) {
 				return
 			}
-			queue = append(queue, h)
+			s.nodes = append(s.nodes, nb)
 		}
 	}
-}
-
-// neighborsAll iterates neighbors ignoring direction (out then in for
-// directed graphs). Duplicates are possible for reciprocal edge pairs; BFS
-// callers deduplicate through their visited sets.
-func (g *Graph) neighborsAll(n NodeID) []NodeID {
-	out := make([]NodeID, 0, len(g.out[n]))
-	for _, h := range g.out[n] {
-		out = append(out, h.To)
-	}
-	if g.directed {
-		for _, h := range g.in[n] {
-			out = append(out, h.To)
-		}
-	}
-	return out
 }
 
 // KHopNodes returns the set of nodes reachable from n within k hops
 // (including n itself, which is at distance 0), as a map from node to its
 // hop distance. This is N_k(n) in the paper's notation, plus n.
+//
+// The map form exists for convenience; performance-sensitive callers use
+// KHop, which returns a dense Reach without allocating a map.
 func (g *Graph) KHopNodes(n NodeID, k int) map[NodeID]int {
-	res := make(map[NodeID]int, 64)
-	g.BFS(n, k, func(m NodeID, d int) bool {
-		res[m] = d
-		return true
-	})
+	s := AcquireScratch(len(g.out))
+	defer s.Release()
+	r := g.KHop(n, k, s)
+	res := make(map[NodeID]int, r.Len())
+	for _, m := range r.Nodes {
+		res[m] = int(r.dist[m])
+	}
 	return res
 }
 
@@ -73,32 +70,27 @@ func (g *Graph) KHopNodes(n NodeID, k int) map[NodeID]int {
 // nodes. Used to build the center distance index.
 func (g *Graph) Distances(src NodeID) []int32 {
 	g.mustNode(src)
+	c := g.ensureCSR()
 	dist := make([]int32, len(g.out))
 	for i := range dist {
 		dist[i] = -1
 	}
 	dist[src] = 0
-	queue := make([]NodeID, 0, 256)
+	s := AcquireScratch(len(g.out))
+	defer s.Release()
+	queue := s.nodes[:0]
 	queue = append(queue, src)
-	for len(queue) > 0 {
-		n := queue[0]
-		queue = queue[1:]
+	for head := 0; head < len(queue); head++ {
+		n := queue[head]
 		d := dist[n]
-		for _, h := range g.out[n] {
-			if dist[h.To] < 0 {
-				dist[h.To] = d + 1
-				queue = append(queue, h.To)
-			}
-		}
-		if g.directed {
-			for _, h := range g.in[n] {
-				if dist[h.To] < 0 {
-					dist[h.To] = d + 1
-					queue = append(queue, h.To)
-				}
+		for _, nb := range c.all(n) {
+			if dist[nb] < 0 {
+				dist[nb] = d + 1
+				queue = append(queue, nb)
 			}
 		}
 	}
+	s.nodes = queue[:0]
 	return dist
 }
 

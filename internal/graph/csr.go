@@ -1,0 +1,141 @@
+package graph
+
+// csr is a compressed-sparse-row mirror of the adjacency lists: one flat
+// offsets array and one flat targets array per direction, built once per
+// graph topology and invalidated by mutation (AddNode/AddEdge). The flat
+// layout removes the per-node slice-header indirection of [][]Half and
+// keeps neighbor scans on contiguous cache lines, which is what the hot
+// traversal paths (BFS, k-hop extraction, CN matching) iterate.
+//
+// Three views exist:
+//
+//   - out: out-neighbors (all incident neighbors for undirected graphs),
+//   - in:  in-neighbors (directed only; aliases out when undirected),
+//   - all: the direction-ignoring union used by neighborhood traversal
+//     (out followed by in; may repeat a neighbor for reciprocal directed
+//     edge pairs, exactly like the adjacency lists it mirrors — traversals
+//     deduplicate through their visited marks).
+type csr struct {
+	outOff []int32
+	outTo  []NodeID
+	inOff  []int32
+	inTo   []NodeID
+	allOff []int32
+	allTo  []NodeID
+}
+
+func (c *csr) out(n NodeID) []NodeID { return c.outTo[c.outOff[n]:c.outOff[n+1]] }
+func (c *csr) in(n NodeID) []NodeID  { return c.inTo[c.inOff[n]:c.inOff[n+1]] }
+func (c *csr) all(n NodeID) []NodeID { return c.allTo[c.allOff[n]:c.allOff[n+1]] }
+
+// buildCSR flattens the adjacency lists.
+func buildCSR(g *Graph) *csr {
+	n := len(g.out)
+	c := &csr{outOff: make([]int32, n+1)}
+	total := 0
+	for i, l := range g.out {
+		c.outOff[i] = int32(total)
+		total += len(l)
+	}
+	c.outOff[n] = int32(total)
+	c.outTo = make([]NodeID, total)
+	pos := 0
+	for _, l := range g.out {
+		for _, h := range l {
+			c.outTo[pos] = h.To
+			pos++
+		}
+	}
+	if !g.directed {
+		c.inOff, c.inTo = c.outOff, c.outTo
+		c.allOff, c.allTo = c.outOff, c.outTo
+		return c
+	}
+	c.inOff = make([]int32, n+1)
+	total = 0
+	for i, l := range g.in {
+		c.inOff[i] = int32(total)
+		total += len(l)
+	}
+	c.inOff[n] = int32(total)
+	c.inTo = make([]NodeID, total)
+	pos = 0
+	for _, l := range g.in {
+		for _, h := range l {
+			c.inTo[pos] = h.To
+			pos++
+		}
+	}
+	// Union view: out halves then in halves per node.
+	c.allOff = make([]int32, n+1)
+	total = 0
+	for i := 0; i < n; i++ {
+		c.allOff[i] = int32(total)
+		total += len(g.out[i]) + len(g.in[i])
+	}
+	c.allOff[n] = int32(total)
+	c.allTo = make([]NodeID, total)
+	pos = 0
+	for i := 0; i < n; i++ {
+		for _, h := range g.out[i] {
+			c.allTo[pos] = h.To
+			pos++
+		}
+		for _, h := range g.in[i] {
+			c.allTo[pos] = h.To
+			pos++
+		}
+	}
+	return c
+}
+
+// ensureCSR returns the graph's CSR view, building it on first use after a
+// mutation. Concurrent callers may race to build; the build is idempotent
+// and the first published pointer wins, so readers never observe a stale
+// view (mutations clear the pointer before returning).
+func (g *Graph) ensureCSR() *csr {
+	if c := g.csr.Load(); c != nil {
+		return c
+	}
+	c := buildCSR(g)
+	if !g.csr.CompareAndSwap(nil, c) {
+		if cur := g.csr.Load(); cur != nil {
+			return cur
+		}
+	}
+	return c
+}
+
+// BuildCSR eagerly (re)builds the flat CSR adjacency view. Call it before
+// fanning traversal work out to goroutines so workers share one prebuilt
+// view instead of racing to construct it; it is otherwise built lazily by
+// the first traversal.
+func (g *Graph) BuildCSR() { g.ensureCSR() }
+
+// invalidateCSR drops the CSR view after a topology mutation.
+func (g *Graph) invalidateCSR() { g.csr.Store(nil) }
+
+// OutNeighbors returns the out-neighbor IDs of n as a slice into the flat
+// CSR view (all incident neighbors for undirected graphs). The slice is
+// owned by the graph, must not be modified, and is invalidated by graph
+// mutation. One entry per half-edge: parallel edges repeat.
+func (g *Graph) OutNeighbors(n NodeID) []NodeID {
+	g.mustNode(n)
+	return g.ensureCSR().out(n)
+}
+
+// InNeighbors returns the in-neighbor IDs of n (same as OutNeighbors for
+// undirected graphs), with the same sharing rules as OutNeighbors.
+func (g *Graph) InNeighbors(n NodeID) []NodeID {
+	g.mustNode(n)
+	return g.ensureCSR().in(n)
+}
+
+// AllNeighbors returns the direction-ignoring neighbor IDs of n (out
+// followed by in for directed graphs), with the same sharing rules as
+// OutNeighbors. A neighbor connected by reciprocal directed edges appears
+// twice; traversals deduplicate through their visited marks.
+func (g *Graph) AllNeighbors(n NodeID) []NodeID {
+	g.mustNode(n)
+	return g.ensureCSR().all(n)
+}

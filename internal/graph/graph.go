@@ -13,6 +13,7 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // NodeID identifies a node in a Graph. IDs are dense: valid IDs are
@@ -64,6 +65,8 @@ type Graph struct {
 	edgeAttrs []map[string]string // lazily allocated per edge
 
 	profiles [][]int32 // lazily built label profiles, per node
+
+	csr atomic.Pointer[csr] // lazily built flat adjacency view (csr.go)
 }
 
 // New returns an empty graph. If directed is true, edges added with AddEdge
@@ -94,6 +97,7 @@ func (g *Graph) AddNode() NodeID {
 	g.labels = append(g.labels, NoLabel)
 	g.nodeAttrs = append(g.nodeAttrs, nil)
 	g.profiles = nil // invalidate
+	g.invalidateCSR()
 	return id
 }
 
@@ -123,6 +127,7 @@ func (g *Graph) AddEdge(from, to NodeID) EdgeID {
 		g.out[to] = append(g.out[to], Half{To: from, Edge: id})
 	}
 	g.profiles = nil
+	g.invalidateCSR()
 	return id
 }
 
@@ -300,21 +305,18 @@ func (g *Graph) EdgeAttrs(e EdgeID) map[string]string {
 // exists.
 func (g *Graph) Neighbors(n NodeID) []NodeID {
 	g.mustNode(n)
-	seen := make(map[NodeID]struct{}, len(g.out[n]))
-	for _, h := range g.out[n] {
-		seen[h.To] = struct{}{}
-	}
-	if g.directed {
-		for _, h := range g.in[n] {
-			seen[h.To] = struct{}{}
+	all := g.ensureCSR().all(n)
+	out := append(make([]NodeID, 0, len(all)), all...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	// Compact duplicates (parallel edges, reciprocal directed pairs).
+	w := 0
+	for i, v := range out {
+		if i == 0 || v != out[w-1] {
+			out[w] = v
+			w++
 		}
 	}
-	out := make([]NodeID, 0, len(seen))
-	for v := range seen {
-		out = append(out, v)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return out[:w]
 }
 
 // Clone returns a deep copy of the graph.

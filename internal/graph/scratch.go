@@ -1,0 +1,123 @@
+package graph
+
+import (
+	"math"
+	"sync"
+)
+
+// Scratch is reusable flat working memory for neighborhood traversals: an
+// epoch-stamped visited array, a distance array, and a frontier/result
+// slice. Stamping a fresh epoch per traversal makes "reset" O(1), so a
+// pooled Scratch amortizes all per-call allocation away — the census
+// drivers run one k-hop extraction per focal node and recycle scratches
+// through a sync.Pool across workers.
+//
+// A Scratch backs at most one live Reach: the next traversal on the same
+// Scratch invalidates the previous result. A Scratch must not be shared
+// between goroutines.
+type Scratch struct {
+	mark  []int32  // mark[n] == epoch ⇒ n reached in the current traversal
+	dist  []int32  // hop distance, valid only when marked
+	nodes []NodeID // reached nodes in BFS order; backs Reach.Nodes
+	epoch int32
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
+
+// AcquireScratch returns a pooled Scratch ready for traversals over graphs
+// with at most n nodes. Release it when done.
+func AcquireScratch(n int) *Scratch {
+	s := scratchPool.Get().(*Scratch)
+	s.grow(n)
+	return s
+}
+
+// Release returns the Scratch to the pool. The caller must not use the
+// Scratch, or any Reach borrowed from it, afterwards.
+func (s *Scratch) Release() { scratchPool.Put(s) }
+
+func (s *Scratch) grow(n int) {
+	if len(s.mark) < n {
+		s.mark = make([]int32, n)
+		s.dist = make([]int32, n)
+		s.epoch = 0
+	}
+}
+
+// begin starts a new traversal: grows the arrays to the graph size and
+// stamps a fresh epoch (clearing marks only on the ~never-taken epoch
+// wraparound).
+func (s *Scratch) begin(n int) {
+	s.grow(n)
+	if s.epoch == math.MaxInt32 {
+		for i := range s.mark {
+			s.mark[i] = 0
+		}
+		s.epoch = 0
+	}
+	s.epoch++
+	s.nodes = s.nodes[:0]
+}
+
+// Reach is the result of a k-hop traversal: the reached node set with
+// O(1) membership and hop-distance lookup and the nodes listed in BFS
+// order. It borrows its storage from the Scratch that produced it and is
+// valid until that Scratch starts another traversal or is released.
+type Reach struct {
+	// Nodes lists the reached nodes in BFS order, source first.
+	Nodes []NodeID
+
+	mark  []int32
+	dist  []int32
+	epoch int32
+}
+
+// Len returns the number of reached nodes (|N_k(src)| + 1 for the source).
+func (r Reach) Len() int { return len(r.Nodes) }
+
+// Contains reports whether n was reached.
+func (r Reach) Contains(n NodeID) bool {
+	return int(n) < len(r.mark) && r.mark[n] == r.epoch
+}
+
+// Dist returns the hop distance of n from the source, or -1 when n was not
+// reached.
+func (r Reach) Dist(n NodeID) int32 {
+	if int(n) >= len(r.mark) || r.mark[n] != r.epoch {
+		return -1
+	}
+	return r.dist[n]
+}
+
+// Members returns the reached nodes in BFS order (the Nodes field; the
+// method form satisfies the match package's NodeSet interface).
+func (r Reach) Members() []NodeID { return r.Nodes }
+
+// KHop computes the k-hop neighborhood of src — N_k(src) plus src itself —
+// using s as working memory (maxDepth < 0 means unbounded). It is the
+// allocation-free replacement for KHopNodes on the census hot paths: the
+// returned Reach borrows s's arrays and is valid until the next traversal
+// on s.
+func (g *Graph) KHop(src NodeID, maxDepth int, s *Scratch) Reach {
+	g.mustNode(src)
+	c := g.ensureCSR()
+	s.begin(len(g.out))
+	s.mark[src] = s.epoch
+	s.dist[src] = 0
+	s.nodes = append(s.nodes, src)
+	for head := 0; head < len(s.nodes); head++ {
+		n := s.nodes[head]
+		d := s.dist[n]
+		if maxDepth >= 0 && int(d) == maxDepth {
+			continue
+		}
+		for _, nb := range c.all(n) {
+			if s.mark[nb] != s.epoch {
+				s.mark[nb] = s.epoch
+				s.dist[nb] = d + 1
+				s.nodes = append(s.nodes, nb)
+			}
+		}
+	}
+	return Reach{Nodes: s.nodes, mark: s.mark, dist: s.dist, epoch: s.epoch}
+}

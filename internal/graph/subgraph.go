@@ -5,7 +5,7 @@ import "sort"
 // Subgraph is an extracted neighborhood subgraph: a Graph plus the mapping
 // between its dense local node IDs and the original graph's node IDs.
 // Subgraphs are what the node-driven baseline census algorithm (ND-BAS)
-// runs pattern matching on.
+// runs pattern matching on when the matcher cannot match in place.
 type Subgraph struct {
 	// G is the extracted graph. Its node IDs are local.
 	G *Graph
@@ -18,44 +18,135 @@ type Subgraph struct {
 // InducedSubgraph extracts the subgraph of g incident on the given node
 // set: all the nodes, and every edge of g whose endpoints are both in the
 // set. Node attributes and labels are copied; edge attributes are copied.
+//
+// The extracted graph shares a clone of g's label dictionary (so label IDs
+// transfer without re-interning) and its adjacency lists are carved from a
+// single arena allocation — this is the inner loop of the node-driven
+// baseline and the pairwise evaluators.
 func (g *Graph) InducedSubgraph(nodes []NodeID) *Subgraph {
 	ordered := append([]NodeID(nil), nodes...)
 	sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
-	sg := &Subgraph{
-		G:        New(g.directed),
-		ToGlobal: ordered,
-		ToLocal:  make(map[NodeID]NodeID, len(ordered)),
+	n := len(ordered)
+
+	sub := &Graph{
+		directed:  g.directed,
+		labelDict: g.labelDict.Clone(),
+		out:       make([][]Half, n),
+		labels:    make([]LabelID, n),
+		nodeAttrs: make([]map[string]string, n),
 	}
-	for i, n := range ordered {
-		local := sg.G.AddNode()
-		sg.ToLocal[n] = local
-		if g.labels[n] != NoLabel {
-			sg.G.SetLabel(local, g.labelDict.Name(g.labels[n]))
-		}
-		for k, v := range g.nodeAttrs[n] {
-			sg.G.SetNodeAttr(local, k, v)
-		}
-		_ = i
+	if g.directed {
+		sub.in = make([][]Half, n)
 	}
-	for _, n := range ordered {
-		for _, h := range g.out[n] {
-			to, ok := sg.ToLocal[h.To]
-			if !ok {
+	sg := &Subgraph{G: sub, ToGlobal: ordered, ToLocal: make(map[NodeID]NodeID, n)}
+
+	// Dense membership + local-ID lookup via pooled scratch (mark stamps
+	// membership, dist carries the local ID).
+	s := AcquireScratch(len(g.out))
+	defer s.Release()
+	s.begin(len(g.out))
+	for i, gn := range ordered {
+		s.mark[gn] = s.epoch
+		s.dist[gn] = int32(i)
+		sg.ToLocal[gn] = NodeID(i)
+		sub.labels[i] = g.labels[gn]
+		if m := g.nodeAttrs[gn]; m != nil {
+			cp := make(map[string]string, len(m))
+			for k, v := range m {
+				cp[k] = v
+			}
+			sub.nodeAttrs[i] = cp
+		}
+	}
+
+	// keepEdge reproduces the single-emission rule: directed graphs emit
+	// every out half; undirected graphs emit each edge at its smaller
+	// endpoint (ties: the half whose stored From is this node — self loops).
+	keepEdge := func(gn NodeID, h Half) bool {
+		if s.mark[h.To] != s.epoch {
+			return false
+		}
+		if g.directed {
+			return true
+		}
+		if h.To < gn {
+			return false
+		}
+		return h.To != gn || g.edgs[h.Edge].From == gn
+	}
+
+	// Pass 1: count halves per local node and total edges, then carve the
+	// adjacency lists out of one arena.
+	outDeg := make([]int32, n)
+	var inDeg []int32
+	if g.directed {
+		inDeg = make([]int32, n)
+	}
+	nEdges := 0
+	for _, gn := range ordered {
+		for _, h := range g.out[gn] {
+			if !keepEdge(gn, h) {
 				continue
 			}
-			if !g.directed {
-				// Emit each undirected edge once: when n is the smaller
-				// endpoint (ties: self loop).
-				if h.To < n {
-					continue
-				}
-				if h.To == n && g.edgs[h.Edge].From != n {
-					continue
+			nEdges++
+			from := s.dist[gn]
+			to := s.dist[h.To]
+			outDeg[from]++
+			if g.directed {
+				inDeg[to]++
+			} else if from != to {
+				outDeg[to]++
+			}
+		}
+	}
+	totalOut := 0
+	for _, d := range outDeg {
+		totalOut += int(d)
+	}
+	outArena := make([]Half, totalOut)
+	off := 0
+	for i, d := range outDeg {
+		sub.out[i] = outArena[off : off : off+int(d)]
+		off += int(d)
+	}
+	if g.directed {
+		totalIn := 0
+		for _, d := range inDeg {
+			totalIn += int(d)
+		}
+		inArena := make([]Half, totalIn)
+		off = 0
+		for i, d := range inDeg {
+			sub.in[i] = inArena[off : off : off+int(d)]
+			off += int(d)
+		}
+	}
+
+	// Pass 2: materialize edges in the same order AddEdge would have.
+	sub.edgs = make([]Edge, 0, nEdges)
+	sub.edgeAttrs = make([]map[string]string, 0, nEdges)
+	for _, gn := range ordered {
+		for _, h := range g.out[gn] {
+			if !keepEdge(gn, h) {
+				continue
+			}
+			from := NodeID(s.dist[gn])
+			to := NodeID(s.dist[h.To])
+			id := EdgeID(len(sub.edgs))
+			sub.edgs = append(sub.edgs, Edge{From: from, To: to})
+			var attrs map[string]string
+			if m := g.edgeAttrs[h.Edge]; m != nil {
+				attrs = make(map[string]string, len(m))
+				for k, v := range m {
+					attrs[k] = v
 				}
 			}
-			e := sg.G.AddEdge(sg.ToLocal[n], to)
-			for k, v := range g.edgeAttrs[h.Edge] {
-				sg.G.SetEdgeAttr(e, k, v)
+			sub.edgeAttrs = append(sub.edgeAttrs, attrs)
+			sub.out[from] = append(sub.out[from], Half{To: to, Edge: id})
+			if g.directed {
+				sub.in[to] = append(sub.in[to], Half{To: from, Edge: id})
+			} else if from != to {
+				sub.out[to] = append(sub.out[to], Half{To: from, Edge: id})
 			}
 		}
 	}
@@ -65,22 +156,27 @@ func (g *Graph) InducedSubgraph(nodes []NodeID) *Subgraph {
 // EgoSubgraph extracts S(n, k): the induced subgraph on the nodes reachable
 // from n within k hops (including n).
 func (g *Graph) EgoSubgraph(n NodeID, k int) *Subgraph {
-	reach := g.KHopNodes(n, k)
-	nodes := make([]NodeID, 0, len(reach))
-	for m := range reach {
-		nodes = append(nodes, m)
-	}
-	return g.InducedSubgraph(nodes)
+	s := AcquireScratch(g.NumNodes())
+	defer s.Release()
+	reach := g.KHop(n, k, s)
+	return g.InducedSubgraph(reach.Nodes)
 }
 
 // EgoIntersection extracts the induced subgraph on N_k(a) ∩ N_k(b)
 // (including a or b themselves when they fall in both neighborhoods).
 func (g *Graph) EgoIntersection(a, b NodeID, k int) *Subgraph {
-	ra := g.KHopNodes(a, k)
-	rb := g.KHopNodes(b, k)
-	nodes := make([]NodeID, 0)
-	for m := range ra {
-		if _, ok := rb[m]; ok {
+	sa := AcquireScratch(g.NumNodes())
+	defer sa.Release()
+	sb := AcquireScratch(g.NumNodes())
+	defer sb.Release()
+	ra := g.KHop(a, k, sa)
+	rb := g.KHop(b, k, sb)
+	if rb.Len() < ra.Len() {
+		ra, rb = rb, ra
+	}
+	nodes := make([]NodeID, 0, ra.Len())
+	for _, m := range ra.Nodes {
+		if rb.Contains(m) {
 			nodes = append(nodes, m)
 		}
 	}
@@ -89,14 +185,16 @@ func (g *Graph) EgoIntersection(a, b NodeID, k int) *Subgraph {
 
 // EgoUnion extracts the induced subgraph on N_k(a) ∪ N_k(b).
 func (g *Graph) EgoUnion(a, b NodeID, k int) *Subgraph {
-	ra := g.KHopNodes(a, k)
-	rb := g.KHopNodes(b, k)
-	nodes := make([]NodeID, 0, len(ra)+len(rb))
-	for m := range ra {
-		nodes = append(nodes, m)
-	}
-	for m := range rb {
-		if _, ok := ra[m]; !ok {
+	sa := AcquireScratch(g.NumNodes())
+	defer sa.Release()
+	sb := AcquireScratch(g.NumNodes())
+	defer sb.Release()
+	ra := g.KHop(a, k, sa)
+	rb := g.KHop(b, k, sb)
+	nodes := make([]NodeID, 0, ra.Len()+rb.Len())
+	nodes = append(nodes, ra.Nodes...)
+	for _, m := range rb.Nodes {
+		if !ra.Contains(m) {
 			nodes = append(nodes, m)
 		}
 	}

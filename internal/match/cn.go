@@ -1,6 +1,8 @@
 package match
 
 import (
+	"sync"
+
 	"egocensus/internal/graph"
 	"egocensus/internal/pattern"
 )
@@ -9,36 +11,108 @@ import (
 // (Algorithm 1): profile-filtered candidates, per-candidate candidate
 // neighbor sets, simultaneous pruning of both, and match extraction that
 // joins candidate neighbor sets instead of scanning candidate sets.
+//
+// The implementation runs on flat, pooled data structures: candidate
+// membership and candidate positions live in epoch-stamped dense arrays
+// (no per-run maps), candidate neighbor sets are carved from per-pattern-
+// node arenas, and neighbor iteration uses the graph's CSR view. CN also
+// implements MaskedMatcher, enumerating embeddings restricted to a node
+// subset in place — the node-driven baseline census matches inside k-hop
+// neighborhoods without extracting subgraphs.
 type CN struct{}
 
 // Name implements Matcher.
 func (CN) Name() string { return "CN" }
 
+// cnScratch is the pooled flat working memory of one matching run. The
+// member/pos planes are indexed [v*numNodes + node]; epoch stamping makes
+// per-run reset O(1).
+type cnScratch struct {
+	member []int32 // member[v*n+node] == epoch ⇒ node ∈ C(v) and live
+	pos    []int32 // index of node within cand[v], valid when member stamped
+	outDir []int32 // current candidate's out-neighbor marks (dirEpoch)
+	inDir  []int32 // current candidate's in-neighbor marks (directed only)
+	nbrBuf []graph.NodeID
+	epoch  int32
+	dirEp  int32
+}
+
+var cnScratchPool = sync.Pool{New: func() any { return new(cnScratch) }}
+
+func acquireCNScratch(planes, n int) *cnScratch {
+	sc := cnScratchPool.Get().(*cnScratch)
+	if len(sc.member) < planes*n {
+		sc.member = make([]int32, planes*n)
+		sc.pos = make([]int32, planes*n)
+		sc.epoch = 0
+	}
+	if len(sc.outDir) < n {
+		sc.outDir = make([]int32, n)
+		sc.inDir = make([]int32, n)
+		sc.dirEp = 0
+	}
+	sc.epoch++
+	if sc.epoch <= 0 { // wraparound: clear and restart
+		for i := range sc.member {
+			sc.member[i] = 0
+		}
+		sc.epoch = 1
+	}
+	return sc
+}
+
+func (sc *cnScratch) release() { cnScratchPool.Put(sc) }
+
 // cnState holds the candidate structures for one matching run.
 type cnState struct {
-	g *graph.Graph
-	p *pattern.Pattern
+	g  *graph.Graph
+	p  *pattern.Pattern
+	n  int // number of graph nodes
+	sc *cnScratch
 
-	cand   [][]graph.NodeID                    // C(v), live list
-	inCand []map[graph.NodeID]bool             // membership view of C(v)
-	reqs   [][]edgeReq                         // direction requirements per (v, j)
-	cn     []map[graph.NodeID][][]graph.NodeID // cn[v][n][j] = CN(n, v, v_j)
+	cand [][]graph.NodeID   // C(v) in enumeration order (dead entries skipped via member)
+	reqs [][]edgeReq        // direction requirements per (v, j)
+	cn   [][][]graph.NodeID // cn[v][pos*deg(v)+j] = CN(n, v, v_j)
+}
+
+func (st *cnState) live(v int, n graph.NodeID) bool {
+	return st.sc.member[v*st.n+int(n)] == st.sc.epoch
+}
+
+func (st *cnState) kill(v int, n graph.NodeID) {
+	st.sc.member[v*st.n+int(n)] = 0
+}
+
+func (st *cnState) posOf(v int, n graph.NodeID) int32 {
+	return st.sc.pos[v*st.n+int(n)]
 }
 
 // Embeddings implements Matcher.
-func (CN) Embeddings(g *graph.Graph, p *pattern.Pattern) []pattern.Match {
+func (c CN) Embeddings(g *graph.Graph, p *pattern.Pattern) []pattern.Match {
+	return c.EmbeddingsWithin(g, p, nil)
+}
+
+// EmbeddingsWithin implements MaskedMatcher: it enumerates the embeddings
+// whose every image node lies in `within` (nil means the whole graph),
+// matching directly against the parent graph. Because an induced
+// neighborhood subgraph contains exactly the parent edges between its
+// nodes, masked matching is equivalent to extracting the subgraph and
+// matching inside it — minus the extraction.
+func (CN) EmbeddingsWithin(g *graph.Graph, p *pattern.Pattern, within NodeSet) []pattern.Match {
 	if p.NumNodes() == 0 {
 		return nil
 	}
-	st := &cnState{g: g, p: p, reqs: pairRequirements(p)}
+	st := &cnState{g: g, p: p, n: g.NumNodes(), reqs: pairRequirements(p)}
+	st.sc = acquireCNScratch(p.NumNodes(), st.n)
+	defer st.sc.release()
 
-	// Step 1: enumerate candidates.
-	st.cand = enumerateCandidates(g, p)
-	st.inCand = make([]map[graph.NodeID]bool, p.NumNodes())
+	// Step 1: enumerate candidates and stamp membership/positions.
+	st.cand = enumerateCandidatesWithin(g, p, within)
 	for v, list := range st.cand {
-		st.inCand[v] = make(map[graph.NodeID]bool, len(list))
-		for _, n := range list {
-			st.inCand[v][n] = true
+		base := v * st.n
+		for i, n := range list {
+			st.sc.member[base+int(n)] = st.sc.epoch
+			st.sc.pos[base+int(n)] = int32(i)
 		}
 	}
 
@@ -52,33 +126,113 @@ func (CN) Embeddings(g *graph.Graph, p *pattern.Pattern) []pattern.Match {
 	return st.extract()
 }
 
+// candNeighbors returns the distinct-neighbor iteration list of n: the CSR
+// out slice for undirected graphs (one entry per half-edge, matching the
+// adjacency representation), or the deduplicated out∪in union for directed
+// graphs, built in the scratch buffer. Must be consumed before the next
+// candNeighbors call.
+func (st *cnState) candNeighbors(n graph.NodeID) []graph.NodeID {
+	if !st.g.Directed() {
+		return st.g.OutNeighbors(n)
+	}
+	sc := st.sc
+	buf := sc.nbrBuf[:0]
+	// outDir doubles as the dedup mark here; it is re-stamped below.
+	sc.dirEp++
+	for _, nb := range st.g.OutNeighbors(n) {
+		if sc.outDir[nb] != sc.dirEp {
+			sc.outDir[nb] = sc.dirEp
+			buf = append(buf, nb)
+		}
+	}
+	for _, nb := range st.g.InNeighbors(n) {
+		if sc.outDir[nb] != sc.dirEp {
+			sc.outDir[nb] = sc.dirEp
+			buf = append(buf, nb)
+		}
+	}
+	sc.nbrBuf = buf
+	return buf
+}
+
+// markDirections stamps n's out- and in-neighbor sets so edge-direction
+// requirements test in O(1).
+func (st *cnState) markDirections(n graph.NodeID) {
+	sc := st.sc
+	sc.dirEp++
+	for _, nb := range st.g.OutNeighbors(n) {
+		sc.outDir[nb] = sc.dirEp
+	}
+	if st.g.Directed() {
+		for _, nb := range st.g.InNeighbors(n) {
+			sc.inDir[nb] = sc.dirEp
+		}
+	}
+}
+
+// reqOK tests requirement r for neighbor nb of the currently marked
+// candidate.
+func (st *cnState) reqOK(r edgeReq, nb graph.NodeID) bool {
+	sc := st.sc
+	hasOut := sc.outDir[nb] == sc.dirEp
+	hasIn := hasOut
+	if st.g.Directed() {
+		hasIn = sc.inDir[nb] == sc.dirEp
+	}
+	if r.needOut && !hasOut {
+		return false
+	}
+	if r.needIn && !hasIn {
+		return false
+	}
+	if r.needAny && !hasOut && !hasIn {
+		return false
+	}
+	return true
+}
+
 func (st *cnState) initCandidateNeighbors() {
-	p, g := st.p, st.g
-	st.cn = make([]map[graph.NodeID][][]graph.NodeID, p.NumNodes())
+	p := st.p
+	st.cn = make([][][]graph.NodeID, p.NumNodes())
 	for v := 0; v < p.NumNodes(); v++ {
 		nbrs := p.PositiveNeighbors(v)
-		st.cn[v] = make(map[graph.NodeID][][]graph.NodeID, len(st.cand[v]))
+		deg := len(nbrs)
+		sets := make([][]graph.NodeID, len(st.cand[v])*deg)
+		st.cn[v] = sets
+		if deg == 0 {
+			continue
+		}
+		// Arena sized by an upper bound on total CN entries; if an append
+		// ever grows past it, earlier sets keep their old backing — safe,
+		// merely unshared.
+		bound := 0
 		for _, n := range st.cand[v] {
-			out, in := neighborSets(g, n)
-			sets := make([][]graph.NodeID, len(nbrs))
+			bound += st.g.Degree(n) * deg
+		}
+		arena := make([]graph.NodeID, 0, bound)
+		for ci, n := range st.cand[v] {
+			// The neighbor list must be captured per candidate because the
+			// directed variant shares the scratch buffer.
+			neighbors := st.candNeighbors(n)
+			st.markDirections(n)
 			for j, u := range nbrs {
 				req := st.reqs[v][j]
-				var set []graph.NodeID
-				for _, nb := range distinctNeighbors(g, n) {
+				ubase := u * st.n
+				start := len(arena)
+				for _, nb := range neighbors {
 					if nb == n {
 						continue
 					}
-					if !st.inCand[u][nb] {
+					if st.sc.member[ubase+int(nb)] != st.sc.epoch {
 						continue
 					}
-					if !req.satisfies(nb, out, in) {
+					if !st.reqOK(req, nb) {
 						continue
 					}
-					set = append(set, nb)
+					arena = append(arena, nb)
 				}
-				sets[j] = set
+				sets[ci*deg+j] = arena[start:len(arena):len(arena)]
 			}
-			st.cn[v][n] = sets
 		}
 	}
 }
@@ -93,42 +247,46 @@ func (st *cnState) prune() {
 		// Rule 1: every candidate needs a non-empty CN set per pattern
 		// neighbor.
 		for v := 0; v < p.NumNodes(); v++ {
-			live := st.cand[v][:0]
-			for _, n := range st.cand[v] {
+			deg := len(p.PositiveNeighbors(v))
+			for ci, n := range st.cand[v] {
+				if !st.live(v, n) {
+					continue
+				}
 				ok := true
-				for _, set := range st.cn[v][n] {
-					if len(set) == 0 {
+				for j := 0; j < deg; j++ {
+					if len(st.cn[v][ci*deg+j]) == 0 {
 						ok = false
 						break
 					}
 				}
-				if ok {
-					live = append(live, n)
-				} else {
-					delete(st.inCand[v], n)
-					delete(st.cn[v], n)
+				if !ok {
+					st.kill(v, n)
 					changed = true
 				}
 			}
-			st.cand[v] = live
 		}
 		// Rule 2: candidate neighbors must still be candidates.
 		for v := 0; v < p.NumNodes(); v++ {
 			nbrs := p.PositiveNeighbors(v)
-			for n, sets := range st.cn[v] {
-				for j := range sets {
+			deg := len(nbrs)
+			for ci, n := range st.cand[v] {
+				if !st.live(v, n) {
+					continue
+				}
+				for j := 0; j < deg; j++ {
 					u := nbrs[j]
-					liveSet := sets[j][:0]
-					for _, nb := range sets[j] {
-						if st.inCand[u][nb] {
+					ubase := u * st.n
+					set := st.cn[v][ci*deg+j]
+					liveSet := set[:0]
+					for _, nb := range set {
+						if st.sc.member[ubase+int(nb)] == st.sc.epoch {
 							liveSet = append(liveSet, nb)
 						} else {
 							changed = true
 						}
 					}
-					sets[j] = liveSet
+					st.cn[v][ci*deg+j] = liveSet
 				}
-				st.cn[v][n] = sets
 			}
 		}
 	}
@@ -168,8 +326,23 @@ func (st *cnState) extract() []pattern.Match {
 	}
 
 	assignment := make(pattern.Match, n)
-	used := make(map[graph.NodeID]bool, n)
+	used := make([]graph.NodeID, 0, n)
+	isUsed := func(c graph.NodeID) bool {
+		for _, x := range used {
+			if x == c {
+				return true
+			}
+		}
+		return false
+	}
 	var results []pattern.Match
+
+	// cnSet returns CN(assignment[u], u, u's j-th pattern neighbor).
+	cnSet := func(b backEdge) []graph.NodeID {
+		img := assignment[b.u]
+		deg := len(p.PositiveNeighbors(b.u))
+		return st.cn[b.u][int(st.posOf(b.u, img))*deg+b.j]
+	}
 
 	var recurse func(i int)
 	recurse = func(i int) {
@@ -184,10 +357,13 @@ func (st *cnState) extract() []pattern.Match {
 		v := order[i]
 		if i == 0 {
 			for _, cand := range st.cand[v] {
+				if !st.live(v, cand) {
+					continue
+				}
 				assignment[v] = cand
-				used[cand] = true
+				used = append(used, cand)
 				recurse(1)
-				delete(used, cand)
+				used = used[:len(used)-1]
 			}
 			return
 		}
@@ -197,8 +373,7 @@ func (st *cnState) extract() []pattern.Match {
 		smallest := -1
 		size := int(^uint(0) >> 1)
 		for idx, b := range be {
-			set := st.cn[b.u][assignment[b.u]][b.j]
-			if len(set) < size {
+			if set := cnSet(b); len(set) < size {
 				size = len(set)
 				smallest = idx
 			}
@@ -206,24 +381,24 @@ func (st *cnState) extract() []pattern.Match {
 		if smallest < 0 {
 			return // disconnected order; Validate prevents this
 		}
-		seed := st.cn[be[smallest].u][assignment[be[smallest].u]][be[smallest].j]
+		seed := cnSet(be[smallest])
 	cands:
 		for _, cand := range seed {
-			if used[cand] {
+			if isUsed(cand) {
 				continue
 			}
 			for idx, b := range be {
 				if idx == smallest {
 					continue
 				}
-				if !contains(st.cn[b.u][assignment[b.u]][b.j], cand) {
+				if !contains(cnSet(b), cand) {
 					continue cands
 				}
 			}
 			assignment[v] = cand
-			used[cand] = true
+			used = append(used, cand)
 			recurse(i + 1)
-			delete(used, cand)
+			used = used[:len(used)-1]
 		}
 	}
 	recurse(0)

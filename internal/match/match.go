@@ -27,24 +27,66 @@ type Matcher interface {
 	Embeddings(g *graph.Graph, p *pattern.Pattern) []pattern.Match
 }
 
+// NodeSet is a set of graph nodes that masked matching can be restricted
+// to. graph.Reach implements it.
+type NodeSet interface {
+	// Contains reports set membership.
+	Contains(n graph.NodeID) bool
+	// Members lists the set's nodes. The order is unspecified; the slice
+	// must not be modified.
+	Members() []graph.NodeID
+}
+
+// MaskedMatcher is a Matcher that can enumerate the embeddings whose image
+// lies entirely inside a node subset, matching in place on the parent
+// graph. Because a k-hop neighborhood subgraph is induced — it contains
+// every parent edge between its nodes — masked matching is equivalent to
+// extracting the subgraph and matching inside it, and the node-driven
+// census drivers use it to skip extraction entirely.
+type MaskedMatcher interface {
+	Matcher
+	// EmbeddingsWithin is Embeddings restricted to within; nil means the
+	// whole graph.
+	EmbeddingsWithin(g *graph.Graph, p *pattern.Pattern, within NodeSet) []pattern.Match
+}
+
 // Deduplicate collapses automorphic embeddings of the same subgraph into a
 // single match (Section II: a match is a subgraph isomorphic to P). When
 // subNodes is non-nil the subpattern image participates in match identity,
 // so the same subgraph with a different subpattern assignment is kept
 // (COUNTSP semantics). The result is ordered deterministically.
 func Deduplicate(p *pattern.Pattern, embeddings []pattern.Match, subNodes []int) []pattern.Match {
-	seen := make(map[string]int, len(embeddings))
+	seen := make(map[string]struct{}, len(embeddings))
 	out := make([]pattern.Match, 0, len(embeddings))
+	var key []byte
 	for _, m := range embeddings {
-		key := p.Key(m, subNodes)
-		if _, dup := seen[key]; dup {
+		key = p.AppendKey(key[:0], m, subNodes)
+		if _, dup := seen[string(key)]; dup {
 			continue
 		}
-		seen[key] = len(out)
+		seen[string(key)] = struct{}{}
 		out = append(out, m)
 	}
 	sort.Slice(out, func(i, j int) bool { return lessMatch(out[i], out[j]) })
 	return out
+}
+
+// CountDistinct returns the number of distinct matches among embeddings —
+// len(Deduplicate(...)) without materializing or sorting the deduplicated
+// slice. The census counting loops use it.
+func CountDistinct(p *pattern.Pattern, embeddings []pattern.Match, subNodes []int) int {
+	if len(embeddings) == 0 {
+		return 0
+	}
+	seen := make(map[string]struct{}, len(embeddings))
+	var key []byte
+	for _, m := range embeddings {
+		key = p.AppendKey(key[:0], m, subNodes)
+		if _, dup := seen[string(key)]; !dup {
+			seen[string(key)] = struct{}{}
+		}
+	}
+	return len(seen)
 }
 
 func lessMatch(a, b pattern.Match) bool {
@@ -140,6 +182,42 @@ func enumerateCandidates(g *graph.Graph, p *pattern.Pattern) [][]graph.NodeID {
 				if prof.matches(g, n) {
 					out = append(out, n)
 				}
+			}
+		}
+		cands[v] = out
+	}
+	return cands
+}
+
+// enumerateCandidatesWithin is enumerateCandidates restricted to a node
+// subset: candidates are drawn from within's members instead of label
+// pools. Profiles and degrees are the parent graph's — supersets of the
+// induced subgraph's, so the filter is sound (never drops a true
+// candidate); adjacency is verified exactly by the candidate neighbor
+// sets, which are mask-restricted.
+func enumerateCandidatesWithin(g *graph.Graph, p *pattern.Pattern, within NodeSet) [][]graph.NodeID {
+	if within == nil {
+		return enumerateCandidates(g, p)
+	}
+	members := within.Members()
+	cands := make([][]graph.NodeID, p.NumNodes())
+	for v := 0; v < p.NumNodes(); v++ {
+		prof := buildPatternProfile(g, p, v)
+		want := graph.NoLabel
+		if l := p.Node(v).Label; l != "" {
+			id, ok := g.Labels().Lookup(l)
+			if !ok {
+				continue // label absent from the graph: no candidates
+			}
+			want = id
+		}
+		var out []graph.NodeID
+		for _, n := range members {
+			if want != graph.NoLabel && g.Label(n) != want {
+				continue
+			}
+			if prof.matches(g, n) {
+				out = append(out, n)
 			}
 		}
 		cands[v] = out

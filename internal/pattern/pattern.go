@@ -432,3 +432,73 @@ func (p *Pattern) Key(m Match, subNodes []int) string {
 	}
 	return b.String()
 }
+
+// AppendKey appends a compact binary encoding of the same match identity as
+// Key to dst and returns the extended buffer: two AppendKey results for the
+// same pattern are equal exactly when the Key strings are. The census
+// deduplication loops call it with a reused buffer instead of Key, which
+// allocates a formatted string per embedding.
+func (p *Pattern) AppendKey(dst []byte, m Match, subNodes []int) []byte {
+	// Sorted node multiset. Patterns are small; insertion sort in a stack
+	// buffer avoids the sort.Ints allocation.
+	var nbuf [12]int32
+	nodes := nbuf[:0]
+	for _, v := range m {
+		nodes = append(nodes, int32(v))
+	}
+	insertionSortInt32(nodes)
+	for _, v := range nodes {
+		dst = appendInt32(dst, v)
+	}
+	// Canonical positive-edge image list, encoded like Key: directed edges
+	// flip the second endpoint to -b-1 so orientation participates in
+	// identity.
+	var ebuf [24]int32
+	eps := ebuf[:0]
+	for _, e := range p.edges {
+		if e.Negated {
+			continue
+		}
+		a, b := int32(m[e.From]), int32(m[e.To])
+		if !e.Directed && a > b {
+			a, b = b, a
+		}
+		if e.Directed {
+			b = -b - 1
+		}
+		eps = append(eps, a, b)
+	}
+	insertionSortPairs(eps)
+	for _, v := range eps {
+		dst = appendInt32(dst, v)
+	}
+	// All sections are fixed-width per pattern, so no separators are needed
+	// for injectivity.
+	for _, idx := range subNodes {
+		dst = appendInt32(dst, int32(m[idx]))
+	}
+	return dst
+}
+
+func appendInt32(dst []byte, v int32) []byte {
+	u := uint32(v)
+	return append(dst, byte(u), byte(u>>8), byte(u>>16), byte(u>>24))
+}
+
+func insertionSortInt32(s []int32) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// insertionSortPairs sorts a flat (a, b) pair list lexicographically.
+func insertionSortPairs(s []int32) {
+	for i := 2; i < len(s); i += 2 {
+		for j := i; j > 0 && (s[j] < s[j-2] || (s[j] == s[j-2] && s[j+1] < s[j-1])); j -= 2 {
+			s[j], s[j-2] = s[j-2], s[j]
+			s[j+1], s[j-1] = s[j-1], s[j+1]
+		}
+	}
+}
