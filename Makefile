@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-report vet fmt experiments-unit experiments-small clean
+.PHONY: all build test race bench bench-report bench-planner vet fmt experiments-unit experiments-small clean
 
 all: build test
 
@@ -22,6 +22,11 @@ bench:
 # including the speedup against the recorded pre-CSR seed baseline.
 bench-report:
 	$(GO) run ./cmd/benchreport -o BENCH_1.json
+
+# Query-planner metrics: optimization overhead per query and the
+# cost-based vs boolean-heuristic head-to-head.
+bench-planner:
+	$(GO) run ./cmd/benchreport -suite 2 -o BENCH_2.json
 
 vet:
 	$(GO) vet ./...

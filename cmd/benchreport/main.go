@@ -1,12 +1,16 @@
 // Command benchreport runs the repository's headline benchmark workloads
-// (the Fig 4(a) matching workload, the Fig 4(c) census workload, the raw
+// and writes the results as machine-readable JSON for regression tracking
+// (`make bench-report`, checked in as BENCH_<n>.json). Suite 1 covers the
+// Fig 4(a) matching workload, the Fig 4(c) census workload, the raw
 // MatchCN series, and a full-graph ND-BAS census at several worker
-// counts) and writes the results as machine-readable JSON for regression
-// tracking (`make bench-report`, checked in as BENCH_<n>.json).
+// counts. Suite 2 covers the query planner: per-query optimization
+// overhead and a head-to-head of cost-based algorithm selection against
+// the old boolean selectivity heuristic (labels/predicates -> PT-OPT).
 //
 // Usage:
 //
 //	benchreport [-o BENCH_1.json] [-ndbas-nodes 1200] [-quick]
+//	benchreport -suite 2 [-o BENCH_2.json]
 package main
 
 import (
@@ -22,6 +26,7 @@ import (
 	"egocensus/internal/core"
 	"egocensus/internal/gen"
 	"egocensus/internal/graph"
+	"egocensus/internal/lang"
 	"egocensus/internal/match"
 	"egocensus/internal/pattern"
 )
@@ -53,6 +58,30 @@ type Report struct {
 	// BFS maps, ego-subgraph extraction, sequential drivers) recorded on
 	// this machine before the CSR kernel landed, and the derived ratios.
 	Seed *SeedComparison `json:"seed_comparison,omitempty"`
+	// Planner holds the suite-2 planner metrics.
+	Planner *PlannerReport `json:"planner,omitempty"`
+}
+
+// PlannerReport is the suite-2 artifact: the cost of planning itself and
+// the head-to-head between cost-based selection and the old boolean
+// heuristic on a workload the heuristic misjudges.
+type PlannerReport struct {
+	// PlanNsPerOp is one Build+Optimize pass; QueryNsPerOp the full query
+	// (plan + focal select + census + render); OverheadFraction their
+	// ratio. The acceptance bar is < 0.01.
+	PlanNsPerOp      int64   `json:"plan_ns_per_op"`
+	QueryNsPerOp     int64   `json:"query_ns_per_op"`
+	OverheadFraction float64 `json:"plan_overhead_fraction"`
+	// HeuristicAlgorithm is what the old labels/predicates rule picks for
+	// the head-to-head query; CostBasedAlgorithm what the optimizer picks.
+	HeuristicAlgorithm string `json:"heuristic_algorithm"`
+	CostBasedAlgorithm string `json:"cost_based_algorithm"`
+	// HeuristicNsPerOp / CostBasedNsPerOp are the measured census times
+	// under each choice; Speedup is heuristic/cost-based (> 1 means the
+	// cost model won).
+	HeuristicNsPerOp int64   `json:"heuristic_ns_per_op"`
+	CostBasedNsPerOp int64   `json:"cost_based_ns_per_op"`
+	Speedup          float64 `json:"cost_based_speedup"`
 }
 
 // SeedComparison compares the current kernel against the recorded
@@ -111,6 +140,7 @@ func main() {
 		out        = flag.String("o", "BENCH_1.json", "output JSON path")
 		ndbasNodes = flag.Int("ndbas-nodes", 1200, "graph size for the ND-BAS census workload")
 		quick      = flag.Bool("quick", false, "skip the slower Fig4c per-algorithm sweep")
+		suite      = flag.Int("suite", 1, "workload suite: 1 = kernels, 2 = query planner")
 	)
 	flag.Parse()
 
@@ -119,6 +149,14 @@ func main() {
 		GoOS:   runtime.GOOS,
 		GoArch: runtime.GOARCH,
 		NumCPU: runtime.NumCPU(),
+	}
+
+	if *suite == 2 {
+		plannerSuite(rep)
+		writeReport(*out, rep)
+		fmt.Fprintf(os.Stderr, "wrote %s (plan overhead %.4f%%, cost-based speedup %.2fx)\n",
+			*out, rep.Planner.OverheadFraction*100, rep.Planner.Speedup)
+		return
 	}
 
 	clq3 := pattern.Clique("clq3", 3, []string{"l0", "l1", "l2"})
@@ -198,15 +236,121 @@ func main() {
 		}
 	}
 
+	writeReport(*out, rep)
+	fmt.Fprintf(os.Stderr, "wrote %s (ndbas 8-worker speedup: %.2fx)\n", *out, rep.NDBasSpeedup)
+}
+
+func writeReport(out string, rep *Report) {
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
 		os.Exit(1)
 	}
 	data = append(data, '\n')
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	if err := os.WriteFile(out, data, 0o644); err != nil {
 		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s (ndbas 8-worker speedup: %.2fx)\n", *out, rep.NDBasSpeedup)
+}
+
+// heuristicAlgorithm replicates the boolean rule the engine used before
+// the cost-based optimizer: labels or predicates imply a selective
+// pattern (pattern-driven PT-OPT); everything else is node-driven
+// ND-PVOT. It ignores the match-set size entirely, which is exactly what
+// the head-to-head workload exploits.
+func heuristicAlgorithm(p *pattern.Pattern) core.Algorithm {
+	selective := len(p.Predicates()) > 0
+	for i := 0; i < p.NumNodes(); i++ {
+		if p.Node(i).Label != "" {
+			selective = true
+			break
+		}
+	}
+	if selective {
+		return core.PTOpt
+	}
+	return core.NDPvot
+}
+
+// plannerSuite measures suite 2: planning overhead and the
+// heuristic-vs-cost-based head-to-head. The workload is a fully labeled
+// triangle on a graph where every node carries that label — the old rule
+// reads the labels as selectivity and picks PT-OPT, but the match set is
+// as large as the unlabeled case, so the cost model's node-driven choice
+// is far cheaper.
+func plannerSuite(rep *Report) {
+	g := gen.PreferentialAttachment(1000, 5, 1)
+	gen.AssignLabels(g, 1, 2) // every node labeled l0
+	g.BuildProfiles()
+	clq := pattern.Clique("clq3l0", 3, []string{"l0", "l0", "l0"})
+
+	e := core.NewEngine(g)
+	if err := e.DefinePattern(clq); err != nil {
+		fatalErr(err)
+	}
+	const qsrc = `SELECT ID, COUNTP(clq3l0, SUBGRAPH(ID, 2)) FROM nodes`
+	script, err := lang.ParseWith(qsrc, e.Patterns())
+	if err != nil {
+		fatalErr(err)
+	}
+	q := script.Queries()[0]
+	phys, err := e.Plan(q) // warm the stats memo before timing
+	if err != nil {
+		fatalErr(err)
+	}
+
+	planE := measure("planner/plan-only", 0, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Plan(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	queryE := measure("planner/full-query", 0, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Run(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	spec := core.Spec{Pattern: clq, K: 2}
+	heuristic := heuristicAlgorithm(clq)
+	costBased := core.Algorithm(phys.Algorithm(0))
+	opt := core.Options{Seed: 1}
+	heurE := measure("headtohead/heuristic="+string(heuristic), 0, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Count(g, spec, heuristic, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	costE := measure("headtohead/cost-based="+string(costBased), 0, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Count(g, spec, costBased, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	rep.Entries = append(rep.Entries, planE, queryE, heurE, costE)
+	rep.Planner = &PlannerReport{
+		PlanNsPerOp:        planE.NsPerOp,
+		QueryNsPerOp:       queryE.NsPerOp,
+		OverheadFraction:   float64(planE.NsPerOp) / float64(queryE.NsPerOp),
+		HeuristicAlgorithm: string(heuristic),
+		CostBasedAlgorithm: string(costBased),
+		HeuristicNsPerOp:   heurE.NsPerOp,
+		CostBasedNsPerOp:   costE.NsPerOp,
+		Speedup:            float64(heurE.NsPerOp) / float64(costE.NsPerOp),
+	}
+}
+
+func fatalErr(err error) {
+	fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+	os.Exit(1)
 }

@@ -7,8 +7,10 @@
 //	census -graph graph.egoc -query script.pcq [-alg PT-OPT] [-seed 1]
 //	census -graph graph.egoc -e 'PATTERN t {...} SELECT ...'
 //
-// Without -alg the engine picks automatically: pattern-driven (PT-OPT)
-// for selective patterns, node-driven (ND-PVOT) otherwise.
+// Without -alg the cost-based optimizer picks the cheapest of the six
+// census algorithms from the graph's statistics snapshot; prefix a query
+// with EXPLAIN to see the plan. Binary graphs (.egoc) open as a lazy
+// source, so EXPLAIN-only scripts never materialize the graph.
 package main
 
 import (
@@ -48,11 +50,12 @@ func main() {
 		}
 		src = string(data)
 	}
-	g, err := storage.Load(*graphPath)
+	st, err := storage.Open(*graphPath, 0)
 	if err != nil {
 		fatal(err)
 	}
-	e := core.NewEngine(g)
+	defer st.Close()
+	e := core.NewEngineFromSource(st)
 	e.Alg = core.Algorithm(*alg)
 	e.Opt.Workers = *workers
 	e.Seed = *seed

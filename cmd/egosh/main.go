@@ -10,9 +10,11 @@
 // Statements may span lines; they execute when braces are balanced and the
 // line ends with ';'. Shell commands start with a backslash:
 //
-//	\open <file>          load a graph (binary .egoc or text)
+//	\open <file>          load a graph (binary .egoc opens lazily, text loads)
 //	\gen <nodes> [labels] generate a preferential-attachment graph
 //	\alg <name|auto>      force an algorithm (ND-PVOT, PT-OPT, ...)
+//	\explain <query>      show the optimized plan without executing
+//	\timing               toggle per-stage timing after each query
 //	\stats                print graph statistics
 //	\patterns             list declared patterns
 //	\help                 show this help
@@ -58,6 +60,7 @@ type shell struct {
 	seed    int64
 	alg     core.Algorithm
 	workers int
+	timing  bool
 }
 
 func newShell(out io.Writer, seed int64) *shell {
@@ -67,10 +70,14 @@ func newShell(out io.Writer, seed int64) *shell {
 }
 
 func (sh *shell) setGraph(g *graph.Graph) {
-	e := core.NewEngine(g)
+	sh.adoptEngine(core.NewEngine(g))
+}
+
+// adoptEngine installs a new engine, carrying declared patterns and
+// session settings across graph switches.
+func (sh *shell) adoptEngine(e *core.Engine) {
 	if sh.engine != nil {
 		for _, p := range sh.engine.Patterns() {
-			// Carry declared patterns across graph switches.
 			if err := e.DefinePattern(p); err != nil {
 				fmt.Fprintf(sh.out, "warning: %v\n", err)
 			}
@@ -83,19 +90,40 @@ func (sh *shell) setGraph(g *graph.Graph) {
 }
 
 func (sh *shell) open(path string) error {
-	var g *graph.Graph
-	var err error
 	if strings.HasSuffix(path, ".txt") || strings.HasSuffix(path, ".tsv") || strings.HasSuffix(path, ".el") {
-		g, err = storage.LoadText(path)
-	} else {
-		g, err = storage.Load(path)
+		g, err := storage.LoadText(path)
+		if err != nil {
+			return err
+		}
+		sh.setGraph(g)
+		fmt.Fprintf(sh.out, "loaded %s: %d nodes, %d edges\n", path, g.NumNodes(), g.NumEdges())
+		return nil
 	}
+	// Binary stores open as a plan.Source: the shell can plan and EXPLAIN
+	// against the resident statistics; the graph materializes on the first
+	// executing query.
+	st, err := storage.Open(path, 0)
 	if err != nil {
 		return err
 	}
-	sh.setGraph(g)
-	fmt.Fprintf(sh.out, "loaded %s: %d nodes, %d edges\n", path, g.NumNodes(), g.NumEdges())
+	sh.adoptEngine(core.NewEngineFromSource(st))
+	s, err := st.GraphStats()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(sh.out, "opened %s: %d nodes, %d edges, %d labels (deferred load)\n",
+		path, s.Nodes, s.Edges, s.NumLabels())
 	return nil
+}
+
+// graphOrComplain hydrates the engine's graph for commands that need it.
+func (sh *shell) graphOrComplain() *graph.Graph {
+	g, err := sh.engine.Graph()
+	if err != nil {
+		fmt.Fprintf(sh.out, "error: %v\n", err)
+		return nil
+	}
+	return g
 }
 
 func (sh *shell) run(in io.Reader) {
@@ -191,6 +219,9 @@ func (sh *shell) execute(src string) {
 	for _, t := range tables {
 		fmt.Fprintf(sh.out, "-- %s, %d matches, %d rows, %v\n",
 			t.Algorithm, t.NumMatches, len(t.Rows), t.Elapsed)
+		if sh.timing {
+			sh.printTiming(t)
+		}
 		limit := 40
 		if len(t.Rows) > limit {
 			trimmed := *t
@@ -201,6 +232,17 @@ func (sh *shell) execute(src string) {
 		}
 		fmt.Fprint(sh.out, core.FormatTable(t))
 	}
+}
+
+// printTiming prints the per-stage breakdown of one executed query.
+func (sh *shell) printTiming(t *core.Table) {
+	st := t.Stats
+	focal := "pairs from match set"
+	if st.FocalCount >= 0 {
+		focal = fmt.Sprintf("%d focal", st.FocalCount)
+	}
+	fmt.Fprintf(sh.out, "   plan %v | focal-select %v (%s) | census %v (|M|=%d) | render %v (%d rows)\n",
+		st.PlanTime, st.FocalTime, focal, st.CensusTime, st.MatchSetSize, st.RenderTime, st.Rows)
 }
 
 // command handles a backslash command; it returns false to exit the shell.
@@ -217,28 +259,51 @@ commands:
   \gen <nodes> [labels]  generate a preferential-attachment graph (|E|=5|V|)
   \alg <name|auto>       force ND-BAS/ND-DIFF/ND-PVOT/PT-BAS/PT-RND/PT-OPT
   \workers <n|auto>      parallel workers for the counting phase (auto = one per CPU)
+  \explain <query>       show the optimized plan without executing
+  \timing                toggle per-stage timing after each query
   \dot <node> <k> <file> export S(node, k) as Graphviz DOT
   \stats                 graph statistics
   \patterns              list declared patterns
   \quit                  exit
 `)
+	case `\timing`:
+		sh.timing = !sh.timing
+		state := "off"
+		if sh.timing {
+			state = "on"
+		}
+		fmt.Fprintf(sh.out, "timing: %s\n", state)
+	case `\explain`:
+		q := strings.TrimSpace(strings.TrimPrefix(line, `\explain`))
+		if q == "" {
+			fmt.Fprintln(sh.out, "usage: \\explain SELECT ...")
+			break
+		}
+		if !strings.HasSuffix(q, ";") {
+			q += ";"
+		}
+		sh.execute("EXPLAIN " + q)
 	case `\save`:
 		if len(fields) != 2 {
 			fmt.Fprintln(sh.out, "usage: \\save <file>")
 			break
 		}
+		g := sh.graphOrComplain()
+		if g == nil {
+			break
+		}
 		path := fields[1]
 		var err error
 		if strings.HasSuffix(path, ".txt") || strings.HasSuffix(path, ".tsv") || strings.HasSuffix(path, ".el") {
-			err = storage.SaveText(path, sh.engine.G)
+			err = storage.SaveText(path, g)
 		} else {
-			err = storage.Save(path, sh.engine.G)
+			err = storage.Save(path, g)
 		}
 		if err != nil {
 			fmt.Fprintf(sh.out, "error: %v\n", err)
 			break
 		}
-		fmt.Fprintf(sh.out, "saved %s (%d nodes, %d edges)\n", path, sh.engine.G.NumNodes(), sh.engine.G.NumEdges())
+		fmt.Fprintf(sh.out, "saved %s (%d nodes, %d edges)\n", path, g.NumNodes(), g.NumEdges())
 	case `\open`:
 		if len(fields) != 2 {
 			fmt.Fprintln(sh.out, "usage: \\open <file>")
@@ -316,13 +381,17 @@ commands:
 			fmt.Fprintln(sh.out, "usage: \\dot <node> <k> <file.dot>")
 			break
 		}
+		g := sh.graphOrComplain()
+		if g == nil {
+			break
+		}
 		node, err1 := strconv.Atoi(fields[1])
 		k, err2 := strconv.Atoi(fields[2])
-		if err1 != nil || err2 != nil || node < 0 || node >= sh.engine.G.NumNodes() || k < 0 {
+		if err1 != nil || err2 != nil || node < 0 || node >= g.NumNodes() || k < 0 {
 			fmt.Fprintln(sh.out, "error: invalid node or radius")
 			break
 		}
-		sg := sh.engine.G.EgoSubgraph(graph.NodeID(node), k)
+		sg := g.EgoSubgraph(graph.NodeID(node), k)
 		f, err := os.Create(fields[3])
 		if err != nil {
 			fmt.Fprintf(sh.out, "error: %v\n", err)
@@ -340,7 +409,10 @@ commands:
 		}
 		fmt.Fprintf(sh.out, "wrote %s (%d nodes, %d edges)\n", fields[3], sg.G.NumNodes(), sg.G.NumEdges())
 	case `\stats`:
-		g := sh.engine.G
+		g := sh.graphOrComplain()
+		if g == nil {
+			break
+		}
 		ds := stats.Degrees(g)
 		_, comps := stats.Components(g)
 		fmt.Fprintf(sh.out, "nodes %d, edges %d, directed %v\n", g.NumNodes(), g.NumEdges(), g.Directed())

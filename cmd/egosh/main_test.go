@@ -60,8 +60,47 @@ func TestShellOpenGraph(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := runSession(t, nil, "\\open "+bin+"\n\\open "+txt+"\n\\quit\n")
-	if strings.Count(out, "loaded") != 2 {
-		t.Fatalf("expected two loads:\n%s", out)
+	// Binary stores open lazily (planning against resident statistics);
+	// text files load eagerly.
+	if !strings.Contains(out, "opened "+bin) || !strings.Contains(out, "deferred load") {
+		t.Fatalf("expected deferred binary open:\n%s", out)
+	}
+	if !strings.Contains(out, "loaded "+txt) {
+		t.Fatalf("expected eager text load:\n%s", out)
+	}
+}
+
+func TestShellOpenBinaryQueriesLazily(t *testing.T) {
+	g := gen.ErdosRenyi(30, 60, 5)
+	bin := filepath.Join(t.TempDir(), "g.egoc")
+	if err := storage.Save(bin, g); err != nil {
+		t.Fatal(err)
+	}
+	out := runSession(t, nil, "\\open "+bin+`
+PATTERN e1 { ?A-?B; }
+\explain SELECT ID, COUNTP(e1, SUBGRAPH(ID, 1)) FROM nodes
+SELECT ID, COUNTP(e1, SUBGRAPH(ID, 1)) FROM nodes LIMIT 3;
+\quit
+`)
+	for _, frag := range []string{"deferred load", "Plan [cost-based", "<- chosen", "3 rows"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestShellTimingToggle(t *testing.T) {
+	out := runSession(t, nil, `\gen 50
+\timing
+PATTERN e1 { ?A-?B; }
+SELECT ID, COUNTP(e1, SUBGRAPH(ID, 1)) FROM nodes LIMIT 2;
+\timing
+\quit
+`)
+	for _, frag := range []string{"timing: on", "plan ", "focal-select ", "census ", "render ", "timing: off"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("output missing %q:\n%s", frag, out)
+		}
 	}
 }
 

@@ -37,6 +37,7 @@ import (
 	"egocensus/internal/match"
 	"egocensus/internal/measures"
 	"egocensus/internal/pattern"
+	"egocensus/internal/plan"
 	"egocensus/internal/signature"
 	"egocensus/internal/stats"
 	"egocensus/internal/storage"
@@ -220,18 +221,38 @@ func CountMany(g *Graph, specs []Spec, opt Options) ([]*Result, error) {
 
 // Query engine.
 type (
-	// Engine executes census scripts against a graph.
+	// Engine executes census scripts against a graph (or a lazy Source).
 	Engine = core.Engine
 	// ResultTable is one query's rendered result.
 	ResultTable = core.Table
 	// ResultRow is one typed result row.
 	ResultRow = core.Row
+	// ExecStats breaks one query's execution down per pipeline stage.
+	ExecStats = core.ExecStats
 	// Script is a parsed script (PATTERN definitions + SELECT queries).
 	Script = lang.Script
+	// GraphStats is the statistical snapshot the cost-based optimizer
+	// plans against.
+	GraphStats = graph.Stats
+	// QueryPlan is an optimized plan: the logical tree annotated with
+	// cost estimates and per-aggregate algorithm choices.
+	QueryPlan = plan.Physical
+	// GraphSource supplies planner statistics and lazily hydrates a graph
+	// for execution; Store implements it, so engines can plan and EXPLAIN
+	// against a disk store before materialization.
+	GraphSource = plan.Source
 )
 
 // NewEngine returns a query engine over g.
 func NewEngine(g *Graph) *Engine { return core.NewEngine(g) }
+
+// NewEngineFromSource returns a query engine over a lazy graph source
+// (e.g. a *Store): planning and EXPLAIN use only the source's statistics
+// snapshot; the graph materializes when a query first executes.
+func NewEngineFromSource(src GraphSource) *Engine { return core.NewEngineFromSource(src) }
+
+// ComputeGraphStats takes the statistics snapshot of an in-memory graph.
+func ComputeGraphStats(g *Graph) *GraphStats { return graph.ComputeStats(g) }
 
 // ParseScript parses a census script without executing it.
 func ParseScript(src string) (*Script, error) { return lang.Parse(src) }

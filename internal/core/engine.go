@@ -2,37 +2,88 @@ package core
 
 import (
 	"fmt"
-	"sort"
-	"strconv"
 	"strings"
 	"time"
 
 	"egocensus/internal/graph"
 	"egocensus/internal/lang"
 	"egocensus/internal/pattern"
+	"egocensus/internal/plan"
 )
 
-// Engine executes parsed census scripts against a graph. It keeps a
-// pattern catalog across Execute calls, picks an evaluation algorithm per
-// query (or uses a forced one), resolves WHERE predicates to focal
-// nodes/pairs, and renders result tables.
+// Engine is the thin facade over the query pipeline's four layers: it
+// parses census scripts (internal/lang), builds and optimizes logical
+// plans against a statistics snapshot (internal/plan), compiles them to
+// physical operator pipelines over the census drivers (operator.go), and
+// renders result tables (render.go). It keeps a pattern catalog across
+// Execute calls.
 type Engine struct {
-	// G is the database graph.
+	// G is the database graph. Engines built from a Source leave it nil
+	// until a query executes (see Graph); planning and EXPLAIN need only
+	// the statistics snapshot.
 	G *graph.Graph
-	// Alg forces an algorithm for every query; empty selects automatically
-	// (pattern-driven for selective patterns, node-driven otherwise).
+	// Alg forces an algorithm for every query; empty lets the cost-based
+	// optimizer choose per query from the statistics snapshot.
 	Alg Algorithm
 	// Opt tunes the algorithms.
 	Opt Options
 	// Seed drives the RND() sampling predicate deterministically.
 	Seed int64
+	// Source supplies planner statistics and lazily hydrates the graph.
+	Source plan.Source
 
+	stats   *graph.Stats
 	catalog map[string]*pattern.Pattern
 }
 
-// NewEngine returns an engine over g.
+// NewEngine returns an engine over an in-memory graph.
 func NewEngine(g *graph.Graph) *Engine {
-	return &Engine{G: g, catalog: map[string]*pattern.Pattern{}}
+	return &Engine{G: g, Source: plan.FromGraph(g), catalog: map[string]*pattern.Pattern{}}
+}
+
+// NewEngineFromSource returns an engine that plans against src's
+// statistics and hydrates the full graph only when a query actually
+// executes — EXPLAIN against a disk store never pays materialization.
+func NewEngineFromSource(src plan.Source) *Engine {
+	return &Engine{Source: src, catalog: map[string]*pattern.Pattern{}}
+}
+
+// Graph returns the database graph, hydrating it from the Source on
+// first use.
+func (e *Engine) Graph() (*graph.Graph, error) {
+	if e.G != nil {
+		return e.G, nil
+	}
+	if e.Source == nil {
+		return nil, fmt.Errorf("engine: no graph and no source")
+	}
+	g, err := e.Source.Graph()
+	if err != nil {
+		return nil, err
+	}
+	e.G = g
+	return g, nil
+}
+
+// Stats returns the memoized statistics snapshot the optimizer plans
+// against.
+func (e *Engine) Stats() (*graph.Stats, error) {
+	if e.stats != nil {
+		return e.stats, nil
+	}
+	if e.Source != nil {
+		s, err := e.Source.GraphStats()
+		if err != nil {
+			return nil, err
+		}
+		e.stats = s
+		return s, nil
+	}
+	if e.G == nil {
+		return nil, fmt.Errorf("engine: no graph and no source")
+	}
+	e.stats = graph.ComputeStats(e.G)
+	return e.stats, nil
 }
 
 // Row is one result row: the focal node(s) in FROM-clause order and the
@@ -59,17 +110,24 @@ type Table struct {
 	Rows [][]string
 	// TypedRows holds the underlying focal nodes and counts.
 	TypedRows []Row
-	// Algorithm records which evaluator ran.
+	// Algorithm records which evaluator ran (the first aggregate's choice
+	// when a multi-aggregate query mixes algorithms; see Plan for all).
 	Algorithm Algorithm
 	// NumMatches is the size of the global match set (where applicable).
 	NumMatches int
 	// Elapsed is the wall-clock evaluation time of the census (excluding
-	// parsing and WHERE-based focal selection).
+	// parsing and WHERE-based focal selection); it mirrors
+	// Stats.CensusTime.
 	Elapsed time.Duration
+	// Plan is the optimized plan the query executed under.
+	Plan *plan.Physical
+	// Stats breaks the execution down per pipeline stage.
+	Stats ExecStats
 }
 
 // DefinePattern registers a programmatically built pattern so queries can
-// reference it by name.
+// reference it by name. Redefining an existing name is an error — the
+// same policy the parser applies to PATTERN statements.
 func (e *Engine) DefinePattern(p *pattern.Pattern) error {
 	if err := p.Validate(); err != nil {
 		return err
@@ -81,19 +139,30 @@ func (e *Engine) DefinePattern(p *pattern.Pattern) error {
 	return nil
 }
 
-// Patterns exposes the engine's pattern catalog (shared map; treat as
-// read-only).
-func (e *Engine) Patterns() map[string]*pattern.Pattern { return e.catalog }
+// Patterns returns a copy of the engine's pattern catalog; mutating the
+// returned map does not affect the engine.
+func (e *Engine) Patterns() map[string]*pattern.Pattern {
+	out := make(map[string]*pattern.Pattern, len(e.catalog))
+	for name, p := range e.catalog {
+		out[name] = p
+	}
+	return out
+}
 
 // Execute parses src (PATTERN definitions and SELECT queries) and runs
-// every query, returning one table per query in order.
+// every query, returning one table per query in order. Patterns the
+// script defines are added to the catalog; redefining an existing name
+// is a parse error (the policy DefinePattern also enforces), so only
+// genuinely new definitions are copied in.
 func (e *Engine) Execute(src string) ([]*Table, error) {
 	script, err := lang.ParseWith(src, e.catalog)
 	if err != nil {
 		return nil, err
 	}
 	for name, p := range script.Patterns {
-		e.catalog[name] = p
+		if _, exists := e.catalog[name]; !exists {
+			e.catalog[name] = p
+		}
 	}
 	var tables []*Table
 	for _, q := range script.Queries() {
@@ -106,354 +175,83 @@ func (e *Engine) Execute(src string) ([]*Table, error) {
 	return tables, nil
 }
 
-// Run executes one parsed query.
-func (e *Engine) Run(q *lang.SelectStmt) (*Table, error) {
-	aggs := q.CountItems()
-	if len(aggs) == 0 {
-		return nil, fmt.Errorf("engine: query has no COUNTP/COUNTSP aggregate")
-	}
-	specs := make([]Spec, len(aggs))
-	for i, agg := range aggs {
-		pat, ok := e.catalog[agg.PatternName]
-		if !ok {
-			return nil, fmt.Errorf("engine: unknown pattern %q", agg.PatternName)
-		}
-		specs[i] = Spec{
-			Pattern:    pat,
-			Subpattern: agg.Subpattern,
-			K:          agg.Neighborhood.K,
-		}
-	}
-	if q.Explain {
-		return e.explain(q, aggs, specs)
-	}
-	if aggs[0].Neighborhood.Kind == lang.NSubgraph {
-		return e.runSingle(q, specs)
-	}
-	if len(aggs) > 1 {
-		return nil, fmt.Errorf("engine: pairwise queries support a single aggregate")
-	}
-	return e.runPair(q, aggs[0], specs[0])
-}
-
-// explain reports the evaluation plan of a query without running it.
-func (e *Engine) explain(q *lang.SelectStmt, aggs []*lang.CountAgg, specs []Spec) (*Table, error) {
-	t := &Table{Query: q, Header: []string{"plan"}}
-	emit := func(format string, args ...interface{}) {
-		t.Rows = append(t.Rows, []string{fmt.Sprintf(format, args...)})
-	}
-	pairwise := aggs[0].Neighborhood.Kind != lang.NSubgraph
-	var alg Algorithm
-	switch {
-	case pairwise:
-		alg = e.Alg
-		if alg == "" {
-			alg = PTOpt
-		}
-		emit("pairwise census: %s, radius k=%d", aggs[0].Neighborhood.Kind, specs[0].K)
-		emit("algorithm: %s (pattern-driven default for pairs; node-driven would enumerate the quadratic pair space)", alg)
-	case len(specs) > 1 && (e.Alg == "" || e.Alg == NDPvot):
-		alg = NDPvot
-		emit("single-node census: %d aggregates over SUBGRAPH(ID, %d)", len(specs), specs[0].K)
-		emit("algorithm: ND-PVOT batched (CountMany shares one BFS per focal node across aggregates)")
-	default:
-		alg = e.chooseAlgorithm(specs[0].Pattern)
-		emit("single-node census: SUBGRAPH(ID, %d)", specs[0].K)
-		why := "forced by engine configuration"
-		if e.Alg == "" {
-			if alg == PTOpt {
-				why = "auto: pattern is selective (labels/predicates), search from matches"
-			} else {
-				why = "auto: pattern is non-selective, search from nodes (pivot index)"
-			}
-		}
-		emit("algorithm: %s (%s)", alg, why)
-	}
-	for i, spec := range specs {
-		p := spec.Pattern
-		labeled := 0
-		negated := 0
-		for j := 0; j < p.NumNodes(); j++ {
-			if p.Node(j).Label != "" {
-				labeled++
-			}
-		}
-		for _, ed := range p.Edges() {
-			if ed.Negated {
-				negated++
-			}
-		}
-		pivot, ecc := p.Pivot(nil)
-		emit("aggregate %d: pattern %s — %d nodes (%d labeled), %d edges (%d negated), %d predicates; pivot ?%s (eccentricity %d)",
-			i+1, p.Name, p.NumNodes(), labeled, len(p.Edges()), negated, len(p.Predicates()), p.Node(pivot).Var, ecc)
-		if spec.Subpattern != "" {
-			sub, _ := p.Subpattern(spec.Subpattern)
-			emit("aggregate %d: COUNTSP anchors = subpattern %q (%d of %d nodes)", i+1, spec.Subpattern, len(sub), p.NumNodes())
-		}
-	}
-	if q.Where != nil {
-		emit("focal restriction: WHERE clause evaluated per %s", map[bool]string{false: "node", true: "ordered pair"}[pairwise])
-	} else {
-		emit("focal restriction: none (all nodes)")
-	}
-	if alg == PTOpt || alg == PTRnd {
-		emit("PT options: %d centers, clusters=|M|/4 (overridable), K-means iters %d", e.Opt.numCenters(), e.Opt.kmeansIters())
-	}
-	if q.Order != nil || q.Limit > 0 {
-		emit("post-processing: ORDER BY/LIMIT applied after counting")
-	}
-	t.Algorithm = alg
-	return t, nil
-}
-
-// chooseAlgorithm applies the paper's guidance: pattern-driven evaluation
-// wins for selective patterns (label constraints or predicates shrink the
-// match set), node-driven pivot indexing wins for non-selective ones
-// (Sections V-A3 and V-A4).
-func (e *Engine) chooseAlgorithm(p *pattern.Pattern) Algorithm {
-	if e.Alg != "" {
-		return e.Alg
-	}
-	selective := len(p.Predicates()) > 0
-	for i := 0; i < p.NumNodes(); i++ {
-		if p.Node(i).Label != "" {
-			selective = true
-			break
-		}
-	}
-	if selective {
-		return PTOpt
-	}
-	return NDPvot
-}
-
-func (e *Engine) runSingle(q *lang.SelectStmt, specs []Spec) (*Table, error) {
-	alias := q.Aliases[0]
-	var focal []graph.NodeID
-	if q.Where != nil {
-		for i := 0; i < e.G.NumNodes(); i++ {
-			n := graph.NodeID(i)
-			ok, err := lang.EvalWhere(q.Where, e.G, []lang.Binding{{Alias: alias, Node: n}},
-				e.rndStream(int64(n), 0))
-			if err != nil {
-				return nil, err
-			}
-			if ok {
-				focal = append(focal, n)
-			}
-		}
-		if focal == nil {
-			focal = []graph.NodeID{} // empty but non-nil: nothing selected
-		}
-		for i := range specs {
-			specs[i].Focal = focal
-		}
-	}
-
-	start := time.Now()
-	var results []*Result
-	var alg Algorithm
-	switch {
-	case len(specs) == 1:
-		alg = e.chooseAlgorithm(specs[0].Pattern)
-		res, err := Count(e.G, specs[0], alg, e.Opt)
-		if err != nil {
-			return nil, err
-		}
-		results = []*Result{res}
-	case e.Alg == "" || e.Alg == NDPvot:
-		// Multiple aggregates over the same neighborhood: share the
-		// per-node traversal (CountMany is ND-PVOT-based).
-		alg = NDPvot
-		var err error
-		results, err = CountMany(e.G, specs, e.Opt)
-		if err != nil {
-			return nil, err
-		}
-	default:
-		alg = e.Alg
-		for _, spec := range specs {
-			res, err := Count(e.G, spec, alg, e.Opt)
-			if err != nil {
-				return nil, err
-			}
-			results = append(results, res)
-		}
-	}
-
-	t := &Table{Query: q, Algorithm: alg, Elapsed: time.Since(start)}
-	for _, res := range results {
-		t.NumMatches += res.NumMatches
-	}
-	t.Header = header(q)
-	for _, n := range specs[0].focalList(e.G) {
-		counts := make([]int64, len(results))
-		for i, res := range results {
-			counts[i] = res.Counts[n]
-		}
-		t.TypedRows = append(t.TypedRows, Row{Focal: []graph.NodeID{n}, Count: counts[0], Counts: counts})
-	}
-	e.finishTable(q, t)
-	return t, nil
-}
-
-// finishTable applies ORDER BY and LIMIT, then renders the string cells.
-func (e *Engine) finishTable(q *lang.SelectStmt, t *Table) {
-	if q.Order != nil {
-		ob := q.Order
-		// keyLess compares the ORDER BY key only; equal keys fall through
-		// to an ascending focal-ID tie-break regardless of direction.
-		keyCmp := func(a, b Row) int {
-			if ob.ByCount {
-				switch {
-				case a.Count < b.Count:
-					return -1
-				case a.Count > b.Count:
-					return 1
-				}
-				return 0
-			}
-			av := e.columnValue(q, a, ob.Col)
-			bv := e.columnValue(q, b, ob.Col)
-			if av == bv {
-				return 0
-			}
-			if pattern.Compare(pattern.OpLt, av, bv) {
-				return -1
-			}
-			return 1
-		}
-		sort.SliceStable(t.TypedRows, func(i, j int) bool {
-			a, b := t.TypedRows[i], t.TypedRows[j]
-			c := keyCmp(a, b)
-			if c != 0 {
-				if ob.Desc {
-					return c > 0
-				}
-				return c < 0
-			}
-			for x := range a.Focal {
-				if a.Focal[x] != b.Focal[x] {
-					return a.Focal[x] < b.Focal[x]
-				}
-			}
-			return false
-		})
-	}
-	if q.Limit > 0 && len(t.TypedRows) > q.Limit {
-		t.TypedRows = t.TypedRows[:q.Limit]
-	}
-	t.Rows = t.Rows[:0]
-	for _, row := range t.TypedRows {
-		t.Rows = append(t.Rows, e.renderRow(q, row))
-	}
-}
-
-// columnValue resolves a column reference for one row (as in renderRow).
-func (e *Engine) columnValue(q *lang.SelectStmt, row Row, ref lang.ColumnRef) string {
-	n := row.Focal[0]
-	if ref.Alias != "" {
-		for i, a := range q.Aliases {
-			if a == ref.Alias && i < len(row.Focal) {
-				n = row.Focal[i]
-				break
-			}
-		}
-	}
-	if strings.EqualFold(ref.Name, "ID") {
-		return strconv.Itoa(int(n))
-	}
-	v, _ := e.G.NodeAttr(n, ref.Name)
-	return v
-}
-
-func (e *Engine) runPair(q *lang.SelectStmt, agg *lang.CountAgg, spec Spec) (*Table, error) {
-	mode := Intersection
-	if agg.Neighborhood.Kind == lang.NUnion {
-		mode = Union
-	}
-	pspec := PairSpec{Spec: spec, Mode: mode}
-	// Pairwise censuses default to pattern-driven evaluation regardless of
-	// selectivity: it produces exactly the non-zero pairs, while
-	// node-driven evaluation must enumerate the quadratic pair space.
-	alg := e.Alg
-	if alg == "" {
-		alg = PTOpt
-	}
-	// Node-driven pairwise evaluation needs the pair list up front:
-	// enumerate ordered pairs passing WHERE. Pattern-driven evaluation
-	// produces non-zero pairs directly and filters afterwards.
-	nodeDriven := alg == NDBas || alg == NDPvot || alg == NDDiff
-	if alg == NDDiff {
-		alg = NDPvot // ND-DIFF has no pairwise variant (Appendix B)
-	}
-	passes := func(a, b graph.NodeID) (bool, error) {
-		if q.Where == nil {
-			return true, nil
-		}
-		return lang.EvalWhere(q.Where, e.G, []lang.Binding{
-			{Alias: q.Aliases[0], Node: a},
-			{Alias: q.Aliases[1], Node: b},
-		}, e.rndStream(int64(a), int64(b)))
-	}
-	if nodeDriven {
-		seen := map[Pair]bool{}
-		for i := 0; i < e.G.NumNodes(); i++ {
-			for j := 0; j < e.G.NumNodes(); j++ {
-				if i == j {
-					continue
-				}
-				a, b := graph.NodeID(i), graph.NodeID(j)
-				ok, err := passes(a, b)
-				if err != nil {
-					return nil, err
-				}
-				if ok {
-					seen[MakePair(a, b)] = true
-				}
-			}
-		}
-		pspec.Pairs = make([]Pair, 0, len(seen))
-		for pr := range seen {
-			pspec.Pairs = append(pspec.Pairs, pr)
-		}
-	}
-	start := time.Now()
-	res, err := CountPairs(e.G, pspec, alg, e.Opt)
+// Plan builds and optimizes the logical plan for one parsed query
+// without executing it.
+func (e *Engine) Plan(q *lang.SelectStmt) (*plan.Physical, error) {
+	logical, err := plan.Build(q, e.catalog)
 	if err != nil {
 		return nil, err
 	}
-	t := &Table{Query: q, Algorithm: alg, NumMatches: res.NumMatches, Elapsed: time.Since(start)}
-	t.Header = header(q)
-	// Emit ordered rows for each non-zero unordered pair that passes
-	// WHERE, deterministically sorted.
-	pairs := make([]Pair, 0, len(res.Counts))
-	for pr, c := range res.Counts {
-		if c != 0 {
-			pairs = append(pairs, pr)
-		}
+	s, err := e.Stats()
+	if err != nil {
+		return nil, err
 	}
-	sort.Slice(pairs, func(i, j int) bool {
-		if pairs[i].A != pairs[j].A {
-			return pairs[i].A < pairs[j].A
-		}
-		return pairs[i].B < pairs[j].B
+	return plan.Optimize(logical, plan.Env{
+		Stats:       s,
+		Forced:      string(e.Alg),
+		KMeansIters: e.Opt.KMeansIters,
 	})
-	for _, pr := range pairs {
-		c := res.Counts[pr]
-		for _, ord := range [][2]graph.NodeID{{pr.A, pr.B}, {pr.B, pr.A}} {
-			ok, err := passes(ord[0], ord[1])
-			if err != nil {
-				return nil, err
-			}
-			if !ok {
-				continue
-			}
-			t.TypedRows = append(t.TypedRows, Row{Focal: []graph.NodeID{ord[0], ord[1]}, Count: c})
+}
+
+// Run executes one parsed query: optimize, then (unless EXPLAIN) compile
+// to a physical pipeline and run it.
+func (e *Engine) Run(q *lang.SelectStmt) (*Table, error) {
+	planStart := time.Now()
+	phys, err := e.Plan(q)
+	if err != nil {
+		return nil, err
+	}
+	planTime := time.Since(planStart)
+	if q.Explain {
+		return explainTable(q, phys, planTime), nil
+	}
+	g, err := e.Graph()
+	if err != nil {
+		return nil, err
+	}
+	st := &execState{
+		e:    e,
+		g:    g,
+		phys: phys,
+		q:    q,
+		table: &Table{
+			Query: q,
+			Plan:  phys,
+			Stats: ExecStats{PlanTime: planTime},
+		},
+	}
+	st.specs = make([]Spec, len(phys.Aggs))
+	for i, agg := range phys.Aggs {
+		st.specs[i] = Spec{Pattern: agg.Pattern, Subpattern: agg.Subpattern, K: phys.K}
+	}
+	if phys.Pair {
+		mode := Intersection
+		if phys.Union {
+			mode = Union
+		}
+		st.pairSpec = &PairSpec{Spec: st.specs[0], Mode: mode}
+	}
+	for _, op := range compile(phys) {
+		if err := op.Run(st); err != nil {
+			return nil, err
 		}
 	}
-	e.finishTable(q, t)
-	return t, nil
+	return st.table, nil
+}
+
+// explainTable renders the optimized plan tree as a one-column table.
+func explainTable(q *lang.SelectStmt, phys *plan.Physical, planTime time.Duration) *Table {
+	t := &Table{
+		Query:     q,
+		Header:    []string{"plan"},
+		Plan:      phys,
+		Algorithm: Algorithm(phys.Algorithm(0)),
+		Stats:     ExecStats{PlanTime: planTime},
+	}
+	for _, line := range strings.Split(strings.TrimRight(phys.Explain(), "\n"), "\n") {
+		t.Rows = append(t.Rows, []string{line})
+	}
+	return t
 }
 
 // rndStream returns a deterministic RND() source for a focal node or pair:
@@ -470,86 +268,4 @@ func (e *Engine) rndStream(a, b int64) func() float64 {
 		z ^= z >> 31
 		return float64(z>>11) / float64(1<<53)
 	}
-}
-
-func header(q *lang.SelectStmt) []string {
-	var h []string
-	for _, it := range q.Items {
-		if it.Col != nil {
-			h = append(h, it.Col.String())
-			continue
-		}
-		if it.Count.Subpattern != "" {
-			h = append(h, fmt.Sprintf("COUNTSP(%s, %s)", it.Count.Subpattern, it.Count.PatternName))
-		} else {
-			h = append(h, fmt.Sprintf("COUNTP(%s)", it.Count.PatternName))
-		}
-	}
-	return h
-}
-
-// renderRow formats each SELECT item for one result row.
-func (e *Engine) renderRow(q *lang.SelectStmt, row Row) []string {
-	aliasNode := func(alias string) graph.NodeID {
-		if alias == "" {
-			return row.Focal[0]
-		}
-		for i, a := range q.Aliases {
-			if a == alias && i < len(row.Focal) {
-				return row.Focal[i]
-			}
-		}
-		return row.Focal[0]
-	}
-	var out []string
-	aggIdx := 0
-	for _, it := range q.Items {
-		if it.Count != nil {
-			v := row.Count
-			if row.Counts != nil && aggIdx < len(row.Counts) {
-				v = row.Counts[aggIdx]
-			}
-			aggIdx++
-			out = append(out, strconv.FormatInt(v, 10))
-			continue
-		}
-		n := aliasNode(it.Col.Alias)
-		if strings.EqualFold(it.Col.Name, "ID") {
-			out = append(out, strconv.Itoa(int(n)))
-			continue
-		}
-		v, _ := e.G.NodeAttr(n, it.Col.Name)
-		out = append(out, v)
-	}
-	return out
-}
-
-// FormatTable renders a result table as aligned text.
-func FormatTable(t *Table) string {
-	var b strings.Builder
-	widths := make([]int, len(t.Header))
-	for i, h := range t.Header {
-		widths[i] = len(h)
-	}
-	for _, r := range t.Rows {
-		for i, c := range r {
-			if i < len(widths) && len(c) > widths[i] {
-				widths[i] = len(c)
-			}
-		}
-	}
-	writeRow := func(cells []string) {
-		for i, c := range cells {
-			if i > 0 {
-				b.WriteString("  ")
-			}
-			fmt.Fprintf(&b, "%-*s", widths[i], c)
-		}
-		b.WriteByte('\n')
-	}
-	writeRow(t.Header)
-	for _, r := range t.Rows {
-		writeRow(r)
-	}
-	return b.String()
 }

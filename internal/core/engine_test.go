@@ -36,23 +36,47 @@ SELECT ID, COUNTP(clq3, SUBGRAPH(ID, 2)) FROM nodes`)
 			t.Fatalf("node %d count %d want %d", row.Focal[0], row.Count, want.Counts[row.Focal[0]])
 		}
 	}
-	if tab.Algorithm != NDPvot {
-		t.Fatalf("unlabeled pattern should auto-select ND-PVOT, got %s", tab.Algorithm)
+	if tab.Algorithm == "" {
+		t.Fatal("table must record the chosen algorithm")
+	}
+	if tab.Plan == nil || len(tab.Plan.Choices) != 1 {
+		t.Fatal("table must carry the optimized plan")
 	}
 }
 
-func TestEngineAutoSelectsPTForSelective(t *testing.T) {
+func TestEngineAutoSelectedMatchesForced(t *testing.T) {
+	// Whatever the optimizer picks for a selective labeled pattern, the
+	// counts must agree with a forced baseline run.
 	g := gen.ErdosRenyi(20, 45, 7)
 	gen.AssignLabels(g, 2, 8)
 	e := NewEngine(g)
 	tables, err := e.Execute(`
-PATTERN lt { ?A-?B; [?A.LABEL='l0']; }
+PATTERN lt { ?A-?B; [?A.LABEL='l0']; [?B.LABEL='l0']; }
 SELECT ID, COUNTP(lt, SUBGRAPH(ID, 1)) FROM nodes`)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if tables[0].Algorithm != PTOpt {
-		t.Fatalf("labeled pattern should auto-select PT-OPT, got %s", tables[0].Algorithm)
+	spec := Spec{Pattern: e.Patterns()["lt"], K: 1}
+	want, err := Count(g, spec, NDBas, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tables[0].TypedRows {
+		if row.Count != want.Counts[row.Focal[0]] {
+			t.Fatalf("node %d count %d want %d (alg %s)",
+				row.Focal[0], row.Count, want.Counts[row.Focal[0]], tables[0].Algorithm)
+		}
+	}
+	// The selective pattern must estimate a smaller match set than the
+	// unrestricted edge pattern on the same graph.
+	unsel, err := e.Execute(`
+PATTERN e1 { ?A-?B; }
+EXPLAIN SELECT ID, COUNTP(e1, SUBGRAPH(ID, 1)) FROM nodes`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel, all := tables[0].Plan.Choices[0].Matches, unsel[0].Plan.Choices[0].Matches; sel >= all {
+		t.Fatalf("selective |M| estimate %.1f should be below unrestricted %.1f", sel, all)
 	}
 }
 
@@ -387,11 +411,14 @@ EXPLAIN SELECT ID, COUNTP(lt, SUBGRAPH(ID, 2)) FROM nodes WHERE RND() < 0.5`)
 		t.Fatal(err)
 	}
 	tab := tables[0]
-	if tab.Algorithm != PTOpt {
-		t.Fatalf("explained algorithm = %s", tab.Algorithm)
+	if tab.Algorithm == "" {
+		t.Fatal("EXPLAIN table must record the chosen algorithm")
 	}
 	plan := strings.Join(flatten(tab.Rows), "\n")
-	for _, frag := range []string{"PT-OPT", "selective", "pattern lt", "WHERE clause", "centers"} {
+	for _, frag := range []string{
+		"Plan [cost-based", "Census", "FocalSelect [WHERE RND()",
+		"PatternDef [lt", "NodeScan", "candidates for lt", "<- chosen",
+	} {
 		if !strings.Contains(plan, frag) {
 			t.Fatalf("plan missing %q:\n%s", frag, plan)
 		}
@@ -414,12 +441,17 @@ EXPLAIN SELECT ID, COUNTP(n1, SUBGRAPH(ID, 1)), COUNTP(e1, SUBGRAPH(ID, 1)) FROM
 		t.Fatal(err)
 	}
 	pairPlan := strings.Join(flatten(tables[0].Rows), "\n")
-	if !strings.Contains(pairPlan, "pairwise census") || !strings.Contains(pairPlan, "PT-OPT") {
+	if !strings.Contains(pairPlan, "PairCensus") || !strings.Contains(pairPlan, "INTERSECTION") {
 		t.Fatalf("pair plan wrong:\n%s", pairPlan)
 	}
-	batchPlan := strings.Join(flatten(tables[1].Rows), "\n")
-	if !strings.Contains(batchPlan, "CountMany") || !strings.Contains(batchPlan, "2 aggregates") {
-		t.Fatalf("batch plan wrong:\n%s", batchPlan)
+	// ND-DIFF has no pairwise driver, so it must never appear as a
+	// candidate for a pair census.
+	if strings.Contains(pairPlan, "ND-DIFF") {
+		t.Fatalf("ND-DIFF offered for pairwise census:\n%s", pairPlan)
+	}
+	multiPlan := strings.Join(flatten(tables[1].Rows), "\n")
+	if !strings.Contains(multiPlan, "candidates for n1") || !strings.Contains(multiPlan, "candidates for e1") {
+		t.Fatalf("multi-aggregate plan wrong:\n%s", multiPlan)
 	}
 }
 

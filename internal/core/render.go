@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"egocensus/internal/graph"
+	"egocensus/internal/lang"
+	"egocensus/internal/pattern"
+)
+
+// This file is the render layer of the query pipeline: ORDER BY/LIMIT
+// post-processing and formatting of typed rows into string cells.
+
+// finishTable applies ORDER BY and LIMIT, then renders the string cells.
+func finishTable(g *graph.Graph, q *lang.SelectStmt, t *Table) {
+	if q.Order != nil {
+		ob := q.Order
+		// keyCmp compares the ORDER BY key only; equal keys fall through
+		// to an ascending focal-ID tie-break regardless of direction.
+		keyCmp := func(a, b Row) int {
+			if ob.ByCount {
+				switch {
+				case a.Count < b.Count:
+					return -1
+				case a.Count > b.Count:
+					return 1
+				}
+				return 0
+			}
+			av := columnValue(g, q, a, ob.Col)
+			bv := columnValue(g, q, b, ob.Col)
+			if av == bv {
+				return 0
+			}
+			if pattern.Compare(pattern.OpLt, av, bv) {
+				return -1
+			}
+			return 1
+		}
+		sort.SliceStable(t.TypedRows, func(i, j int) bool {
+			a, b := t.TypedRows[i], t.TypedRows[j]
+			c := keyCmp(a, b)
+			if c != 0 {
+				if ob.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			for x := range a.Focal {
+				if a.Focal[x] != b.Focal[x] {
+					return a.Focal[x] < b.Focal[x]
+				}
+			}
+			return false
+		})
+	}
+	if q.Limit > 0 && len(t.TypedRows) > q.Limit {
+		t.TypedRows = t.TypedRows[:q.Limit]
+	}
+	t.Rows = t.Rows[:0]
+	for _, row := range t.TypedRows {
+		t.Rows = append(t.Rows, renderRow(g, q, row))
+	}
+}
+
+// columnValue resolves a column reference for one row (as in renderRow).
+func columnValue(g *graph.Graph, q *lang.SelectStmt, row Row, ref lang.ColumnRef) string {
+	n := row.Focal[0]
+	if ref.Alias != "" {
+		for i, a := range q.Aliases {
+			if a == ref.Alias && i < len(row.Focal) {
+				n = row.Focal[i]
+				break
+			}
+		}
+	}
+	if strings.EqualFold(ref.Name, "ID") {
+		return strconv.Itoa(int(n))
+	}
+	v, _ := g.NodeAttr(n, ref.Name)
+	return v
+}
+
+func header(q *lang.SelectStmt) []string {
+	var h []string
+	for _, it := range q.Items {
+		if it.Col != nil {
+			h = append(h, it.Col.String())
+			continue
+		}
+		if it.Count.Subpattern != "" {
+			h = append(h, fmt.Sprintf("COUNTSP(%s, %s)", it.Count.Subpattern, it.Count.PatternName))
+		} else {
+			h = append(h, fmt.Sprintf("COUNTP(%s)", it.Count.PatternName))
+		}
+	}
+	return h
+}
+
+// renderRow formats each SELECT item for one result row.
+func renderRow(g *graph.Graph, q *lang.SelectStmt, row Row) []string {
+	aliasNode := func(alias string) graph.NodeID {
+		if alias == "" {
+			return row.Focal[0]
+		}
+		for i, a := range q.Aliases {
+			if a == alias && i < len(row.Focal) {
+				return row.Focal[i]
+			}
+		}
+		return row.Focal[0]
+	}
+	var out []string
+	aggIdx := 0
+	for _, it := range q.Items {
+		if it.Count != nil {
+			v := row.Count
+			if row.Counts != nil && aggIdx < len(row.Counts) {
+				v = row.Counts[aggIdx]
+			}
+			aggIdx++
+			out = append(out, strconv.FormatInt(v, 10))
+			continue
+		}
+		n := aliasNode(it.Col.Alias)
+		if strings.EqualFold(it.Col.Name, "ID") {
+			out = append(out, strconv.Itoa(int(n)))
+			continue
+		}
+		v, _ := g.NodeAttr(n, it.Col.Name)
+		out = append(out, v)
+	}
+	return out
+}
+
+// FormatTable renders a result table as aligned text.
+func FormatTable(t *Table) string {
+	var b strings.Builder
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}

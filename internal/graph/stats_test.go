@@ -1,0 +1,111 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+// statsGraph builds a small undirected graph with known degrees:
+// a star 0-{1,2,3} plus edge 1-2, so degrees are 3,2,2,1.
+func statsGraph() *Graph {
+	g := New(false)
+	g.AddNodes(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(0, 3)
+	g.AddEdge(1, 2)
+	g.SetLabel(0, "hub")
+	g.SetLabel(1, "leaf")
+	g.SetLabel(2, "leaf")
+	return g
+}
+
+func TestComputeStatsMoments(t *testing.T) {
+	s := ComputeStats(statsGraph())
+	if s.Nodes != 4 || s.Edges != 4 || s.Directed {
+		t.Fatalf("counts: %+v", s)
+	}
+	if s.MaxDegree != 3 {
+		t.Fatalf("MaxDegree = %d", s.MaxDegree)
+	}
+	// Brute-force falling moments over degrees {3,2,2,1}.
+	degrees := []int{3, 2, 2, 1}
+	for j := 0; j <= MaxMoment; j++ {
+		want := 0.0
+		for _, d := range degrees {
+			ff := 1.0
+			for x := 0; x < j; x++ {
+				ff *= float64(d - x)
+			}
+			if ff > 0 {
+				want += ff
+			}
+		}
+		if got := s.FallingMoment(j); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("moment %d = %v want %v", j, got, want)
+		}
+	}
+	if got := s.MeanDegree(); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("MeanDegree = %v", got)
+	}
+	// Branching = Σd(d-1)/Σd = (6+2+2+0)/8.
+	if got := s.Branching(); math.Abs(got-10.0/8) > 1e-9 {
+		t.Fatalf("Branching = %v", got)
+	}
+}
+
+func TestStatsLabels(t *testing.T) {
+	s := ComputeStats(statsGraph())
+	if s.NumLabels() != 2 {
+		t.Fatalf("NumLabels = %d", s.NumLabels())
+	}
+	if got := s.LabelFreq("leaf"); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("LabelFreq(leaf) = %v", got)
+	}
+	if got := s.LabelFreq("nosuch"); got != 0 {
+		t.Fatalf("LabelFreq(nosuch) = %v", got)
+	}
+	// Σ freq² over {hub: 1/4, leaf: 2/4}; the unlabeled node contributes 0.
+	want := 0.25*0.25 + 0.5*0.5
+	if got := s.LabelMatchProb(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("LabelMatchProb = %v want %v", got, want)
+	}
+}
+
+func TestStatsAddDegreeMatchesCompute(t *testing.T) {
+	g := statsGraph()
+	want := ComputeStats(g)
+	var s Stats
+	for n := 0; n < g.NumNodes(); n++ {
+		s.AddDegree(g.Degree(NodeID(n)))
+	}
+	if s.Nodes != want.Nodes || s.MaxDegree != want.MaxDegree || s.DegreeMoments != want.DegreeMoments {
+		t.Fatalf("AddDegree accumulation %+v != ComputeStats %+v", s, *want)
+	}
+}
+
+func TestNeighborhoodEstimatesCapped(t *testing.T) {
+	s := ComputeStats(statsGraph())
+	// Deep neighborhoods cannot exceed |V| nodes or Σd half-edges.
+	if got := s.NeighborhoodNodes(10); got > float64(s.Nodes) {
+		t.Fatalf("NeighborhoodNodes(10) = %v exceeds |V|", got)
+	}
+	if got := s.NeighborhoodEdges(10); got > s.DegreeMoments[1] {
+		t.Fatalf("NeighborhoodEdges(10) = %v exceeds Σd", got)
+	}
+	// One hop from a random node reaches on average 1 + mean degree.
+	if got := s.NeighborhoodNodes(1); math.Abs(got-3) > 1e-9 {
+		t.Fatalf("NeighborhoodNodes(1) = %v want 3", got)
+	}
+	if s.NeighborhoodNodes(0) != 1 {
+		t.Fatal("NeighborhoodNodes(0) must be the focal node alone")
+	}
+}
+
+func TestEdgeProb(t *testing.T) {
+	s := ComputeStats(statsGraph())
+	// Undirected: 2|E| / n(n-1) = 8/12.
+	if got := s.EdgeProb(); math.Abs(got-8.0/12) > 1e-9 {
+		t.Fatalf("EdgeProb = %v", got)
+	}
+}

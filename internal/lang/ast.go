@@ -133,6 +133,15 @@ type Expr interface {
 	exprString() string
 }
 
+// ExprString renders a WHERE expression in query syntax ("" for nil). The
+// planning layer uses it to label FocalSelect plan nodes.
+func ExprString(e Expr) string {
+	if e == nil {
+		return ""
+	}
+	return e.exprString()
+}
+
 // BoolExpr combines two expressions with AND/OR.
 type BoolExpr struct {
 	Op   string // "AND" | "OR"

@@ -1,0 +1,82 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Explain renders the optimized plan as a tree with cost annotations —
+// the output of the language's EXPLAIN prefix and the shell's \explain.
+func (p *Physical) Explain() string {
+	var b strings.Builder
+	mode := "cost-based"
+	if p.Forced != "" {
+		mode = "forced " + p.Forced
+	}
+	fmt.Fprintf(&b, "Plan [%s, est cost %s, est focal %s]\n", mode, fmtEst(p.TotalCost), fmtEst(p.Focals))
+	p.renderNode(&b, p.Root, "", "")
+	for i, choice := range p.Choices {
+		fmt.Fprintf(&b, "candidates for %s (est |M| %s, %d automorphism(s)):\n",
+			p.Aggs[i].Pattern.Name, fmtEst(choice.Matches), choice.Autos)
+		algs := make([]string, 0, len(choice.Costs))
+		for alg := range choice.Costs {
+			algs = append(algs, alg)
+		}
+		sort.Slice(algs, func(a, b int) bool {
+			ca, cb := choice.Costs[algs[a]], choice.Costs[algs[b]]
+			if ca != cb {
+				return ca < cb
+			}
+			return algs[a] < algs[b]
+		})
+		for _, alg := range algs {
+			marker := ""
+			if alg == choice.Algorithm {
+				marker = "  <- chosen"
+			}
+			fmt.Fprintf(&b, "  %-8s %s%s\n", alg, fmtEst(choice.Costs[alg]), marker)
+		}
+	}
+	return b.String()
+}
+
+// renderNode prints one node line and recurses with box-drawing prefixes.
+func (p *Physical) renderNode(b *strings.Builder, n Node, firstPrefix, restPrefix string) {
+	b.WriteString(firstPrefix)
+	b.WriteString(n.Label())
+	b.WriteString(p.annotation(n))
+	b.WriteByte('\n')
+	children := n.Children()
+	for i, c := range children {
+		connector, carry := "├─ ", "│  "
+		if i == len(children)-1 {
+			connector, carry = "└─ ", "   "
+		}
+		p.renderNode(b, c, restPrefix+connector, restPrefix+carry)
+	}
+}
+
+// annotation appends the optimizer's decision to census nodes.
+func (p *Physical) annotation(n Node) string {
+	switch n.(type) {
+	case *Census:
+		if p.Batched {
+			return fmt.Sprintf(" (batched %s, est cost %s)", NDPvot, fmtEst(p.TotalCost))
+		}
+		parts := make([]string, len(p.Choices))
+		for i, c := range p.Choices {
+			parts[i] = fmt.Sprintf("%s est cost %s", c.Algorithm, fmtEst(c.Cost))
+		}
+		return " (" + strings.Join(parts, "; ") + ")"
+	case *PairCensus:
+		c := p.Choices[0]
+		return fmt.Sprintf(" (%s, est cost %s)", c.Algorithm, fmtEst(c.Cost))
+	}
+	return ""
+}
+
+// fmtEst renders estimates compactly and deterministically.
+func fmtEst(v float64) string {
+	return fmt.Sprintf("%.3g", v)
+}

@@ -1,0 +1,40 @@
+package plan
+
+import "egocensus/internal/graph"
+
+// Source supplies a graph to plan against and execute on. Planning only
+// needs the statistics snapshot — cheap for every backend — while
+// execution hydrates a full in-memory graph lazily, so a disk store can
+// answer EXPLAIN (and the optimizer can price a query) before paying
+// materialization. storage.Store implements this contract; FromGraph
+// adapts an already-materialized graph.
+type Source interface {
+	// GraphStats returns the statistics snapshot. Implementations should
+	// derive it from resident metadata where possible and memoize it.
+	GraphStats() (*graph.Stats, error)
+	// Graph materializes (or returns the cached) full graph for execution.
+	Graph() (*graph.Graph, error)
+}
+
+// GraphSource adapts an in-memory graph to the Source interface,
+// memoizing its statistics snapshot.
+type GraphSource struct {
+	g     *graph.Graph
+	stats *graph.Stats
+}
+
+// FromGraph wraps an in-memory graph as a Source.
+func FromGraph(g *graph.Graph) *GraphSource {
+	return &GraphSource{g: g}
+}
+
+// GraphStats implements Source.
+func (s *GraphSource) GraphStats() (*graph.Stats, error) {
+	if s.stats == nil {
+		s.stats = graph.ComputeStats(s.g)
+	}
+	return s.stats, nil
+}
+
+// Graph implements Source.
+func (s *GraphSource) Graph() (*graph.Graph, error) { return s.g, nil }

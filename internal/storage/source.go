@@ -1,0 +1,47 @@
+package storage
+
+import "egocensus/internal/graph"
+
+// This file makes Store a plan.Source: the query planner can price and
+// EXPLAIN queries against a disk store using only the resident indexes,
+// deferring full materialization until a query actually executes.
+
+// GraphStats derives the planner's statistics snapshot from the resident
+// adjacency index and label vector — no payload reads, no
+// materialization. Each node's adjacency record is an 8-byte count
+// header followed by 8 bytes per stored half-edge, so its degree is
+// recoverable from consecutive index offsets alone. The snapshot is
+// memoized.
+func (st *Store) GraphStats() (*graph.Stats, error) {
+	if st.stats != nil {
+		return st.stats, nil
+	}
+	s := &graph.Stats{
+		Edges:       st.NumEdges(),
+		Directed:    st.Directed(),
+		LabelCounts: map[string]int{},
+	}
+	for n := 0; n < st.NumNodes(); n++ {
+		d := int((st.adjIndex[n+1]-st.adjIndex[n])/8) - 1
+		s.AddDegree(d)
+		if l := graph.LabelID(st.nodeLabel[n]); l != graph.NoLabel {
+			s.LabelCounts[st.labels.Name(l)]++
+		}
+	}
+	st.stats = s
+	return s, nil
+}
+
+// Graph materializes the stored graph on first use and caches it, so
+// repeated queries over one store pay the load once.
+func (st *Store) Graph() (*graph.Graph, error) {
+	if st.graph != nil {
+		return st.graph, nil
+	}
+	g, err := st.Materialize()
+	if err != nil {
+		return nil, err
+	}
+	st.graph = g
+	return g, nil
+}

@@ -34,6 +34,9 @@ type Store struct {
 
 	cache *blockCache
 
+	stats *graph.Stats // memoized planner snapshot (source.go)
+	graph *graph.Graph // memoized materialization (source.go)
+
 	// Stats counts cache behaviour for tests and tuning.
 	Stats CacheStats
 }
