@@ -15,10 +15,12 @@ package main
 
 import (
 	"encoding/csv"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"egocensus/internal/core"
@@ -27,14 +29,16 @@ import (
 
 func main() {
 	var (
-		graphPath = flag.String("graph", "", "graph file written by gengraph (required)")
-		queryPath = flag.String("query", "", "script file with PATTERN/SELECT statements")
-		inline    = flag.String("e", "", "inline script text (alternative to -query)")
-		alg       = flag.String("alg", "", "force algorithm: ND-BAS, ND-DIFF, ND-PVOT, PT-BAS, PT-RND, PT-OPT")
-		workers   = flag.Int("workers", core.DefaultWorkers(), "parallel workers for the counting phase (1 = sequential)")
-		seed      = flag.Int64("seed", 1, "seed for RND() sampling")
-		limit     = flag.Int("limit", 0, "print at most this many rows per table (0 = all)")
-		format    = flag.String("format", "table", "output format: table or csv")
+		graphPath  = flag.String("graph", "", "graph file written by gengraph (required)")
+		queryPath  = flag.String("query", "", "script file with PATTERN/SELECT statements")
+		inline     = flag.String("e", "", "inline script text (alternative to -query)")
+		alg        = flag.String("alg", "", "force algorithm: ND-BAS, ND-DIFF, ND-PVOT, PT-BAS, PT-RND, PT-OPT")
+		workers    = flag.Int("workers", core.DefaultWorkers(), "parallel workers for the counting phase (1 = sequential)")
+		seed       = flag.Int64("seed", 1, "seed for RND() sampling")
+		limit      = flag.Int("limit", 0, "print at most this many rows per table (0 = all)")
+		format     = flag.String("format", "table", "output format: table or csv")
+		timeout    = flag.Duration("timeout", 0, "per-query evaluation deadline (0 = none); on expiry partial results are printed and the exit status is nonzero")
+		maxMatches = flag.Int("max-matches", 0, "cap on the global match-set size (0 = unlimited); exceeding it prints partial results and exits nonzero")
 	)
 	flag.Parse()
 	if *graphPath == "" || (*queryPath == "" && *inline == "") {
@@ -58,10 +62,11 @@ func main() {
 	e := core.NewEngineFromSource(st)
 	e.Alg = core.Algorithm(*alg)
 	e.Opt.Workers = *workers
+	e.Opt.Limits = core.Limits{Deadline: *timeout, MaxMatches: *maxMatches}
 	e.Seed = *seed
 	tables, err := e.Execute(src)
 	if err != nil {
-		fatal(err)
+		failWith(err, *format, *limit)
 	}
 	for i, t := range tables {
 		if i > 0 {
@@ -105,6 +110,50 @@ func writeCSV(w io.Writer, t *core.Table, limit int) error {
 }
 
 func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "census: %v\n", err)
+	msg := err.Error()
+	if !strings.HasPrefix(msg, "census: ") {
+		msg = "census: " + msg
+	}
+	fmt.Fprintln(os.Stderr, msg)
 	os.Exit(1)
+}
+
+// failWith reports a query failure and exits nonzero. Deadline and limit
+// failures first print the rows the query produced before it stopped
+// (marked as partial), then the diagnostic; internal errors include the
+// plan that was executing.
+func failWith(err error, format string, limit int) {
+	var ce *core.CanceledError
+	var le *core.LimitError
+	var ie *core.InternalError
+	switch {
+	case errors.As(err, &ce):
+		printPartial(ce.PartialTable, format, limit)
+	case errors.As(err, &le):
+		printPartial(le.PartialTable, format, limit)
+	case errors.As(err, &ie):
+		if ie.Plan != "" {
+			fmt.Fprintf(os.Stderr, "census: plan was:\n%s", ie.Plan)
+		}
+	}
+	fatal(err)
+}
+
+func printPartial(t *core.Table, format string, limit int) {
+	if t == nil || len(t.Rows) == 0 {
+		return
+	}
+	fmt.Printf("-- partial results (%d rows before the query stopped)\n", len(t.Rows))
+	if format == "csv" {
+		writeCSV(os.Stdout, t, limit)
+		return
+	}
+	if limit > 0 && len(t.Rows) > limit {
+		trimmed := *t
+		trimmed.Rows = t.Rows[:limit]
+		fmt.Print(core.FormatTable(&trimmed))
+		fmt.Printf("... (%d more rows)\n", len(t.Rows)-limit)
+		return
+	}
+	fmt.Print(core.FormatTable(t))
 }

@@ -19,16 +19,23 @@
 //	\patterns             list declared patterns
 //	\help                 show this help
 //	\quit                 exit
+//
+// Ctrl-C cancels the query in flight (printing any partial results) and
+// returns to the prompt; a second Ctrl-C, or one at an idle prompt, exits.
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 
 	"egocensus/internal/core"
 	"egocensus/internal/gen"
@@ -50,6 +57,19 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	// Ctrl-C cancels the in-flight query and returns to the prompt; with
+	// no query running (including a second Ctrl-C after a cancellation)
+	// it exits the shell.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt)
+	go func() {
+		for range sigc {
+			if !sh.cancelInflight() {
+				fmt.Fprintln(os.Stderr, "\negosh: interrupt")
+				os.Exit(130)
+			}
+		}
+	}()
 	sh.run(os.Stdin)
 }
 
@@ -61,6 +81,37 @@ type shell struct {
 	alg     core.Algorithm
 	workers int
 	timing  bool
+
+	mu       sync.Mutex
+	inflight context.CancelFunc // non-nil while a query is executing
+}
+
+// cancelInflight cancels the executing query, if any, reporting whether
+// there was one to cancel.
+func (sh *shell) cancelInflight() bool {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.inflight == nil {
+		return false
+	}
+	sh.inflight()
+	sh.inflight = nil
+	fmt.Fprintln(sh.out, "canceling query...")
+	return true
+}
+
+// beginQuery installs ctx's cancel as the in-flight query; endQuery
+// clears it.
+func (sh *shell) beginQuery(cancel context.CancelFunc) {
+	sh.mu.Lock()
+	sh.inflight = cancel
+	sh.mu.Unlock()
+}
+
+func (sh *shell) endQuery() {
+	sh.mu.Lock()
+	sh.inflight = nil
+	sh.mu.Unlock()
 }
 
 func newShell(out io.Writer, seed int64) *shell {
@@ -207,9 +258,13 @@ func (sh *shell) execute(src string) {
 	if strings.TrimSpace(src) == "" {
 		return
 	}
-	tables, err := sh.engine.Execute(src)
+	ctx, cancel := context.WithCancel(context.Background())
+	sh.beginQuery(cancel)
+	tables, err := sh.engine.ExecuteContext(ctx, src)
+	sh.endQuery()
+	cancel()
 	if err != nil {
-		fmt.Fprintf(sh.out, "error: %v\n", err)
+		sh.printFailure(err)
 		return
 	}
 	if len(tables) == 0 {
@@ -222,16 +277,48 @@ func (sh *shell) execute(src string) {
 		if sh.timing {
 			sh.printTiming(t)
 		}
-		limit := 40
-		if len(t.Rows) > limit {
-			trimmed := *t
-			trimmed.Rows = t.Rows[:limit]
-			fmt.Fprint(sh.out, core.FormatTable(&trimmed))
-			fmt.Fprintf(sh.out, "... (%d more rows; use LIMIT)\n", len(t.Rows)-limit)
-			continue
-		}
-		fmt.Fprint(sh.out, core.FormatTable(t))
+		sh.printRows(t)
 	}
+}
+
+// printRows prints a table's rows, truncated for terminal sanity.
+func (sh *shell) printRows(t *core.Table) {
+	limit := 40
+	if len(t.Rows) > limit {
+		trimmed := *t
+		trimmed.Rows = t.Rows[:limit]
+		fmt.Fprint(sh.out, core.FormatTable(&trimmed))
+		fmt.Fprintf(sh.out, "... (%d more rows; use LIMIT)\n", len(t.Rows)-limit)
+		return
+	}
+	fmt.Fprint(sh.out, core.FormatTable(t))
+}
+
+// printFailure reports a failed query. Cancellation and limit failures
+// print the rows produced before the stop; internal errors print the
+// plan that was executing.
+func (sh *shell) printFailure(err error) {
+	var ce *core.CanceledError
+	var le *core.LimitError
+	var ie *core.InternalError
+	var partial *core.Table
+	switch {
+	case errors.As(err, &ce):
+		partial = ce.PartialTable
+	case errors.As(err, &le):
+		partial = le.PartialTable
+	case errors.As(err, &ie):
+		fmt.Fprintf(sh.out, "error: %v\n", err)
+		if ie.Plan != "" {
+			fmt.Fprintf(sh.out, "plan was:\n%s", ie.Plan)
+		}
+		return
+	}
+	if partial != nil && len(partial.Rows) > 0 {
+		fmt.Fprintf(sh.out, "-- partial results (%d rows before the query stopped)\n", len(partial.Rows))
+		sh.printRows(partial)
+	}
+	fmt.Fprintf(sh.out, "error: %v\n", err)
 }
 
 // printTiming prints the per-stage breakdown of one executed query.

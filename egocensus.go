@@ -28,6 +28,8 @@
 package egocensus
 
 import (
+	"context"
+
 	"egocensus/internal/centers"
 	"egocensus/internal/core"
 	"egocensus/internal/gen"
@@ -141,6 +143,31 @@ type (
 	PairMode = core.PairMode
 )
 
+// Failure semantics: every evaluation entry point has a Context variant
+// whose cancellation, deadline, and resource limits surface as typed
+// errors carrying partial results (see doc/ARCHITECTURE.md, "Failure
+// semantics").
+type (
+	// Limits bounds the resources one evaluation may consume; set it on
+	// Options.Limits. The zero value imposes no limits.
+	Limits = core.Limits
+	// Progress snapshots how far an evaluation got before it stopped.
+	Progress = core.Progress
+	// CanceledError reports a context cancellation or deadline expiry,
+	// with partial results attached.
+	CanceledError = core.CanceledError
+	// LimitError reports an exceeded resource limit, with partial results
+	// attached.
+	LimitError = core.LimitError
+	// InternalError reports a panic inside the engine's execution
+	// pipeline, converted at the execution boundary with the query text
+	// and plan attached.
+	InternalError = core.InternalError
+	// CorruptFileError reports a graph file that failed structural
+	// validation on open.
+	CorruptFileError = storage.CorruptFileError
+)
+
 // The census algorithms of Section IV.
 const (
 	NDBas  = core.NDBas
@@ -167,9 +194,23 @@ func Count(g *Graph, spec Spec, alg Algorithm, opt Options) (*Result, error) {
 	return core.Count(g, spec, alg, opt)
 }
 
+// CensusContext is Count under a context: cancellation, deadline expiry,
+// and the resource limits of opt.Limits stop evaluation within a bounded
+// interval, returning a *CanceledError or *LimitError that carries the
+// partial census accumulated so far.
+func CensusContext(ctx context.Context, g *Graph, spec Spec, alg Algorithm, opt Options) (*Result, error) {
+	return core.CountContext(ctx, g, spec, alg, opt)
+}
+
 // CountPairs evaluates a pairwise census.
 func CountPairs(g *Graph, spec PairSpec, alg Algorithm, opt Options) (*PairResult, error) {
 	return core.CountPairs(g, spec, alg, opt)
+}
+
+// PairCensusContext is CountPairs under a context, with the failure
+// semantics of CensusContext.
+func PairCensusContext(ctx context.Context, g *Graph, spec PairSpec, alg Algorithm, opt Options) (*PairResult, error) {
+	return core.CountPairsContext(ctx, g, spec, alg, opt)
 }
 
 // MakePair returns the canonical form of an unordered pair.

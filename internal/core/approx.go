@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -33,13 +34,24 @@ type ApproxResult struct {
 // pattern-driven counting machinery. sampleRate must be in (0, 1]; a rate
 // of 1 reproduces the exact PT-OPT result.
 func CountApprox(g *graph.Graph, spec Spec, sampleRate float64, opt Options) (*ApproxResult, error) {
+	return CountApproxContext(context.Background(), g, spec, sampleRate, opt)
+}
+
+// CountApproxContext is CountApprox under a context; cancellation and
+// opt.Limits stop the sampled counting phase within a bounded interval.
+func CountApproxContext(ctx context.Context, g *graph.Graph, spec Spec, sampleRate float64, opt Options) (*ApproxResult, error) {
 	if err := spec.Validate(g); err != nil {
 		return nil, err
 	}
 	if sampleRate <= 0 || sampleRate > 1 {
 		return nil, fmt.Errorf("census: sample rate %v outside (0, 1]", sampleRate)
 	}
-	matches := globalMatches(g, spec, opt)
+	gd, cancel := newGuard(ctx, opt.Limits)
+	defer cancel()
+	matches, err := globalMatchesGuarded(g, spec, opt, gd)
+	if err != nil {
+		return nil, err
+	}
 	res := &ApproxResult{
 		Est:        make([]float64, g.NumNodes()),
 		NumMatches: len(matches),
@@ -59,8 +71,11 @@ func CountApprox(g *graph.Graph, spec Spec, sampleRate float64, opt Options) (*A
 		}
 	}
 	res.SampledMatches = len(sample)
-	counts, err := ptCensusOnMatches(g, spec, opt, sample, false)
+	counts, err := ptCensusOnMatches(g, spec, opt, sample, false, gd)
 	if err != nil {
+		return nil, err
+	}
+	if err := gd.failure(nil, nil); err != nil {
 		return nil, err
 	}
 	inv := 1 / sampleRate

@@ -12,6 +12,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -170,6 +171,12 @@ type Options struct {
 	// Workers bounds the parallelism of the counting phase (ND-PVOT focal
 	// nodes, PT-OPT/PT-RND clusters). Zero or one runs sequentially.
 	Workers int
+
+	// Limits bounds the resources evaluation may consume (match-set size,
+	// result rows, wall-clock deadline, approximate memory). Exceeding a
+	// limit surfaces as a *LimitError carrying partial results. The zero
+	// value imposes no limits.
+	Limits Limits
 }
 
 func (o Options) workers() int {
@@ -184,6 +191,20 @@ func (o Options) matcher() match.Matcher {
 		return match.CN{}
 	}
 	return o.Matcher
+}
+
+// matcherFor returns the configured matcher with the guard's stop callback
+// injected when both the guard and the matcher support it, so cancellation
+// reaches into match enumeration instead of waiting for it to finish.
+func (o Options) matcherFor(gd *guard) match.Matcher {
+	m := o.matcher()
+	if gd == nil {
+		return m
+	}
+	if s, ok := m.(match.Stoppable); ok {
+		return s.WithStop(gd.stopFunc())
+	}
+	return m
 }
 
 func (o Options) numCenters() int {
@@ -215,32 +236,68 @@ type Result struct {
 
 // Count evaluates a single-node census with the chosen algorithm.
 func Count(g *graph.Graph, spec Spec, alg Algorithm, opt Options) (*Result, error) {
+	return CountContext(context.Background(), g, spec, alg, opt)
+}
+
+// CountContext evaluates a single-node census under ctx: cancellation and
+// the limits in opt.Limits are enforced inside the drivers with periodic
+// low-overhead checks, so evaluation returns within a bounded interval of
+// cancellation. A stop surfaces as a *CanceledError or *LimitError
+// carrying progress stats and the partial census accumulated so far.
+func CountContext(ctx context.Context, g *graph.Graph, spec Spec, alg Algorithm, opt Options) (*Result, error) {
 	if err := spec.Validate(g); err != nil {
 		return nil, err
 	}
+	gd, cancel := newGuard(ctx, opt.Limits)
+	defer cancel()
+	return countGuarded(g, spec, alg, opt, gd)
+}
+
+// countGuarded dispatches to the drivers under an existing guard (the
+// engine shares one guard across a whole query pipeline).
+func countGuarded(g *graph.Graph, spec Spec, alg Algorithm, opt Options, gd *guard) (*Result, error) {
 	switch alg {
 	case NDBas:
-		return countNDBas(g, spec, opt)
+		return countNDBas(g, spec, opt, gd)
 	case NDDiff:
-		return countNDDiff(g, spec, opt)
+		return countNDDiff(g, spec, opt, gd)
 	case NDPvot:
-		return countNDPvot(g, spec, opt)
+		return countNDPvot(g, spec, opt, gd)
 	case PTBas:
-		return countPTBas(g, spec, opt)
+		return countPTBas(g, spec, opt, gd)
 	case PTOpt:
-		return countPTDriven(g, spec, opt, false)
+		return countPTDriven(g, spec, opt, false, gd)
 	case PTRnd:
-		return countPTDriven(g, spec, opt, true)
+		return countPTDriven(g, spec, opt, true, gd)
 	default:
 		return nil, fmt.Errorf("census: unknown algorithm %q", alg)
 	}
 }
 
 // globalMatches finds the deduplicated set of matches of the spec's
-// pattern in g.
+// pattern in g (ungoverned form, for batch paths and tests).
 func globalMatches(g *graph.Graph, spec Spec, opt Options) []pattern.Match {
 	emb := opt.matcher().Embeddings(g, spec.Pattern)
 	return match.Deduplicate(spec.Pattern, emb, spec.subNodesForKey())
+}
+
+// globalMatchesGuarded is globalMatches under a guard: enumeration aborts
+// within one check epoch of a stop, and the deduplicated match set is
+// charged against the MaxMatches and MemoryBudget limits.
+func globalMatchesGuarded(g *graph.Graph, spec Spec, opt Options, gd *guard) ([]pattern.Match, error) {
+	emb := opt.matcherFor(gd).Embeddings(g, spec.Pattern)
+	if gd.stopped() {
+		return nil, gd.failure(nil, nil)
+	}
+	matches := match.Deduplicate(spec.Pattern, emb, spec.subNodesForKey())
+	// Dominant cost of the match set: one NodeID per pattern node per
+	// match, plus slice headers.
+	perMatch := int64(spec.Pattern.NumNodes())*4 + 24
+	gd.chargeMem(int64(len(matches)) * perMatch)
+	if err := gd.chargeMatches(len(matches)); err != nil {
+		return nil, gd.failure(nil, nil)
+	}
+	return matches, nil
 }
 
 // matchAnchors returns the deduplicated image nodes of the spec's anchor

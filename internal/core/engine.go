@@ -1,7 +1,10 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"runtime/debug"
 	"strings"
 	"time"
 
@@ -155,6 +158,14 @@ func (e *Engine) Patterns() map[string]*pattern.Pattern {
 // is a parse error (the policy DefinePattern also enforces), so only
 // genuinely new definitions are copied in.
 func (e *Engine) Execute(src string) ([]*Table, error) {
+	return e.ExecuteContext(context.Background(), src)
+}
+
+// ExecuteContext is Execute under a context: every query runs cancellable
+// and resource-bounded (see RunContext). Tables of queries completed before
+// a failure are not returned; the typed error's PartialTable carries the
+// failing query's partial output.
+func (e *Engine) ExecuteContext(ctx context.Context, src string) ([]*Table, error) {
 	script, err := lang.ParseWith(src, e.catalog)
 	if err != nil {
 		return nil, err
@@ -166,7 +177,7 @@ func (e *Engine) Execute(src string) ([]*Table, error) {
 	}
 	var tables []*Table
 	for _, q := range script.Queries() {
-		t, err := e.Run(q)
+		t, err := e.RunContext(ctx, q)
 		if err != nil {
 			return nil, err
 		}
@@ -196,6 +207,19 @@ func (e *Engine) Plan(q *lang.SelectStmt) (*plan.Physical, error) {
 // Run executes one parsed query: optimize, then (unless EXPLAIN) compile
 // to a physical pipeline and run it.
 func (e *Engine) Run(q *lang.SelectStmt) (*Table, error) {
+	return e.RunContext(context.Background(), q)
+}
+
+// RunContext is Run under a context. Cancellation, deadline expiry, and
+// the resource limits of e.Opt.Limits stop the pipeline within a bounded
+// interval, surfacing as a *CanceledError or *LimitError whose
+// PartialTable carries whatever rows the pipeline had produced. Panics
+// anywhere in the execution pipeline (including census worker goroutines,
+// which forward theirs to the coordinating goroutine) are converted to a
+// *InternalError with the query text and optimized plan attached —
+// unrecoverable runtime corruption aborts the process before any recover
+// runs, so the conversion never masks it.
+func (e *Engine) RunContext(ctx context.Context, q *lang.SelectStmt) (*Table, error) {
 	planStart := time.Now()
 	phys, err := e.Plan(q)
 	if err != nil {
@@ -209,11 +233,14 @@ func (e *Engine) Run(q *lang.SelectStmt) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	gd, cancel := newGuard(ctx, e.Opt.Limits)
+	defer cancel()
 	st := &execState{
 		e:    e,
 		g:    g,
 		phys: phys,
 		q:    q,
+		gd:   gd,
 		table: &Table{
 			Query: q,
 			Plan:  phys,
@@ -231,12 +258,60 @@ func (e *Engine) Run(q *lang.SelectStmt) (*Table, error) {
 		}
 		st.pairSpec = &PairSpec{Spec: st.specs[0], Mode: mode}
 	}
-	for _, op := range compile(phys) {
-		if err := op.Run(st); err != nil {
-			return nil, err
-		}
+	if err := runPipeline(st); err != nil {
+		attachPartialTable(err, st)
+		return nil, err
 	}
 	return st.table, nil
+}
+
+// runPipeline executes the compiled operator pipeline, converting panics
+// to *InternalError at this boundary.
+func runPipeline(st *execState) (err error) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		ie := &InternalError{Query: st.q.String(), Plan: st.phys.Explain()}
+		if wp, ok := r.(*workerPanic); ok {
+			// A census worker goroutine panicked; its original panic value
+			// and stack were carried to this goroutine by the pool.
+			ie.Panic, ie.Stack = wp.val, wp.stack
+		} else {
+			ie.Panic, ie.Stack = r, debug.Stack()
+		}
+		err = ie
+	}()
+	for _, op := range compile(st.phys) {
+		if err := op.Run(st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// attachPartialTable links the partially built result table into a typed
+// cancellation/limit failure, rendering the accumulated rows first so
+// callers can print what completed without reaching into engine internals.
+func attachPartialTable(err error, st *execState) {
+	var ce *CanceledError
+	var le *LimitError
+	switch {
+	case errors.As(err, &ce), errors.As(err, &le):
+	default:
+		return
+	}
+	t := st.table
+	if t.Header == nil {
+		t.Header = header(st.q)
+	}
+	finishTable(st.g, st.q, t)
+	if ce != nil {
+		ce.PartialTable = t
+		return
+	}
+	le.PartialTable = t
 }
 
 // explainTable renders the optimized plan tree as a one-column table.

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// This file defines the failure taxonomy of census evaluation: resource
+// limits (Limits), the partial-progress snapshot every failure carries
+// (Progress), and the three typed errors callers branch on — CanceledError
+// (context cancellation or deadline), LimitError (a configured resource
+// limit was exceeded), and InternalError (a panic inside the engine
+// converted at the execution boundary). Cancellation and limit failures
+// carry whatever partial census results had accumulated, so callers can
+// degrade gracefully instead of losing everything.
+
+// Limits bounds the resources one census evaluation may consume. The zero
+// value imposes no limits.
+type Limits struct {
+	// MaxMatches caps |M|, the global match-set size the pattern-driven
+	// and index-based algorithms materialize. 0 means unlimited.
+	MaxMatches int
+	// MaxResultRows caps the number of result rows (focal nodes for
+	// single-node censuses, non-zero pairs for pairwise ones). 0 means
+	// unlimited.
+	MaxResultRows int
+	// Deadline bounds wall-clock evaluation time; expiry surfaces as a
+	// *CanceledError wrapping context.DeadlineExceeded. 0 means no
+	// deadline.
+	Deadline time.Duration
+	// MemoryBudget caps the approximate bytes of the dominant evaluation
+	// allocations (match set, per-worker count vectors, traversal distance
+	// vectors). Accounting is coarse — it tracks the structures that grow
+	// with |M| and |V|, not every allocation. 0 means unlimited.
+	MemoryBudget int64
+}
+
+// Progress is the partial-progress snapshot attached to cancellation and
+// limit failures.
+type Progress struct {
+	// FocalDone counts focal units fully processed before the stop: focal
+	// nodes for node-driven algorithms, matches or clusters for
+	// pattern-driven ones.
+	FocalDone int64
+	// FocalTotal is the total number of those units (0 when the stop
+	// happened before the counting phase began).
+	FocalTotal int64
+	// Matches is the number of global matches found before the stop.
+	Matches int64
+	// Rows is the number of result rows produced before the stop.
+	Rows int64
+	// MemoryBytes is the approximate bytes charged against the memory
+	// budget.
+	MemoryBytes int64
+	// Elapsed is the wall-clock time from evaluation start to the stop.
+	Elapsed time.Duration
+}
+
+// String renders the snapshot for diagnostics.
+func (p Progress) String() string {
+	return fmt.Sprintf("%d/%d focal units, %d matches, %d rows, %v elapsed",
+		p.FocalDone, p.FocalTotal, p.Matches, p.Rows, p.Elapsed.Round(time.Millisecond))
+}
+
+// CanceledError reports that evaluation stopped because its context was
+// canceled or its deadline expired. Partial results accumulated before the
+// stop are attached; counts for focal units not yet processed are zero.
+type CanceledError struct {
+	// Cause is context.Canceled or context.DeadlineExceeded.
+	Cause error
+	// Progress snapshots how far evaluation got.
+	Progress Progress
+	// Partial holds the partial single-node census (nil for pairwise
+	// evaluation or when the stop preceded the counting phase).
+	Partial *Result
+	// PartialPairs holds the partial pairwise census (nil for single-node
+	// evaluation).
+	PartialPairs *PairResult
+	// PartialTable holds the partially rendered result table when the
+	// failure crossed the engine's render stage (nil below the engine).
+	PartialTable *Table
+}
+
+// Error implements error.
+func (e *CanceledError) Error() string {
+	return fmt.Sprintf("census: evaluation canceled (%v) after %s", e.Cause, e.Progress)
+}
+
+// Unwrap exposes the context cause, so errors.Is(err, context.Canceled)
+// and errors.Is(err, context.DeadlineExceeded) work.
+func (e *CanceledError) Unwrap() error { return e.Cause }
+
+// LimitError reports that evaluation stopped because a configured resource
+// limit was exceeded. Partial results accumulated before the stop are
+// attached.
+type LimitError struct {
+	// Limit names the exceeded limit: "max-matches", "max-result-rows" or
+	// "memory-budget".
+	Limit string
+	// Value is the configured bound.
+	Value int64
+	// Actual is the observed value that exceeded it.
+	Actual int64
+	// Progress snapshots how far evaluation got.
+	Progress Progress
+	// Partial holds the partial single-node census (nil for pairwise
+	// evaluation or when the stop preceded the counting phase).
+	Partial *Result
+	// PartialPairs holds the partial pairwise census (nil for single-node
+	// evaluation).
+	PartialPairs *PairResult
+	// PartialTable holds the partially rendered result table when the
+	// failure crossed the engine's render stage (nil below the engine).
+	PartialTable *Table
+}
+
+// Error implements error.
+func (e *LimitError) Error() string {
+	return fmt.Sprintf("census: %s limit exceeded (%d > %d) after %s", e.Limit, e.Actual, e.Value, e.Progress)
+}
+
+// InternalError reports a panic inside the engine's execution pipeline,
+// converted to an error at the execution boundary with the query and plan
+// attached. Unrecoverable runtime corruption (concurrent map writes, stack
+// exhaustion) aborts the process before any recover() runs, so converting
+// every recoverable panic never masks it.
+type InternalError struct {
+	// Query is the text of the query that was executing.
+	Query string
+	// Plan is the rendered optimized plan, when planning had completed.
+	Plan string
+	// Panic is the recovered panic value.
+	Panic any
+	// Stack is the goroutine stack captured at recovery.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *InternalError) Error() string {
+	return fmt.Sprintf("census: internal error: %v (query: %s)", e.Panic, e.Query)
+}
+
+// limitStop is the guard-internal stop cause for an exceeded limit; the
+// driver boundary converts it into a *LimitError with progress attached.
+type limitStop struct {
+	kind   string
+	value  int64
+	actual int64
+}
+
+func (l *limitStop) Error() string {
+	return fmt.Sprintf("%s limit exceeded (%d > %d)", l.kind, l.actual, l.value)
+}

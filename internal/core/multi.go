@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"egocensus/internal/graph"
@@ -16,6 +17,19 @@ import (
 // Results are returned in spec order and are identical to running
 // Count(..., NDPvot, ...) per spec.
 func CountMany(g *graph.Graph, specs []Spec, opt Options) ([]*Result, error) {
+	return CountManyContext(context.Background(), g, specs, opt)
+}
+
+// CountManyContext is CountMany under a context: cancellation and
+// opt.Limits stop the shared pass within a bounded interval; the typed
+// error carries the first spec's partial census as a progress indicator.
+func CountManyContext(ctx context.Context, g *graph.Graph, specs []Spec, opt Options) ([]*Result, error) {
+	gd, cancel := newGuard(ctx, opt.Limits)
+	defer cancel()
+	return countManyGuarded(g, specs, opt, gd)
+}
+
+func countManyGuarded(g *graph.Graph, specs []Spec, opt Options, gd *guard) ([]*Result, error) {
 	if len(specs) == 0 {
 		return nil, nil
 	}
@@ -42,7 +56,10 @@ func CountMany(g *graph.Graph, specs []Spec, opt Options) ([]*Result, error) {
 	states := make([]*pvState, len(specs))
 	results := make([]*Result, len(specs))
 	for i, spec := range specs {
-		matches := globalMatches(g, spec, opt)
+		matches, err := globalMatchesGuarded(g, spec, opt, gd)
+		if err != nil {
+			return nil, err
+		}
 		results[i] = &Result{Counts: make([]int64, g.NumNodes()), NumMatches: len(matches)}
 		if len(matches) == 0 {
 			continue
@@ -79,17 +96,22 @@ func CountMany(g *graph.Graph, specs []Spec, opt Options) ([]*Result, error) {
 
 	prepare(g)
 	focal := specs[0].focalList(g)
-	parallelFor(opt.workers(), len(focal), func(fi int) {
+	gd.setFocalTotal(len(focal))
+	parallelFor(gd, opt.workers(), len(focal), func(fi int) {
 		n := focal[fi]
 		s := graph.AcquireScratch(g.NumNodes())
 		defer s.Release()
 		reach := g.KHop(n, k, s) // the shared traversal
+		tk := ticker{gd: gd}
 		for i, st := range states {
 			if st == nil {
 				continue
 			}
 			var count int64
 			for _, nPrime := range reach.Nodes {
+				if tk.tick() != nil {
+					return
+				}
 				bucket := st.index[nPrime]
 				if len(bucket) == 0 {
 					continue
@@ -124,6 +146,11 @@ func CountMany(g *graph.Graph, specs []Spec, opt Options) ([]*Result, error) {
 			results[i].Counts[n] = count
 		}
 	})
+	if len(results) > 0 {
+		if err := gd.failure(results[0], nil); err != nil {
+			return nil, err
+		}
+	}
 	return results, nil
 }
 

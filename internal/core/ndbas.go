@@ -17,22 +17,28 @@ import (
 // are processed in parallel across Options.Workers — each owns a disjoint
 // result slot, so workers write counts directly.
 //
+// Cancellation is checked before every focal node and, through the
+// matcher's stop hook, inside each per-node enumeration; on a stop the
+// counts written so far are returned as the partial census.
+//
 // COUNTSP censuses cannot be answered inside the neighborhood (the pattern
 // may extend beyond it while only the subpattern image must lie inside),
 // so for those the baseline degrades to the naive global scheme the paper
 // describes as the starting point of pivot indexing: match globally, then
 // containment-check every match against every focal node.
-func countNDBas(g *graph.Graph, spec Spec, opt Options) (*Result, error) {
+func countNDBas(g *graph.Graph, spec Spec, opt Options, gd *guard) (*Result, error) {
 	if spec.Subpattern != "" {
-		return countNDBasSubpattern(g, spec, opt)
+		return countNDBasSubpattern(g, spec, opt, gd)
 	}
 	res := &Result{Counts: make([]int64, g.NumNodes())}
-	m := opt.matcher()
+	gd.chargeMem(int64(g.NumNodes()) * 8)
+	m := opt.matcherFor(gd)
 	focal := spec.focalList(g)
+	gd.setFocalTotal(len(focal))
 	prepare(g)
 
 	if mm, ok := m.(match.MaskedMatcher); ok {
-		parallelFor(opt.workers(), len(focal), func(i int) {
+		parallelFor(gd, opt.workers(), len(focal), func(i int) {
 			n := focal[i]
 			s := graph.AcquireScratch(g.NumNodes())
 			reach := g.KHop(n, spec.K, s)
@@ -40,32 +46,41 @@ func countNDBas(g *graph.Graph, spec Spec, opt Options) (*Result, error) {
 			res.Counts[n] = int64(match.CountDistinct(spec.Pattern, emb, nil))
 			s.Release()
 		})
-		return res, nil
+		return res, gd.failure(res, nil)
 	}
 
-	parallelFor(opt.workers(), len(focal), func(i int) {
+	parallelFor(gd, opt.workers(), len(focal), func(i int) {
 		n := focal[i]
 		sg := g.EgoSubgraph(n, spec.K)
 		emb := m.Embeddings(sg.G, spec.Pattern)
 		res.Counts[n] = int64(match.CountDistinct(spec.Pattern, emb, nil))
 	})
-	return res, nil
+	return res, gd.failure(res, nil)
 }
 
 // countNDBasSubpattern is the naive O(|V_sigma| * |M| * |V_SP|) scheme.
-func countNDBasSubpattern(g *graph.Graph, spec Spec, opt Options) (*Result, error) {
+func countNDBasSubpattern(g *graph.Graph, spec Spec, opt Options, gd *guard) (*Result, error) {
 	res := &Result{Counts: make([]int64, g.NumNodes())}
-	matches := globalMatches(g, spec, opt)
+	gd.chargeMem(int64(g.NumNodes()) * 8)
+	matches, err := globalMatchesGuarded(g, spec, opt, gd)
+	if err != nil {
+		return nil, err
+	}
 	res.NumMatches = len(matches)
 	anchorIdx := spec.anchorNodes()
 	focal := spec.focalList(g)
+	gd.setFocalTotal(len(focal))
 	prepare(g)
-	parallelFor(opt.workers(), len(focal), func(i int) {
+	parallelForWorker(gd, opt.workers(), len(focal), func(w, i int) {
 		n := focal[i]
 		s := graph.AcquireScratch(g.NumNodes())
 		reach := g.KHop(n, spec.K, s)
 		var count int64
+		tk := ticker{gd: gd}
 		for _, m := range matches {
+			if tk.tick() != nil {
+				break
+			}
 			inside := true
 			for _, idx := range anchorIdx {
 				if !reach.Contains(m[idx]) {
@@ -80,5 +95,5 @@ func countNDBasSubpattern(g *graph.Graph, spec Spec, opt Options) (*Result, erro
 		res.Counts[n] = count
 		s.Release()
 	})
-	return res, nil
+	return res, gd.failure(res, nil)
 }

@@ -19,9 +19,13 @@ import (
 // each chain owns disjoint result slots. Within a chain, the current match
 // set is an epoch-stamped dense vector and the two live neighborhoods are
 // pooled scratch reaches.
-func countNDDiff(g *graph.Graph, spec Spec, opt Options) (*Result, error) {
+func countNDDiff(g *graph.Graph, spec Spec, opt Options, gd *guard) (*Result, error) {
 	res := &Result{Counts: make([]int64, g.NumNodes())}
-	matches := globalMatches(g, spec, opt)
+	gd.chargeMem(int64(g.NumNodes()) * 8)
+	matches, err := globalMatchesGuarded(g, spec, opt, gd)
+	if err != nil {
+		return nil, err
+	}
 	res.NumMatches = len(matches)
 	if len(matches) == 0 {
 		return res, nil
@@ -77,6 +81,9 @@ func countNDDiff(g *graph.Graph, spec Spec, opt Options) (*Result, error) {
 		}
 		chains = append(chains, chain)
 	}
+	// Chains are the parallel work units; a stop also breaks out of the
+	// node loop inside a chain, so long chains stay responsive.
+	gd.setFocalTotal(len(focal))
 
 	contained := func(m pattern.Match, reach graph.Reach) bool {
 		for _, idx := range anchorIdx {
@@ -115,7 +122,11 @@ func countNDDiff(g *graph.Graph, spec Spec, opt Options) (*Result, error) {
 		var count int64
 		var prevReach graph.Reach
 		havePrev := false
+		tk := ticker{gd: gd}
 		for ci, n := range chain {
+			if gd.stopped() {
+				return
+			}
 			s := sa
 			if ci%2 == 1 {
 				s = sb
@@ -123,6 +134,9 @@ func countNDDiff(g *graph.Graph, spec Spec, opt Options) (*Result, error) {
 			reach := g.KHop(n, spec.K, s)
 			if !havePrev {
 				for _, nb := range reach.Nodes {
+					if tk.tick() != nil {
+						return
+					}
 					for _, mi := range index[nb] {
 						if inCur[mi] != epoch && contained(matches[mi], reach) {
 							inCur[mi] = epoch
@@ -133,6 +147,9 @@ func countNDDiff(g *graph.Graph, spec Spec, opt Options) (*Result, error) {
 			} else {
 				// Remove matches touching N2 = N_k(prev) - N_k(cur).
 				for _, nb := range prevReach.Nodes {
+					if tk.tick() != nil {
+						return
+					}
 					if reach.Contains(nb) {
 						continue
 					}
@@ -145,6 +162,9 @@ func countNDDiff(g *graph.Graph, spec Spec, opt Options) (*Result, error) {
 				}
 				// Add matches touching N1 = N_k(cur) - N_k(prev).
 				for _, nb := range reach.Nodes {
+					if tk.tick() != nil {
+						return
+					}
 					if prevReach.Contains(nb) {
 						continue
 					}
@@ -157,6 +177,7 @@ func countNDDiff(g *graph.Graph, spec Spec, opt Options) (*Result, error) {
 				}
 			}
 			res.Counts[n] = count
+			gd.focalTick()
 			prevReach = reach
 			havePrev = true
 		}
@@ -164,12 +185,15 @@ func countNDDiff(g *graph.Graph, spec Spec, opt Options) (*Result, error) {
 
 	if workers <= 1 || len(chains) == 1 {
 		for _, chain := range chains {
+			if gd.check() != nil {
+				break
+			}
 			runChain(0, chain)
 		}
-		return res, nil
+		return res, gd.failure(res, nil)
 	}
-	parallelForWorker(workers, len(chains), func(w, i int) {
+	parallelForWorker(gd, workers, len(chains), func(w, i int) {
 		runChain(w, chains[i])
 	})
-	return res, nil
+	return res, gd.failure(res, nil)
 }

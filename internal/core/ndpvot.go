@@ -25,9 +25,13 @@ func buildPMI(numNodes int, matches []pattern.Match, pivot int) [][]int32 {
 // only the pattern nodes that are distant enough from the pivot to be able
 // to escape the neighborhood. Focal nodes are processed in parallel across
 // Options.Workers; each owns a disjoint result slot.
-func countNDPvot(g *graph.Graph, spec Spec, opt Options) (*Result, error) {
+func countNDPvot(g *graph.Graph, spec Spec, opt Options, gd *guard) (*Result, error) {
 	res := &Result{Counts: make([]int64, g.NumNodes())}
-	matches := globalMatches(g, spec, opt)
+	gd.chargeMem(int64(g.NumNodes()) * 8)
+	matches, err := globalMatchesGuarded(g, spec, opt, gd)
+	if err != nil {
+		return nil, err
+	}
 	res.NumMatches = len(matches)
 	if len(matches) == 0 {
 		return res, nil
@@ -69,13 +73,18 @@ func countNDPvot(g *graph.Graph, spec Spec, opt Options) (*Result, error) {
 
 	// Focal nodes are disjoint result slots, so workers write directly.
 	focal := spec.focalList(g)
-	parallelFor(opt.workers(), len(focal), func(fi int) {
+	gd.setFocalTotal(len(focal))
+	parallelFor(gd, opt.workers(), len(focal), func(fi int) {
 		n := focal[fi]
 		s := graph.AcquireScratch(g.NumNodes())
 		defer s.Release()
 		reach := g.KHop(n, spec.K, s)
 		var count int64
+		tk := ticker{gd: gd}
 		for _, nPrime := range reach.Nodes {
+			if tk.tick() != nil {
+				return
+			}
 			bucket := index[nPrime]
 			if len(bucket) == 0 {
 				continue
@@ -112,5 +121,5 @@ func countNDPvot(g *graph.Graph, spec Spec, opt Options) (*Result, error) {
 		}
 		res.Counts[n] = count
 	})
-	return res, nil
+	return res, gd.failure(res, nil)
 }

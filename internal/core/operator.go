@@ -55,6 +55,7 @@ type execState struct {
 	g        *graph.Graph
 	phys     *plan.Physical
 	q        *lang.SelectStmt
+	gd       *guard // one guard spans the whole pipeline (nil: ungoverned)
 	specs    []Spec
 	pairSpec *PairSpec
 	results  []*Result
@@ -98,6 +99,7 @@ func (focalSelectOp) Run(st *execState) error {
 	start := time.Now()
 	defer func() { st.table.Stats.FocalTime = time.Since(start) }()
 
+	tk := ticker{gd: st.gd}
 	if !st.phys.Pair {
 		st.table.Stats.FocalCount = st.g.NumNodes()
 		if st.q.Where == nil {
@@ -105,6 +107,9 @@ func (focalSelectOp) Run(st *execState) error {
 		}
 		var focal []graph.NodeID
 		for i := 0; i < st.g.NumNodes(); i++ {
+			if tk.tick() != nil {
+				return st.gd.failure(nil, nil)
+			}
 			n := graph.NodeID(i)
 			ok, err := st.passes(n)
 			if err != nil {
@@ -135,6 +140,9 @@ func (focalSelectOp) Run(st *execState) error {
 	seen := map[Pair]bool{}
 	for i := 0; i < st.g.NumNodes(); i++ {
 		for j := 0; j < st.g.NumNodes(); j++ {
+			if tk.tick() != nil {
+				return st.gd.failure(nil, nil)
+			}
 			if i == j {
 				continue
 			}
@@ -170,7 +178,7 @@ func (censusOp) Run(st *execState) error {
 	case st.phys.Batched:
 		// Multiple aggregates sharing one BFS per focal node.
 		st.table.Algorithm = NDPvot
-		results, err := CountMany(st.g, st.specs, st.e.Opt)
+		results, err := countManyGuarded(st.g, st.specs, st.e.Opt, st.gd)
 		if err != nil {
 			return err
 		}
@@ -178,7 +186,10 @@ func (censusOp) Run(st *execState) error {
 	default:
 		st.table.Algorithm = Algorithm(st.phys.Algorithm(0))
 		for i, spec := range st.specs {
-			res, err := Count(st.g, spec, Algorithm(st.phys.Algorithm(i)), st.e.Opt)
+			if err := spec.Validate(st.g); err != nil {
+				return err
+			}
+			res, err := countGuarded(st.g, spec, Algorithm(st.phys.Algorithm(i)), st.e.Opt, st.gd)
 			if err != nil {
 				return err
 			}
@@ -194,6 +205,9 @@ func (censusOp) Run(st *execState) error {
 	st.table.Stats.MatchSetSize = st.table.NumMatches
 	st.table.Header = header(st.q)
 	for _, n := range st.specs[0].focalList(st.g) {
+		if st.gd.chargeRows(1) != nil {
+			break
+		}
 		counts := make([]int64, len(st.results))
 		for i, res := range st.results {
 			counts[i] = res.Counts[n]
@@ -201,7 +215,11 @@ func (censusOp) Run(st *execState) error {
 		st.table.TypedRows = append(st.table.TypedRows,
 			Row{Focal: []graph.NodeID{n}, Count: counts[0], Counts: counts})
 	}
-	return nil
+	var partial *Result
+	if len(st.results) > 0 {
+		partial = st.results[0]
+	}
+	return st.gd.failure(partial, nil)
 }
 
 // pairCensusOp runs the pairwise census driver and emits the ordered
@@ -214,8 +232,11 @@ func (pairCensusOp) Name() string { return "pair-census" }
 // Run implements Operator.
 func (pairCensusOp) Run(st *execState) error {
 	alg := Algorithm(st.phys.Algorithm(0))
+	if err := st.pairSpec.Validate(st.g); err != nil {
+		return err
+	}
 	start := time.Now()
-	res, err := CountPairs(st.g, *st.pairSpec, alg, st.e.Opt)
+	res, err := countPairsGuarded(st.g, *st.pairSpec, alg, st.e.Opt, st.gd)
 	if err != nil {
 		return err
 	}
@@ -243,7 +264,11 @@ func (pairCensusOp) Run(st *execState) error {
 		}
 		return pairs[i].B < pairs[j].B
 	})
+	tk := ticker{gd: st.gd}
 	for _, pr := range pairs {
+		if tk.tick() != nil {
+			break
+		}
 		c := res.Counts[pr]
 		for _, ord := range [][2]graph.NodeID{{pr.A, pr.B}, {pr.B, pr.A}} {
 			ok, err := st.passes(ord[0], ord[1])
@@ -257,7 +282,7 @@ func (pairCensusOp) Run(st *execState) error {
 				Row{Focal: []graph.NodeID{ord[0], ord[1]}, Count: c})
 		}
 	}
-	return nil
+	return st.gd.failure(nil, res)
 }
 
 // renderOp applies ORDER BY/LIMIT and renders string cells.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -61,38 +62,87 @@ type PairResult struct {
 // report every pair with a non-zero count; node-driven algorithms (ND-BAS,
 // ND-PVOT) require an explicit pair list.
 func CountPairs(g *graph.Graph, spec PairSpec, alg Algorithm, opt Options) (*PairResult, error) {
+	return CountPairsContext(context.Background(), g, spec, alg, opt)
+}
+
+// CountPairsContext is CountPairs under a context: cancellation and the
+// limits in opt.Limits stop evaluation within a bounded interval, surfacing
+// as a *CanceledError or *LimitError carrying the partial pair counts.
+func CountPairsContext(ctx context.Context, g *graph.Graph, spec PairSpec, alg Algorithm, opt Options) (*PairResult, error) {
 	if err := spec.Validate(g); err != nil {
 		return nil, err
 	}
+	gd, cancel := newGuard(ctx, opt.Limits)
+	defer cancel()
+	return countPairsGuarded(g, spec, alg, opt, gd)
+}
+
+// countPairsGuarded dispatches to the pairwise drivers under an existing
+// guard.
+func countPairsGuarded(g *graph.Graph, spec PairSpec, alg Algorithm, opt Options, gd *guard) (*PairResult, error) {
 	switch alg {
 	case NDBas:
-		return pairNDBas(g, spec, opt)
+		return pairNDBas(g, spec, opt, gd)
 	case NDPvot:
-		return pairNDPvot(g, spec, opt)
+		return pairNDPvot(g, spec, opt, gd)
 	case PTBas:
-		return pairPTDriven(g, spec, opt)
+		return pairPTDriven(g, spec, opt, gd)
 	case PTOpt:
-		return pairPTOpt(g, spec, opt, false)
+		return pairPTOpt(g, spec, opt, false, gd)
 	case PTRnd:
-		return pairPTOpt(g, spec, opt, true)
+		return pairPTOpt(g, spec, opt, true, gd)
 	default:
 		return nil, fmt.Errorf("census: algorithm %q does not support pairwise censuses", alg)
+	}
+}
+
+// pairAdder builds the shared pair-emission closure: it filters against the
+// requested pair list, charges each newly materialized pair as one result
+// row, and accumulates counts. Emission loops poll gd.stopped() so the
+// O(pairs) phases wind down within one epoch of a stop.
+func pairAdder(res *PairResult, spec PairSpec, gd *guard) func(a, b graph.NodeID, c int64) {
+	var wanted map[Pair]bool
+	if spec.Pairs != nil {
+		wanted = make(map[Pair]bool, len(spec.Pairs))
+		for _, pr := range spec.Pairs {
+			wanted[MakePair(pr.A, pr.B)] = true
+		}
+	}
+	tk := &ticker{gd: gd}
+	return func(a, b graph.NodeID, c int64) {
+		tk.tick() // runs the full check once per epoch, raising the flag
+		pr := MakePair(a, b)
+		if wanted != nil && !wanted[pr] {
+			return
+		}
+		if _, ok := res.Counts[pr]; !ok {
+			if gd.chargeRows(1) != nil {
+				return
+			}
+			// ~48 bytes per map entry (key + value + bucket overhead).
+			gd.chargeMem(48)
+		}
+		res.Counts[pr] += c
 	}
 }
 
 // pairNDBas extracts the intersection/union induced subgraph per pair and
 // matches inside it — the reference semantics (COUNTP only; COUNTSP
 // censuses fall back to global matching plus containment checks).
-func pairNDBas(g *graph.Graph, spec PairSpec, opt Options) (*PairResult, error) {
+func pairNDBas(g *graph.Graph, spec PairSpec, opt Options, gd *guard) (*PairResult, error) {
 	if spec.Pairs == nil {
 		return nil, fmt.Errorf("census: ND-BAS pairwise requires an explicit pair list")
 	}
 	res := &PairResult{Counts: make(map[Pair]int64, len(spec.Pairs))}
 	if spec.Subpattern != "" {
-		return pairNDContainment(g, spec, opt)
+		return pairNDContainment(g, spec, opt, gd)
 	}
-	m := opt.matcher()
+	m := opt.matcherFor(gd)
+	gd.setFocalTotal(len(spec.Pairs))
 	for _, pr := range spec.Pairs {
+		if gd.check() != nil {
+			break
+		}
 		var sg *graph.Subgraph
 		if spec.Mode == Intersection {
 			sg = g.EgoIntersection(pr.A, pr.B, spec.K)
@@ -100,32 +150,48 @@ func pairNDBas(g *graph.Graph, spec PairSpec, opt Options) (*PairResult, error) 
 			sg = g.EgoUnion(pr.A, pr.B, spec.K)
 		}
 		if sg.G.NumNodes() == 0 {
+			gd.focalTick()
 			continue
 		}
 		emb := m.Embeddings(sg.G, spec.Pattern)
 		if c := int64(len(match.Deduplicate(spec.Pattern, emb, nil))); c > 0 {
+			if gd.chargeRows(1) != nil {
+				break
+			}
 			res.Counts[MakePair(pr.A, pr.B)] = c
 		}
+		gd.focalTick()
 	}
-	return res, nil
+	return res, gd.failure(nil, res)
 }
 
 // pairNDContainment matches globally and containment-checks each anchor
 // image against the combined neighborhood of each pair.
-func pairNDContainment(g *graph.Graph, spec PairSpec, opt Options) (*PairResult, error) {
+func pairNDContainment(g *graph.Graph, spec PairSpec, opt Options, gd *guard) (*PairResult, error) {
 	res := &PairResult{Counts: make(map[Pair]int64, len(spec.Pairs))}
-	matches := globalMatches(g, spec.Spec, opt)
+	matches, err := globalMatchesGuarded(g, spec.Spec, opt, gd)
+	if err != nil {
+		return nil, err
+	}
 	res.NumMatches = len(matches)
 	anchorIdx := spec.anchorNodes()
+	gd.setFocalTotal(len(spec.Pairs))
 	sa := graph.AcquireScratch(g.NumNodes())
 	sb := graph.AcquireScratch(g.NumNodes())
 	defer sa.Release()
 	defer sb.Release()
+	tk := ticker{gd: gd}
 	for _, pr := range spec.Pairs {
+		if gd.check() != nil {
+			break
+		}
 		ra := g.KHop(pr.A, spec.K, sa)
 		rb := g.KHop(pr.B, spec.K, sb)
 		var count int64
 		for _, m := range matches {
+			if tk.tick() != nil {
+				break
+			}
 			inside := true
 			for _, idx := range anchorIdx {
 				inA := ra.Contains(m[idx])
@@ -145,22 +211,29 @@ func pairNDContainment(g *graph.Graph, spec PairSpec, opt Options) (*PairResult,
 			}
 		}
 		if count > 0 {
+			if gd.chargeRows(1) != nil {
+				break
+			}
 			res.Counts[MakePair(pr.A, pr.B)] = count
 		}
+		gd.focalTick()
 	}
-	return res, nil
+	return res, gd.failure(nil, res)
 }
 
 // pairNDPvot adapts the pivot indexing algorithm to pairs (Appendix B):
 // the traversal set becomes the intersection/union of the two k-hop
 // neighborhoods, and d(n, n') becomes max(d1, d2) for intersections and
 // min(d1, d2) for unions.
-func pairNDPvot(g *graph.Graph, spec PairSpec, opt Options) (*PairResult, error) {
+func pairNDPvot(g *graph.Graph, spec PairSpec, opt Options, gd *guard) (*PairResult, error) {
 	if spec.Pairs == nil {
 		return nil, fmt.Errorf("census: ND-PVOT pairwise requires an explicit pair list")
 	}
 	res := &PairResult{Counts: make(map[Pair]int64, len(spec.Pairs))}
-	matches := globalMatches(g, spec.Spec, opt)
+	matches, err := globalMatchesGuarded(g, spec.Spec, opt, gd)
+	if err != nil {
+		return nil, err
+	}
 	res.NumMatches = len(matches)
 	if len(matches) == 0 {
 		return res, nil
@@ -191,15 +264,21 @@ func pairNDPvot(g *graph.Graph, spec PairSpec, opt Options) (*PairResult, error)
 		return inA || inB
 	}
 
+	gd.setFocalTotal(len(spec.Pairs))
 	sa := graph.AcquireScratch(g.NumNodes())
 	sb := graph.AcquireScratch(g.NumNodes())
 	defer sa.Release()
 	defer sb.Release()
+	tk := ticker{gd: gd}
 	for _, pr := range spec.Pairs {
+		if gd.check() != nil {
+			break
+		}
 		ra := g.KHop(pr.A, spec.K, sa)
 		rb := g.KHop(pr.B, spec.K, sb)
 		var count int64
 		visit := func(nPrime graph.NodeID, d int) {
+			tk.tick()
 			bucket := index[nPrime]
 			if len(bucket) == 0 {
 				return
@@ -227,6 +306,9 @@ func pairNDPvot(g *graph.Graph, spec PairSpec, opt Options) (*PairResult, error)
 		}
 		if spec.Mode == Intersection {
 			for _, n := range ra.Nodes {
+				if gd.stopped() {
+					break
+				}
 				d2 := rb.Dist(n)
 				if d2 < 0 {
 					continue
@@ -239,6 +321,9 @@ func pairNDPvot(g *graph.Graph, spec PairSpec, opt Options) (*PairResult, error)
 			}
 		} else {
 			for _, n := range ra.Nodes {
+				if gd.stopped() {
+					break
+				}
 				d := int(ra.Dist(n))
 				if d2 := rb.Dist(n); d2 >= 0 && int(d2) < d {
 					d = int(d2)
@@ -246,6 +331,9 @@ func pairNDPvot(g *graph.Graph, spec PairSpec, opt Options) (*PairResult, error)
 				visit(n, d)
 			}
 			for _, n := range rb.Nodes {
+				if gd.stopped() {
+					break
+				}
 				if ra.Contains(n) {
 					continue // already visited
 				}
@@ -253,19 +341,26 @@ func pairNDPvot(g *graph.Graph, spec PairSpec, opt Options) (*PairResult, error)
 			}
 		}
 		if count > 0 {
+			if gd.chargeRows(1) != nil {
+				break
+			}
 			res.Counts[MakePair(pr.A, pr.B)] = count
 		}
+		gd.focalTick()
 	}
-	return res, nil
+	return res, gd.failure(nil, res)
 }
 
 // pairPTOpt is the optimized pattern-driven pairwise evaluator: matches
 // are clustered exactly as in the single-node PT-OPT, each cluster runs one
 // simultaneous traversal producing per-node anchor-distance vectors, and
 // pairs are emitted per match from those shared vectors (Appendix B).
-func pairPTOpt(g *graph.Graph, spec PairSpec, opt Options, randomOrder bool) (*PairResult, error) {
+func pairPTOpt(g *graph.Graph, spec PairSpec, opt Options, randomOrder bool, gd *guard) (*PairResult, error) {
 	res := &PairResult{Counts: make(map[Pair]int64)}
-	matches := globalMatches(g, spec.Spec, opt)
+	matches, err := globalMatchesGuarded(g, spec.Spec, opt, gd)
+	if err != nil {
+		return nil, err
+	}
 	res.NumMatches = len(matches)
 	if len(matches) == 0 {
 		return res, nil
@@ -273,7 +368,7 @@ func pairPTOpt(g *graph.Graph, spec PairSpec, opt Options, randomOrder bool) (*P
 	anchorIdx := spec.anchorNodes()
 
 	pmdCenters, clusterCenters := resolveCenters(g, opt)
-	clusters := clusterMatches(g, spec.Spec, opt, matches, anchorIdx, clusterCenters)
+	clusters := clusterMatches(g, spec.Spec, opt, matches, anchorIdx, clusterCenters, gd)
 	pdist := spec.Pattern.Distances()
 	tr := &traversal{
 		g:           g,
@@ -282,27 +377,22 @@ func pairPTOpt(g *graph.Graph, spec PairSpec, opt Options, randomOrder bool) (*P
 		randomOrder: randomOrder,
 		noShortcuts: opt.DisableShortcuts,
 		rng:         rand.New(rand.NewSource(opt.Seed + 1)),
+		gd:          gd,
 	}
 
-	var wanted map[Pair]bool
-	if spec.Pairs != nil {
-		wanted = make(map[Pair]bool, len(spec.Pairs))
-		for _, pr := range spec.Pairs {
-			wanted[MakePair(pr.A, pr.B)] = true
-		}
-	}
-	add := func(a, b graph.NodeID, c int64) {
-		pr := MakePair(a, b)
-		if wanted != nil && !wanted[pr] {
-			return
-		}
-		res.Counts[pr] += c
-	}
+	add := pairAdder(res, spec, gd)
 
+	gd.setFocalTotal(len(matches))
 	k := int32(spec.K)
 	for _, cluster := range clusters {
+		if gd.check() != nil {
+			break
+		}
 		pmd, anchorPos := tr.computePMD(matches, cluster, anchorIdx, pdist)
 		for _, mi := range cluster {
+			if gd.stopped() {
+				break
+			}
 			m := matches[mi]
 			anchors := matchAnchors(spec.Spec, anchorIdx, m)
 			if len(anchors) > 63 {
@@ -327,11 +417,12 @@ func pairPTOpt(g *graph.Graph, spec PairSpec, opt Options, randomOrder bool) (*P
 						nm = append(nm, n)
 					}
 				}
-				for i := 0; i < len(nm); i++ {
+				for i := 0; i < len(nm) && !gd.stopped(); i++ {
 					for j := i + 1; j < len(nm); j++ {
 						add(nm[i], nm[j], 1)
 					}
 				}
+				gd.focalTick()
 				continue
 			}
 			groups := make(map[uint64][]graph.NodeID)
@@ -356,19 +447,24 @@ func pairPTOpt(g *graph.Graph, spec PairSpec, opt Options, randomOrder bool) (*P
 					}
 				}
 			}
-			emitUnionPairs(groups, full, complement, add)
+			emitUnionPairs(gd, groups, full, complement, add)
+			gd.focalTick()
 		}
 	}
-	return res, nil
+	return res, gd.failure(nil, res)
 }
 
 // emitUnionPairs adds one count for every unordered node pair whose masks
 // OR to the full anchor set. complement lists the nodes with an empty mask
 // (every graph node outside the traversed region): they pair with nodes
-// whose own mask already covers all anchors.
-func emitUnionPairs(groups map[uint64][]graph.NodeID, full uint64, complement []graph.NodeID, add func(a, b graph.NodeID, c int64)) {
+// whose own mask already covers all anchors. The O(pairs) emission loops
+// poll the guard so a stop cuts them short within one group row.
+func emitUnionPairs(gd *guard, groups map[uint64][]graph.NodeID, full uint64, complement []graph.NodeID, add func(a, b graph.NodeID, c int64)) {
 	if gf := groups[full]; len(gf) > 0 {
 		for _, a := range gf {
+			if gd.stopped() {
+				return
+			}
 			for _, b := range complement {
 				add(a, b, 1)
 			}
@@ -378,7 +474,7 @@ func emitUnionPairs(groups map[uint64][]graph.NodeID, full uint64, complement []
 	for mask := range groups {
 		maskList = append(maskList, mask)
 	}
-	for i := 0; i < len(maskList); i++ {
+	for i := 0; i < len(maskList) && !gd.stopped(); i++ {
 		for j := i; j < len(maskList); j++ {
 			x, y := maskList[i], maskList[j]
 			if x|y != full {
@@ -386,13 +482,16 @@ func emitUnionPairs(groups map[uint64][]graph.NodeID, full uint64, complement []
 			}
 			gx, gy := groups[x], groups[y]
 			if i == j {
-				for a := 0; a < len(gx); a++ {
+				for a := 0; a < len(gx) && !gd.stopped(); a++ {
 					for b := a + 1; b < len(gx); b++ {
 						add(gx[a], gx[b], 1)
 					}
 				}
 			} else {
 				for _, a := range gx {
+					if gd.stopped() {
+						break
+					}
 					for _, b := range gy {
 						add(a, b, 1)
 					}
@@ -408,31 +507,25 @@ func emitUnionPairs(groups map[uint64][]graph.NodeID, full uint64, complement []
 // unions, nodes are grouped by the bitmask of anchors they reach and every
 // pair of masks whose union covers all anchors contributes (the paper's
 // 2-partition scheme, counted exactly once per pair).
-func pairPTDriven(g *graph.Graph, spec PairSpec, opt Options) (*PairResult, error) {
+func pairPTDriven(g *graph.Graph, spec PairSpec, opt Options, gd *guard) (*PairResult, error) {
 	res := &PairResult{Counts: make(map[Pair]int64)}
-	matches := globalMatches(g, spec.Spec, opt)
+	matches, err := globalMatchesGuarded(g, spec.Spec, opt, gd)
+	if err != nil {
+		return nil, err
+	}
 	res.NumMatches = len(matches)
 	if len(matches) == 0 {
 		return res, nil
 	}
 	anchorIdx := spec.anchorNodes()
 
-	var wanted map[Pair]bool
-	if spec.Pairs != nil {
-		wanted = make(map[Pair]bool, len(spec.Pairs))
-		for _, pr := range spec.Pairs {
-			wanted[MakePair(pr.A, pr.B)] = true
-		}
-	}
-	add := func(a, b graph.NodeID, c int64) {
-		pr := MakePair(a, b)
-		if wanted != nil && !wanted[pr] {
-			return
-		}
-		res.Counts[pr] += c
-	}
+	add := pairAdder(res, spec, gd)
 
+	gd.setFocalTotal(len(matches))
 	for _, m := range matches {
+		if gd.check() != nil {
+			break
+		}
 		anchors := matchAnchors(spec.Spec, anchorIdx, m)
 		if len(anchors) > 63 {
 			return nil, fmt.Errorf("census: union/intersection supports at most 63 anchor nodes, got %d", len(anchors))
@@ -456,11 +549,12 @@ func pairPTDriven(g *graph.Graph, spec PairSpec, opt Options) (*PairResult, erro
 					nm = append(nm, n)
 				}
 			}
-			for i := 0; i < len(nm); i++ {
+			for i := 0; i < len(nm) && !gd.stopped(); i++ {
 				for j := i + 1; j < len(nm); j++ {
 					add(nm[i], nm[j], 1)
 				}
 			}
+			gd.focalTick()
 			continue
 		}
 
@@ -477,7 +571,8 @@ func pairPTDriven(g *graph.Graph, spec PairSpec, opt Options) (*PairResult, erro
 				}
 			}
 		}
-		emitUnionPairs(groups, full, complement, add)
+		emitUnionPairs(gd, groups, full, complement, add)
+		gd.focalTick()
 	}
-	return res, nil
+	return res, gd.failure(nil, res)
 }

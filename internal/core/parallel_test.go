@@ -83,14 +83,14 @@ func TestMaskedMatchingEqualsExtraction(t *testing.T) {
 func TestParallelForHelpers(t *testing.T) {
 	for _, workers := range []int{1, 3, 16} {
 		hits := make([]int64, 100)
-		parallelFor(workers, len(hits), func(i int) { hits[i]++ })
+		parallelFor(nil, workers, len(hits), func(i int) { hits[i]++ })
 		for i, h := range hits {
 			if h != 1 {
 				t.Fatalf("parallelFor(workers=%d): index %d visited %d times", workers, i, h)
 			}
 		}
 		dst := make([]int64, 10)
-		parallelMerge(workers, 40, dst, func(w int, counts []int64, i int) {
+		parallelMerge(nil, workers, 40, dst, func(w int, counts []int64, i int) {
 			counts[i%10] += int64(i)
 		})
 		for i, v := range dst {
@@ -100,7 +100,7 @@ func TestParallelForHelpers(t *testing.T) {
 			}
 		}
 		seen := make([]int64, 25)
-		parallelForWorker(workers, len(seen), func(w, i int) { seen[i]++ })
+		parallelForWorker(nil, workers, len(seen), func(w, i int) { seen[i]++ })
 		for i, h := range seen {
 			if h != 1 {
 				t.Fatalf("parallelForWorker(workers=%d): index %d visited %d times", workers, i, h)

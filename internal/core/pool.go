@@ -2,11 +2,46 @@ package core
 
 import (
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
 	"egocensus/internal/graph"
 )
+
+// workerPanic carries a panic out of a pool worker goroutine: the pool
+// captures the first one (with its original stack), lets the remaining
+// workers drain, and rethrows it on the coordinating goroutine so it
+// propagates to the caller — for engine queries, to the execution
+// boundary's recover, which converts it to a *InternalError.
+type workerPanic struct {
+	val   any
+	stack []byte
+}
+
+// panicBox latches the first worker panic.
+type panicBox struct {
+	mu sync.Mutex
+	wp *workerPanic
+}
+
+func (b *panicBox) capture() {
+	if r := recover(); r != nil {
+		b.mu.Lock()
+		if b.wp == nil {
+			b.wp = &workerPanic{val: r, stack: debug.Stack()}
+		}
+		b.mu.Unlock()
+	}
+}
+
+// rethrow re-panics the captured worker panic, if any, on the calling
+// goroutine.
+func (b *panicBox) rethrow() {
+	if b.wp != nil {
+		panic(b.wp)
+	}
+}
 
 // DefaultWorkers is the worker count the front ends use for "auto"
 // parallelism: one worker per CPU.
@@ -24,46 +59,31 @@ func prepare(g *graph.Graph) {
 // goroutines. Work items are claimed through an atomic counter, so uneven
 // item costs balance across workers. workers <= 1 (or n <= 1) runs inline.
 // body must only touch per-item or per-goroutine state.
-func parallelFor(workers, n int, body func(i int)) {
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			body(i)
-		}
-		return
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				body(i)
-			}
-		}()
-	}
-	wg.Wait()
+//
+// gd (nil allowed) is checked before each item claim: once it stops, no
+// further items start and every worker drains within one item. Bodies with
+// long inner loops tick the guard themselves for sub-item latency.
+func parallelFor(gd *guard, workers, n int, body func(i int)) {
+	parallelForWorker(gd, workers, n, func(_, i int) { body(i) })
 }
 
 // parallelForWorker is parallelFor with the worker index passed to the
 // body, for callers that keep per-worker state (scratch vectors, RNGs).
-func parallelForWorker(workers, n int, body func(w, i int)) {
+func parallelForWorker(gd *guard, workers, n int, body func(w, i int)) {
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if gd.check() != nil {
+				return
+			}
 			body(0, i)
+			gd.focalTick()
 		}
 		return
 	}
+	var box panicBox
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
@@ -71,16 +91,22 @@ func parallelForWorker(workers, n int, body func(w, i int)) {
 		w := w
 		go func() {
 			defer wg.Done()
+			defer box.capture()
 			for {
+				if gd.check() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
 				body(w, i)
+				gd.focalTick()
 			}
 		}()
 	}
 	wg.Wait()
+	box.rethrow()
 }
 
 // parallelMerge runs body(w, counts, i) for every i in [0, n), giving each
@@ -89,17 +115,26 @@ func parallelForWorker(workers, n int, body func(w, i int)) {
 // commutative and associative, the merged result is identical for every
 // worker count — parallel censuses stay bit-for-bit equal to sequential
 // ones. workers <= 1 accumulates directly into dst.
-func parallelMerge(workers, n int, dst []int64, body func(w int, counts []int64, i int)) {
+//
+// On a guard stop, the per-worker vectors accumulated so far are still
+// merged, so dst holds the partial census the typed errors carry.
+func parallelMerge(gd *guard, workers, n int, dst []int64, body func(w int, counts []int64, i int)) {
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if gd.check() != nil {
+				return
+			}
 			body(0, dst, i)
+			gd.focalTick()
 		}
 		return
 	}
 	perWorker := make([][]int64, workers)
+	gd.chargeMem(int64(workers) * int64(len(dst)) * 8)
+	var box panicBox
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
@@ -108,12 +143,17 @@ func parallelMerge(workers, n int, dst []int64, body func(w int, counts []int64,
 		perWorker[w] = make([]int64, len(dst))
 		go func() {
 			defer wg.Done()
+			defer box.capture()
 			for {
+				if gd.check() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
 				body(w, perWorker[w], i)
+				gd.focalTick()
 			}
 		}()
 	}
@@ -123,4 +163,5 @@ func parallelMerge(workers, n int, dst []int64, body func(w int, counts []int64,
 			dst[i] += c
 		}
 	}
+	box.rethrow()
 }

@@ -11,9 +11,13 @@ import (
 // processed in parallel across Options.Workers with per-worker count
 // vectors merged at the end (int64 sums are order-invariant, so parallel
 // results equal sequential ones exactly).
-func countPTBas(g *graph.Graph, spec Spec, opt Options) (*Result, error) {
+func countPTBas(g *graph.Graph, spec Spec, opt Options, gd *guard) (*Result, error) {
 	res := &Result{Counts: make([]int64, g.NumNodes())}
-	matches := globalMatches(g, spec, opt)
+	gd.chargeMem(int64(g.NumNodes()) * 8)
+	matches, err := globalMatchesGuarded(g, spec, opt, gd)
+	if err != nil {
+		return nil, err
+	}
 	res.NumMatches = len(matches)
 	if len(matches) == 0 {
 		return res, nil
@@ -23,7 +27,8 @@ func countPTBas(g *graph.Graph, spec Spec, opt Options) (*Result, error) {
 	prepare(g)
 
 	maxAnchors := len(anchorIdx)
-	parallelMerge(opt.workers(), len(matches), res.Counts, func(w int, counts []int64, mi int) {
+	gd.setFocalTotal(len(matches))
+	parallelMerge(gd, opt.workers(), len(matches), res.Counts, func(w int, counts []int64, mi int) {
 		m := matches[mi]
 		anchors := matchAnchors(spec, anchorIdx, m)
 		// One BFS per anchor; may re-traverse shared edges — that is the
@@ -40,7 +45,11 @@ func countPTBas(g *graph.Graph, spec Spec, opt Options) (*Result, error) {
 				minIdx = i
 			}
 		}
+		tk := ticker{gd: gd}
 		for _, n := range reaches[minIdx].Nodes {
+			if tk.tick() != nil {
+				break
+			}
 			inAll := true
 			for i := range reaches {
 				if i == minIdx {
@@ -63,5 +72,5 @@ func countPTBas(g *graph.Graph, spec Spec, opt Options) (*Result, error) {
 			s.Release()
 		}
 	})
-	return res, nil
+	return res, gd.failure(res, nil)
 }

@@ -17,28 +17,33 @@ import (
 // shortcuts and center-based triangle-inequality bounds, and driven in
 // best-first order by an O(1) array bucket queue (or random order for the
 // PT-RND ablation).
-func countPTDriven(g *graph.Graph, spec Spec, opt Options, randomOrder bool) (*Result, error) {
-	matches := globalMatches(g, spec, opt)
-	counts, err := ptCensusOnMatches(g, spec, opt, matches, randomOrder)
+func countPTDriven(g *graph.Graph, spec Spec, opt Options, randomOrder bool, gd *guard) (*Result, error) {
+	matches, err := globalMatchesGuarded(g, spec, opt, gd)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Counts: counts, NumMatches: len(matches)}, nil
+	counts, err := ptCensusOnMatches(g, spec, opt, matches, randomOrder, gd)
+	res := &Result{Counts: counts, NumMatches: len(matches)}
+	if err != nil {
+		return nil, err
+	}
+	return res, gd.failure(res, nil)
 }
 
 // ptCensusOnMatches runs the pattern-driven counting phase over an
 // explicit match list (used by the exact algorithms and by the sampling
 // approximation). Clusters are processed in parallel when Options.Workers
 // exceeds one.
-func ptCensusOnMatches(g *graph.Graph, spec Spec, opt Options, matches []pattern.Match, randomOrder bool) ([]int64, error) {
+func ptCensusOnMatches(g *graph.Graph, spec Spec, opt Options, matches []pattern.Match, randomOrder bool, gd *guard) ([]int64, error) {
 	counts := make([]int64, g.NumNodes())
-	if len(matches) == 0 {
+	gd.chargeMem(int64(g.NumNodes()) * 8)
+	if len(matches) == 0 || gd.stopped() {
 		return counts, nil
 	}
 	anchorIdx := spec.anchorNodes()
 	focal := spec.focalSet(g)
 	pmdCenters, clusterCenters := resolveCenters(g, opt)
-	clusters := clusterMatches(g, spec, opt, matches, anchorIdx, clusterCenters)
+	clusters := clusterMatches(g, spec, opt, matches, anchorIdx, clusterCenters, gd)
 
 	// Pattern distances for the shortcut initialization.
 	pdist := spec.Pattern.Distances()
@@ -47,9 +52,12 @@ func ptCensusOnMatches(g *graph.Graph, spec Spec, opt Options, matches []pattern
 	// Each worker owns a lazily created traversal with a private rng; the
 	// per-worker count vectors (cluster membership passes may touch any
 	// node) are summed by parallelMerge, so any worker count yields the
-	// same census.
+	// same census. Clusters are the focal units for cancellation and
+	// progress; the traversal ticks the guard inside its expansion loop so
+	// large clusters stay responsive.
+	gd.setFocalTotal(len(clusters))
 	trs := make([]*traversal, opt.workers())
-	parallelMerge(opt.workers(), len(clusters), counts, func(w int, dst []int64, ci int) {
+	parallelMerge(gd, opt.workers(), len(clusters), counts, func(w int, dst []int64, ci int) {
 		tr := trs[w]
 		if tr == nil {
 			tr = &traversal{
@@ -59,6 +67,7 @@ func ptCensusOnMatches(g *graph.Graph, spec Spec, opt Options, matches []pattern
 				randomOrder: randomOrder,
 				noShortcuts: opt.DisableShortcuts,
 				rng:         rand.New(rand.NewSource(opt.Seed + 1 + int64(w))),
+				gd:          gd,
 			}
 			trs[w] = tr
 		}
@@ -89,7 +98,7 @@ func resolveCenters(g *graph.Graph, opt Options) (pmd, cluster *centers.Index) {
 // F(M) = <d(c_i, m_j)> feature vectors (OPT-CLUST), uniform random
 // assignment (RND-CLUST), or one singleton cluster per match (NO-CLUST).
 // The paper's default cluster count is |M|/4.
-func clusterMatches(g *graph.Graph, spec Spec, opt Options, matches []pattern.Match, anchorIdx []int, clusterCenters *centers.Index) [][]int {
+func clusterMatches(g *graph.Graph, spec Spec, opt Options, matches []pattern.Match, anchorIdx []int, clusterCenters *centers.Index, gd *guard) [][]int {
 	n := len(matches)
 	if opt.NoClustering || n == 1 || (clusterCenters.Len() == 0 && !opt.RandomClustering) {
 		out := make([][]int, n)
@@ -112,9 +121,18 @@ func clusterMatches(g *graph.Graph, spec Spec, opt Options, matches []pattern.Ma
 	if opt.RandomClustering {
 		assign = kmeans.RandomAssign(n, k, opt.Seed+2)
 	} else {
+		// Feature extraction and the K-means sweeps both scale with
+		// |M|·k·|centers| — the dominant pre-counting cost — so each polls
+		// the guard; on a stop the counting loop below sees the flag and
+		// the caller abandons before processing any cluster.
 		feats := make([][]float64, n)
 		nc := clusterCenters.Len()
+		gd.chargeMem(int64(n) * int64(nc*len(anchorIdx)) * 8)
+		tk := ticker{gd: gd}
 		for i, m := range matches {
+			if tk.tick() != nil {
+				break
+			}
 			f := make([]float64, 0, nc*len(anchorIdx))
 			for c := 0; c < nc; c++ {
 				for _, idx := range anchorIdx {
@@ -127,7 +145,14 @@ func clusterMatches(g *graph.Graph, spec Spec, opt Options, matches []pattern.Ma
 			}
 			feats[i] = f
 		}
-		assign = kmeans.Cluster(feats, k, opt.kmeansIters(), opt.Seed+3).Assign
+		if gd.stopped() {
+			out := make([][]int, n)
+			for i := range out {
+				out[i] = []int{i}
+			}
+			return out
+		}
+		assign = kmeans.ClusterStop(feats, k, opt.kmeansIters(), opt.Seed+3, gd.stopFunc()).Assign
 	}
 	groups := make(map[int][]int)
 	for i, c := range assign {
@@ -150,6 +175,7 @@ type traversal struct {
 	randomOrder bool
 	noShortcuts bool
 	rng         *rand.Rand
+	gd          *guard
 }
 
 // processCluster runs one simultaneous traversal around all matches of the
@@ -160,7 +186,11 @@ func (tr *traversal) processCluster(matches []pattern.Match, cluster []int, anch
 	k := tr.k
 	// Membership pass: a node gets one count per match whose anchors are
 	// all within k.
+	tk := ticker{gd: tr.gd}
 	for n, v := range pmd {
+		if tk.tick() != nil {
+			return
+		}
 		if focal != nil && !focal[n] {
 			continue
 		}
@@ -219,9 +249,13 @@ func (tr *traversal) computePMD(matches []pattern.Match, cluster []int, anchorId
 		}
 	}
 
-	// pmd[n][i] = capped upper bound on d(n, anchors[i]).
+	// pmd[n][i] = capped upper bound on d(n, anchors[i]). The map is the
+	// traversal's dominant allocation, so every vector is charged against
+	// the memory budget as it is created.
 	pmd := make(map[graph.NodeID][]int32, 256)
+	vecBytes := int64(na)*4 + 48 // vector payload + map entry overhead
 	newVec := func() []int32 {
+		tr.gd.chargeMem(vecBytes)
 		v := make([]int32, na)
 		for i := range v {
 			v[i] = cap16
@@ -290,7 +324,11 @@ func (tr *traversal) computePMD(matches []pattern.Match, cluster []int, anchorId
 		q.push(n, score(v))
 	}
 
+	tk := ticker{gd: tr.gd}
 	for {
+		if tk.tick() != nil {
+			return pmd, anchorPos
+		}
 		n, ok := q.pop()
 		if !ok {
 			break

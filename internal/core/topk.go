@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/heap"
+	"context"
 	"sort"
 
 	"egocensus/internal/graph"
@@ -28,10 +29,16 @@ type NodeCount struct {
 // the highest counts, ordered by count descending (ties broken by node ID
 // ascending, deterministically). k <= 0 returns nil.
 func TopK(g *graph.Graph, spec Spec, k int, alg Algorithm, opt Options) ([]NodeCount, error) {
+	return TopKContext(context.Background(), g, spec, k, alg, opt)
+}
+
+// TopKContext is TopK under a context; the underlying census evaluation is
+// cancellable and resource-bounded per opt.Limits.
+func TopKContext(ctx context.Context, g *graph.Graph, spec Spec, k int, alg Algorithm, opt Options) ([]NodeCount, error) {
 	if k <= 0 {
 		return nil, nil
 	}
-	res, err := Count(g, spec, alg, opt)
+	res, err := CountContext(ctx, g, spec, alg, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -67,10 +74,16 @@ func SelectTopK(counts []int64, focal []graph.NodeID, k int) []NodeCount {
 // TopKPairs evaluates a pairwise census and returns the k pairs with the
 // highest counts — the ranking step of the link-prediction experiment.
 func TopKPairs(g *graph.Graph, spec PairSpec, k int, alg Algorithm, opt Options) ([]PairCount, error) {
+	return TopKPairsContext(context.Background(), g, spec, k, alg, opt)
+}
+
+// TopKPairsContext is TopKPairs under a context; the underlying pairwise
+// evaluation is cancellable and resource-bounded per opt.Limits.
+func TopKPairsContext(ctx context.Context, g *graph.Graph, spec PairSpec, k int, alg Algorithm, opt Options) ([]PairCount, error) {
 	if k <= 0 {
 		return nil, nil
 	}
-	res, err := CountPairs(g, spec, alg, opt)
+	res, err := CountPairsContext(ctx, g, spec, alg, opt)
 	if err != nil {
 		return nil, err
 	}

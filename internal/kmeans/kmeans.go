@@ -19,6 +19,17 @@ type Result struct {
 // len(points)]; centroids are seeded by random distinct points. The run is
 // deterministic given seed.
 func Cluster(points [][]float64, k, maxIter int, seed int64) Result {
+	return ClusterStop(points, k, maxIter, seed, nil)
+}
+
+// ClusterStop is Cluster with a cancellation poll: a non-nil stop is
+// consulted between assignment rows, and once it returns true the
+// iteration abandons and the current (possibly unconverged) assignment is
+// returned. Points not yet assigned in the first sweep report cluster 0.
+// The census layer threads its guard through here because the assignment
+// phase is the dominant cost of match clustering — O(iter·n·k·dim) — and
+// would otherwise run to completion after a cancel.
+func ClusterStop(points [][]float64, k, maxIter int, seed int64, stop func() bool) Result {
 	n := len(points)
 	if n == 0 {
 		return Result{}
@@ -51,6 +62,9 @@ func Cluster(points [][]float64, k, maxIter int, seed int64) Result {
 	for iter := 0; iter < maxIter; iter++ {
 		changed := false
 		for i, p := range points {
+			if stop != nil && i%64 == 0 && stop() {
+				return stoppedResult(assign, centroids)
+			}
 			best, bestD := 0, sqDist(p, centroids[0])
 			for c := 1; c < k; c++ {
 				if d := sqDist(p, centroids[c]); d < bestD {
@@ -87,6 +101,18 @@ func Cluster(points [][]float64, k, maxIter int, seed int64) Result {
 			for d := 0; d < dim; d++ {
 				centroids[c][d] = sums[c][d] / float64(counts[c])
 			}
+		}
+	}
+	return Result{Assign: assign, Centroids: centroids}
+}
+
+// stoppedResult finalizes an interrupted clustering: points the first
+// sweep never reached (assignment -1) are folded into cluster 0 so the
+// result is always a valid assignment.
+func stoppedResult(assign []int, centroids [][]float64) Result {
+	for i, c := range assign {
+		if c < 0 {
+			assign[i] = 0
 		}
 	}
 	return Result{Assign: assign, Centroids: centroids}

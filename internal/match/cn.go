@@ -19,10 +19,21 @@ import (
 // implements MaskedMatcher, enumerating embeddings restricted to a node
 // subset in place — the node-driven baseline census matches inside k-hop
 // neighborhoods without extracting subgraphs.
-type CN struct{}
+type CN struct {
+	// Stop, when non-nil, is polled (epoch-counted) during candidate
+	// construction, pruning, and extraction; once it returns true the run
+	// winds down and returns the embeddings found so far. Set via WithStop.
+	Stop func() bool
+}
 
 // Name implements Matcher.
 func (CN) Name() string { return "CN" }
+
+// WithStop implements Stoppable.
+func (c CN) WithStop(stop func() bool) Matcher {
+	c.Stop = stop
+	return c
+}
 
 // cnScratch is the pooled flat working memory of one matching run. The
 // member/pos planes are indexed [v*numNodes + node]; epoch stamping makes
@@ -73,6 +84,33 @@ type cnState struct {
 	cand [][]graph.NodeID   // C(v) in enumeration order (dead entries skipped via member)
 	reqs [][]edgeReq        // direction requirements per (v, j)
 	cn   [][][]graph.NodeID // cn[v][pos*deg(v)+j] = CN(n, v, v_j)
+
+	stop  func() bool // optional cancellation poll (see CN.Stop)
+	ticks uint32      // epoch counter for halted
+	halt  bool        // latched once stop() returned true
+}
+
+// cnCheckEvery is the epoch length of the cancellation poll: one stop()
+// call per this many halted() probes keeps the hot loops branch-cheap.
+const cnCheckEvery = 4096
+
+// halted reports whether the run must wind down, polling stop once per
+// epoch and latching the result so subsequent probes are a field read.
+func (st *cnState) halted() bool {
+	if st.halt {
+		return true
+	}
+	if st.stop == nil {
+		return false
+	}
+	st.ticks++
+	if st.ticks%cnCheckEvery != 0 {
+		return false
+	}
+	if st.stop() {
+		st.halt = true
+	}
+	return st.halt
 }
 
 func (st *cnState) live(v int, n graph.NodeID) bool {
@@ -98,11 +136,11 @@ func (c CN) Embeddings(g *graph.Graph, p *pattern.Pattern) []pattern.Match {
 // neighborhood subgraph contains exactly the parent edges between its
 // nodes, masked matching is equivalent to extracting the subgraph and
 // matching inside it — minus the extraction.
-func (CN) EmbeddingsWithin(g *graph.Graph, p *pattern.Pattern, within NodeSet) []pattern.Match {
+func (c CN) EmbeddingsWithin(g *graph.Graph, p *pattern.Pattern, within NodeSet) []pattern.Match {
 	if p.NumNodes() == 0 {
 		return nil
 	}
-	st := &cnState{g: g, p: p, n: g.NumNodes(), reqs: pairRequirements(p)}
+	st := &cnState{g: g, p: p, n: g.NumNodes(), reqs: pairRequirements(p), stop: c.Stop}
 	st.sc = acquireCNScratch(p.NumNodes(), st.n)
 	defer st.sc.release()
 
@@ -211,6 +249,9 @@ func (st *cnState) initCandidateNeighbors() {
 		}
 		arena := make([]graph.NodeID, 0, bound)
 		for ci, n := range st.cand[v] {
+			if st.halted() {
+				return
+			}
 			// The neighbor list must be captured per candidate because the
 			// directed variant shares the scratch buffer.
 			neighbors := st.candNeighbors(n)
@@ -242,13 +283,16 @@ func (st *cnState) initCandidateNeighbors() {
 // neighbors that are no longer candidates themselves.
 func (st *cnState) prune() {
 	p := st.p
-	for changed := true; changed; {
+	for changed := true; changed && !st.halted(); {
 		changed = false
 		// Rule 1: every candidate needs a non-empty CN set per pattern
 		// neighbor.
 		for v := 0; v < p.NumNodes(); v++ {
 			deg := len(p.PositiveNeighbors(v))
 			for ci, n := range st.cand[v] {
+				if st.halted() {
+					return
+				}
 				if !st.live(v, n) {
 					continue
 				}
@@ -270,6 +314,9 @@ func (st *cnState) prune() {
 			nbrs := p.PositiveNeighbors(v)
 			deg := len(nbrs)
 			for ci, n := range st.cand[v] {
+				if st.halted() {
+					return
+				}
 				if !st.live(v, n) {
 					continue
 				}
@@ -346,6 +393,9 @@ func (st *cnState) extract() []pattern.Match {
 
 	var recurse func(i int)
 	recurse = func(i int) {
+		if st.halted() {
+			return
+		}
 		if i == n {
 			m := make(pattern.Match, n)
 			copy(m, assignment)

@@ -50,6 +50,19 @@ type MaskedMatcher interface {
 	EmbeddingsWithin(g *graph.Graph, p *pattern.Pattern, within NodeSet) []pattern.Match
 }
 
+// Stoppable is a Matcher whose enumeration can be interrupted from the
+// outside. The census layer injects a cancellation poll so that a context
+// cancel or resource limit reaches into long match enumerations instead of
+// waiting for them to finish.
+type Stoppable interface {
+	Matcher
+	// WithStop returns a matcher that polls stop (epoch-counted, so the
+	// callback may be arbitrarily expensive) during enumeration and
+	// abandons the search once it returns true, returning the embeddings
+	// found so far. A nil stop returns the receiver unchanged.
+	WithStop(stop func() bool) Matcher
+}
+
 // Deduplicate collapses automorphic embeddings of the same subgraph into a
 // single match (Section II: a match is a subgraph isomorphic to P). When
 // subNodes is non-nil the subpattern image participates in match identity,

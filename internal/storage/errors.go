@@ -1,0 +1,25 @@
+package storage
+
+import "fmt"
+
+// CorruptFileError reports a graph file that failed structural validation:
+// checksum mismatch, bad magic, inconsistent header geometry, or section
+// contents referencing out-of-range nodes, edges, or labels. Open returns
+// it (wrapped) for any file that is syntactically readable but unsafe to
+// serve; a corrupt file never panics the reader or drives allocations past
+// the file's own size.
+type CorruptFileError struct {
+	// Path is the file that failed validation.
+	Path string
+	// Detail describes the first violated invariant.
+	Detail string
+}
+
+func (e *CorruptFileError) Error() string {
+	return fmt.Sprintf("storage: %s: corrupt graph file: %s", e.Path, e.Detail)
+}
+
+// corrupt builds a *CorruptFileError for the store's file.
+func (st *Store) corrupt(format string, args ...any) error {
+	return &CorruptFileError{Path: st.path, Detail: fmt.Sprintf(format, args...)}
+}

@@ -14,6 +14,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 
 	"egocensus/internal/graph"
 )
@@ -90,18 +91,44 @@ func (cw *countingWriter) str16(s string) error {
 	return err
 }
 
-// Save writes g to path in the binary format.
-func Save(path string, g *graph.Graph) (err error) {
-	f, err := os.Create(path)
+// Save writes g to path in the binary format. The write is atomic: the
+// file is assembled in a temporary sibling, fsynced, and renamed over
+// path, so a crash mid-save leaves either the old file or the new one —
+// never a torn mixture.
+func Save(path string, g *graph.Graph) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".egoc-save-*")
 	if err != nil {
 		return err
 	}
-	defer func() {
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-	}()
-	return Write(f, g)
+	tmpName := tmp.Name()
+	cleanup := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := Write(tmp, g); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	// Sync the directory so the rename itself is durable. Best-effort:
+	// some filesystems reject directory fsync, and the data is already
+	// safe on disk either way.
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
 }
 
 // Write encodes g to w. w must also be an io.Seeker if the caller wants a

@@ -22,6 +22,7 @@ const DefaultCacheBlocks = 1024
 // fixed-capacity block cache.
 type Store struct {
 	f    *os.File
+	path string
 	size int64
 	h    header
 
@@ -47,15 +48,17 @@ type CacheStats struct {
 	Misses int64
 }
 
-// Open opens a graph file, verifies its checksum, and loads the resident
-// indexes. cacheBlocks bounds the block cache (<= 0 uses
-// DefaultCacheBlocks).
+// Open opens a graph file, verifies its checksum, validates the header
+// geometry and section contents, and loads the resident indexes.
+// cacheBlocks bounds the block cache (<= 0 uses DefaultCacheBlocks). A
+// file that fails any structural check yields a *CorruptFileError; no
+// corrupt input panics the reader or allocates beyond the file's size.
 func Open(path string, cacheBlocks int) (*Store, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	st := &Store{f: f}
+	st := &Store{f: f, path: path}
 	if err := st.init(cacheBlocks); err != nil {
 		f.Close()
 		return nil, err
@@ -90,17 +93,17 @@ func (st *Store) init(cacheBlocks int) error {
 		return err
 	}
 	var err2 error
-	st.nodeAttrAt, err2 = st.indexAttrSection(st.h.NodeAttrOff)
+	st.nodeAttrAt, err2 = st.indexAttrSection(st.h.NodeAttrOff, st.h.EdgeAttrOff, st.h.NumNodes)
 	if err2 != nil {
 		return err2
 	}
-	st.edgeAttrAt, err2 = st.indexAttrSection(st.h.EdgeAttrOff)
+	st.edgeAttrAt, err2 = st.indexAttrSection(st.h.EdgeAttrOff, st.h.CRCOff, st.h.NumEdges)
 	return err2
 }
 
 func (st *Store) verifyCRC() error {
 	if st.size < headerSize+4 {
-		return fmt.Errorf("storage: file too small (%d bytes)", st.size)
+		return st.corrupt("file too small (%d bytes)", st.size)
 	}
 	if _, err := st.f.Seek(0, io.SeekStart); err != nil {
 		return err
@@ -114,7 +117,7 @@ func (st *Store) verifyCRC() error {
 		return err
 	}
 	if got, want := h.Sum32(), binary.LittleEndian.Uint32(tail[:]); got != want {
-		return fmt.Errorf("storage: checksum mismatch: file %08x computed %08x", want, got)
+		return st.corrupt("checksum mismatch: file %08x computed %08x", want, got)
 	}
 	return nil
 }
@@ -126,7 +129,7 @@ func (st *Store) readHeader() error {
 	}
 	for i := range Magic {
 		if buf[i] != Magic[i] {
-			return fmt.Errorf("storage: bad magic %q", buf[:6])
+			return st.corrupt("bad magic %q", buf[:6])
 		}
 	}
 	p := 6
@@ -143,8 +146,62 @@ func (st *Store) readHeader() error {
 		*o = binary.LittleEndian.Uint64(buf[p:])
 		p += 8
 	}
-	if st.h.CRCOff != uint64(st.size-4) {
-		return fmt.Errorf("storage: header CRC offset %d does not match file size %d", st.h.CRCOff, st.size)
+	return st.validateHeader()
+}
+
+// validateHeader checks the header's internal geometry before any count
+// drives an allocation: node and edge counts must fit the 32-bit on-disk
+// ID width, fixed-size sections must have exactly the offsets their
+// counts imply, and every section boundary must be monotonic and inside
+// the file. After this check, resident-index allocations (4·NumNodes
+// node labels, 8·(NumNodes+1) adjacency index) are bounded by the file's
+// own size.
+func (st *Store) validateHeader() error {
+	h := &st.h
+	if h.NumNodes >= 1<<32 {
+		return st.corrupt("node count %d exceeds 32-bit id space", h.NumNodes)
+	}
+	if h.NumEdges >= 1<<32 {
+		return st.corrupt("edge count %d exceeds 32-bit id space", h.NumEdges)
+	}
+	if h.NumLabels == 0 {
+		return st.corrupt("label table must contain the reserved empty label")
+	}
+	if h.CRCOff != uint64(st.size-4) {
+		return st.corrupt("header CRC offset %d does not match file size %d", h.CRCOff, st.size)
+	}
+	if h.LabelTableOff != headerSize {
+		return st.corrupt("label table offset %d != header size %d", h.LabelTableOff, headerSize)
+	}
+	// Every boundary must be monotonic and inside the file; afterwards,
+	// section sizes are safe to compute as differences (no uint64
+	// overflow) and are bounded by the file size.
+	offs := []uint64{h.LabelTableOff, h.NodeLabelOff, h.AdjIndexOff, h.AdjDataOff, h.EdgeTableOff, h.NodeAttrOff, h.EdgeAttrOff, h.CRCOff}
+	prev := uint64(0)
+	for _, o := range offs {
+		if o < prev || o > uint64(st.size) {
+			return st.corrupt("section offsets %v not monotonic within file size %d", offs, st.size)
+		}
+		prev = o
+	}
+	// The fixed-size sections (node labels, adjacency index, edge table)
+	// must match their counts exactly, and each variable section must at
+	// least hold its length prefixes (2 bytes per label string, 4 bytes
+	// per attr section count).
+	if h.NodeLabelOff-h.LabelTableOff < 2*uint64(h.NumLabels) {
+		return st.corrupt("label table [%d,%d) too small for %d labels", h.LabelTableOff, h.NodeLabelOff, h.NumLabels)
+	}
+	if h.AdjIndexOff-h.NodeLabelOff != 4*h.NumNodes {
+		return st.corrupt("node label section [%d,%d) does not hold %d nodes", h.NodeLabelOff, h.AdjIndexOff, h.NumNodes)
+	}
+	if h.AdjDataOff-h.AdjIndexOff != 8*(h.NumNodes+1) {
+		return st.corrupt("adjacency index [%d,%d) does not hold %d+1 offsets", h.AdjIndexOff, h.AdjDataOff, h.NumNodes)
+	}
+	if h.NodeAttrOff-h.EdgeTableOff != 8*h.NumEdges {
+		return st.corrupt("edge table [%d,%d) does not hold %d edges", h.EdgeTableOff, h.NodeAttrOff, h.NumEdges)
+	}
+	if h.EdgeAttrOff-h.NodeAttrOff < 4 || h.CRCOff-h.EdgeAttrOff < 4 {
+		return st.corrupt("attribute sections [%d,%d,%d) truncated", h.NodeAttrOff, h.EdgeAttrOff, h.CRCOff)
 	}
 	return nil
 }
@@ -152,7 +209,11 @@ func (st *Store) readHeader() error {
 func (st *Store) readLabelTable() error {
 	st.labels = graph.NewLabelDict()
 	off := int64(st.h.LabelTableOff)
+	end := int64(st.h.NodeLabelOff)
 	for i := uint32(0); i < st.h.NumLabels; i++ {
+		if off >= end {
+			return st.corrupt("label table overruns its section at label %d", i)
+		}
 		s, n, err := st.readStr16(off)
 		if err != nil {
 			return err
@@ -160,11 +221,19 @@ func (st *Store) readLabelTable() error {
 		off += n
 		if i == 0 {
 			if s != "" {
-				return fmt.Errorf("storage: label 0 must be the empty label")
+				return st.corrupt("label 0 must be the empty label")
 			}
 			continue
 		}
 		st.labels.Intern(s)
+	}
+	if off != end {
+		return st.corrupt("label table ends at %d, section at %d", off, end)
+	}
+	// Intern dedupes, so a repeated name would silently shift every later
+	// label ID off by one.
+	if st.labels.Size() != int(st.h.NumLabels) {
+		return st.corrupt("label table holds duplicate names (%d distinct of %d)", st.labels.Size(), st.h.NumLabels)
 	}
 	return nil
 }
@@ -179,6 +248,9 @@ func (st *Store) readNodeLabels() error {
 	st.nodeLabel = make([]uint32, st.h.NumNodes)
 	for i := range st.nodeLabel {
 		st.nodeLabel[i] = binary.LittleEndian.Uint32(buf[4*i:])
+		if st.nodeLabel[i] >= st.h.NumLabels {
+			return st.corrupt("node %d label %d out of range (%d labels)", i, st.nodeLabel[i], st.h.NumLabels)
+		}
 	}
 	return nil
 }
@@ -189,26 +261,49 @@ func (st *Store) readAdjIndex() error {
 		return err
 	}
 	st.adjIndex = make([]uint64, st.h.NumNodes+1)
+	adjSize := st.h.EdgeTableOff - st.h.AdjDataOff
+	prev := uint64(0)
 	for i := range st.adjIndex {
 		st.adjIndex[i] = binary.LittleEndian.Uint64(buf[8*i:])
+		if st.adjIndex[i] < prev || st.adjIndex[i] > adjSize {
+			return st.corrupt("adjacency index entry %d (%d) not monotonic within data size %d", i, st.adjIndex[i], adjSize)
+		}
+		prev = st.adjIndex[i]
+	}
+	if st.adjIndex[0] != 0 || st.adjIndex[st.h.NumNodes] != adjSize {
+		return st.corrupt("adjacency index spans [%d,%d), data section holds %d bytes", st.adjIndex[0], st.adjIndex[st.h.NumNodes], adjSize)
 	}
 	return nil
 }
 
 // indexAttrSection scans an attribute section once, recording the file
-// offset of each entry.
-func (st *Store) indexAttrSection(sectionOff uint64) (map[uint32]int64, error) {
+// offset of each entry. end bounds the section and maxID the valid object
+// ids, so a corrupt count or entry errors instead of scanning into later
+// sections or indexing attributes for nonexistent objects.
+func (st *Store) indexAttrSection(sectionOff, end, maxID uint64) (map[uint32]int64, error) {
 	idx := make(map[uint32]int64)
 	off := int64(sectionOff)
 	count, err := st.readU32(off)
 	if err != nil {
 		return nil, err
 	}
+	if uint64(count) > maxID {
+		return nil, st.corrupt("attribute section at %d claims %d entries for %d objects", sectionOff, count, maxID)
+	}
 	off += 4
 	for i := uint32(0); i < count; i++ {
+		if uint64(off) >= end {
+			return nil, st.corrupt("attribute section at %d overruns its end %d at entry %d", sectionOff, end, i)
+		}
 		id, err := st.readU32(off)
 		if err != nil {
 			return nil, err
+		}
+		if uint64(id) >= maxID {
+			return nil, st.corrupt("attribute entry for object %d out of range (%d objects)", id, maxID)
+		}
+		if _, dup := idx[id]; dup {
+			return nil, st.corrupt("duplicate attribute entry for object %d", id)
 		}
 		idx[id] = off
 		off += 4
@@ -226,6 +321,9 @@ func (st *Store) indexAttrSection(sectionOff uint64) (map[uint32]int64, error) {
 				off += 2 + int64(l)
 			}
 		}
+	}
+	if uint64(off) != end {
+		return nil, st.corrupt("attribute section [%d,%d) ends at %d", sectionOff, end, off)
 	}
 	return idx, nil
 }
@@ -256,6 +354,10 @@ func (st *Store) Adjacency(n graph.NodeID) (out, in []graph.Half, err error) {
 		return nil, nil, fmt.Errorf("storage: node %d out of range", n)
 	}
 	off := int64(st.h.AdjDataOff + st.adjIndex[n])
+	slot := st.adjIndex[n+1] - st.adjIndex[n]
+	if slot < 8 {
+		return nil, nil, st.corrupt("adjacency slot for node %d holds %d bytes", n, slot)
+	}
 	outCount, err := st.readU32(off)
 	if err != nil {
 		return nil, nil, err
@@ -263,6 +365,12 @@ func (st *Store) Adjacency(n graph.NodeID) (out, in []graph.Half, err error) {
 	inCount, err := st.readU32(off + 4)
 	if err != nil {
 		return nil, nil, err
+	}
+	// The declared counts must fill the node's slot exactly, so a corrupt
+	// count can neither read a neighbor's data nor drive an allocation
+	// past the slot.
+	if 8+8*(uint64(outCount)+uint64(inCount)) != slot {
+		return nil, nil, st.corrupt("adjacency counts %d+%d do not fill node %d's %d-byte slot", outCount, inCount, n, slot)
 	}
 	off += 8
 	read := func(count uint32, at int64) ([]graph.Half, error) {
@@ -277,6 +385,9 @@ func (st *Store) Adjacency(n graph.NodeID) (out, in []graph.Half, err error) {
 		for i := range halves {
 			halves[i].To = graph.NodeID(binary.LittleEndian.Uint32(buf[8*i:]))
 			halves[i].Edge = graph.EdgeID(binary.LittleEndian.Uint32(buf[8*i+4:]))
+			if uint64(halves[i].To) >= st.h.NumNodes || uint64(halves[i].Edge) >= st.h.NumEdges {
+				return nil, st.corrupt("adjacency of node %d references node %d / edge %d out of range", n, halves[i].To, halves[i].Edge)
+			}
 		}
 		return halves, nil
 	}
@@ -300,7 +411,14 @@ func (st *Store) EdgeEndpoints(e graph.EdgeID) (from, to graph.NodeID, err error
 	if err != nil {
 		return 0, 0, err
 	}
-	return graph.NodeID(binary.LittleEndian.Uint32(buf)), graph.NodeID(binary.LittleEndian.Uint32(buf[4:])), nil
+	from = graph.NodeID(binary.LittleEndian.Uint32(buf))
+	to = graph.NodeID(binary.LittleEndian.Uint32(buf[4:]))
+	// Endpoint validation here keeps Materialize from panicking the graph
+	// builder on a corrupt edge table.
+	if uint64(from) >= st.h.NumNodes || uint64(to) >= st.h.NumNodes {
+		return 0, 0, st.corrupt("edge %d endpoints (%d,%d) out of range (%d nodes)", e, from, to, st.h.NumNodes)
+	}
+	return from, to, nil
 }
 
 // NodeAttrs reads the attributes of node n (excluding the label).
