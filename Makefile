@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-report bench-planner vet fmt experiments-unit experiments-small clean
+.PHONY: all build test race stress bench bench-report bench-planner bench-dynamic vet fmt experiments-unit experiments-small clean
 
 all: build test
 
@@ -13,7 +13,12 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/...
+	$(GO) test -race ./...
+
+# MVCC stress tests (concurrent census vs mutating writer, maintainer
+# convergence, live-engine ingest) repeated under the race detector.
+stress:
+	$(GO) test -race -count=3 -run Stress ./internal/core/
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
@@ -27,6 +32,12 @@ bench-report:
 # cost-based vs boolean-heuristic head-to-head.
 bench-planner:
 	$(GO) run ./cmd/benchreport -suite 2 -o BENCH_2.json
+
+# Dynamic-graph metrics: snapshot-acquisition overhead vs direct graph
+# access, and incremental census maintenance vs full recompute over a
+# mutation stream.
+bench-dynamic:
+	$(GO) run ./cmd/benchreport -suite 4 -o BENCH_4.json
 
 vet:
 	$(GO) vet ./...

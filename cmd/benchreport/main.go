@@ -7,17 +7,25 @@
 // overhead and a head-to-head of cost-based algorithm selection against
 // the old boolean selectivity heuristic (labels/predicates -> PT-OPT).
 //
+// Suite 4 covers the dynamic MVCC core: snapshot-acquisition overhead
+// against direct graph access, publish cost with and without the durable
+// mutation log, and incremental census maintenance against full recompute
+// over a mutation stream.
+//
 // Usage:
 //
 //	benchreport [-o BENCH_1.json] [-ndbas-nodes 1200] [-quick]
 //	benchreport -suite 2 [-o BENCH_2.json]
+//	benchreport -suite 4 [-o BENCH_4.json]
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
+	"path/filepath"
 	"runtime"
 	"testing"
 	"time"
@@ -29,6 +37,7 @@ import (
 	"egocensus/internal/lang"
 	"egocensus/internal/match"
 	"egocensus/internal/pattern"
+	"egocensus/internal/storage"
 )
 
 // Entry is one benchmark measurement.
@@ -60,6 +69,37 @@ type Report struct {
 	Seed *SeedComparison `json:"seed_comparison,omitempty"`
 	// Planner holds the suite-2 planner metrics.
 	Planner *PlannerReport `json:"planner,omitempty"`
+	// Dynamic holds the suite-4 MVCC/dynamic-graph metrics.
+	Dynamic *DynamicReport `json:"dynamic,omitempty"`
+}
+
+// DynamicReport is the suite-4 artifact: what snapshot isolation costs on
+// the read path (nothing, is the acceptance bar), what a publish costs
+// with and without durability, and what incremental census maintenance
+// saves against recomputing after every published batch.
+type DynamicReport struct {
+	// SnapshotAcquireNsPerOp is one Writer.Snapshot() call (an atomic
+	// pointer load).
+	SnapshotAcquireNsPerOp int64 `json:"snapshot_acquire_ns_per_op"`
+	// PinnedCensusNsPerOp runs a census on a pinned snapshot;
+	// DirectCensusNsPerOp the same census on a plain mutable graph;
+	// PinnedOverhead their relative difference (pinned/direct - 1).
+	PinnedCensusNsPerOp int64   `json:"pinned_census_ns_per_op"`
+	DirectCensusNsPerOp int64   `json:"direct_census_ns_per_op"`
+	PinnedOverhead      float64 `json:"pinned_census_overhead"`
+	// PublishNsPerOp is staging + publishing a 100-edge batch in memory;
+	// DurablePublishNsPerOp the same through the fsynced mutation log.
+	PublishNsPerOp        int64 `json:"publish_100edges_ns_per_op"`
+	DurablePublishNsPerOp int64 `json:"durable_publish_100edges_ns_per_op"`
+	// MaintainStreamNsPerOp applies the whole mutation stream to a
+	// registered incremental query; RecomputeStreamNsPerOp runs a full
+	// census on every published version instead; IncrementalSpeedup is
+	// their ratio.
+	MaintainStreamNsPerOp  int64   `json:"incremental_maintain_stream_ns_per_op"`
+	RecomputeStreamNsPerOp int64   `json:"full_recompute_stream_ns_per_op"`
+	IncrementalSpeedup     float64 `json:"incremental_speedup"`
+	StreamBatches          int     `json:"stream_batches"`
+	StreamOpsPerBatch      int     `json:"stream_ops_per_batch"`
 }
 
 // PlannerReport is the suite-2 artifact: the cost of planning itself and
@@ -140,7 +180,7 @@ func main() {
 		out        = flag.String("o", "BENCH_1.json", "output JSON path")
 		ndbasNodes = flag.Int("ndbas-nodes", 1200, "graph size for the ND-BAS census workload")
 		quick      = flag.Bool("quick", false, "skip the slower Fig4c per-algorithm sweep")
-		suite      = flag.Int("suite", 1, "workload suite: 1 = kernels, 2 = query planner")
+		suite      = flag.Int("suite", 1, "workload suite: 1 = kernels, 2 = query planner, 4 = dynamic MVCC core")
 	)
 	flag.Parse()
 
@@ -156,6 +196,13 @@ func main() {
 		writeReport(*out, rep)
 		fmt.Fprintf(os.Stderr, "wrote %s (plan overhead %.4f%%, cost-based speedup %.2fx)\n",
 			*out, rep.Planner.OverheadFraction*100, rep.Planner.Speedup)
+		return
+	}
+	if *suite == 4 {
+		dynamicSuite(rep)
+		writeReport(*out, rep)
+		fmt.Fprintf(os.Stderr, "wrote %s (pinned census overhead %+.2f%%, incremental speedup %.1fx)\n",
+			*out, rep.Dynamic.PinnedOverhead*100, rep.Dynamic.IncrementalSpeedup)
 		return
 	}
 
@@ -347,6 +394,158 @@ func plannerSuite(rep *Report) {
 		HeuristicNsPerOp:   heurE.NsPerOp,
 		CostBasedNsPerOp:   costE.NsPerOp,
 		Speedup:            float64(heurE.NsPerOp) / float64(costE.NsPerOp),
+	}
+}
+
+// dynamicSuite measures suite 4. Read path: acquiring a snapshot is an
+// atomic load, and a census over the pinned frozen view must cost the same
+// as over a plain graph. Write path: publish cost for a 100-edge batch,
+// in memory and through the fsynced mutation log. Maintenance: a stream
+// of published batches folded into a registered incremental query versus
+// a full census per published version.
+func dynamicSuite(rep *Report) {
+	const (
+		n        = 1000
+		batches  = 30
+		batchOps = 5
+	)
+	base := labeledGraph(n)
+	spec := core.Spec{Pattern: pattern.Clique("clq3-unlb", 3, nil), K: 1}
+	opt := core.Options{Seed: 1}
+
+	w := graph.NewWriter(base.Clone())
+	acqE := measure("dynamic/snapshot-acquire", 0, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if w.Snapshot() == nil {
+				b.Fatal("nil snapshot")
+			}
+		}
+	})
+	snap := w.Snapshot()
+	pinnedE := measure("dynamic/census-pinned", 0, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.CountSnapshot(snap, spec, core.NDBas, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	direct := base.Clone()
+	directE := measure("dynamic/census-direct", 0, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Count(direct, spec, core.NDBas, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	rng := rand.New(rand.NewSource(9))
+	randomEdge := func() (graph.NodeID, graph.NodeID) {
+		a := graph.NodeID(rng.Intn(n))
+		b := graph.NodeID(rng.Intn(n))
+		if a == b {
+			b = (b + 1) % n
+		}
+		return a, b
+	}
+	pw := graph.NewWriter(base.Clone())
+	pubE := measure("dynamic/publish-100edges", 0, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < 100; j++ {
+				from, to := randomEdge()
+				pw.AddEdge(from, to)
+			}
+			if _, err := pw.Publish(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	tmp, err := os.MkdirTemp("", "egocensus-bench")
+	if err != nil {
+		fatalErr(err)
+	}
+	defer os.RemoveAll(tmp)
+	ds, err := storage.CreateDynamic(filepath.Join(tmp, "g.egoc"), base.Clone())
+	if err != nil {
+		fatalErr(err)
+	}
+	defer ds.Close()
+	dw := ds.Writer()
+	durE := measure("dynamic/publish-durable", 0, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < 100; j++ {
+				from, to := randomEdge()
+				dw.AddEdge(from, to)
+			}
+			if _, err := dw.Publish(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// Mutation stream, recorded once: the published snapshots share
+	// storage copy-on-write, so holding all of them is cheap.
+	sw := graph.NewWriter(base.Clone())
+	snap0 := sw.Snapshot()
+	var deltas []graph.Delta
+	var versions []*graph.Snapshot
+	sw.Subscribe(func(s *graph.Snapshot, d graph.Delta) {
+		versions = append(versions, s)
+		deltas = append(deltas, d)
+	})
+	for i := 0; i < batches; i++ {
+		for j := 0; j < batchOps; j++ {
+			from, to := randomEdge()
+			sw.AddEdge(from, to)
+		}
+		if _, err := sw.Publish(); err != nil {
+			fatalErr(err)
+		}
+	}
+	maintE := measure("dynamic/incremental-maintain", 0, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			mt := core.NewMaintainer(snap0)
+			if err := mt.Register("clq3", spec, opt); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			for _, d := range deltas {
+				if err := mt.Apply(d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	recompE := measure("dynamic/full-recompute", 0, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, s := range versions {
+				if _, err := core.CountSnapshot(s, spec, core.PTOpt, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+
+	rep.Entries = append(rep.Entries, acqE, pinnedE, directE, pubE, durE, maintE, recompE)
+	rep.Dynamic = &DynamicReport{
+		SnapshotAcquireNsPerOp: acqE.NsPerOp,
+		PinnedCensusNsPerOp:    pinnedE.NsPerOp,
+		DirectCensusNsPerOp:    directE.NsPerOp,
+		PinnedOverhead:         float64(pinnedE.NsPerOp)/float64(directE.NsPerOp) - 1,
+		PublishNsPerOp:         pubE.NsPerOp,
+		DurablePublishNsPerOp:  durE.NsPerOp,
+		MaintainStreamNsPerOp:  maintE.NsPerOp,
+		RecomputeStreamNsPerOp: recompE.NsPerOp,
+		IncrementalSpeedup:     float64(recompE.NsPerOp) / float64(maintE.NsPerOp),
+		StreamBatches:          batches,
+		StreamOpsPerBatch:      batchOps,
 	}
 }
 

@@ -11,6 +11,11 @@
 // census algorithms from the graph's statistics snapshot; prefix a query
 // with EXPLAIN to see the plan. Binary graphs (.egoc) open as a lazy
 // source, so EXPLAIN-only scripts never materialize the graph.
+//
+// With -mutlog the graph opens as a dynamic store: the append-only
+// mutation-log sidecar (<graph>.log) is replayed onto the base image —
+// recovering from a torn tail left by a crash — and queries run against
+// the recovered snapshot.
 package main
 
 import (
@@ -39,6 +44,7 @@ func main() {
 		format     = flag.String("format", "table", "output format: table or csv")
 		timeout    = flag.Duration("timeout", 0, "per-query evaluation deadline (0 = none); on expiry partial results are printed and the exit status is nonzero")
 		maxMatches = flag.Int("max-matches", 0, "cap on the global match-set size (0 = unlimited); exceeding it prints partial results and exits nonzero")
+		mutlog     = flag.Bool("mutlog", false, "open -graph as a dynamic store: replay its .log mutation sidecar (crash-recovering a torn tail) and query the recovered snapshot")
 	)
 	flag.Parse()
 	if *graphPath == "" || (*queryPath == "" && *inline == "") {
@@ -54,12 +60,25 @@ func main() {
 		}
 		src = string(data)
 	}
-	st, err := storage.Open(*graphPath, 0)
-	if err != nil {
-		fatal(err)
+	var e *core.Engine
+	if *mutlog {
+		ds, err := storage.OpenDynamic(*graphPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer ds.Close()
+		records, bytes, baseEpoch := ds.LogStats()
+		fmt.Fprintf(os.Stderr, "census: recovered epoch %d (base image at epoch %d, %d log records, %d bytes)\n",
+			ds.Snapshot().Epoch(), baseEpoch, records, bytes)
+		e = core.NewEngineLive(ds.Writer())
+	} else {
+		st, err := storage.Open(*graphPath, 0)
+		if err != nil {
+			fatal(err)
+		}
+		defer st.Close()
+		e = core.NewEngineFromSource(st)
 	}
-	defer st.Close()
-	e := core.NewEngineFromSource(st)
 	e.Alg = core.Algorithm(*alg)
 	e.Opt.Workers = *workers
 	e.Opt.Limits = core.Limits{Deadline: *timeout, MaxMatches: *maxMatches}

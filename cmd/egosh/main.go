@@ -15,10 +15,16 @@
 //	\alg <name|auto>      force an algorithm (ND-PVOT, PT-OPT, ...)
 //	\explain <query>      show the optimized plan without executing
 //	\timing               toggle per-stage timing after each query
+//	\ingest <file>        stream a text edge list through the graph writer
+//	\snapshot             show the writer's epoch, overlay, and ingest state
 //	\stats                print graph statistics
 //	\patterns             list declared patterns
 //	\help                 show this help
 //	\quit                 exit
+//
+// \ingest runs in the background: mutations are staged through the MVCC
+// writer and published in batches, so SELECTs keep answering against
+// consistent pinned snapshots while the graph grows underneath them.
 //
 // Ctrl-C cancels the query in flight (printing any partial results) and
 // returns to the prompt; a second Ctrl-C, or one at an idle prompt, exits.
@@ -36,6 +42,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"egocensus/internal/core"
 	"egocensus/internal/gen"
@@ -82,8 +89,30 @@ type shell struct {
 	workers int
 	timing  bool
 
+	// writer is non-nil once the session graph went live (\ingest): the
+	// engine then pins a fresh snapshot per query while the writer
+	// publishes mutation batches underneath it.
+	writer       *graph.Writer
+	ingestActive atomic.Bool
+	ingestFile   string       // set by the REPL goroutine while inactive
+	ingestOps    atomic.Int64 // mutations staged by the running ingest
+	ingestWG     sync.WaitGroup
+
 	mu       sync.Mutex
 	inflight context.CancelFunc // non-nil while a query is executing
+}
+
+// syncWriter serializes writes so the background ingest goroutine can
+// report completion without racing the REPL's own output.
+type syncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (sw *syncWriter) Write(p []byte) (int, error) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return sw.w.Write(p)
 }
 
 // cancelInflight cancels the executing query, if any, reporting whether
@@ -115,12 +144,13 @@ func (sh *shell) endQuery() {
 }
 
 func newShell(out io.Writer, seed int64) *shell {
-	sh := &shell{out: out, seed: seed, workers: core.DefaultWorkers()}
+	sh := &shell{out: &syncWriter{w: out}, seed: seed, workers: core.DefaultWorkers()}
 	sh.setGraph(graph.New(false))
 	return sh
 }
 
 func (sh *shell) setGraph(g *graph.Graph) {
+	sh.writer = nil
 	sh.adoptEngine(core.NewEngine(g))
 }
 
@@ -157,6 +187,7 @@ func (sh *shell) open(path string) error {
 	if err != nil {
 		return err
 	}
+	sh.writer = nil
 	sh.adoptEngine(core.NewEngineFromSource(st))
 	s, err := st.GraphStats()
 	if err != nil {
@@ -165,6 +196,177 @@ func (sh *shell) open(path string) error {
 	fmt.Fprintf(sh.out, "opened %s: %d nodes, %d edges, %d labels (deferred load)\n",
 		path, s.Nodes, s.Edges, s.NumLabels())
 	return nil
+}
+
+// ingestBlocked refuses graph-replacing commands while an ingest is
+// mutating the live writer.
+func (sh *shell) ingestBlocked() bool {
+	if sh.ingestActive.Load() {
+		fmt.Fprintf(sh.out, "error: ingest of %s is running; wait for it to finish (\\snapshot shows progress)\n", sh.ingestFile)
+		return true
+	}
+	return false
+}
+
+// goLive promotes the session graph to a mutating one: the current graph
+// is frozen as epoch 0 under a Writer and the engine is replaced by a
+// live engine that pins a fresh snapshot per query.
+func (sh *shell) goLive() bool {
+	if sh.writer != nil {
+		return true
+	}
+	g := sh.graphOrComplain()
+	if g == nil {
+		return false
+	}
+	sh.writer = graph.NewWriter(g)
+	sh.adoptEngine(core.NewEngineLive(sh.writer))
+	return true
+}
+
+// startIngest begins streaming a text edge list through the writer in the
+// background. The file uses the storage text format conventions: bare
+// "<a> <b>" pairs, "edge <a> <b> [k=v ...]", "node <id> [k=v ...]", '#'
+// comments. Node IDs are literal: referencing an ID beyond the current
+// graph creates the nodes up to it.
+func (sh *shell) startIngest(path string) {
+	if sh.ingestActive.Load() {
+		fmt.Fprintf(sh.out, "error: ingest of %s already running\n", sh.ingestFile)
+		return
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(sh.out, "error: %v\n", err)
+		return
+	}
+	if !sh.goLive() {
+		f.Close()
+		return
+	}
+	sh.ingestFile = path
+	sh.ingestOps.Store(0)
+	sh.ingestActive.Store(true)
+	sh.ingestWG.Add(1)
+	go sh.runIngest(path, f)
+	fmt.Fprintf(sh.out, "ingesting %s in the background; queries keep running against pinned snapshots\n", path)
+}
+
+// runIngest is the background ingest worker: it stages mutations through
+// the writer and publishes a snapshot every ingestBatchOps operations, so
+// progress becomes visible to queries incrementally.
+func (sh *shell) runIngest(path string, f *os.File) {
+	defer sh.ingestWG.Done()
+	defer sh.ingestActive.Store(false)
+	defer f.Close()
+	const ingestBatchOps = 1000
+	w := sh.writer
+	nodes := w.Stats().Nodes
+	node := func(tok string) (graph.NodeID, error) {
+		id, err := strconv.ParseUint(tok, 10, 31)
+		if err != nil {
+			return 0, fmt.Errorf("invalid node id %q", tok)
+		}
+		if int(id) >= nodes {
+			w.AddNodes(int(id) - nodes + 1)
+			sh.ingestOps.Add(int64(int(id) - nodes + 1))
+			nodes = int(id) + 1
+		}
+		return graph.NodeID(id), nil
+	}
+	attrs := func(fields []string, set func(k, v string)) error {
+		for _, fl := range fields {
+			eq := strings.IndexByte(fl, '=')
+			if eq <= 0 {
+				return fmt.Errorf("malformed attribute %q", fl)
+			}
+			set(fl[:eq], fl[eq+1:])
+			sh.ingestOps.Add(1)
+		}
+		return nil
+	}
+	edge := func(a, b string, rest []string) error {
+		from, err := node(a)
+		if err != nil {
+			return err
+		}
+		to, err := node(b)
+		if err != nil {
+			return err
+		}
+		e := w.AddEdge(from, to)
+		sh.ingestOps.Add(1)
+		return attrs(rest, func(k, v string) { w.SetEdgeAttr(e, k, v) })
+	}
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	var lineErr error
+	for sc.Scan() && lineErr == nil {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch {
+		case fields[0] == "graph":
+			// Direction is fixed by the live graph; the header is advisory.
+		case fields[0] == "node" && len(fields) >= 2:
+			var id graph.NodeID
+			if id, lineErr = node(fields[1]); lineErr == nil {
+				lineErr = attrs(fields[2:], func(k, v string) { w.SetNodeAttr(id, k, v) })
+			}
+		case fields[0] == "edge" && len(fields) >= 3:
+			lineErr = edge(fields[1], fields[2], fields[3:])
+		case fields[0] != "edge" && fields[0] != "node" && len(fields) >= 2:
+			lineErr = edge(fields[0], fields[1], fields[2:])
+		default:
+			lineErr = fmt.Errorf("unrecognized record %q", line)
+		}
+		if w.Pending() >= ingestBatchOps {
+			if _, err := w.Publish(); err != nil {
+				lineErr = err
+				break
+			}
+		}
+	}
+	if lineErr == nil {
+		lineErr = sc.Err()
+	} else if lineNo > 0 {
+		lineErr = fmt.Errorf("line %d: %w", lineNo, lineErr)
+	}
+	// Publish whatever parsed cleanly, then report.
+	snap, pubErr := w.Publish()
+	switch {
+	case lineErr != nil:
+		fmt.Fprintf(sh.out, "\ningest %s failed: %v (published through epoch %d)\n", path, lineErr, w.Snapshot().Epoch())
+	case pubErr != nil:
+		fmt.Fprintf(sh.out, "\ningest %s: publish failed: %v\n", path, pubErr)
+	default:
+		fmt.Fprintf(sh.out, "\ningest done: %s, %d ops, epoch %d (%d nodes, %d edges)\n",
+			path, sh.ingestOps.Load(), snap.Epoch(), snap.NumNodes(), snap.NumEdges())
+	}
+}
+
+// printSnapshot reports the writer's published version and overlay shape.
+func (sh *shell) printSnapshot() {
+	if sh.writer == nil {
+		fmt.Fprintln(sh.out, "static graph (no writer); \\ingest makes it live")
+		return
+	}
+	st := sh.writer.Stats()
+	fmt.Fprintf(sh.out, "epoch %d: %d nodes, %d edges (%d ops published, %d pending)\n",
+		st.Epoch, st.Nodes, st.Edges, st.OpsPublished, st.PendingOps)
+	if st.CSRBuilt {
+		fmt.Fprintf(sh.out, "csr overlay: %d rows awaiting compaction, %d background compactions done\n",
+			st.OverlayRows, st.Compactions)
+	} else {
+		fmt.Fprintln(sh.out, "csr: not built yet (the first traversal builds it)")
+	}
+	if sh.ingestActive.Load() {
+		fmt.Fprintf(sh.out, "ingest running: %s (%d ops staged so far)\n", sh.ingestFile, sh.ingestOps.Load())
+	}
 }
 
 // graphOrComplain hydrates the engine's graph for commands that need it.
@@ -348,6 +550,9 @@ commands:
   \workers <n|auto>      parallel workers for the counting phase (auto = one per CPU)
   \explain <query>       show the optimized plan without executing
   \timing                toggle per-stage timing after each query
+  \ingest <file>         stream a text edge list through the graph writer
+                         in the background (queries stay snapshot-consistent)
+  \snapshot              writer epoch, delta-overlay size, ingest progress
   \dot <node> <k> <file> export S(node, k) as Graphviz DOT
   \stats                 graph statistics
   \patterns              list declared patterns
@@ -396,12 +601,26 @@ commands:
 			fmt.Fprintln(sh.out, "usage: \\open <file>")
 			break
 		}
+		if sh.ingestBlocked() {
+			break
+		}
 		if err := sh.open(fields[1]); err != nil {
 			fmt.Fprintf(sh.out, "error: %v\n", err)
 		}
+	case `\ingest`:
+		if len(fields) != 2 {
+			fmt.Fprintln(sh.out, "usage: \\ingest <file>")
+			break
+		}
+		sh.startIngest(fields[1])
+	case `\snapshot`:
+		sh.printSnapshot()
 	case `\gen`:
 		if len(fields) < 2 {
 			fmt.Fprintln(sh.out, "usage: \\gen <nodes> [labels]")
+			break
+		}
+		if sh.ingestBlocked() {
 			break
 		}
 		n, err := strconv.Atoi(fields[1])

@@ -1,12 +1,14 @@
 package main
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"egocensus/internal/gen"
+	"egocensus/internal/graph"
 	"egocensus/internal/storage"
 )
 
@@ -194,6 +196,115 @@ func TestShellSaveGraph(t *testing.T) {
 	g2, err := storage.LoadText(txt)
 	if err != nil || g2.NumNodes() != 40 {
 		t.Fatalf("saved text graph unusable: %v", err)
+	}
+}
+
+func TestShellIngestAndSnapshot(t *testing.T) {
+	el := filepath.Join(t.TempDir(), "inc.el")
+	var b strings.Builder
+	b.WriteString("# streamed mutations\n")
+	for i := 0; i < 30; i++ {
+		fmt.Fprintf(&b, "%d %d\n", i, i+1)
+	}
+	b.WriteString("node 5 label=hub\n")
+	b.WriteString("edge 2 40 weight=3\n")
+	if err := os.WriteFile(el, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	sh := newShell(&out, 1)
+	sh.run(strings.NewReader("\\snapshot\n\\gen 20\n\\ingest " + el + "\n\\quit\n"))
+	sh.ingestWG.Wait()
+
+	if sh.writer == nil {
+		t.Fatalf("ingest did not promote the graph to a writer:\n%s", out.String())
+	}
+	st := sh.writer.Stats()
+	if st.Nodes != 41 {
+		t.Fatalf("nodes = %d, want 41 (ids are literal, extended to the max seen)", st.Nodes)
+	}
+	if st.PendingOps != 0 {
+		t.Fatalf("ingest left %d unpublished ops", st.PendingOps)
+	}
+	snap := sh.writer.Snapshot()
+	if snap.Epoch() == 0 {
+		t.Fatal("ingest published nothing")
+	}
+	if got := snap.Graph().LabelString(5); got != "hub" {
+		t.Fatalf("node 5 label = %q, want hub", got)
+	}
+	sh.command(`\snapshot`)
+	for _, frag := range []string{
+		"static graph (no writer)", // before \gen+\ingest
+		"ingesting " + el,
+		"ingest done",
+		fmt.Sprintf("epoch %d", snap.Epoch()),
+	} {
+		if !strings.Contains(out.String(), frag) {
+			t.Fatalf("output missing %q:\n%s", frag, out.String())
+		}
+	}
+}
+
+func TestShellIngestQueriesStaySnapshotConsistent(t *testing.T) {
+	// A query executed mid-ingest must pin one version: rerunning the same
+	// census on the snapshot the table was stamped with reproduces it.
+	el := filepath.Join(t.TempDir(), "grow.el")
+	var b strings.Builder
+	for i := 0; i < 400; i++ {
+		fmt.Fprintf(&b, "%d %d\n", i, (i*7+3)%400)
+	}
+	if err := os.WriteFile(el, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	sh := newShell(&out, 1)
+	sh.run(strings.NewReader("\\gen 50\n\\ingest " + el + `
+PATTERN e1 { ?A-?B; }
+SELECT ID, COUNTP(e1, SUBGRAPH(ID, 1)) FROM nodes LIMIT 2;
+\quit
+`))
+	sh.ingestWG.Wait()
+	if s := out.String(); !strings.Contains(s, "2 rows") || strings.Contains(s, "error:") {
+		t.Fatalf("query during ingest failed:\n%s", s)
+	}
+}
+
+func TestShellIngestErrors(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.el")
+	if err := os.WriteFile(bad, []byte("0 1\ngarbage\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	sh := newShell(&out, 1)
+	sh.run(strings.NewReader("\\ingest " + filepath.Join(dir, "missing.el") + "\n\\gen 10\n\\ingest " + bad + "\n\\quit\n"))
+	sh.ingestWG.Wait()
+	for _, frag := range []string{"error:", "failed: line 2", "published through epoch"} {
+		if !strings.Contains(out.String(), frag) {
+			t.Fatalf("output missing %q:\n%s", frag, out.String())
+		}
+	}
+	// The well-formed prefix was still published.
+	if st := sh.writer.Stats(); st.Epoch == 0 || st.Nodes != 10 {
+		t.Fatalf("prefix not published: %+v", st)
+	}
+}
+
+func TestShellIngestBlocksGraphSwitch(t *testing.T) {
+	var out strings.Builder
+	sh := newShell(&out, 1)
+	sh.run(strings.NewReader("\\gen 10\n\\quit\n"))
+	// Simulate a running ingest and check the guards refuse.
+	sh.writer = graph.NewWriter(gen.ErdosRenyi(5, 5, 1))
+	sh.ingestFile = "busy.el"
+	sh.ingestActive.Store(true)
+	sh.command(`\gen 20`)
+	sh.command(`\open nowhere.egoc`)
+	sh.ingestActive.Store(false)
+	if strings.Count(out.String(), "ingest of busy.el is running") != 2 {
+		t.Fatalf("guards did not refuse during ingest:\n%s", out.String())
 	}
 }
 

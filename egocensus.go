@@ -359,6 +359,79 @@ var (
 // Store serves a graph file without materializing it.
 type Store = storage.Store
 
+// Versioned graph core (MVCC): a single Writer batches mutations and
+// atomically publishes immutable, epoch-stamped snapshots; readers pin a
+// version in O(1) and are never blocked by writes (nor writes by reads).
+// See doc/ARCHITECTURE.md, "Versioning & concurrency".
+type (
+	// Snapshot is one immutable published version of a mutating graph;
+	// census evaluation against it is exact for its epoch.
+	Snapshot = graph.Snapshot
+	// GraphWriter is the single mutation path of a versioned graph: it
+	// stages AddNode/AddEdge/SetLabel/Set*Attr batches and Publish
+	// installs the next snapshot copy-on-write.
+	GraphWriter = graph.Writer
+	// WriterStats is a point-in-time monitoring view of a GraphWriter
+	// (epoch, staged sizes, delta-overlay shape, compactions).
+	WriterStats = graph.WriterStats
+	// Mutation is one staged graph operation of a mutation batch.
+	Mutation = graph.Op
+	// MutationBatch is one published batch of mutations with the epoch
+	// it produced; Writer subscribers and the durable mutation log
+	// consume these.
+	MutationBatch = graph.Delta
+	// Maintainer keeps registered census queries incrementally up to
+	// date against the batches a GraphWriter publishes, without
+	// recomputation.
+	Maintainer = core.Maintainer
+	// DynamicStore durably backs a mutating graph: a base .egoc image
+	// plus an fsynced append-only mutation log, with crash recovery on
+	// open and background log compaction.
+	DynamicStore = storage.DynamicStore
+)
+
+// NewWriter freezes g as the epoch-0 snapshot and returns its writer; all
+// further mutation goes through the writer.
+func NewWriter(g *Graph) *GraphWriter { return graph.NewWriter(g) }
+
+// FreezeGraph seals g as an immutable epoch-0 snapshot without a writer.
+func FreezeGraph(g *Graph) *Snapshot { return graph.Freeze(g) }
+
+// NewLiveEngine returns a query engine over a mutating graph: every query
+// pins the writer's snapshot current at execution start, so results (and
+// the Epoch stamped on each table) are version-consistent even while
+// ingest continues.
+func NewLiveEngine(w *GraphWriter) *Engine { return core.NewEngineLive(w) }
+
+// CountSnapshot evaluates a single-node census against one pinned
+// version.
+func CountSnapshot(s *Snapshot, spec Spec, alg Algorithm, opt Options) (*Result, error) {
+	return core.CountSnapshot(s, spec, alg, opt)
+}
+
+// CountPairsSnapshot evaluates a pairwise census against one pinned
+// version.
+func CountPairsSnapshot(s *Snapshot, spec PairSpec, alg Algorithm, opt Options) (*PairResult, error) {
+	return core.CountPairsSnapshot(s, spec, alg, opt)
+}
+
+// NewMaintainer starts incremental census maintenance from snapshot s;
+// Register queries, then Attach the maintainer to the snapshot's writer.
+func NewMaintainer(s *Snapshot) *Maintainer { return core.NewMaintainer(s) }
+
+// CreateDynamic initializes a durable dynamic store at basePath from g
+// (base image + empty mutation log); fails if basePath exists.
+func CreateDynamic(basePath string, g *Graph) (*DynamicStore, error) {
+	return storage.CreateDynamic(basePath, g)
+}
+
+// OpenDynamic opens a dynamic store, replaying the mutation log onto the
+// base image — truncating a torn tail from a crashed append, discarding a
+// stale log from a crashed compaction — and resumes the epoch sequence.
+func OpenDynamic(basePath string) (*DynamicStore, error) {
+	return storage.OpenDynamic(basePath)
+}
+
 // Graph indexing (Section I application): census-based node signatures
 // for subgraph-search candidate pruning.
 type (

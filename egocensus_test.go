@@ -117,6 +117,110 @@ func TestFacadeLinkPred(t *testing.T) {
 	}
 }
 
+// TestFacadeVersionedCore exercises the MVCC surface: writer, snapshots,
+// the live engine, the maintainer, and the durable dynamic store.
+func TestFacadeVersionedCore(t *testing.T) {
+	g := PreferentialAttachment(60, 3, 11)
+	AssignLabels(g, 2, 12)
+	nodes0 := g.NumNodes()
+	w := NewWriter(g)
+	s0 := w.Snapshot()
+	spec := Spec{Pattern: CliquePattern("tri", 3, nil), K: 1}
+
+	n := w.AddNode()
+	w.SetLabel(n, "l0")
+	w.AddEdge(n, 0)
+	s1, err := w.Publish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Epoch() != s0.Epoch()+1 {
+		t.Fatalf("epoch %d after publish from %d", s1.Epoch(), s0.Epoch())
+	}
+
+	// Pinned censuses see their own version.
+	r0, err := CountSnapshot(s0, spec, NDBas, Options{})
+	if err != nil || len(r0.Counts) != nodes0 {
+		t.Fatalf("epoch-%d census: %d nodes, err %v", s0.Epoch(), len(r0.Counts), err)
+	}
+	r1, err := CountSnapshot(s1, spec, PTOpt, Options{})
+	if err != nil || len(r1.Counts) != nodes0+1 {
+		t.Fatalf("epoch-%d census: %d nodes, err %v", s1.Epoch(), len(r1.Counts), err)
+	}
+
+	// The live engine stamps the pinned epoch on each result table.
+	e := NewLiveEngine(w)
+	tables, err := e.Execute(`
+PATTERN tri { ?A-?B; ?B-?C; ?A-?C; }
+SELECT ID, COUNTP(tri, SUBGRAPH(ID, 1)) FROM nodes`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tables[0].Epoch != s1.Epoch() || len(tables[0].Rows) != nodes0+1 {
+		t.Fatalf("live engine: epoch %d rows %d", tables[0].Epoch, len(tables[0].Rows))
+	}
+
+	// The maintainer follows published batches without recomputation.
+	mt := NewMaintainer(s1)
+	if err := mt.Register("tri", spec, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	stop := mt.Attach(w)
+	defer stop()
+	w.AddEdge(0, 1)
+	w.AddEdge(1, 2)
+	s2, err := w.Publish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mt.CatchUp(s2.Epoch()); err != nil {
+		t.Fatal(err)
+	}
+	counts, epoch, err := mt.Counts("tri")
+	if err != nil || epoch < s2.Epoch() {
+		t.Fatalf("maintained counts at %d, err %v", epoch, err)
+	}
+	want, err := CountSnapshot(s2, spec, PTBas, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for node := range counts {
+		if counts[node] != want.Counts[node] {
+			t.Fatalf("node %d: maintained %d, from-scratch %d", node, counts[node], want.Counts[node])
+		}
+	}
+
+	// Durable dynamic store: published batches survive reopen.
+	base := filepath.Join(t.TempDir(), "dyn.egoc")
+	ds, err := CreateDynamic(base, ErdosRenyi(20, 30, 13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dw := ds.Writer()
+	a := dw.AddNode()
+	dw.AddEdge(a, 0)
+	if _, err := dw.Publish(); err != nil {
+		t.Fatal(err)
+	}
+	wantEpoch, wantNodes := ds.Snapshot().Epoch(), ds.Snapshot().NumNodes()
+	if err := ds.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ds2, err := OpenDynamic(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds2.Close()
+	if ds2.Snapshot().Epoch() != wantEpoch || ds2.Snapshot().NumNodes() != wantNodes {
+		t.Fatalf("reopen at epoch %d with %d nodes, want %d/%d",
+			ds2.Snapshot().Epoch(), ds2.Snapshot().NumNodes(), wantEpoch, wantNodes)
+	}
+
+	if FreezeGraph(NewGraph(false)).Epoch() != 0 {
+		t.Fatal("fresh freeze should be epoch 0")
+	}
+}
+
 func TestFacadeScriptParsing(t *testing.T) {
 	s, err := ParseScript(`PATTERN n {?A;} SELECT ID, COUNTP(n, SUBGRAPH(ID, 1)) FROM nodes`)
 	if err != nil {

@@ -51,8 +51,29 @@ func NewEngineFromSource(src plan.Source) *Engine {
 	return &Engine{Source: src, catalog: map[string]*pattern.Pattern{}}
 }
 
+// NewEngineLive returns an engine over a mutating graph: each query pins
+// the writer's latest published snapshot for its whole run (planning,
+// EXPLAIN statistics, and execution all observe one epoch, reported as
+// Table.Epoch), while the writer keeps publishing concurrently. Queries
+// never block mutation and vice versa.
+func NewEngineLive(w *graph.Writer) *Engine {
+	return NewEngineFromSource(plan.FromWriter(w))
+}
+
+// snapshotSource returns the engine's source as a SnapshotSource when it
+// is versioned and no explicit graph pins the engine to one version.
+func (e *Engine) snapshotSource() (plan.SnapshotSource, bool) {
+	if e.G != nil {
+		return nil, false
+	}
+	ss, ok := e.Source.(plan.SnapshotSource)
+	return ss, ok
+}
+
 // Graph returns the database graph, hydrating it from the Source on
-// first use.
+// first use. For a versioned source this is the latest published
+// snapshot's graph and is intentionally NOT cached on the engine —
+// each call observes the current version.
 func (e *Engine) Graph() (*graph.Graph, error) {
 	if e.G != nil {
 		return e.G, nil
@@ -64,15 +85,22 @@ func (e *Engine) Graph() (*graph.Graph, error) {
 	if err != nil {
 		return nil, err
 	}
-	e.G = g
+	if _, live := e.Source.(plan.SnapshotSource); !live {
+		e.G = g
+	}
 	return g, nil
 }
 
-// Stats returns the memoized statistics snapshot the optimizer plans
-// against.
+// Stats returns the statistics snapshot the optimizer plans against,
+// memoized for static sources. Versioned sources memoize per epoch
+// themselves, so the engine never serves stale statistics for a graph
+// that has since published new versions.
 func (e *Engine) Stats() (*graph.Stats, error) {
 	if e.stats != nil {
 		return e.stats, nil
+	}
+	if ss, ok := e.snapshotSource(); ok {
+		return ss.GraphStats()
 	}
 	if e.Source != nil {
 		s, err := e.Source.GraphStats()
@@ -126,6 +154,10 @@ type Table struct {
 	Plan *plan.Physical
 	// Stats breaks the execution down per pipeline stage.
 	Stats ExecStats
+	// Epoch is the graph version the query pinned when the engine serves a
+	// versioned source (NewEngineLive): planning statistics and execution
+	// both observed exactly this snapshot. Zero for static sources.
+	Epoch uint64
 }
 
 // DefinePattern registers a programmatically built pattern so queries can
@@ -187,13 +219,19 @@ func (e *Engine) ExecuteContext(ctx context.Context, src string) ([]*Table, erro
 }
 
 // Plan builds and optimizes the logical plan for one parsed query
-// without executing it.
+// without executing it, against the current version's statistics.
 func (e *Engine) Plan(q *lang.SelectStmt) (*plan.Physical, error) {
-	logical, err := plan.Build(q, e.catalog)
+	s, err := e.Stats()
 	if err != nil {
 		return nil, err
 	}
-	s, err := e.Stats()
+	return e.planWith(q, s)
+}
+
+// planWith optimizes q against an explicit statistics snapshot, so a
+// pinned query plans against the same version it executes on.
+func (e *Engine) planWith(q *lang.SelectStmt, s *graph.Stats) (*plan.Physical, error) {
+	logical, err := plan.Build(q, e.catalog)
 	if err != nil {
 		return nil, err
 	}
@@ -220,17 +258,42 @@ func (e *Engine) Run(q *lang.SelectStmt) (*Table, error) {
 // unrecoverable runtime corruption aborts the process before any recover
 // runs, so the conversion never masks it.
 func (e *Engine) RunContext(ctx context.Context, q *lang.SelectStmt) (*Table, error) {
+	// Versioned sources: pin one snapshot up front so planning statistics,
+	// EXPLAIN output, and execution all observe the same epoch regardless
+	// of concurrent publishes.
+	var pinned *graph.Snapshot
+	var epoch uint64
+	if ss, ok := e.snapshotSource(); ok {
+		pinned = ss.Snapshot()
+		epoch = pinned.Epoch()
+	}
+
 	planStart := time.Now()
-	phys, err := e.Plan(q)
+	var phys *plan.Physical
+	var err error
+	if pinned != nil {
+		ss, _ := e.snapshotSource()
+		s, serr := ss.StatsAt(pinned)
+		if serr != nil {
+			return nil, serr
+		}
+		phys, err = e.planWith(q, s)
+	} else {
+		phys, err = e.Plan(q)
+	}
 	if err != nil {
 		return nil, err
 	}
 	planTime := time.Since(planStart)
 	if q.Explain {
-		return explainTable(q, phys, planTime), nil
+		t := explainTable(q, phys, planTime)
+		t.Epoch = epoch
+		return t, nil
 	}
-	g, err := e.Graph()
-	if err != nil {
+	var g *graph.Graph
+	if pinned != nil {
+		g = pinned.Graph()
+	} else if g, err = e.Graph(); err != nil {
 		return nil, err
 	}
 	gd, cancel := newGuard(ctx, e.Opt.Limits)
@@ -245,6 +308,7 @@ func (e *Engine) RunContext(ctx context.Context, q *lang.SelectStmt) (*Table, er
 			Query: q,
 			Plan:  phys,
 			Stats: ExecStats{PlanTime: planTime},
+			Epoch: epoch,
 		},
 	}
 	st.specs = make([]Spec, len(phys.Aggs))

@@ -34,9 +34,11 @@ type Incremental struct {
 	counts    []int64
 	matches   []pattern.Match
 	alive     []bool
-	keys      map[string]int // match key -> index
+	keys      map[string]int // canonical binary match key -> index
 	byNode    map[graph.NodeID][]int
 	anchorIdx []int
+	subNodes  []int
+	keyBuf    []byte
 	numAlive  int
 }
 
@@ -69,6 +71,7 @@ func NewIncremental(g *graph.Graph, spec Spec, opt Options) (*Incremental, error
 		keys:      map[string]int{},
 		byNode:    map[graph.NodeID][]int{},
 		anchorIdx: spec.anchorNodes(),
+		subNodes:  spec.subNodesForKey(),
 	}
 	for _, m := range globalMatches(g, spec, opt) {
 		inc.insertMatch(m, true)
@@ -77,9 +80,12 @@ func NewIncremental(g *graph.Graph, spec Spec, opt Options) (*Incremental, error
 }
 
 // insertMatch registers a match; when credit is true the containing nodes'
-// counts are incremented.
+// counts are incremented. Dedup uses the same binary canonical keys
+// (Pattern.AppendKey) the batch drivers use — the fmt-based string keys
+// this path once built allocated an order of magnitude more per match.
 func (inc *Incremental) insertMatch(m pattern.Match, credit bool) {
-	key := inc.spec.Pattern.Key(m, inc.spec.subNodesForKey())
+	inc.keyBuf = inc.spec.Pattern.AppendKey(inc.keyBuf[:0], m, inc.subNodes)
+	key := string(inc.keyBuf)
 	if _, dup := inc.keys[key]; dup {
 		return
 	}
@@ -141,13 +147,40 @@ func (inc *Incremental) Graph() *graph.Graph { return inc.g }
 // AddNode appends a node (no matches can involve it until edges arrive).
 func (inc *Incremental) AddNode() graph.NodeID {
 	id := inc.g.AddNode()
-	inc.counts = append(inc.counts, 0)
+	inc.noteNode()
 	return id
+}
+
+// noteNode extends the count column after a node append performed on the
+// underlying graph (directly by AddNode, or externally by a Maintainer
+// driving a shared replica).
+func (inc *Incremental) noteNode() {
+	inc.counts = append(inc.counts, 0)
+}
+
+// edgeTxn carries one edge insertion's pre-state between beforeAdd (which
+// must run while the graph still lacks the edge) and afterAdd (which runs
+// once it is inserted). The split lets a Maintainer apply a single graph
+// mutation on behalf of many registered queries.
+type edgeTxn struct {
+	u, v     graph.NodeID
+	affected map[int]bool
+	before   map[int]map[graph.NodeID]bool
 }
 
 // AddEdge inserts the edge u-v (u -> v for directed graphs) and updates
 // the census.
 func (inc *Incremental) AddEdge(u, v graph.NodeID) graph.EdgeID {
+	t := inc.beforeAdd(u, v)
+	e := inc.g.AddEdge(u, v)
+	inc.afterAdd(t)
+	return e
+}
+
+// beforeAdd collects the pre-insertion state the update needs: which
+// matches may be affected, and their containment sets under the old
+// distances. The graph must not yet contain the edge.
+func (inc *Incremental) beforeAdd(u, v graph.NodeID) *edgeTxn {
 	k := inc.spec.K
 
 	// Matches whose containment sets may grow: an anchor within k-1 of
@@ -179,8 +212,14 @@ func (inc *Incremental) AddEdge(u, v graph.NodeID) graph.EdgeID {
 	for mi := range affected {
 		before[mi] = inc.containingNodes(inc.matches[mi])
 	}
+	return &edgeTxn{u: u, v: v, affected: affected, before: before}
+}
 
-	e := inc.g.AddEdge(u, v)
+// afterAdd applies the census update for an edge insertion whose
+// pre-state t was collected by beforeAdd; the graph must now contain the
+// edge.
+func (inc *Incremental) afterAdd(t *edgeTxn) {
+	u, v := t.u, t.v
 
 	// Deaths: negated-edge images completed by (u, v).
 	for _, mi := range inc.byNode[u] {
@@ -193,7 +232,7 @@ func (inc *Incremental) AddEdge(u, v graph.NodeID) graph.EdgeID {
 		}
 		inc.alive[mi] = false
 		inc.numAlive--
-		old := before[mi]
+		old := t.before[mi]
 		if old == nil {
 			// Not collected above (k == 0 with anchors elsewhere): its
 			// containment set is unchanged by the new edge except through
@@ -209,13 +248,13 @@ func (inc *Incremental) AddEdge(u, v graph.NodeID) graph.EdgeID {
 
 	// Growth of surviving affected matches: distances only shrink, so the
 	// new containment set is a superset of the old one.
-	for mi := range affected {
+	for mi := range t.affected {
 		if !inc.alive[mi] {
 			continue
 		}
 		after := inc.containingNodes(inc.matches[mi])
 		for n := range after {
-			if !before[mi][n] {
+			if !t.before[mi][n] {
 				inc.counts[n]++
 			}
 		}
@@ -226,7 +265,22 @@ func (inc *Incremental) AddEdge(u, v graph.NodeID) graph.EdgeID {
 	for _, m := range inc.newEmbeddings(u, v) {
 		inc.insertMatch(m, true)
 	}
-	return e
+}
+
+// rebuild recomputes the census state from scratch against the current
+// graph. The Maintainer falls back to it for mutations the incremental
+// update rules do not cover (label changes, which can create and destroy
+// matches anywhere the label appears).
+func (inc *Incremental) rebuild() {
+	inc.counts = make([]int64, inc.g.NumNodes())
+	inc.matches = inc.matches[:0]
+	inc.alive = inc.alive[:0]
+	inc.keys = map[string]int{}
+	inc.byNode = map[graph.NodeID][]int{}
+	inc.numAlive = 0
+	for _, m := range globalMatches(inc.g, inc.spec, inc.opt) {
+		inc.insertMatch(m, true)
+	}
 }
 
 func (inc *Incremental) isAnchorImage(mi int, n graph.NodeID) bool {

@@ -1,0 +1,34 @@
+package core
+
+import (
+	"context"
+
+	"egocensus/internal/graph"
+)
+
+// Snapshot-pinned census entry points. A graph.Snapshot wraps a frozen
+// graph whose reads (including the lazy CSR and profile builds the
+// drivers trigger) are safe under any concurrency, so census evaluation
+// runs on it unchanged while a Writer keeps publishing newer versions.
+// Every result is exact for the pinned epoch.
+
+// CountSnapshot runs a single-node census against one pinned version.
+func CountSnapshot(s *graph.Snapshot, spec Spec, alg Algorithm, opt Options) (*Result, error) {
+	return Count(s.Graph(), spec, alg, opt)
+}
+
+// CountSnapshotContext is CountSnapshot under a context (cancellation and
+// resource limits as in CountContext).
+func CountSnapshotContext(ctx context.Context, s *graph.Snapshot, spec Spec, alg Algorithm, opt Options) (*Result, error) {
+	return CountContext(ctx, s.Graph(), spec, alg, opt)
+}
+
+// CountPairsSnapshot runs a pairwise census against one pinned version.
+func CountPairsSnapshot(s *graph.Snapshot, spec PairSpec, alg Algorithm, opt Options) (*PairResult, error) {
+	return CountPairs(s.Graph(), spec, alg, opt)
+}
+
+// CountPairsSnapshotContext is CountPairsSnapshot under a context.
+func CountPairsSnapshotContext(ctx context.Context, s *graph.Snapshot, spec PairSpec, alg Algorithm, opt Options) (*PairResult, error) {
+	return CountPairsContext(ctx, s.Graph(), spec, alg, opt)
+}

@@ -1,0 +1,287 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"egocensus/internal/gen"
+	"egocensus/internal/graph"
+	"egocensus/internal/pattern"
+)
+
+// The Stress tests exercise the MVCC contract under the race detector:
+// census queries run concurrently with a mutating Writer, and every query
+// must observe an internally consistent pinned snapshot — its counts must
+// equal a from-scratch census over an independent deep copy of that
+// snapshot's frozen view. CI runs them with -race -count=3.
+
+func stressSeedGraph(t *testing.T, directed bool, nodes, edges int, seed int64) *graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(directed)
+	g.AddNodes(nodes)
+	for i := 0; i < edges; i++ {
+		a := graph.NodeID(rng.Intn(nodes))
+		b := graph.NodeID(rng.Intn(nodes))
+		if a != b {
+			g.AddEdge(a, b)
+		}
+	}
+	gen.AssignLabels(g, 2, seed+1)
+	return g
+}
+
+func TestStressConcurrentCensusWithWriter(t *testing.T) {
+	const (
+		nodes      = 30
+		queries    = 4
+		rounds     = 10
+		maxBatches = 150 // bound the graph's growth so reference censuses stay cheap
+	)
+	spec := Spec{Pattern: pattern.Clique("clq3", 3, nil), K: 1}
+	labeled := Spec{Pattern: pattern.Clique("lclq", 3, []string{"l0", "l0", "l1"}), K: 1}
+
+	w := graph.NewWriter(stressSeedGraph(t, false, nodes, 60, 1))
+	var stop atomic.Bool
+	var readers, mutator sync.WaitGroup
+
+	// Mutator: interleaved AddEdge / SetLabel / SetNodeAttr, publishing
+	// small batches as fast as the readers can pin them.
+	mutator.Add(1)
+	go func() {
+		defer mutator.Done()
+		rng := rand.New(rand.NewSource(2))
+		for i := 0; !stop.Load() && i < maxBatches; i++ {
+			for j := 0; j < 3; j++ {
+				switch rng.Intn(4) {
+				case 0:
+					n := w.AddNode()
+					w.SetLabel(n, fmt.Sprintf("l%d", rng.Intn(2)))
+				case 1:
+					w.SetLabel(graph.NodeID(rng.Intn(w.Stats().Nodes)), fmt.Sprintf("l%d", rng.Intn(2)))
+				case 2:
+					w.SetNodeAttr(graph.NodeID(rng.Intn(w.Stats().Nodes)), "touch", fmt.Sprint(i))
+				default:
+					a := graph.NodeID(rng.Intn(w.Stats().Nodes))
+					b := graph.NodeID(rng.Intn(w.Stats().Nodes))
+					if a != b {
+						w.AddEdge(a, b)
+					}
+				}
+			}
+			if _, err := w.Publish(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	for q := 0; q < queries; q++ {
+		readers.Add(1)
+		go func(q int) {
+			defer readers.Done()
+			alg := NDBas
+			sp := spec
+			if q%2 == 1 {
+				alg = PTOpt
+				sp = labeled
+			}
+			for r := 0; r < rounds; r++ {
+				snap := w.Snapshot()
+				got, err := CountSnapshot(snap, sp, alg, Options{Seed: 7})
+				if err != nil {
+					t.Errorf("query %d round %d: %v", q, r, err)
+					return
+				}
+				// From-scratch reference over an independent deep copy of
+				// the same pinned version.
+				want, err := Count(snap.Graph().Clone(), sp, alg, Options{Seed: 7})
+				if err != nil {
+					t.Errorf("query %d round %d (reference): %v", q, r, err)
+					return
+				}
+				if got.NumMatches != want.NumMatches || len(got.Counts) != len(want.Counts) {
+					t.Errorf("query %d round %d epoch %d: matches %d vs %d, nodes %d vs %d",
+						q, r, snap.Epoch(), got.NumMatches, want.NumMatches, len(got.Counts), len(want.Counts))
+					return
+				}
+				for n := range got.Counts {
+					if got.Counts[n] != want.Counts[n] {
+						t.Errorf("query %d round %d epoch %d: node %d count %d, from-scratch %d",
+							q, r, snap.Epoch(), n, got.Counts[n], want.Counts[n])
+						return
+					}
+				}
+			}
+		}(q)
+	}
+
+	// The readers run a fixed round budget; the mutator loops until they
+	// are done.
+	readers.Wait()
+	stop.Store(true)
+	mutator.Wait()
+}
+
+func TestStressMaintainerFollowsWriter(t *testing.T) {
+	const nodes = 24
+	spec := Spec{Pattern: pattern.Clique("clq3", 3, nil), K: 1}
+
+	w := graph.NewWriter(stressSeedGraph(t, false, nodes, 30, 3))
+	snap0 := w.Snapshot()
+
+	var snaps sync.Map // epoch -> *graph.Snapshot
+	snaps.Store(snap0.Epoch(), snap0)
+	w.Subscribe(func(s *graph.Snapshot, _ graph.Delta) { snaps.Store(s.Epoch(), s) })
+
+	mt := NewMaintainer(snap0)
+	if err := mt.Register("clq3", spec, Options{Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+	stopMt := mt.Attach(w)
+	defer stopMt()
+
+	var wg sync.WaitGroup
+	var published atomic.Uint64
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(4))
+		for i := 0; i < 40; i++ {
+			for j := 0; j < 2; j++ {
+				switch rng.Intn(6) {
+				case 0:
+					w.AddNode()
+				case 1:
+					// Label churn forces the maintainer's rebuild path.
+					w.SetLabel(graph.NodeID(rng.Intn(w.Stats().Nodes)), fmt.Sprintf("l%d", rng.Intn(2)))
+				default:
+					a := graph.NodeID(rng.Intn(w.Stats().Nodes))
+					b := graph.NodeID(rng.Intn(w.Stats().Nodes))
+					if a != b {
+						w.AddEdge(a, b)
+					}
+				}
+			}
+			s, err := w.Publish()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			published.Store(s.Epoch())
+		}
+	}()
+
+	// Verifier: repeatedly snapshot the maintained counts (atomically with
+	// their epoch) and compare with a from-scratch census on the pinned
+	// snapshot of exactly that epoch.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for r := 0; r < 12; r++ {
+			counts, epoch, err := mt.Counts("clq3")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			sv, ok := snaps.Load(epoch)
+			if !ok {
+				t.Errorf("no recorded snapshot for epoch %d", epoch)
+				return
+			}
+			want, err := CountSnapshot(sv.(*graph.Snapshot), spec, PTBas, Options{Seed: 7})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if len(counts) != len(want.Counts) {
+				t.Errorf("epoch %d: maintained %d nodes, census %d", epoch, len(counts), len(want.Counts))
+				return
+			}
+			for n := range counts {
+				if counts[n] != want.Counts[n] {
+					t.Errorf("epoch %d node %d: maintained %d, from-scratch %d", epoch, n, counts[n], want.Counts[n])
+					return
+				}
+			}
+		}
+	}()
+
+	wg.Wait()
+
+	// Final convergence: catch up to the last published epoch and compare
+	// exactly.
+	last := published.Load()
+	if ep, err := mt.CatchUp(last); err != nil || ep < last {
+		t.Fatalf("catch-up: epoch %d err %v (want %d)", ep, err, last)
+	}
+	counts, epoch, err := mt.Counts("clq3")
+	if err != nil || epoch < last {
+		t.Fatalf("counts at %d (err %v), want >= %d", epoch, err, last)
+	}
+	sv, _ := snaps.Load(epoch)
+	want, err := CountSnapshot(sv.(*graph.Snapshot), spec, PTBas, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := range counts {
+		if counts[n] != want.Counts[n] {
+			t.Fatalf("final epoch %d node %d: maintained %d, from-scratch %d", epoch, n, counts[n], want.Counts[n])
+		}
+	}
+}
+
+func TestStressLiveEngineQueriesDuringIngest(t *testing.T) {
+	w := graph.NewWriter(stressSeedGraph(t, false, 30, 45, 5))
+	e := NewEngineLive(w)
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(6))
+		for i := 0; !stop.Load() && i < 120; i++ {
+			a := graph.NodeID(rng.Intn(w.Stats().Nodes))
+			b := graph.NodeID(rng.Intn(w.Stats().Nodes))
+			if a != b {
+				w.AddEdge(a, b)
+			}
+			if rng.Intn(4) == 0 {
+				n := w.AddNode()
+				w.SetLabel(n, "l0")
+			}
+			if _, err := w.Publish(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	const script = `PATTERN tri { ?A-?B; ?B-?C; ?A-?C; }
+SELECT ID, COUNTP(tri, SUBGRAPH(ID, 1)) FROM nodes`
+	var lastEpoch uint64
+	for r := 0; r < 8; r++ {
+		tables, err := e.Execute(script)
+		if err != nil {
+			stop.Store(true)
+			wg.Wait()
+			t.Fatalf("round %d: %v", r, err)
+		}
+		for _, tb := range tables {
+			if tb.Epoch < lastEpoch {
+				t.Errorf("round %d: epoch went backwards %d -> %d", r, lastEpoch, tb.Epoch)
+			}
+			lastEpoch = tb.Epoch
+		}
+		// Redefining the pattern next round would be an error; drop it.
+		e2 := NewEngineLive(w)
+		e = e2
+	}
+	stop.Store(true)
+	wg.Wait()
+}

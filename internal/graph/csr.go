@@ -22,16 +22,110 @@ type csr struct {
 	inTo   []NodeID
 	allOff []int32
 	allTo  []NodeID
+
+	// Delta overlay (snapshot publication, writer.go). The flat arrays
+	// above describe baseN nodes as of some earlier snapshot; over holds
+	// replacement rows for nodes whose adjacency changed since (and for
+	// nodes added since, when they have edges). A nil over is the common
+	// fully-compacted case and costs one predictable branch per access.
+	// Nodes >= baseN absent from over have no incident edges.
+	baseN int
+	over  map[NodeID]csrRow
 }
 
-func (c *csr) out(n NodeID) []NodeID { return c.outTo[c.outOff[n]:c.outOff[n+1]] }
-func (c *csr) in(n NodeID) []NodeID  { return c.inTo[c.inOff[n]:c.inOff[n+1]] }
-func (c *csr) all(n NodeID) []NodeID { return c.allTo[c.allOff[n]:c.allOff[n+1]] }
+// csrRow is one node's overlaid adjacency, mirroring the three flat views.
+type csrRow struct {
+	out, in, all []NodeID
+}
+
+func (c *csr) out(n NodeID) []NodeID {
+	if c.over != nil {
+		if r, ok := c.over[n]; ok {
+			return r.out
+		}
+		if int(n) >= c.baseN {
+			return nil
+		}
+	}
+	return c.outTo[c.outOff[n]:c.outOff[n+1]]
+}
+
+func (c *csr) in(n NodeID) []NodeID {
+	if c.over != nil {
+		if r, ok := c.over[n]; ok {
+			return r.in
+		}
+		if int(n) >= c.baseN {
+			return nil
+		}
+	}
+	return c.inTo[c.inOff[n]:c.inOff[n+1]]
+}
+
+func (c *csr) all(n NodeID) []NodeID {
+	if c.over != nil {
+		if r, ok := c.over[n]; ok {
+			return r.all
+		}
+		if int(n) >= c.baseN {
+			return nil
+		}
+	}
+	return c.allTo[c.allOff[n]:c.allOff[n+1]]
+}
+
+// csrRowOf rebuilds one node's overlay row from the adjacency lists.
+func csrRowOf(g *Graph, n NodeID) csrRow {
+	out := make([]NodeID, len(g.out[n]))
+	for i, h := range g.out[n] {
+		out[i] = h.To
+	}
+	if !g.directed {
+		return csrRow{out: out, in: out, all: out}
+	}
+	in := make([]NodeID, len(g.in[n]))
+	for i, h := range g.in[n] {
+		in[i] = h.To
+	}
+	all := make([]NodeID, 0, len(out)+len(in))
+	all = append(append(all, out...), in...)
+	return csrRow{out: out, in: in, all: all}
+}
+
+// extendCSR derives the CSR view of a freshly published snapshot from its
+// parent's view: the flat arrays are shared and only the dirty nodes get
+// overlay rows, so a publish never pays an O(nodes+edges) rebuild. The
+// parent view may itself carry an overlay; its rows are inherited unless
+// re-dirtied.
+func extendCSR(base *csr, g *Graph, dirty map[NodeID]struct{}) *csr {
+	c := &csr{
+		outOff: base.outOff, outTo: base.outTo,
+		inOff: base.inOff, inTo: base.inTo,
+		allOff: base.allOff, allTo: base.allTo,
+		baseN: base.baseN,
+		over:  make(map[NodeID]csrRow, len(base.over)+len(dirty)),
+	}
+	for n, r := range base.over {
+		c.over[n] = r
+	}
+	for n := range dirty {
+		c.over[n] = csrRowOf(g, n)
+	}
+	return c
+}
+
+// overlaySize returns the number of overlay rows (0 when compacted).
+func (c *csr) overlaySize() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.over)
+}
 
 // buildCSR flattens the adjacency lists.
 func buildCSR(g *Graph) *csr {
 	n := len(g.out)
-	c := &csr{outOff: make([]int32, n+1)}
+	c := &csr{outOff: make([]int32, n+1), baseN: n}
 	total := 0
 	for i, l := range g.out {
 		c.outOff[i] = int32(total)
@@ -114,6 +208,22 @@ func (g *Graph) BuildCSR() { g.ensureCSR() }
 
 // invalidateCSR drops the CSR view after a topology mutation.
 func (g *Graph) invalidateCSR() { g.csr.Store(nil) }
+
+// CompactCSR rebuilds the flat CSR view from scratch, folding any delta
+// overlay back into contiguous arrays. On a frozen snapshot this is safe
+// under concurrent readers: the rebuilt view is equivalent and replaces
+// the overlay atomically (readers that already hold the overlay pointer
+// keep using it, also correct). The Writer calls this in the background
+// once a snapshot's overlay outgrows overlayCompactAt.
+func (g *Graph) CompactCSR() { g.csr.Store(buildCSR(g)) }
+
+// CSRInfo reports the current CSR view's state for monitoring: how many
+// nodes are served from the delta overlay, and whether a view has been
+// built at all.
+func (g *Graph) CSRInfo() (overlayRows int, built bool) {
+	c := g.csr.Load()
+	return c.overlaySize(), c != nil
+}
 
 // OutNeighbors returns the out-neighbor IDs of n as a slice into the flat
 // CSR view (all incident neighbors for undirected graphs). The slice is

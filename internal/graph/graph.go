@@ -54,6 +54,15 @@ type Edge struct {
 type Graph struct {
 	directed bool
 
+	// frozen marks the graph immutable: it is the read view of a published
+	// Snapshot (snapshot.go) and every mutator panics. Lazy derived indexes
+	// (CSR, profiles) still build on demand — they are guarded by atomics,
+	// so concurrent readers of a frozen graph never race.
+	frozen bool
+	// epoch is the snapshot version this frozen graph was published at
+	// (0 for graphs never owned by a Writer).
+	epoch uint64
+
 	out  [][]Half
 	in   [][]Half // directed graphs only
 	edgs []Edge
@@ -64,7 +73,7 @@ type Graph struct {
 	nodeAttrs []map[string]string // lazily allocated per node
 	edgeAttrs []map[string]string // lazily allocated per edge
 
-	profiles [][]int32 // lazily built label profiles, per node
+	profiles atomic.Pointer[profileRows] // lazily built label profiles (profile.go)
 
 	csr atomic.Pointer[csr] // lazily built flat adjacency view (csr.go)
 }
@@ -78,6 +87,17 @@ func New(directed bool) *Graph {
 // Directed reports whether the graph is directed.
 func (g *Graph) Directed() bool { return g.directed }
 
+// Frozen reports whether the graph is an immutable snapshot view.
+func (g *Graph) Frozen() bool { return g.frozen }
+
+// mustMutable panics when the graph has been frozen as a snapshot: all
+// mutation must go through a Writer, which clones before it writes.
+func (g *Graph) mustMutable() {
+	if g.frozen {
+		panic(fmt.Sprintf("graph: mutation of frozen snapshot (epoch %d); mutate through a Writer", g.epoch))
+	}
+}
+
 // NumNodes returns the number of nodes.
 func (g *Graph) NumNodes() int { return len(g.out) }
 
@@ -89,6 +109,7 @@ func (g *Graph) Labels() *LabelDict { return g.labelDict }
 
 // AddNode adds a node and returns its ID.
 func (g *Graph) AddNode() NodeID {
+	g.mustMutable()
 	id := NodeID(len(g.out))
 	g.out = append(g.out, nil)
 	if g.directed {
@@ -96,7 +117,7 @@ func (g *Graph) AddNode() NodeID {
 	}
 	g.labels = append(g.labels, NoLabel)
 	g.nodeAttrs = append(g.nodeAttrs, nil)
-	g.profiles = nil // invalidate
+	g.invalidateProfiles()
 	g.invalidateCSR()
 	return id
 }
@@ -115,6 +136,7 @@ func (g *Graph) AddNodes(n int) NodeID {
 // semantics of the paper assume simple graphs, and the generators in
 // internal/gen only produce simple graphs.
 func (g *Graph) AddEdge(from, to NodeID) EdgeID {
+	g.mustMutable()
 	g.mustNode(from)
 	g.mustNode(to)
 	id := EdgeID(len(g.edgs))
@@ -126,7 +148,7 @@ func (g *Graph) AddEdge(from, to NodeID) EdgeID {
 	} else if from != to {
 		g.out[to] = append(g.out[to], Half{To: from, Edge: id})
 	}
-	g.profiles = nil
+	g.invalidateProfiles()
 	g.invalidateCSR()
 	return id
 }
@@ -205,9 +227,10 @@ func (g *Graph) Edge(e EdgeID) Edge {
 
 // SetLabel sets the label attribute of n, interning it in the dictionary.
 func (g *Graph) SetLabel(n NodeID, label string) {
+	g.mustMutable()
 	g.mustNode(n)
 	g.labels[n] = g.labelDict.Intern(label)
-	g.profiles = nil
+	g.invalidateProfiles()
 }
 
 // Label returns the interned label of n (NoLabel if unset).
@@ -224,6 +247,7 @@ func (g *Graph) LabelString(n NodeID) string {
 // SetNodeAttr sets an attribute on node n. Setting LabelAttr is equivalent
 // to SetLabel.
 func (g *Graph) SetNodeAttr(n NodeID, key, value string) {
+	g.mustMutable()
 	g.mustNode(n)
 	if key == LabelAttr {
 		g.SetLabel(n, value)
@@ -267,6 +291,7 @@ func (g *Graph) NodeAttrs(n NodeID) map[string]string {
 
 // SetEdgeAttr sets an attribute on edge e.
 func (g *Graph) SetEdgeAttr(e EdgeID, key, value string) {
+	g.mustMutable()
 	if e < 0 || int(e) >= len(g.edgs) {
 		panic(fmt.Sprintf("graph: edge %d out of range [0,%d)", e, len(g.edgs)))
 	}

@@ -21,12 +21,23 @@ func (p Profile) Contains(sub Profile) bool {
 	return true
 }
 
+// profileRows is the cached per-node profile table, held behind an atomic
+// pointer so frozen snapshots can build it lazily under concurrent readers
+// (same publication discipline as the CSR view).
+type profileRows [][]int32
+
 // BuildProfiles computes and caches the label profile of every node. It is
 // called lazily by NodeProfile; call it eagerly to front-load the cost
-// (mirroring the paper's stored profile index).
-func (g *Graph) BuildProfiles() {
+// (mirroring the paper's stored profile index). Concurrent callers may race
+// to build; the build is idempotent and any published pointer is valid.
+func (g *Graph) BuildProfiles() { g.ensureProfiles() }
+
+func (g *Graph) ensureProfiles() profileRows {
+	if p := g.profiles.Load(); p != nil {
+		return *p
+	}
 	nl := g.labelDict.Size()
-	profiles := make([][]int32, len(g.out))
+	profiles := make(profileRows, len(g.out))
 	flat := make([]int32, len(g.out)*nl)
 	for n := range g.out {
 		row := flat[n*nl : (n+1)*nl : (n+1)*nl]
@@ -40,8 +51,16 @@ func (g *Graph) BuildProfiles() {
 		}
 		profiles[n] = row
 	}
-	g.profiles = profiles
+	if !g.profiles.CompareAndSwap(nil, &profiles) {
+		if cur := g.profiles.Load(); cur != nil {
+			return *cur
+		}
+	}
+	return profiles
 }
+
+// invalidateProfiles drops the profile table after a mutation.
+func (g *Graph) invalidateProfiles() { g.profiles.Store(nil) }
 
 // NodeProfile returns the (cached) neighborhood label profile of n. Both
 // in- and out-neighbors contribute for directed graphs. A neighbor reached
@@ -50,8 +69,5 @@ func (g *Graph) BuildProfiles() {
 // algorithms traverse.
 func (g *Graph) NodeProfile(n NodeID) Profile {
 	g.mustNode(n)
-	if g.profiles == nil {
-		g.BuildProfiles()
-	}
-	return g.profiles[n]
+	return g.ensureProfiles()[n]
 }

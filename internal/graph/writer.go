@@ -1,0 +1,444 @@
+package graph
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// WAL is the durability hook a Writer calls before publishing a batch:
+// AppendBatch must make the ops durable (storage.Log implements it with an
+// fsynced append-only segment). A publish whose WAL append fails is
+// aborted — the ops stay pending and no new snapshot appears — so every
+// published epoch is recoverable by replay.
+type WAL interface {
+	AppendBatch(ops []Op) error
+}
+
+// Writer is the single mutation path of the MVCC graph core. It batches
+// mutations (AddNode/AddEdge/SetLabel/Set*Attr assign IDs immediately but
+// stay invisible to readers) and Publish applies the batch copy-on-write
+// to the current snapshot's frozen graph, atomically installing the next
+// epoch. Readers acquire versions with Snapshot() — an atomic pointer
+// load — and are never blocked by the writer, nor the writer by readers.
+//
+// Copy-on-write granularity is the dirty tail: a publish copies the
+// per-node slice headers (O(nodes) memcpy) plus only the adjacency rows,
+// label column, and attribute maps the batch actually touched; everything
+// else is shared structurally with the parent version. The CSR traversal
+// view is extended with a delta overlay (csr.go) instead of rebuilt, and a
+// background compaction folds the overlay flat once it outgrows
+// CompactOverlayAt rows.
+//
+// A Writer's mutation and publish methods may be called from any one
+// goroutine at a time (they lock internally, so multiple ingest goroutines
+// are also safe); reads need no coordination whatsoever.
+type Writer struct {
+	// CompactOverlayAt bounds the CSR delta overlay: after a publish
+	// leaves more overlay rows than this, a background goroutine compacts
+	// the snapshot's CSR to flat arrays. 0 picks a default of
+	// max(256, nodes/8). Negative disables background compaction.
+	CompactOverlayAt int
+
+	mu      sync.Mutex
+	cur     atomic.Pointer[Snapshot]
+	pending []Op
+
+	// Staged object counts: IDs handed out for ops not yet published.
+	stagedNodes int
+	stagedEdges int
+
+	wal     WAL
+	history []Delta // published batches retained while a WAL is attached
+	subs    []func(*Snapshot, Delta)
+
+	opsPublished atomic.Int64
+	compacting   atomic.Bool
+	compactions  atomic.Int64
+}
+
+// NewWriter freezes g as the epoch-0 snapshot and returns its writer. The
+// caller must not retain mutating access to g; all further mutation goes
+// through the writer.
+func NewWriter(g *Graph) *Writer {
+	w := &Writer{stagedNodes: g.NumNodes(), stagedEdges: g.NumEdges()}
+	w.cur.Store(Freeze(g))
+	return w
+}
+
+// NewWriterAt is NewWriter with an explicit starting epoch, used when the
+// graph was recovered by replaying a mutation log: the writer resumes the
+// log's epoch sequence so version numbers stay monotonic across restarts.
+func NewWriterAt(g *Graph, epoch uint64) *Writer {
+	w := &Writer{stagedNodes: g.NumNodes(), stagedEdges: g.NumEdges()}
+	w.cur.Store(FreezeAt(g, epoch))
+	return w
+}
+
+// SetWAL attaches a durability hook: every subsequent Publish appends its
+// batch to wal before installing the snapshot, and the writer starts
+// retaining published deltas for log compaction (Barrier). Attach before
+// the first publish; batches published earlier are not re-appended.
+func (w *Writer) SetWAL(wal WAL) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.wal = wal
+}
+
+// Snapshot returns the current published version: an O(1) atomic load.
+// The snapshot is immutable; hold it as long as needed.
+func (w *Writer) Snapshot() *Snapshot { return w.cur.Load() }
+
+// Subscribe registers fn to run synchronously after every publish, in
+// registration order, with the new snapshot and the batch that produced
+// it. fn runs under the writer's publish lock: it must not call back into
+// the writer. The incremental census maintainer consumes deltas this way.
+func (w *Writer) Subscribe(fn func(*Snapshot, Delta)) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.subs = append(w.subs, fn)
+}
+
+// Pending returns the number of buffered, unpublished ops.
+func (w *Writer) Pending() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.pending)
+}
+
+// AddNode stages a node append and returns the ID it will have once
+// published.
+func (w *Writer) AddNode() NodeID {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	id := NodeID(w.stagedNodes)
+	w.stagedNodes++
+	w.pending = append(w.pending, Op{Kind: OpAddNode})
+	return id
+}
+
+// AddNodes stages n node appends and returns the first staged ID.
+func (w *Writer) AddNodes(n int) NodeID {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	first := NodeID(w.stagedNodes)
+	for i := 0; i < n; i++ {
+		w.stagedNodes++
+		w.pending = append(w.pending, Op{Kind: OpAddNode})
+	}
+	return first
+}
+
+// AddEdge stages an edge append (from -> to for directed graphs) and
+// returns its future EdgeID. Endpoints may be staged nodes not yet
+// published.
+func (w *Writer) AddEdge(from, to NodeID) EdgeID {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.mustStagedNode(from)
+	w.mustStagedNode(to)
+	id := EdgeID(w.stagedEdges)
+	w.stagedEdges++
+	w.pending = append(w.pending, Op{Kind: OpAddEdge, A: int32(from), B: int32(to)})
+	return id
+}
+
+// SetLabel stages a label assignment.
+func (w *Writer) SetLabel(n NodeID, label string) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.mustStagedNode(n)
+	w.pending = append(w.pending, Op{Kind: OpSetLabel, A: int32(n), Val: label})
+}
+
+// SetNodeAttr stages a node attribute assignment; the reserved "label"
+// key routes to SetLabel, mirroring Graph.SetNodeAttr.
+func (w *Writer) SetNodeAttr(n NodeID, key, value string) {
+	if key == LabelAttr {
+		w.SetLabel(n, value)
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.mustStagedNode(n)
+	w.pending = append(w.pending, Op{Kind: OpSetNodeAttr, A: int32(n), Key: key, Val: value})
+}
+
+// SetEdgeAttr stages an edge attribute assignment.
+func (w *Writer) SetEdgeAttr(e EdgeID, key, value string) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if e < 0 || int(e) >= w.stagedEdges {
+		panic(fmt.Sprintf("graph: edge %d out of staged range [0,%d)", e, w.stagedEdges))
+	}
+	w.pending = append(w.pending, Op{Kind: OpSetEdgeAttr, A: int32(e), Key: key, Val: value})
+}
+
+func (w *Writer) mustStagedNode(n NodeID) {
+	if n < 0 || int(n) >= w.stagedNodes {
+		panic(fmt.Sprintf("graph: node %d out of staged range [0,%d)", n, w.stagedNodes))
+	}
+}
+
+// Publish makes the pending batch durable (when a WAL is attached),
+// applies it copy-on-write, and atomically installs the next snapshot.
+// With nothing pending it returns the current snapshot unchanged. On a
+// WAL error no snapshot is published and the ops stay pending, so the
+// caller may retry.
+func (w *Writer) Publish() (*Snapshot, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	base := w.cur.Load()
+	if len(w.pending) == 0 {
+		return base, nil
+	}
+	if w.wal != nil {
+		if err := w.wal.AppendBatch(w.pending); err != nil {
+			return base, fmt.Errorf("graph: publish aborted, WAL append failed: %w", err)
+		}
+	}
+	next := applyBatch(base.g, w.pending, base.epoch+1)
+	snap := &Snapshot{epoch: base.epoch + 1, g: next}
+	delta := Delta{Epoch: snap.epoch, Ops: w.pending}
+	w.cur.Store(snap)
+	w.opsPublished.Add(int64(len(w.pending)))
+	if w.wal != nil {
+		w.history = append(w.history, delta)
+	}
+	w.pending = nil
+	for _, fn := range w.subs {
+		fn(snap, delta)
+	}
+	w.maybeCompact(next)
+	return snap, nil
+}
+
+// maybeCompact kicks off a background CSR compaction when the new
+// snapshot's delta overlay outgrew its bound. At most one compaction runs
+// at a time; a snapshot published mid-compaction is picked up by the next
+// publish's check.
+func (w *Writer) maybeCompact(g *Graph) {
+	if w.CompactOverlayAt < 0 {
+		return
+	}
+	rows, built := g.CSRInfo()
+	if !built {
+		return
+	}
+	limit := w.CompactOverlayAt
+	if limit == 0 {
+		limit = g.NumNodes() / 8
+		if limit < 256 {
+			limit = 256
+		}
+	}
+	if rows <= limit || !w.compacting.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		g.CompactCSR()
+		w.compactions.Add(1)
+		w.compacting.Store(false)
+	}()
+}
+
+// Barrier runs fn under the publish lock — no publish can interleave —
+// with the current snapshot and the retained deltas newer than epoch
+// `since` (oldest first). If fn returns a non-nil WAL it replaces the
+// writer's hook and the retained history is trimmed to the tail fn saw:
+// this is the log-compaction handshake (storage.DynamicStore saves the
+// base image at an epoch, then swaps in a fresh log seeded with the tail).
+func (w *Writer) Barrier(since uint64, fn func(cur *Snapshot, tail []Delta) (WAL, error)) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var tail []Delta
+	for _, d := range w.history {
+		if d.Epoch > since {
+			tail = append(tail, d)
+		}
+	}
+	nw, err := fn(w.cur.Load(), tail)
+	if err != nil {
+		return err
+	}
+	if nw != nil {
+		w.wal = nw
+		w.history = tail
+	}
+	return nil
+}
+
+// WriterStats is a point-in-time view of the writer for monitoring
+// (egosh's \snapshot command).
+type WriterStats struct {
+	// Epoch is the current published version.
+	Epoch uint64
+	// Nodes and Edges are the staged counts, including unpublished ops.
+	Nodes, Edges int
+	// PendingOps is the buffered batch size.
+	PendingOps int
+	// OpsPublished is the lifetime total of published ops.
+	OpsPublished int64
+	// OverlayRows is the current snapshot's CSR delta-overlay size;
+	// CSRBuilt reports whether that snapshot has a CSR view at all.
+	OverlayRows int
+	CSRBuilt    bool
+	// Compactions counts completed background CSR compactions.
+	Compactions int64
+}
+
+// Stats snapshots the writer's monitoring counters.
+func (w *Writer) Stats() WriterStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	snap := w.cur.Load()
+	rows, built := snap.g.CSRInfo()
+	return WriterStats{
+		Epoch:        snap.epoch,
+		Nodes:        w.stagedNodes,
+		Edges:        w.stagedEdges,
+		PendingOps:   len(w.pending),
+		OpsPublished: w.opsPublished.Load(),
+		OverlayRows:  rows,
+		CSRBuilt:     built,
+		Compactions:  w.compactions.Load(),
+	}
+}
+
+// applyBatch produces the next frozen graph version from base and a
+// mutation batch, sharing storage copy-on-write:
+//
+//   - The per-node slice headers are copied (so header cells are owned);
+//     the per-node []Half rows stay shared until the batch's first append
+//     to that row. In-place appends into a shared row's spare capacity are
+//     safe: cells beyond a published version's length are invisible to it,
+//     and the single-writer discipline makes append chains linear.
+//   - The edge table, label column, attribute columns, and label
+//     dictionary are shared outright and copied lazily on the batch's
+//     first in-place overwrite (SetLabel on a pre-existing node, attribute
+//     writes, new label interning).
+//   - The CSR view is extended with overlay rows for the touched nodes
+//     instead of being rebuilt (extendCSR).
+//
+// base must be frozen; the returned graph is frozen and epoch-stamped.
+func applyBatch(base *Graph, ops []Op, epoch uint64) *Graph {
+	baseNodes := len(base.out)
+	baseEdges := len(base.edgs)
+	adds := 0
+	for _, op := range ops {
+		if op.Kind == OpAddNode {
+			adds++
+		}
+	}
+
+	c := &Graph{
+		directed:  base.directed,
+		epoch:     epoch,
+		labelDict: base.labelDict,
+		edgs:      base.edgs,
+		labels:    base.labels,
+		nodeAttrs: base.nodeAttrs,
+		edgeAttrs: base.edgeAttrs,
+	}
+	c.out = make([][]Half, baseNodes, baseNodes+adds)
+	copy(c.out, base.out)
+	if base.directed {
+		c.in = make([][]Half, baseNodes, baseNodes+adds)
+		copy(c.in, base.in)
+	}
+
+	var (
+		ownLabels, ownDict           bool
+		ownNodeAttrs, ownEdgeAttrs   bool
+		ownedNodeMaps, ownedEdgeMaps map[int32]bool
+		dirty                        = make(map[NodeID]struct{}, 2*len(ops))
+	)
+
+	setLabel := func(n int32, name string) {
+		if int(n) < baseNodes && !ownLabels {
+			c.labels = append([]LabelID(nil), c.labels...)
+			ownLabels = true
+		}
+		if !ownDict {
+			if _, ok := c.labelDict.Lookup(name); !ok {
+				c.labelDict = c.labelDict.Clone()
+				ownDict = true
+			}
+		}
+		c.labels[n] = c.labelDict.Intern(name)
+	}
+
+	for _, op := range ops {
+		switch op.Kind {
+		case OpAddNode:
+			c.out = append(c.out, nil)
+			if c.directed {
+				c.in = append(c.in, nil)
+			}
+			c.labels = append(c.labels, NoLabel)
+			c.nodeAttrs = append(c.nodeAttrs, nil)
+		case OpAddEdge:
+			from, to := NodeID(op.A), NodeID(op.B)
+			id := EdgeID(len(c.edgs))
+			c.edgs = append(c.edgs, Edge{From: from, To: to})
+			c.edgeAttrs = append(c.edgeAttrs, nil)
+			c.out[from] = append(c.out[from], Half{To: to, Edge: id})
+			if c.directed {
+				c.in[to] = append(c.in[to], Half{To: from, Edge: id})
+			} else if from != to {
+				c.out[to] = append(c.out[to], Half{To: from, Edge: id})
+			}
+			dirty[from] = struct{}{}
+			dirty[to] = struct{}{}
+		case OpSetLabel:
+			setLabel(op.A, op.Val)
+		case OpSetNodeAttr:
+			if op.Key == LabelAttr {
+				setLabel(op.A, op.Val)
+				continue
+			}
+			if int(op.A) < baseNodes && !ownNodeAttrs {
+				c.nodeAttrs = append([]map[string]string(nil), c.nodeAttrs...)
+				ownNodeAttrs = true
+			}
+			if ownedNodeMaps == nil {
+				ownedNodeMaps = map[int32]bool{}
+			}
+			c.nodeAttrs[op.A] = cowSet(c.nodeAttrs[op.A], ownedNodeMaps, op.A, op.Key, op.Val)
+		case OpSetEdgeAttr:
+			if int(op.A) < baseEdges && !ownEdgeAttrs {
+				c.edgeAttrs = append([]map[string]string(nil), c.edgeAttrs...)
+				ownEdgeAttrs = true
+			}
+			if ownedEdgeMaps == nil {
+				ownedEdgeMaps = map[int32]bool{}
+			}
+			c.edgeAttrs[op.A] = cowSet(c.edgeAttrs[op.A], ownedEdgeMaps, op.A, op.Key, op.Val)
+		}
+	}
+
+	if bc := base.csr.Load(); bc != nil {
+		c.csr.Store(extendCSR(bc, c, dirty))
+	}
+	c.frozen = true
+	return c
+}
+
+// cowSet writes key=value into an attribute map owned by this batch,
+// copying a map shared with earlier versions on first touch.
+func cowSet(m map[string]string, owned map[int32]bool, id int32, key, value string) map[string]string {
+	switch {
+	case m == nil:
+		m = make(map[string]string, 2)
+		owned[id] = true
+	case !owned[id]:
+		cp := make(map[string]string, len(m)+1)
+		for k, v := range m {
+			cp[k] = v
+		}
+		m = cp
+		owned[id] = true
+	}
+	m[key] = value
+	return m
+}

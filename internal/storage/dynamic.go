@@ -1,0 +1,233 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"egocensus/internal/graph"
+)
+
+// DynamicStore is the durable backing of a mutating graph: a base .egoc
+// image plus an append-only mutation-log sidecar (<base>.log), fronted by
+// a graph.Writer. Opening replays the log onto the base image and resumes
+// the epoch sequence; every publish is WAL-appended and fsynced before it
+// becomes visible, so a crash at any point recovers exactly the last
+// published snapshot. A background compactor folds the log into the base
+// image (reusing Save's atomic temp-file/rename discipline) once the log
+// outgrows CompactAtBytes.
+//
+// The log header carries the trailing CRC32 of the base image it extends.
+// That binding makes crash recovery around compaction unambiguous: a
+// crash between the base-image rename and the log swap leaves a new image
+// with an old log, which the CRC mismatch identifies as stale — its
+// batches are already folded into the image, so it is discarded and a
+// fresh log is started at the epoch where it ended.
+type DynamicStore struct {
+	basePath string
+	logPath  string
+	w        *graph.Writer
+
+	mu     sync.Mutex // serializes Compact and Close; publishes take the writer's own lock
+	log    *Log
+	closed bool
+
+	compactCh chan struct{}
+	done      chan struct{}
+	wg        sync.WaitGroup
+
+	// CompactAtBytes is the log size that triggers background compaction;
+	// <= 0 disables the background compactor (Compact stays available).
+	compactAtBytes int64
+}
+
+// DefaultCompactAtBytes is the log size at which OpenDynamic's background
+// compactor folds the log into the base image.
+const DefaultCompactAtBytes = 4 << 20
+
+// CreateDynamic initializes a dynamic store at basePath from g: the base
+// image is saved atomically, an empty mutation log is created beside it,
+// and the opened store is returned. Fails if basePath already exists.
+func CreateDynamic(basePath string, g *graph.Graph) (*DynamicStore, error) {
+	if _, err := os.Stat(basePath); err == nil {
+		return nil, fmt.Errorf("storage: %s already exists", basePath)
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	if err := Save(basePath, g); err != nil {
+		return nil, err
+	}
+	return OpenDynamic(basePath)
+}
+
+// OpenDynamic opens the dynamic store at basePath: the base image is
+// materialized, the sidecar log (if any) is replayed onto it — truncating
+// a torn tail from a crashed append, discarding a stale log from a
+// crashed compaction — and a Writer resumes at the recovered epoch. The
+// returned store's background compactor is active with the default
+// threshold; tune it with SetCompactAtBytes.
+func OpenDynamic(basePath string) (*DynamicStore, error) {
+	g, err := Load(basePath)
+	if err != nil {
+		return nil, err
+	}
+	baseCRC, err := baseImageCRC(basePath)
+	if err != nil {
+		return nil, err
+	}
+	logPath := basePath + ".log"
+
+	var log *Log
+	lastEpoch := uint64(0)
+	switch _, statErr := os.Stat(logPath); {
+	case os.IsNotExist(statErr):
+		if log, err = CreateLog(logPath, baseCRC, 0); err != nil {
+			return nil, err
+		}
+	case statErr != nil:
+		return nil, statErr
+	default:
+		log, err = OpenLog(logPath, baseCRC, func(d graph.Delta) error {
+			for _, op := range d.Ops {
+				if err := graph.ApplyOp(g, op); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			// A CRC-binding mismatch means a compaction crashed after
+			// renaming the new base image but before swapping the log: the
+			// old log's batches are already folded into the image. Discard
+			// it, but resume the epoch sequence past its last record.
+			staleCRC, staleLast, scanErr := LogBaseCRC(logPath)
+			if scanErr != nil || staleCRC == baseCRC {
+				return nil, err
+			}
+			if log, err = CreateLog(logPath, baseCRC, staleLast); err != nil {
+				return nil, err
+			}
+		}
+		lastEpoch = log.LastEpoch()
+	}
+
+	ds := &DynamicStore{
+		basePath:       basePath,
+		logPath:        logPath,
+		log:            log,
+		compactCh:      make(chan struct{}, 1),
+		done:           make(chan struct{}),
+		compactAtBytes: DefaultCompactAtBytes,
+	}
+	ds.w = graph.NewWriterAt(g, lastEpoch)
+	ds.w.SetWAL(log)
+	// Nudge the compactor after every publish; the send never blocks the
+	// publish path (the channel holds one pending nudge).
+	ds.w.Subscribe(func(*graph.Snapshot, graph.Delta) {
+		select {
+		case ds.compactCh <- struct{}{}:
+		default:
+		}
+	})
+	ds.wg.Add(1)
+	go ds.compactor()
+	return ds, nil
+}
+
+// Writer returns the store's single mutation path. Batches published
+// through it are durable before they are visible.
+func (ds *DynamicStore) Writer() *graph.Writer { return ds.w }
+
+// Snapshot returns the current published version (O(1)).
+func (ds *DynamicStore) Snapshot() *graph.Snapshot { return ds.w.Snapshot() }
+
+// SetCompactAtBytes adjusts the background compaction threshold; <= 0
+// disables background compaction.
+func (ds *DynamicStore) SetCompactAtBytes(n int64) {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	ds.compactAtBytes = n
+}
+
+// LogStats reports the mutation log's current shape for monitoring.
+func (ds *DynamicStore) LogStats() (records int, bytes int64, baseEpoch uint64) {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	return ds.log.Records(), ds.log.Size(), ds.log.BaseEpoch()
+}
+
+func (ds *DynamicStore) compactor() {
+	defer ds.wg.Done()
+	for {
+		select {
+		case <-ds.done:
+			return
+		case <-ds.compactCh:
+			ds.mu.Lock()
+			need := !ds.closed && ds.compactAtBytes > 0 && ds.log.Size() >= ds.compactAtBytes
+			ds.mu.Unlock()
+			if need {
+				// Best-effort: a failed background compaction leaves the
+				// log growing; the next publish re-nudges.
+				_ = ds.Compact()
+			}
+		}
+	}
+}
+
+// Compact folds the mutation log into the base image: the current
+// snapshot is saved atomically as the new base, then — under the writer's
+// publish barrier, so no batch can slip between — a fresh empty log bound
+// to the new image replaces the old one. Publishes are briefly blocked
+// during the save; readers never are. Crash-safe at every step: both the
+// image save and the log swap are temp-file-plus-rename, and a stale
+// old log left by a crash in between is detected by its CRC binding on
+// the next open.
+func (ds *DynamicStore) Compact() error {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	if ds.closed {
+		return fmt.Errorf("storage: dynamic store %s is closed", ds.basePath)
+	}
+	err := ds.w.Barrier(^uint64(0), func(cur *graph.Snapshot, _ []graph.Delta) (graph.WAL, error) {
+		if err := Save(ds.basePath, cur.Graph()); err != nil {
+			return nil, err
+		}
+		newCRC, err := baseImageCRC(ds.basePath)
+		if err != nil {
+			return nil, err
+		}
+		tmp := ds.logPath + ".compact"
+		nl, err := CreateLog(tmp, newCRC, cur.Epoch())
+		if err != nil {
+			return nil, err
+		}
+		if err := nl.renameLogInto(ds.logPath); err != nil {
+			nl.Close()
+			os.Remove(tmp)
+			return nil, err
+		}
+		ds.log.Close()
+		ds.log = nl
+		return nl, nil
+	})
+	return err
+}
+
+// Close publishes nothing, stops the background compactor, and releases
+// the log. Pending unpublished writer ops are discarded (publish first if
+// they matter); everything already published is durable.
+func (ds *DynamicStore) Close() error {
+	ds.mu.Lock()
+	if ds.closed {
+		ds.mu.Unlock()
+		return nil
+	}
+	ds.closed = true
+	close(ds.done)
+	ds.mu.Unlock()
+	ds.wg.Wait()
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	return ds.log.Close()
+}
