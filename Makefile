@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race stress bench bench-report bench-planner bench-dynamic vet fmt experiments-unit experiments-small clean
+.PHONY: all build test race stress bench bench-report bench-planner bench-dynamic bench-parallel vet fmt experiments-unit experiments-small clean
 
 all: build test
 
@@ -16,9 +16,10 @@ race:
 	$(GO) test -race ./...
 
 # MVCC stress tests (concurrent census vs mutating writer, maintainer
-# convergence, live-engine ingest) repeated under the race detector.
+# convergence, live-engine ingest) plus the work-stealing determinism
+# tests with randomized steal timing, repeated under the race detector.
 stress:
-	$(GO) test -race -count=3 -run Stress ./internal/core/
+	$(GO) test -race -count=3 -run 'Stress|Stealing' ./internal/core/
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
@@ -38,6 +39,12 @@ bench-planner:
 # mutation stream.
 bench-dynamic:
 	$(GO) run ./cmd/benchreport -suite 4 -o BENCH_4.json
+
+# Worker-scaling table: the BENCH_4 census workload at 1/2/4/8 workers
+# against the pre-kernel baseline (speedup and allocation-reduction
+# acceptance ratios at the 4-worker point).
+bench-parallel:
+	$(GO) run ./cmd/benchreport -suite 6 -o BENCH_6.json
 
 vet:
 	$(GO) vet ./...

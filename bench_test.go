@@ -279,6 +279,23 @@ func BenchmarkAblationShortcuts(b *testing.B) {
 // counting phase. (Speedup requires multiple CPUs; on a single-core
 // machine the worker counts should tie, which doubles as an overhead
 // check.)
+// BenchmarkCensusWorkers — the BENCH_4 census workload (labeled BA graph,
+// unlabeled triangle, k=1, ND-BAS) across worker counts: the workload the
+// bitset/zero-alloc acceptance numbers are recorded on. The BA degree
+// distribution is heavily skewed, so this also exercises the cost-seeded
+// work-stealing schedule.
+func BenchmarkCensusWorkers(b *testing.B) {
+	g := benchLabeledGraph(1000)
+	spec := core.Spec{Pattern: pattern.Clique("clq3-unlb", 3, nil), K: 1}
+	for _, w := range []int{1, 2, 4, 8} {
+		opt := core.Options{Seed: 1, Workers: w}
+		b.Run(fmt.Sprintf("ND-BAS/workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			benchCensus(b, g, spec, core.NDBas, opt)
+		})
+	}
+}
+
 func BenchmarkParallelWorkers(b *testing.B) {
 	g := benchLabeledGraph(4000)
 	spec := core.Spec{Pattern: benchClq3(), K: 2}

@@ -12,11 +12,16 @@
 // mutation log, and incremental census maintenance against full recompute
 // over a mutation stream.
 //
+// Suite 6 covers worker scaling: the suite-4 census workload at 1/2/4/8
+// workers, compared against the BENCH_4 baseline recorded before the
+// bitset kernels and the work-stealing scheduler.
+//
 // Usage:
 //
 //	benchreport [-o BENCH_1.json] [-ndbas-nodes 1200] [-quick]
 //	benchreport -suite 2 [-o BENCH_2.json]
 //	benchreport -suite 4 [-o BENCH_4.json]
+//	benchreport -suite 6 [-o BENCH_6.json]
 package main
 
 import (
@@ -53,11 +58,12 @@ type Entry struct {
 
 // Report is the checked-in benchmark artifact.
 type Report struct {
-	Date    string  `json:"date"`
-	GoOS    string  `json:"goos"`
-	GoArch  string  `json:"goarch"`
-	NumCPU  int     `json:"num_cpu"`
-	Entries []Entry `json:"entries"`
+	Date       string  `json:"date"`
+	GoOS       string  `json:"goos"`
+	GoArch     string  `json:"goarch"`
+	NumCPU     int     `json:"num_cpu"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+	Entries    []Entry `json:"entries"`
 	// NDBasSpeedup is ns/op(workers=1 reference entry) divided by
 	// ns/op(workers=8): the acceptance metric of the parallel census
 	// drivers. On single-CPU machines the gain comes from the CSR kernel
@@ -71,6 +77,29 @@ type Report struct {
 	Planner *PlannerReport `json:"planner,omitempty"`
 	// Dynamic holds the suite-4 MVCC/dynamic-graph metrics.
 	Dynamic *DynamicReport `json:"dynamic,omitempty"`
+	// Scaling holds the suite-6 worker-scaling metrics.
+	Scaling *ScalingReport `json:"scaling,omitempty"`
+}
+
+// ScalingReport is the suite-6 artifact: the BENCH_4 census workload
+// (labeled BA graph, unlabeled triangle, k=1, ND-BAS) swept across worker
+// counts, compared against the constants recorded in BENCH_4.json before
+// the bitset kernels, work-stealing scheduler, and zero-alloc counting
+// runs landed. On a single-CPU machine the worker sweep is flat (the
+// scheduler only proves it costs nothing); the speedup comes from the
+// kernels and the allocation work.
+type ScalingReport struct {
+	// BaselineNsPerOp / BaselineAllocsOp are the BENCH_4
+	// pinned-census numbers on this machine (pre-kernel).
+	BaselineNsPerOp  int64 `json:"baseline_census_ns_per_op"`
+	BaselineAllocsOp int64 `json:"baseline_census_allocs_per_op"`
+	// BestNsPerOp is the fastest measured worker point;
+	// SpeedupAt4Workers and AllocReductionAt4Workers are the acceptance
+	// ratios at the 4-worker point (baseline / measured).
+	BestNsPerOp              int64   `json:"best_census_ns_per_op"`
+	BestWorkers              int     `json:"best_workers"`
+	SpeedupAt4Workers        float64 `json:"speedup_vs_baseline_4w"`
+	AllocReductionAt4Workers float64 `json:"alloc_reduction_vs_baseline_4w"`
 }
 
 // DynamicReport is the suite-4 artifact: what snapshot isolation costs on
@@ -180,15 +209,16 @@ func main() {
 		out        = flag.String("o", "BENCH_1.json", "output JSON path")
 		ndbasNodes = flag.Int("ndbas-nodes", 1200, "graph size for the ND-BAS census workload")
 		quick      = flag.Bool("quick", false, "skip the slower Fig4c per-algorithm sweep")
-		suite      = flag.Int("suite", 1, "workload suite: 1 = kernels, 2 = query planner, 4 = dynamic MVCC core")
+		suite      = flag.Int("suite", 1, "workload suite: 1 = kernels, 2 = query planner, 4 = dynamic MVCC core, 6 = worker scaling")
 	)
 	flag.Parse()
 
 	rep := &Report{
-		Date:   time.Now().UTC().Format(time.RFC3339),
-		GoOS:   runtime.GOOS,
-		GoArch: runtime.GOARCH,
-		NumCPU: runtime.NumCPU(),
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoOS:       runtime.GOOS,
+		GoArch:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
 	}
 
 	if *suite == 2 {
@@ -203,6 +233,13 @@ func main() {
 		writeReport(*out, rep)
 		fmt.Fprintf(os.Stderr, "wrote %s (pinned census overhead %+.2f%%, incremental speedup %.1fx)\n",
 			*out, rep.Dynamic.PinnedOverhead*100, rep.Dynamic.IncrementalSpeedup)
+		return
+	}
+	if *suite == 6 {
+		scalingSuite(rep)
+		writeReport(*out, rep)
+		fmt.Fprintf(os.Stderr, "wrote %s (census speedup at 4 workers %.2fx, alloc reduction %.0fx)\n",
+			*out, rep.Scaling.SpeedupAt4Workers, rep.Scaling.AllocReductionAt4Workers)
 		return
 	}
 
@@ -395,6 +432,55 @@ func plannerSuite(rep *Report) {
 		CostBasedNsPerOp:   costE.NsPerOp,
 		Speedup:            float64(heurE.NsPerOp) / float64(costE.NsPerOp),
 	}
+}
+
+// BENCH_4.json's dynamic/census-pinned entry, recorded on this machine
+// before the bitset kernels / work-stealing / zero-alloc counting runs:
+// the baseline the suite-6 scaling table is judged against.
+const (
+	baselineCensusNsPerOp  = 20958609
+	baselineCensusAllocsOp = 70677
+)
+
+// scalingSuite measures suite 6: the BENCH_4 census workload across
+// worker counts 1/2/4/8, on the skewed preferential-attachment degree
+// distribution that exercises the cost-seeded work-stealing schedule.
+func scalingSuite(rep *Report) {
+	g := labeledGraph(1000)
+	spec := core.Spec{Pattern: pattern.Clique("clq3-unlb", 3, nil), K: 1}
+	var at4 Entry
+	best := Entry{NsPerOp: int64(^uint64(0) >> 1)}
+	for _, w := range []int{1, 2, 4, 8} {
+		w := w
+		e := measure("census-scaling/ndbas", w, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Count(g, spec, core.NDBas, core.Options{Seed: 1, Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		rep.Entries = append(rep.Entries, e)
+		if w == 4 {
+			at4 = e
+		}
+		if e.NsPerOp < best.NsPerOp {
+			best = e
+		}
+	}
+	sc := &ScalingReport{
+		BaselineNsPerOp:  baselineCensusNsPerOp,
+		BaselineAllocsOp: baselineCensusAllocsOp,
+		BestNsPerOp:      best.NsPerOp,
+		BestWorkers:      best.Workers,
+	}
+	if at4.NsPerOp > 0 {
+		sc.SpeedupAt4Workers = float64(baselineCensusNsPerOp) / float64(at4.NsPerOp)
+	}
+	if at4.AllocsOp > 0 {
+		sc.AllocReductionAt4Workers = float64(baselineCensusAllocsOp) / float64(at4.AllocsOp)
+	}
+	rep.Scaling = sc
 }
 
 // dynamicSuite measures suite 4. Read path: acquiring a snapshot is an

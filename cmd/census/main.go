@@ -38,7 +38,7 @@ func main() {
 		queryPath  = flag.String("query", "", "script file with PATTERN/SELECT statements")
 		inline     = flag.String("e", "", "inline script text (alternative to -query)")
 		alg        = flag.String("alg", "", "force algorithm: ND-BAS, ND-DIFF, ND-PVOT, PT-BAS, PT-RND, PT-OPT")
-		workers    = flag.Int("workers", core.DefaultWorkers(), "parallel workers for the counting phase (1 = sequential)")
+		workers    = flag.Int("workers", core.DefaultWorkers(), "parallel workers for the counting phase (1 = sequential, <0 = auto; absurd values are clamped)")
 		seed       = flag.Int64("seed", 1, "seed for RND() sampling")
 		limit      = flag.Int("limit", 0, "print at most this many rows per table (0 = all)")
 		format     = flag.String("format", "table", "output format: table or csv")
@@ -80,7 +80,11 @@ func main() {
 		e = core.NewEngineFromSource(st)
 	}
 	e.Alg = core.Algorithm(*alg)
-	e.Opt.Workers = *workers
+	effective := core.EffectiveWorkers(*workers)
+	if effective != *workers {
+		fmt.Fprintf(os.Stderr, "census: using %d workers (requested %d)\n", effective, *workers)
+	}
+	e.Opt.Workers = effective
 	e.Opt.Limits = core.Limits{Deadline: *timeout, MaxMatches: *maxMatches}
 	e.Seed = *seed
 	tables, err := e.Execute(src)

@@ -547,7 +547,7 @@ commands:
   \save <file>           save the current graph
   \gen <nodes> [labels]  generate a preferential-attachment graph (|E|=5|V|)
   \alg <name|auto>       force ND-BAS/ND-DIFF/ND-PVOT/PT-BAS/PT-RND/PT-OPT
-  \workers <n|auto>      parallel workers for the counting phase (auto = one per CPU)
+  \workers <n|auto>      parallel workers for the counting phase (auto = one per CPU; out-of-range values are clamped)
   \explain <query>       show the optimized plan without executing
   \timing                toggle per-stage timing after each query
   \ingest <file>         stream a text edge list through the graph writer
@@ -674,11 +674,16 @@ commands:
 			sh.workers = core.DefaultWorkers()
 		} else {
 			n, err := strconv.Atoi(fields[1])
-			if err != nil || n < 1 {
-				fmt.Fprintln(sh.out, "error: workers must be a positive integer or auto")
+			if err != nil {
+				fmt.Fprintln(sh.out, "error: workers must be an integer or auto")
 				break
 			}
-			sh.workers = n
+			if eff := core.EffectiveWorkers(n); eff != n {
+				fmt.Fprintf(sh.out, "workers: %d clamped to %d\n", n, eff)
+				sh.workers = eff
+			} else {
+				sh.workers = n
+			}
 		}
 		sh.engine.Opt.Workers = sh.workers
 		fmt.Fprintf(sh.out, "workers: %d\n", sh.workers)

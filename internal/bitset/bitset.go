@@ -1,0 +1,255 @@
+// Package bitset implements the dense-set kernels the census hot paths
+// run on: word-aligned bitmaps with popcount-based intersection, union,
+// and difference counting, set-bit iteration, and adaptive sorted-list
+// intersection with galloping search for skewed operand sizes.
+//
+// The kernels are deliberately branch-light and allocation-free: every
+// operation works in place on caller-owned []uint64 words so pooled
+// scratch (epoch-stamped planes, per-worker arenas) can reuse backing
+// storage across millions of calls. Nodes are plain non-negative ints;
+// the graph and match layers convert their 32-bit node IDs at the call
+// boundary, which the compiler erases.
+package bitset
+
+import "math/bits"
+
+// wordShift/wordMask factor the /64 and %64 of bit addressing.
+const (
+	wordShift = 6
+	wordMask  = 63
+)
+
+// Words returns the number of 64-bit words needed to hold n bits.
+func Words(n int) int { return (n + wordMask) >> wordShift }
+
+// Set is a fixed-capacity dense bitmap. The zero value is an empty set of
+// capacity 0; Grow before use. Set is a thin wrapper — the free functions
+// below operate on raw word slices so planes carved from a shared arena
+// need no header per plane.
+type Set struct {
+	W []uint64
+}
+
+// New returns a Set with capacity for n bits, all clear.
+func New(n int) *Set { return &Set{W: make([]uint64, Words(n))} }
+
+// Grow ensures capacity for n bits, preserving existing bits. Growth
+// reallocates; callers that share the backing array must re-slice.
+func (s *Set) Grow(n int) {
+	if w := Words(n); w > len(s.W) {
+		nw := make([]uint64, w)
+		copy(nw, s.W)
+		s.W = nw
+	}
+}
+
+// Clear zeroes every word.
+func (s *Set) Clear() { ClearWords(s.W) }
+
+// Add sets bit i.
+func (s *Set) Add(i int) { s.W[i>>wordShift] |= 1 << uint(i&wordMask) }
+
+// Remove clears bit i.
+func (s *Set) Remove(i int) { s.W[i>>wordShift] &^= 1 << uint(i&wordMask) }
+
+// Contains reports whether bit i is set.
+func (s *Set) Contains(i int) bool {
+	return s.W[i>>wordShift]&(1<<uint(i&wordMask)) != 0
+}
+
+// Count returns the number of set bits.
+func (s *Set) Count() int { return CountWords(s.W) }
+
+// ClearWords zeroes a word slice (the compiler lowers this loop to
+// memclr).
+func ClearWords(w []uint64) {
+	for i := range w {
+		w[i] = 0
+	}
+}
+
+// ClearBit clears bit i in w.
+func ClearBit(w []uint64, i int) { w[i>>wordShift] &^= 1 << uint(i&wordMask) }
+
+// SetBit sets bit i in w.
+func SetBit(w []uint64, i int) { w[i>>wordShift] |= 1 << uint(i&wordMask) }
+
+// TestBit reports whether bit i is set in w.
+func TestBit(w []uint64, i int) bool {
+	return w[i>>wordShift]&(1<<uint(i&wordMask)) != 0
+}
+
+// CountWords returns the total popcount of w.
+func CountWords(w []uint64) int {
+	c := 0
+	for _, x := range w {
+		c += bits.OnesCount64(x)
+	}
+	return c
+}
+
+// AndCount returns |a ∩ b| without materializing the intersection — one
+// load-and-popcount pass over min(len(a), len(b)) words.
+func AndCount(a, b []uint64) int {
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	c := 0
+	for i, x := range a {
+		c += bits.OnesCount64(x & b[i])
+	}
+	return c
+}
+
+// AndNotCount returns |a \ b|.
+func AndNotCount(a, b []uint64) int {
+	c := 0
+	for i, x := range a {
+		var y uint64
+		if i < len(b) {
+			y = b[i]
+		}
+		c += bits.OnesCount64(x &^ y)
+	}
+	return c
+}
+
+// OrCount returns |a ∪ b|.
+func OrCount(a, b []uint64) int {
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	c := 0
+	for i, x := range a {
+		c += bits.OnesCount64(x | b[i])
+	}
+	for _, y := range b[len(a):] {
+		c += bits.OnesCount64(y)
+	}
+	return c
+}
+
+// AndInto stores a ∩ b into dst (len(dst) must cover both operands'
+// common prefix; extra dst words are zeroed) and returns the popcount.
+func AndInto(dst, a, b []uint64) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	c := 0
+	for i := 0; i < n; i++ {
+		w := a[i] & b[i]
+		dst[i] = w
+		c += bits.OnesCount64(w)
+	}
+	for i := n; i < len(dst); i++ {
+		dst[i] = 0
+	}
+	return c
+}
+
+// AppendAnd appends the elements of a ∩ b to out in ascending order and
+// returns the extended slice. This is the hot kernel behind candidate-
+// neighbor set construction for hub nodes: one word-AND plus a
+// trailing-zero scan per 64 node IDs, instead of one membership probe per
+// adjacency entry. Generic over int32-kinded element types so callers
+// append their own node ID types without a conversion pass.
+func AppendAnd[T ~int32](out []T, a, b []uint64) []T {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		w := a[i] & b[i]
+		base := T(i << wordShift)
+		for w != 0 {
+			out = append(out, base+T(bits.TrailingZeros64(w)))
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// ForEach calls fn for every set bit of w in ascending order.
+func ForEach(w []uint64, fn func(i int)) {
+	for i, x := range w {
+		base := i << wordShift
+		for x != 0 {
+			fn(base + bits.TrailingZeros64(x))
+			x &= x - 1
+		}
+	}
+}
+
+// gallopRatio is the size skew at which IntersectSortedCount switches
+// from a linear merge to galloping search: when one sorted list is more
+// than gallopRatio times longer than the other, binary-search probing of
+// the long side beats walking it.
+const gallopRatio = 16
+
+// IntersectSortedCount returns |a ∩ b| for two ascending-sorted int32
+// lists (duplicates count once per matching pair position — callers pass
+// duplicate-free lists). It adapts to skew: comparable sizes use a linear
+// merge; heavily skewed sizes gallop through the longer list.
+func IntersectSortedCount(a, b []int32) int {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	if len(a) == 0 {
+		return 0
+	}
+	if len(b) > gallopRatio*len(a) {
+		return gallopCount(a, b)
+	}
+	c, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			c++
+			i++
+			j++
+		}
+	}
+	return c
+}
+
+// gallopCount counts members of the short list present in the long one by
+// doubling probes followed by binary search, advancing a frontier so each
+// lookup scans only the remaining suffix.
+func gallopCount(short, long []int32) int {
+	c, lo := 0, 0
+	for _, v := range short {
+		// Gallop: find the first index >= lo with long[idx] >= v.
+		step := 1
+		hi := lo
+		for hi < len(long) && long[hi] < v {
+			lo = hi + 1
+			hi += step
+			step <<= 1
+		}
+		if hi > len(long) {
+			hi = len(long)
+		}
+		// Binary search in (lo-1, hi].
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if long[mid] < v {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < len(long) && long[lo] == v {
+			c++
+			lo++
+		}
+		if lo >= len(long) {
+			break
+		}
+	}
+	return c
+}

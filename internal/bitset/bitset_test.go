@@ -1,0 +1,253 @@
+package bitset
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestSetBasics(t *testing.T) {
+	s := New(200)
+	if s.Count() != 0 {
+		t.Fatalf("new set not empty: %d", s.Count())
+	}
+	for _, i := range []int{0, 1, 63, 64, 127, 199} {
+		s.Add(i)
+		if !s.Contains(i) {
+			t.Fatalf("Contains(%d) = false after Add", i)
+		}
+	}
+	if s.Count() != 6 {
+		t.Fatalf("Count = %d, want 6", s.Count())
+	}
+	s.Add(63) // idempotent
+	if s.Count() != 6 {
+		t.Fatalf("Count after duplicate Add = %d, want 6", s.Count())
+	}
+	s.Remove(63)
+	if s.Contains(63) || s.Count() != 5 {
+		t.Fatalf("Remove(63) failed: contains=%v count=%d", s.Contains(63), s.Count())
+	}
+	s.Clear()
+	if s.Count() != 0 {
+		t.Fatalf("Clear left %d bits", s.Count())
+	}
+}
+
+func TestGrowPreservesBits(t *testing.T) {
+	s := New(10)
+	s.Add(3)
+	s.Add(9)
+	s.Grow(500)
+	if !s.Contains(3) || !s.Contains(9) {
+		t.Fatal("Grow dropped bits")
+	}
+	s.Add(499)
+	if s.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", s.Count())
+	}
+}
+
+func TestWords(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 1, 63: 1, 64: 1, 65: 2, 128: 2, 129: 3}
+	for n, want := range cases {
+		if got := Words(n); got != want {
+			t.Errorf("Words(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+// refSets builds two random bitmaps plus reference map-sets for an oracle.
+func refSets(t *testing.T, rng *rand.Rand, n, aw, bw int) (a, b []uint64, am, bm map[int]bool) {
+	t.Helper()
+	a, b = make([]uint64, aw), make([]uint64, bw)
+	am, bm = map[int]bool{}, map[int]bool{}
+	for i := 0; i < n; i++ {
+		v := rng.Intn(aw * 64)
+		SetBit(a, v)
+		am[v] = true
+		v = rng.Intn(bw * 64)
+		SetBit(b, v)
+		bm[v] = true
+	}
+	return
+}
+
+func TestCountKernelsAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		aw := 1 + rng.Intn(8)
+		bw := 1 + rng.Intn(8)
+		a, b, am, bm := refSets(t, rng, rng.Intn(200), aw, bw)
+
+		wantAnd, wantOr, wantAndNot := 0, len(bm), 0
+		for v := range am {
+			if bm[v] {
+				wantAnd++
+			} else {
+				wantAndNot++
+				wantOr++
+			}
+		}
+		if got := AndCount(a, b); got != wantAnd {
+			t.Fatalf("trial %d: AndCount = %d, want %d", trial, got, wantAnd)
+		}
+		if got := AndCount(b, a); got != wantAnd {
+			t.Fatalf("trial %d: AndCount swapped = %d, want %d", trial, got, wantAnd)
+		}
+		if got := OrCount(a, b); got != wantOr {
+			t.Fatalf("trial %d: OrCount = %d, want %d", trial, got, wantOr)
+		}
+		if got := AndNotCount(a, b); got != wantAndNot {
+			t.Fatalf("trial %d: AndNotCount = %d, want %d", trial, got, wantAndNot)
+		}
+		dst := make([]uint64, aw)
+		if got := AndInto(dst, a, b); got != wantAnd {
+			t.Fatalf("trial %d: AndInto count = %d, want %d", trial, got, wantAnd)
+		}
+		if got := CountWords(dst); got != wantAnd {
+			t.Fatalf("trial %d: AndInto dst popcount = %d, want %d", trial, got, wantAnd)
+		}
+	}
+}
+
+func TestAppendAndAscendingAndComplete(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		a, b, am, bm := refSets(t, rng, rng.Intn(300), 1+rng.Intn(6), 1+rng.Intn(6))
+		var want []int32
+		for v := range am {
+			if bm[v] {
+				want = append(want, int32(v))
+			}
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		got := AppendAnd[int32](nil, a, b)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: AppendAnd len = %d, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: AppendAnd[%d] = %d, want %d", trial, i, got[i], want[i])
+			}
+		}
+	}
+	// Appending to a non-empty prefix keeps it.
+	a := make([]uint64, 1)
+	b := make([]uint64, 1)
+	SetBit(a, 5)
+	SetBit(b, 5)
+	out := AppendAnd([]int32{-1}, a, b)
+	if len(out) != 2 || out[0] != -1 || out[1] != 5 {
+		t.Fatalf("AppendAnd prefix handling: %v", out)
+	}
+}
+
+func TestForEachOrderAndCoverage(t *testing.T) {
+	w := make([]uint64, 3)
+	want := []int{0, 1, 63, 64, 100, 191}
+	for _, v := range want {
+		SetBit(w, v)
+	}
+	var got []int
+	ForEach(w, func(i int) { got = append(got, i) })
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %d bits, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestIntersectSortedCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	mk := func(n, max int) []int32 {
+		seen := map[int32]bool{}
+		for len(seen) < n {
+			seen[int32(rng.Intn(max))] = true
+		}
+		out := make([]int32, 0, n)
+		for v := range seen {
+			out = append(out, v)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out
+	}
+	oracle := func(a, b []int32) int {
+		m := map[int32]bool{}
+		for _, v := range a {
+			m[v] = true
+		}
+		c := 0
+		for _, v := range b {
+			if m[v] {
+				c++
+			}
+		}
+		return c
+	}
+	// Balanced, skewed (forcing the gallop path), and edge cases.
+	shapes := [][2]int{{0, 10}, {10, 0}, {5, 5}, {50, 60}, {3, 500}, {500, 3}, {1, 1000}, {40, 2000}}
+	for trial, sh := range shapes {
+		for rep := 0; rep < 10; rep++ {
+			a := mk(sh[0], 4000)
+			b := mk(sh[1], 4000)
+			want := oracle(a, b)
+			if got := IntersectSortedCount(a, b); got != want {
+				t.Fatalf("shape %d rep %d: IntersectSortedCount = %d, want %d (|a|=%d |b|=%d)",
+					trial, rep, got, want, len(a), len(b))
+			}
+		}
+	}
+	// Identical lists through the gallop path.
+	long := mk(100, 200)
+	short := append([]int32(nil), long[:4]...)
+	if got := IntersectSortedCount(short, long); got != 4 {
+		t.Fatalf("subset gallop: got %d, want 4", got)
+	}
+}
+
+func TestGallopCountFrontier(t *testing.T) {
+	// Values past the end of long must not loop or miscount.
+	long := []int32{1, 2, 3}
+	short := []int32{0, 2, 5, 9}
+	if got := gallopCount(short, long); got != 1 {
+		t.Fatalf("gallopCount = %d, want 1", got)
+	}
+}
+
+func BenchmarkAndCount(b *testing.B) {
+	n := 4096
+	x := make([]uint64, Words(n))
+	y := make([]uint64, Words(n))
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < n/3; i++ {
+		SetBit(x, rng.Intn(n))
+		SetBit(y, rng.Intn(n))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AndCount(x, y)
+	}
+}
+
+func BenchmarkIntersectSortedSkewed(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	short := make([]int32, 8)
+	long := make([]int32, 4096)
+	for i := range long {
+		long[i] = int32(i * 3)
+	}
+	for i := range short {
+		short[i] = long[rng.Intn(len(long))]
+	}
+	sort.Slice(short, func(i, j int) bool { return short[i] < short[j] })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		IntersectSortedCount(short, long)
+	}
+}

@@ -169,7 +169,9 @@ type Options struct {
 	Seed int64
 
 	// Workers bounds the parallelism of the counting phase (ND-PVOT focal
-	// nodes, PT-OPT/PT-RND clusters). Zero or one runs sequentially.
+	// nodes, PT-OPT/PT-RND clusters). Zero or one runs sequentially;
+	// negative values mean "auto" (one worker per CPU); absurd values are
+	// capped. See EffectiveWorkers.
 	Workers int
 
 	// Limits bounds the resources evaluation may consume (match-set size,
@@ -179,12 +181,7 @@ type Options struct {
 	Limits Limits
 }
 
-func (o Options) workers() int {
-	if o.Workers < 1 {
-		return 1
-	}
-	return o.Workers
-}
+func (o Options) workers() int { return EffectiveWorkers(o.Workers) }
 
 func (o Options) matcher() match.Matcher {
 	if o.Matcher == nil {

@@ -97,7 +97,8 @@ func countManyGuarded(g *graph.Graph, specs []Spec, opt Options, gd *guard) ([]*
 	prepare(g)
 	focal := specs[0].focalList(g)
 	gd.setFocalTotal(len(focal))
-	parallelFor(gd, opt.workers(), len(focal), func(fi int) {
+	focalCost := func(i int) int64 { return 1 + int64(g.Degree(focal[i])) }
+	parallelForCost(gd, opt.workers(), len(focal), focalCost, func(fi int) {
 		n := focal[fi]
 		s := graph.AcquireScratch(g.NumNodes())
 		defer s.Release()

@@ -36,9 +36,40 @@ func countNDBas(g *graph.Graph, spec Spec, opt Options, gd *guard) (*Result, err
 	focal := spec.focalList(g)
 	gd.setFocalTotal(len(focal))
 	prepare(g)
+	// Per-focal cost estimate for the work-stealing schedule: the k-hop
+	// BFS and the in-neighborhood matching both scale with the focal's
+	// degree, so hubs sort to the front of the deques.
+	focalCost := func(i int) int64 { return 1 + int64(g.Degree(focal[i])) }
+
+	if mc, ok := m.(match.MaskedCounter); ok {
+		// Zero-allocation hot path: one reusable counting run per worker;
+		// candidate planes, CN arenas, and the distinct-key set all live
+		// in the run and are reused across focals. The reach mask is also
+		// per-worker — passing the Reach value itself would box it into the
+		// NodeSet interface and put one heap allocation back per focal.
+		workers := opt.workers()
+		runs := make([]match.CountRun, workers)
+		masks := make([]*reachMask, workers)
+		parallelForWorkerCost(gd, workers, len(focal), focalCost, func(w, i int) {
+			run := runs[w]
+			if run == nil {
+				run = mc.NewCountRun()
+				runs[w] = run
+				masks[w] = new(reachMask)
+			}
+			n := focal[i]
+			s := graph.AcquireScratch(g.NumNodes())
+			mask := masks[w]
+			mask.r = g.KHop(n, spec.K, s)
+			distinct, _ := run.CountWithin(g, spec.Pattern, mask, nil)
+			res.Counts[n] = int64(distinct)
+			s.Release()
+		})
+		return res, gd.failure(res, nil)
+	}
 
 	if mm, ok := m.(match.MaskedMatcher); ok {
-		parallelFor(gd, opt.workers(), len(focal), func(i int) {
+		parallelForCost(gd, opt.workers(), len(focal), focalCost, func(i int) {
 			n := focal[i]
 			s := graph.AcquireScratch(g.NumNodes())
 			reach := g.KHop(n, spec.K, s)
@@ -49,7 +80,7 @@ func countNDBas(g *graph.Graph, spec Spec, opt Options, gd *guard) (*Result, err
 		return res, gd.failure(res, nil)
 	}
 
-	parallelFor(gd, opt.workers(), len(focal), func(i int) {
+	parallelForCost(gd, opt.workers(), len(focal), focalCost, func(i int) {
 		n := focal[i]
 		sg := g.EgoSubgraph(n, spec.K)
 		emb := m.Embeddings(sg.G, spec.Pattern)
@@ -57,6 +88,13 @@ func countNDBas(g *graph.Graph, spec Spec, opt Options, gd *guard) (*Result, err
 	})
 	return res, gd.failure(res, nil)
 }
+
+// reachMask adapts a graph.Reach to match.NodeSet behind a reusable
+// pointer, so the per-focal masked count does not re-box the reach value.
+type reachMask struct{ r graph.Reach }
+
+func (m *reachMask) Contains(n graph.NodeID) bool { return m.r.Contains(n) }
+func (m *reachMask) Members() []graph.NodeID      { return m.r.Nodes }
 
 // countNDBasSubpattern is the naive O(|V_sigma| * |M| * |V_SP|) scheme.
 func countNDBasSubpattern(g *graph.Graph, spec Spec, opt Options, gd *guard) (*Result, error) {
@@ -71,7 +109,8 @@ func countNDBasSubpattern(g *graph.Graph, spec Spec, opt Options, gd *guard) (*R
 	focal := spec.focalList(g)
 	gd.setFocalTotal(len(focal))
 	prepare(g)
-	parallelForWorker(gd, opt.workers(), len(focal), func(w, i int) {
+	focalCost := func(i int) int64 { return 1 + int64(g.Degree(focal[i])) }
+	parallelForWorkerCost(gd, opt.workers(), len(focal), focalCost, func(w, i int) {
 		n := focal[i]
 		s := graph.AcquireScratch(g.NumNodes())
 		reach := g.KHop(n, spec.K, s)

@@ -192,7 +192,16 @@ func countNDDiff(g *graph.Graph, spec Spec, opt Options, gd *guard) (*Result, er
 		}
 		return res, gd.failure(res, nil)
 	}
-	parallelForWorker(gd, workers, len(chains), func(w, i int) {
+	// Chain cost for the work-stealing schedule: each node in a chain
+	// pays one k-hop frontier diff proportional to its degree.
+	chainCost := func(i int) int64 {
+		c := int64(0)
+		for _, n := range chains[i] {
+			c += 1 + int64(g.Degree(n))
+		}
+		return c
+	}
+	parallelForWorkerCost(gd, workers, len(chains), chainCost, func(w, i int) {
 		runChain(w, chains[i])
 	})
 	return res, gd.failure(res, nil)

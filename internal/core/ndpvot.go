@@ -74,7 +74,8 @@ func countNDPvot(g *graph.Graph, spec Spec, opt Options, gd *guard) (*Result, er
 	// Focal nodes are disjoint result slots, so workers write directly.
 	focal := spec.focalList(g)
 	gd.setFocalTotal(len(focal))
-	parallelFor(gd, opt.workers(), len(focal), func(fi int) {
+	focalCost := func(i int) int64 { return 1 + int64(g.Degree(focal[i])) }
+	parallelForCost(gd, opt.workers(), len(focal), focalCost, func(fi int) {
 		n := focal[fi]
 		s := graph.AcquireScratch(g.NumNodes())
 		defer s.Release()

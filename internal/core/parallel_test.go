@@ -1,7 +1,13 @@
 package core
 
 import (
+	"context"
+	"errors"
+	"math/rand"
+	"runtime"
+	"sync"
 	"testing"
+	"time"
 
 	"egocensus/internal/gen"
 	"egocensus/internal/match"
@@ -75,6 +81,165 @@ func TestMaskedMatchingEqualsExtraction(t *testing.T) {
 					spec.Pattern.Name, n, masked.Counts[n], extracted.Counts[n])
 			}
 		}
+	}
+}
+
+// withStealDelay installs fn as the scheduler's steal-timing hook for the
+// duration of the test. The hook is a package global, so tests using it
+// must not run in parallel with each other.
+func withStealDelay(t *testing.T, fn func(worker int)) {
+	t.Helper()
+	stealDelay = fn
+	t.Cleanup(func() { stealDelay = nil })
+}
+
+// TestStealingDeterminismRandomTiming pins the scheduler's central
+// contract: census tables are bit-identical regardless of which worker
+// ends up running which item. Randomized sleeps and yields before every
+// steal attempt perturb the chunk interleaving on each run; every
+// algorithm at several worker counts must still reproduce the sequential
+// counts exactly. The soak suite runs this under -race -count=3.
+func TestStealingDeterminismRandomTiming(t *testing.T) {
+	var mu sync.Mutex
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	withStealDelay(t, func(int) {
+		mu.Lock()
+		d := rng.Intn(60)
+		mu.Unlock()
+		if d < 30 {
+			time.Sleep(time.Duration(d) * time.Microsecond)
+		} else {
+			runtime.Gosched()
+		}
+	})
+	g := gen.PreferentialAttachment(350, 4, 11)
+	gen.AssignLabels(g, 3, 12)
+	specs := []Spec{
+		{Pattern: pattern.Clique("clq3", 3, []string{"l0", "l1", "l2"}), K: 2},
+		{Pattern: pattern.Clique("clq3u", 3, nil), K: 1},
+		{Pattern: pattern.CoordinatorTriad("triad"), Subpattern: "coordinator", K: 2},
+	}
+	for _, spec := range specs {
+		for _, alg := range Algorithms {
+			seq, err := Count(g, spec, alg, Options{Seed: 1, Workers: 1})
+			if err != nil {
+				t.Fatalf("%s/%s sequential: %v", alg, spec.Pattern.Name, err)
+			}
+			for _, w := range []int{3, 8} {
+				par, err := Count(g, spec, alg, Options{Seed: 1, Workers: w})
+				if err != nil {
+					t.Fatalf("%s/%s workers=%d: %v", alg, spec.Pattern.Name, w, err)
+				}
+				if par.NumMatches != seq.NumMatches {
+					t.Fatalf("%s/%s workers=%d: NumMatches %d, want %d",
+						alg, spec.Pattern.Name, w, par.NumMatches, seq.NumMatches)
+				}
+				for n := range seq.Counts {
+					if seq.Counts[n] != par.Counts[n] {
+						t.Fatalf("%s/%s workers=%d: node %d = %d, want %d",
+							alg, spec.Pattern.Name, w, n, par.Counts[n], seq.Counts[n])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestStealingCancellationMidSteal cancels the query from inside the
+// first steal attempt — the scheduler must drain promptly, return the
+// typed cancellation error with a partial census, and never deadlock or
+// corrupt counts. Steal attempts are guaranteed: every worker scans the
+// other deques at least once while draining.
+func TestStealingCancellationMidSteal(t *testing.T) {
+	g := gen.PreferentialAttachment(400, 5, 13)
+	gen.AssignLabels(g, 3, 14)
+	spec := Spec{Pattern: pattern.Clique("clq3u", 3, nil), K: 1}
+	full, err := Count(g, spec, NDBas, Options{Seed: 1, Workers: 1})
+	if err != nil {
+		t.Fatalf("full census: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var once sync.Once
+	withStealDelay(t, func(int) {
+		once.Do(cancel)
+		time.Sleep(50 * time.Microsecond)
+	})
+	res, err := CountContext(ctx, g, spec, NDBas, Options{Seed: 1, Workers: 8})
+	if err == nil {
+		t.Fatal("cancelled census returned no error")
+	}
+	var ce *CanceledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v (%T), want *CanceledError", err, err)
+	}
+	if ce.Partial == nil {
+		t.Fatal("cancellation carried no partial census")
+	}
+	if res == nil || ce.Partial != res {
+		t.Fatalf("error partial %p and returned result %p disagree", ce.Partial, res)
+	}
+	// ND-BAS focal slots are disjoint and written once: every slot of the
+	// partial census is either untouched or the exact final count.
+	for n, c := range ce.Partial.Counts {
+		if c != 0 && c != full.Counts[n] {
+			t.Fatalf("partial count for node %d = %d, want 0 or %d", n, c, full.Counts[n])
+		}
+	}
+}
+
+// TestEffectiveWorkers pins the one place worker counts are clamped.
+func TestEffectiveWorkers(t *testing.T) {
+	if got := EffectiveWorkers(0); got != 1 {
+		t.Fatalf("EffectiveWorkers(0) = %d, want 1", got)
+	}
+	if got := EffectiveWorkers(-3); got != DefaultWorkers() {
+		t.Fatalf("EffectiveWorkers(-3) = %d, want DefaultWorkers() = %d", got, DefaultWorkers())
+	}
+	if got := EffectiveWorkers(5); got != 5 {
+		t.Fatalf("EffectiveWorkers(5) = %d, want 5", got)
+	}
+	if got := EffectiveWorkers(1 << 20); got != maxWorkers() {
+		t.Fatalf("EffectiveWorkers(1<<20) = %d, want maxWorkers() = %d", got, maxWorkers())
+	}
+}
+
+// TestBuildSchedule covers the scheduler's chunking directly: the chunks
+// partition the descending-cost order exactly, and an item costlier than
+// the chunk target is chunked alone so a hub never drags cheap neighbors
+// behind it.
+func TestBuildSchedule(t *testing.T) {
+	costs := []int64{1, 1000, 3, 1, 900, 2, 1, 1, 5, 1, 1, 4}
+	ord, chunks := buildSchedule(len(costs), 2, func(i int) int64 { return costs[i] })
+	if len(ord) != len(costs) {
+		t.Fatalf("order has %d items, want %d", len(ord), len(costs))
+	}
+	for i := 1; i < len(ord); i++ {
+		if costs[ord[i-1]] < costs[ord[i]] {
+			t.Fatalf("order not descending by cost at %d: %d before %d", i, costs[ord[i-1]], costs[ord[i]])
+		}
+	}
+	seen := make([]bool, len(costs))
+	last := int32(0)
+	for _, c := range chunks {
+		if c.start != last {
+			t.Fatalf("chunk starts at %d, want %d (gap or overlap)", c.start, last)
+		}
+		last = c.end
+		for idx := c.start; idx < c.end; idx++ {
+			if seen[ord[idx]] {
+				t.Fatalf("item %d scheduled twice", ord[idx])
+			}
+			seen[ord[idx]] = true
+		}
+	}
+	if last != int32(len(costs)) {
+		t.Fatalf("chunks end at %d, want %d", last, len(costs))
+	}
+	// The two hubs dominate the total, so each must sit in its own chunk
+	// (they are the two costliest items, i.e. order positions 0 and 1).
+	if chunks[0] != (chunk{0, 1}) || chunks[1] != (chunk{1, 2}) {
+		t.Fatalf("hubs not isolated: chunks = %+v", chunks[:2])
 	}
 }
 

@@ -28,7 +28,16 @@ func countPTBas(g *graph.Graph, spec Spec, opt Options, gd *guard) (*Result, err
 
 	maxAnchors := len(anchorIdx)
 	gd.setFocalTotal(len(matches))
-	parallelMerge(gd, opt.workers(), len(matches), res.Counts, func(w int, counts []int64, mi int) {
+	// Match cost for the work-stealing schedule: one BFS per anchor,
+	// each seeded by the anchor image's degree.
+	matchCost := func(mi int) int64 {
+		c := int64(0)
+		for _, idx := range anchorIdx {
+			c += 1 + int64(g.Degree(matches[mi][idx]))
+		}
+		return c
+	}
+	parallelMergeCost(gd, opt.workers(), len(matches), matchCost, res.Counts, func(w int, counts []int64, mi int) {
 		m := matches[mi]
 		anchors := matchAnchors(spec, anchorIdx, m)
 		// One BFS per anchor; may re-traverse shared edges — that is the

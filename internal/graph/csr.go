@@ -1,5 +1,7 @@
 package graph
 
+import "sync/atomic"
+
 // csr is a compressed-sparse-row mirror of the adjacency lists: one flat
 // offsets array and one flat targets array per direction, built once per
 // graph topology and invalidated by mutation (AddNode/AddEdge). The flat
@@ -31,6 +33,11 @@ type csr struct {
 	// Nodes >= baseN absent from over have no incident edges.
 	baseN int
 	over  map[NodeID]csrRow
+
+	// hubs caches neighbor bitmaps for high-degree nodes (hubbits.go).
+	// Tied to this csr instance, so a snapshot publish or mutation that
+	// replaces the view discards the cache with it.
+	hubs atomic.Pointer[hubCache]
 }
 
 // csrRow is one node's overlaid adjacency, mirroring the three flat views.

@@ -1,0 +1,98 @@
+package graph
+
+import (
+	"testing"
+
+	"egocensus/internal/bitset"
+)
+
+func TestHubBitmapContents(t *testing.T) {
+	g := New(false)
+	const n = 300
+	for i := 0; i < n; i++ {
+		g.AddNode()
+	}
+	// Node 0 is a hub: adjacent to every odd node. Everything else stays
+	// below the threshold.
+	for i := 1; i < n; i += 2 {
+		g.AddEdge(0, NodeID(i))
+	}
+	g.BuildHubBitmaps()
+	if g.HubCount() != 1 {
+		t.Fatalf("HubCount = %d, want 1", g.HubCount())
+	}
+	bm := g.HubBitmap(0)
+	if bm == nil {
+		t.Fatal("HubBitmap(0) = nil for hub")
+	}
+	for i := 1; i < n; i++ {
+		want := i%2 == 1
+		if got := bitset.TestBit(bm, i); got != want {
+			t.Fatalf("hub bitmap bit %d = %v, want %v", i, got, want)
+		}
+	}
+	if g.HubBitmap(1) != nil {
+		t.Fatal("low-degree node has a bitmap")
+	}
+}
+
+func TestHubBitmapInvalidatedByMutation(t *testing.T) {
+	g := New(false)
+	const n = 200
+	for i := 0; i < n; i++ {
+		g.AddNode()
+	}
+	for i := 1; i < n; i++ {
+		g.AddEdge(0, NodeID(i))
+	}
+	bm := g.HubBitmap(0)
+	if bm == nil {
+		t.Fatal("no hub bitmap before mutation")
+	}
+	// Adding a node grows the universe; the rebuilt cache must reflect it.
+	id := g.AddNode()
+	g.AddEdge(0, id)
+	bm2 := g.HubBitmap(0)
+	if bm2 == nil {
+		t.Fatal("no hub bitmap after mutation")
+	}
+	if !bitset.TestBit(bm2, int(id)) {
+		t.Fatal("rebuilt bitmap missing new neighbor")
+	}
+}
+
+func TestHubBitmapDirectedDisabled(t *testing.T) {
+	g := New(true)
+	for i := 0; i < 100; i++ {
+		g.AddNode()
+	}
+	for i := 1; i < 100; i++ {
+		g.AddEdge(0, NodeID(i))
+	}
+	g.BuildHubBitmaps()
+	if g.HubBitmap(0) != nil {
+		t.Fatal("directed graph returned a hub bitmap")
+	}
+	if g.HubCount() != 0 {
+		t.Fatal("directed graph reported hubs")
+	}
+}
+
+func TestHubBitmapParallelEdgesCollapse(t *testing.T) {
+	g := New(false)
+	const n = 100
+	for i := 0; i < n; i++ {
+		g.AddNode()
+	}
+	for i := 1; i < n; i++ {
+		g.AddEdge(0, NodeID(i))
+		g.AddEdge(0, NodeID(i)) // parallel
+	}
+	bm := g.HubBitmap(0)
+	if bm == nil {
+		t.Fatal("no hub bitmap")
+	}
+	if got := bitset.CountWords(bm); got != n-1 {
+		t.Fatalf("bitmap popcount = %d, want %d (parallel edges must collapse)", got, n-1)
+	}
+}

@@ -1,8 +1,10 @@
 package match
 
 import (
+	"bytes"
 	"sync"
 
+	"egocensus/internal/bitset"
 	"egocensus/internal/graph"
 	"egocensus/internal/pattern"
 )
@@ -12,13 +14,18 @@ import (
 // neighbor sets, simultaneous pruning of both, and match extraction that
 // joins candidate neighbor sets instead of scanning candidate sets.
 //
-// The implementation runs on flat, pooled data structures: candidate
-// membership and candidate positions live in epoch-stamped dense arrays
-// (no per-run maps), candidate neighbor sets are carved from per-pattern-
-// node arenas, and neighbor iteration uses the graph's CSR view. CN also
-// implements MaskedMatcher, enumerating embeddings restricted to a node
-// subset in place — the node-driven baseline census matches inside k-hop
-// neighborhoods without extracting subgraphs.
+// The implementation runs on a reusable runner: candidate membership and
+// positions live in epoch-stamped dense planes, candidate lists and
+// candidate neighbor sets are carved from grow-only per-plane arenas, and
+// pattern-derived structures (direction requirements, compiled label
+// profiles, search order, back edges) are compiled once per (graph,
+// pattern) pair and cached. Candidate-neighbor construction for
+// high-degree nodes runs on the bitset kernels: the node's cached hub
+// bitmap is ANDed against a per-pattern-node candidate bitmap, replacing
+// one membership probe per adjacency entry with one word-AND per 64
+// nodes. CN implements MaskedMatcher (enumeration restricted to a node
+// subset, in place on the parent graph) and MaskedCounter (distinct-match
+// counting with no per-call heap allocation in steady state).
 type CN struct {
 	// Stop, when non-nil, is polled (epoch-counted) during candidate
 	// construction, pruning, and extraction; once it returns true the run
@@ -35,96 +42,6 @@ func (c CN) WithStop(stop func() bool) Matcher {
 	return c
 }
 
-// cnScratch is the pooled flat working memory of one matching run. The
-// member/pos planes are indexed [v*numNodes + node]; epoch stamping makes
-// per-run reset O(1).
-type cnScratch struct {
-	member []int32 // member[v*n+node] == epoch ⇒ node ∈ C(v) and live
-	pos    []int32 // index of node within cand[v], valid when member stamped
-	outDir []int32 // current candidate's out-neighbor marks (dirEpoch)
-	inDir  []int32 // current candidate's in-neighbor marks (directed only)
-	nbrBuf []graph.NodeID
-	epoch  int32
-	dirEp  int32
-}
-
-var cnScratchPool = sync.Pool{New: func() any { return new(cnScratch) }}
-
-func acquireCNScratch(planes, n int) *cnScratch {
-	sc := cnScratchPool.Get().(*cnScratch)
-	if len(sc.member) < planes*n {
-		sc.member = make([]int32, planes*n)
-		sc.pos = make([]int32, planes*n)
-		sc.epoch = 0
-	}
-	if len(sc.outDir) < n {
-		sc.outDir = make([]int32, n)
-		sc.inDir = make([]int32, n)
-		sc.dirEp = 0
-	}
-	sc.epoch++
-	if sc.epoch <= 0 { // wraparound: clear and restart
-		for i := range sc.member {
-			sc.member[i] = 0
-		}
-		sc.epoch = 1
-	}
-	return sc
-}
-
-func (sc *cnScratch) release() { cnScratchPool.Put(sc) }
-
-// cnState holds the candidate structures for one matching run.
-type cnState struct {
-	g  *graph.Graph
-	p  *pattern.Pattern
-	n  int // number of graph nodes
-	sc *cnScratch
-
-	cand [][]graph.NodeID   // C(v) in enumeration order (dead entries skipped via member)
-	reqs [][]edgeReq        // direction requirements per (v, j)
-	cn   [][][]graph.NodeID // cn[v][pos*deg(v)+j] = CN(n, v, v_j)
-
-	stop  func() bool // optional cancellation poll (see CN.Stop)
-	ticks uint32      // epoch counter for halted
-	halt  bool        // latched once stop() returned true
-}
-
-// cnCheckEvery is the epoch length of the cancellation poll: one stop()
-// call per this many halted() probes keeps the hot loops branch-cheap.
-const cnCheckEvery = 4096
-
-// halted reports whether the run must wind down, polling stop once per
-// epoch and latching the result so subsequent probes are a field read.
-func (st *cnState) halted() bool {
-	if st.halt {
-		return true
-	}
-	if st.stop == nil {
-		return false
-	}
-	st.ticks++
-	if st.ticks%cnCheckEvery != 0 {
-		return false
-	}
-	if st.stop() {
-		st.halt = true
-	}
-	return st.halt
-}
-
-func (st *cnState) live(v int, n graph.NodeID) bool {
-	return st.sc.member[v*st.n+int(n)] == st.sc.epoch
-}
-
-func (st *cnState) kill(v int, n graph.NodeID) {
-	st.sc.member[v*st.n+int(n)] = 0
-}
-
-func (st *cnState) posOf(v int, n graph.NodeID) int32 {
-	return st.sc.pos[v*st.n+int(n)]
-}
-
 // Embeddings implements Matcher.
 func (c CN) Embeddings(g *graph.Graph, p *pattern.Pattern) []pattern.Match {
 	return c.EmbeddingsWithin(g, p, nil)
@@ -137,31 +54,409 @@ func (c CN) Embeddings(g *graph.Graph, p *pattern.Pattern) []pattern.Match {
 // nodes, masked matching is equivalent to extracting the subgraph and
 // matching inside it — minus the extraction.
 func (c CN) EmbeddingsWithin(g *graph.Graph, p *pattern.Pattern, within NodeSet) []pattern.Match {
-	if p.NumNodes() == 0 {
-		return nil
-	}
-	st := &cnState{g: g, p: p, n: g.NumNodes(), reqs: pairRequirements(p), stop: c.Stop}
-	st.sc = acquireCNScratch(p.NumNodes(), st.n)
-	defer st.sc.release()
+	r := runnerPool.Get().(*cnRunner)
+	r.stop = c.Stop
+	var out []pattern.Match
+	r.run(g, p, within, func(m pattern.Match) {
+		cp := make(pattern.Match, len(m))
+		copy(cp, m)
+		out = append(out, cp)
+	})
+	r.stop = nil
+	runnerPool.Put(r)
+	return out
+}
 
-	// Step 1: enumerate candidates and stamp membership/positions.
-	st.cand = enumerateCandidatesWithin(g, p, within)
-	for v, list := range st.cand {
-		base := v * st.n
-		for i, n := range list {
-			st.sc.member[base+int(n)] = st.sc.epoch
-			st.sc.pos[base+int(n)] = int32(i)
+// NewCountRun implements MaskedCounter. The returned run owns a private
+// runner — it is reusable but not safe for concurrent use; the census
+// drivers hold one per worker.
+func (c CN) NewCountRun() CountRun {
+	cr := &cnCountRun{r: new(cnRunner), stop: c.Stop}
+	cr.emitFn = cr.onMatch
+	return cr
+}
+
+// cnCountRun counts distinct matches through a persistent runner and an
+// open-addressed key set over an AppendKey byte arena, replacing the
+// map[string]struct{} (and its per-key string allocations) of
+// CountDistinct on the census hot path.
+type cnCountRun struct {
+	r        *cnRunner
+	stop     func() bool
+	emitFn   func(pattern.Match)
+	p        *pattern.Pattern
+	subNodes []int
+	embs     int
+}
+
+func (cr *cnCountRun) onMatch(m pattern.Match) {
+	cr.embs++
+	r := cr.r
+	r.keyBuf = cr.p.AppendKey(r.keyBuf[:0], m, cr.subNodes)
+	r.ks.insert(r.keyBuf)
+}
+
+// CountWithin implements CountRun.
+func (cr *cnCountRun) CountWithin(g *graph.Graph, p *pattern.Pattern, within NodeSet, subNodes []int) (distinct, embeddings int) {
+	r := cr.r
+	r.stop = cr.stop
+	cr.p, cr.subNodes, cr.embs = p, subNodes, 0
+	r.ks.reset()
+	r.run(g, p, within, cr.emitFn)
+	return r.ks.count, cr.embs
+}
+
+var runnerPool = sync.Pool{New: func() any { return new(cnRunner) }}
+
+// cnCheckEvery is the epoch length of the cancellation poll: one stop()
+// call per this many halted() probes keeps the hot loops branch-cheap.
+const cnCheckEvery = 4096
+
+// backEdge points from a pattern node in the search order back to an
+// already-assigned positive neighbor u; j is the index of the current
+// node within u's PositiveNeighbors list.
+type backEdge struct{ u, j int32 }
+
+// labelReq is one entry of a compiled neighborhood profile: the candidate
+// must have at least count neighbors carrying label.
+type labelReq struct {
+	label graph.LabelID
+	count int32
+}
+
+// compiledProfile is buildPatternProfile flattened for the hot path: the
+// node's own label constraint plus per-label neighbor requirements as a
+// scan-friendly slice instead of a map.
+type compiledProfile struct {
+	label      graph.LabelID
+	hasLabel   bool
+	impossible bool // a required label does not occur in the graph at all
+	perLabel   []labelReq
+	degree     int
+}
+
+func (cp *compiledProfile) matches(g *graph.Graph, n graph.NodeID) bool {
+	if g.Degree(n) < cp.degree {
+		return false
+	}
+	np := g.NodeProfile(n)
+	for _, lr := range cp.perLabel {
+		if int(lr.label) >= len(np) || np[lr.label] < lr.count {
+			return false
 		}
 	}
+	return true
+}
 
-	// Step 2: initialize candidate neighbor sets.
-	st.initCandidateNeighbors()
+// compiledPattern caches every pattern-derived structure a matching run
+// needs, so repeated runs over the same (graph, pattern) pair — one per
+// focal node in a census — recompute nothing. labelsSize guards against
+// a mutable graph growing its label dictionary between runs.
+type compiledPattern struct {
+	g          *graph.Graph
+	p          *pattern.Pattern
+	labelsSize int
+	reqs       [][]edgeReq
+	profiles   []compiledProfile
+	deg        []int32 // len(PositiveNeighbors(v))
+	order      []int
+	earlier    [][]backEdge
+}
 
-	// Step 3: simultaneously prune candidates and candidate neighbors.
-	st.prune()
+func compilePattern(g *graph.Graph, p *pattern.Pattern) *compiledPattern {
+	n := p.NumNodes()
+	pc := &compiledPattern{
+		g: g, p: p, labelsSize: g.Labels().Size(),
+		reqs:     pairRequirements(p),
+		profiles: make([]compiledProfile, n),
+		deg:      make([]int32, n),
+	}
+	for v := 0; v < n; v++ {
+		prof := compiledProfile{}
+		if l := p.Node(v).Label; l != "" {
+			prof.hasLabel = true
+			if id, ok := g.Labels().Lookup(l); ok {
+				prof.label = id
+			} else {
+				prof.impossible = true
+			}
+		}
+		for _, u := range p.PositiveNeighbors(v) {
+			prof.degree++
+			if l := p.Node(u).Label; l != "" {
+				id, ok := g.Labels().Lookup(l)
+				if !ok {
+					prof.impossible = true
+					continue
+				}
+				found := false
+				for i := range prof.perLabel {
+					if prof.perLabel[i].label == id {
+						prof.perLabel[i].count++
+						found = true
+						break
+					}
+				}
+				if !found {
+					prof.perLabel = append(prof.perLabel, labelReq{id, 1})
+				}
+			}
+		}
+		pc.profiles[v] = prof
+		pc.deg[v] = int32(len(p.PositiveNeighbors(v)))
+	}
+	pc.order = p.SearchOrder()
+	posInOrder := make([]int, n)
+	for i, v := range pc.order {
+		posInOrder[v] = i
+	}
+	pc.earlier = make([][]backEdge, n)
+	for i := 1; i < n; i++ {
+		v := pc.order[i]
+		for _, u := range p.PositiveNeighbors(v) {
+			if posInOrder[u] >= i {
+				continue
+			}
+			for j, w := range p.PositiveNeighbors(u) {
+				if w == v {
+					pc.earlier[i] = append(pc.earlier[i], backEdge{int32(u), int32(j)})
+					break
+				}
+			}
+		}
+	}
+	return pc
+}
 
-	// Step 4: extract matches by joining candidate neighbor sets.
-	return st.extract()
+// cnRunner is the reusable working state of CN matching runs. All buffers
+// are grow-only: after the first run over a given graph/pattern size the
+// steady state allocates nothing. A runner serves one goroutine at a
+// time.
+type cnRunner struct {
+	stop  func() bool
+	ticks uint32
+	halt  bool
+
+	g  *graph.Graph
+	p  *pattern.Pattern
+	pc *compiledPattern
+	n  int // graph nodes
+
+	pats []*compiledPattern // small MRU cache of compiled patterns
+
+	// Epoch-stamped planes indexed [v*n + node].
+	member []int32 // member[v*n+node] == epoch ⇒ node ∈ C(v) and live
+	pos    []int32 // index of node within cand[v], valid when member stamped
+	epoch  int32
+
+	// Direction marks for the current candidate (scalar path).
+	outDir []int32
+	inDir  []int32
+	dirEp  int32
+	nbrBuf []graph.NodeID
+
+	cand     [][]graph.NodeID   // per-plane candidate lists (reused buffers)
+	cnArenas [][]graph.NodeID   // per-plane CN entry arenas
+	cnSets   [][][]graph.NodeID // cnSets[v][ci*deg+j] = CN(n, v, v_j)
+	candBits [][]uint64         // per-plane candidate bitmaps (hub kernel)
+	bitsUsed []bool             // which candBits planes are live this run
+
+	assignment pattern.Match
+	used       []graph.NodeID
+	emit       func(pattern.Match)
+
+	keyBuf []byte
+	ks     keyset
+}
+
+// halted reports whether the run must wind down, polling stop once per
+// epoch and latching the result so subsequent probes are a field read.
+func (r *cnRunner) halted() bool {
+	if r.halt {
+		return true
+	}
+	if r.stop == nil {
+		return false
+	}
+	r.ticks++
+	if r.ticks%cnCheckEvery != 0 {
+		return false
+	}
+	if r.stop() {
+		r.halt = true
+	}
+	return r.halt
+}
+
+func (r *cnRunner) live(v int, n graph.NodeID) bool {
+	return r.member[v*r.n+int(n)] == r.epoch
+}
+
+func (r *cnRunner) kill(v int, n graph.NodeID) {
+	r.member[v*r.n+int(n)] = 0
+}
+
+func (r *cnRunner) posOf(v int, n graph.NodeID) int32 {
+	return r.pos[v*r.n+int(n)]
+}
+
+// compiled returns the cached compiled form of (g, p), compiling on first
+// sight. The cache is a small MRU list: a census touches a handful of
+// patterns against one graph.
+func (r *cnRunner) compiled(g *graph.Graph, p *pattern.Pattern) *compiledPattern {
+	ls := g.Labels().Size()
+	for _, pc := range r.pats {
+		if pc.g == g && pc.p == p && pc.labelsSize == ls {
+			return pc
+		}
+	}
+	pc := compilePattern(g, p)
+	if len(r.pats) >= 8 {
+		copy(r.pats, r.pats[1:])
+		r.pats = r.pats[:len(r.pats)-1]
+	}
+	r.pats = append(r.pats, pc)
+	return pc
+}
+
+// begin sizes the planes and per-plane buffers for a run and opens a new
+// epoch.
+func (r *cnRunner) begin(g *graph.Graph, p *pattern.Pattern, pc *compiledPattern) {
+	r.g, r.p, r.pc = g, p, pc
+	r.n = g.NumNodes()
+	r.halt = false
+	planes := p.NumNodes()
+	if need := planes * r.n; len(r.member) < need {
+		r.member = make([]int32, need)
+		r.pos = make([]int32, need)
+		r.epoch = 0
+	}
+	if len(r.outDir) < r.n {
+		r.outDir = make([]int32, r.n)
+		r.inDir = make([]int32, r.n)
+		r.dirEp = 0
+	}
+	r.epoch++
+	if r.epoch <= 0 { // wraparound: clear and restart
+		for i := range r.member {
+			r.member[i] = 0
+		}
+		r.epoch = 1
+	}
+	for len(r.cand) < planes {
+		r.cand = append(r.cand, nil)
+		r.cnArenas = append(r.cnArenas, nil)
+		r.cnSets = append(r.cnSets, nil)
+		r.candBits = append(r.candBits, nil)
+		r.bitsUsed = append(r.bitsUsed, false)
+	}
+	for v := 0; v < planes; v++ {
+		r.cand[v] = r.cand[v][:0]
+		r.bitsUsed[v] = false
+	}
+	if cap(r.assignment) < planes {
+		r.assignment = make(pattern.Match, planes)
+	}
+	r.assignment = r.assignment[:planes]
+	r.used = r.used[:0]
+}
+
+// run executes one full matching run, calling emit for every embedding
+// that passes EvalAll. The emitted Match is the runner's reused
+// assignment buffer — callers must copy if they retain it.
+func (r *cnRunner) run(g *graph.Graph, p *pattern.Pattern, within NodeSet, emit func(pattern.Match)) {
+	if p == nil || p.NumNodes() == 0 {
+		return
+	}
+	pc := r.compiled(g, p)
+	r.begin(g, p, pc)
+	r.emit = emit
+	defer func() {
+		r.emit = nil
+		r.cleanupBits()
+	}()
+	r.enumerate(within)
+	r.initCandidateNeighbors()
+	r.prune()
+	r.extract()
+}
+
+// enumerate performs step 1 of Algorithm 1 with compiled profiles:
+// candidates come from within's members (or the whole node range) and
+// membership/position planes are stamped.
+func (r *cnRunner) enumerate(within NodeSet) {
+	g := r.g
+	planes := r.p.NumNodes()
+	var members []graph.NodeID
+	if within != nil {
+		members = within.Members()
+	}
+	for v := 0; v < planes; v++ {
+		prof := &r.pc.profiles[v]
+		if prof.impossible {
+			continue
+		}
+		out := r.cand[v]
+		if within != nil {
+			for _, n := range members {
+				if prof.hasLabel && g.Label(n) != prof.label {
+					continue
+				}
+				if prof.matches(g, n) {
+					out = append(out, n)
+				}
+			}
+		} else {
+			for i := 0; i < r.n; i++ {
+				n := graph.NodeID(i)
+				if prof.hasLabel && g.Label(n) != prof.label {
+					continue
+				}
+				if prof.matches(g, n) {
+					out = append(out, n)
+				}
+			}
+		}
+		r.cand[v] = out
+		base := v * r.n
+		for i, n := range out {
+			r.member[base+int(n)] = r.epoch
+			r.pos[base+int(n)] = int32(i)
+		}
+	}
+}
+
+// candBitsFor returns plane u's candidate bitmap, building it on first
+// use in this run. Planes are kept all-zero between runs (cleanupBits),
+// so building is pure bit-setting over the candidate list.
+func (r *cnRunner) candBitsFor(u int) []uint64 {
+	cb := r.candBits[u]
+	if w := bitset.Words(r.n); len(cb) < w {
+		cb = make([]uint64, w)
+		r.candBits[u] = cb
+	}
+	if !r.bitsUsed[u] {
+		r.bitsUsed[u] = true
+		for _, n := range r.cand[u] {
+			bitset.SetBit(cb, int(n))
+		}
+	}
+	return cb
+}
+
+// cleanupBits restores the all-zero invariant of candidate bitmaps by
+// clearing exactly the bits this run set.
+func (r *cnRunner) cleanupBits() {
+	for u := range r.bitsUsed {
+		if !r.bitsUsed[u] {
+			continue
+		}
+		cb := r.candBits[u]
+		for _, n := range r.cand[u] {
+			bitset.ClearBit(cb, int(n))
+		}
+		r.bitsUsed[u] = false
+	}
 }
 
 // candNeighbors returns the distinct-neighbor iteration list of n: the CSR
@@ -169,105 +464,159 @@ func (c CN) EmbeddingsWithin(g *graph.Graph, p *pattern.Pattern, within NodeSet)
 // adjacency representation), or the deduplicated out∪in union for directed
 // graphs, built in the scratch buffer. Must be consumed before the next
 // candNeighbors call.
-func (st *cnState) candNeighbors(n graph.NodeID) []graph.NodeID {
-	if !st.g.Directed() {
-		return st.g.OutNeighbors(n)
+func (r *cnRunner) candNeighbors(n graph.NodeID) []graph.NodeID {
+	if !r.g.Directed() {
+		return r.g.OutNeighbors(n)
 	}
-	sc := st.sc
-	buf := sc.nbrBuf[:0]
+	buf := r.nbrBuf[:0]
 	// outDir doubles as the dedup mark here; it is re-stamped below.
-	sc.dirEp++
-	for _, nb := range st.g.OutNeighbors(n) {
-		if sc.outDir[nb] != sc.dirEp {
-			sc.outDir[nb] = sc.dirEp
+	r.dirEp++
+	for _, nb := range r.g.OutNeighbors(n) {
+		if r.outDir[nb] != r.dirEp {
+			r.outDir[nb] = r.dirEp
 			buf = append(buf, nb)
 		}
 	}
-	for _, nb := range st.g.InNeighbors(n) {
-		if sc.outDir[nb] != sc.dirEp {
-			sc.outDir[nb] = sc.dirEp
+	for _, nb := range r.g.InNeighbors(n) {
+		if r.outDir[nb] != r.dirEp {
+			r.outDir[nb] = r.dirEp
 			buf = append(buf, nb)
 		}
 	}
-	sc.nbrBuf = buf
+	r.nbrBuf = buf
 	return buf
 }
 
 // markDirections stamps n's out- and in-neighbor sets so edge-direction
 // requirements test in O(1).
-func (st *cnState) markDirections(n graph.NodeID) {
-	sc := st.sc
-	sc.dirEp++
-	for _, nb := range st.g.OutNeighbors(n) {
-		sc.outDir[nb] = sc.dirEp
+func (r *cnRunner) markDirections(n graph.NodeID) {
+	r.dirEp++
+	for _, nb := range r.g.OutNeighbors(n) {
+		r.outDir[nb] = r.dirEp
 	}
-	if st.g.Directed() {
-		for _, nb := range st.g.InNeighbors(n) {
-			sc.inDir[nb] = sc.dirEp
+	if r.g.Directed() {
+		for _, nb := range r.g.InNeighbors(n) {
+			r.inDir[nb] = r.dirEp
 		}
 	}
 }
 
-// reqOK tests requirement r for neighbor nb of the currently marked
+// reqOK tests requirement req for neighbor nb of the currently marked
 // candidate.
-func (st *cnState) reqOK(r edgeReq, nb graph.NodeID) bool {
-	sc := st.sc
-	hasOut := sc.outDir[nb] == sc.dirEp
+func (r *cnRunner) reqOK(req edgeReq, nb graph.NodeID) bool {
+	hasOut := r.outDir[nb] == r.dirEp
 	hasIn := hasOut
-	if st.g.Directed() {
-		hasIn = sc.inDir[nb] == sc.dirEp
+	if r.g.Directed() {
+		hasIn = r.inDir[nb] == r.dirEp
 	}
-	if r.needOut && !hasOut {
+	if req.needOut && !hasOut {
 		return false
 	}
-	if r.needIn && !hasIn {
+	if req.needIn && !hasIn {
 		return false
 	}
-	if r.needAny && !hasOut && !hasIn {
+	if req.needAny && !hasOut && !hasIn {
 		return false
 	}
 	return true
 }
 
-func (st *cnState) initCandidateNeighbors() {
-	p := st.p
-	st.cn = make([][][]graph.NodeID, p.NumNodes())
-	for v := 0; v < p.NumNodes(); v++ {
+// initCandidateNeighbors builds CN(n, v, v_j) for every candidate. Two
+// kernels: hub candidates on undirected graphs AND their cached neighbor
+// bitmap against the candidate bitmap of the pattern neighbor (every
+// direction requirement is trivially satisfied there, since any incident
+// neighbor has the edge in both orientations); everything else walks the
+// adjacency list with epoch-stamped membership probes. The hub kernel
+// collapses parallel edges into one entry; the census deduplicates
+// matches by subgraph key, so counts are unaffected.
+func (r *cnRunner) initCandidateNeighbors() {
+	g, p := r.g, r.p
+	planes := p.NumNodes()
+	hubRows := g.HubRows() // nil for directed graphs
+	for v := 0; v < planes; v++ {
 		nbrs := p.PositiveNeighbors(v)
 		deg := len(nbrs)
-		sets := make([][]graph.NodeID, len(st.cand[v])*deg)
-		st.cn[v] = sets
-		if deg == 0 {
+		nSets := len(r.cand[v]) * deg
+		sets := r.cnSets[v]
+		if cap(sets) < nSets {
+			sets = make([][]graph.NodeID, nSets)
+		} else {
+			sets = sets[:nSets]
+		}
+		r.cnSets[v] = sets
+		if deg == 0 || nSets == 0 {
 			continue
 		}
-		// Arena sized by an upper bound on total CN entries; if an append
-		// ever grows past it, earlier sets keep their old backing — safe,
-		// merely unshared.
+		// Arena sized by an upper bound on total CN entries; the hub
+		// kernel only ever produces fewer (deduplicated) entries, so the
+		// bound holds for both paths and sets never move once carved.
 		bound := 0
-		for _, n := range st.cand[v] {
-			bound += st.g.Degree(n) * deg
+		for _, n := range r.cand[v] {
+			bound += g.Degree(n) * deg
 		}
-		arena := make([]graph.NodeID, 0, bound)
-		for ci, n := range st.cand[v] {
-			if st.halted() {
+		arena := r.cnArenas[v]
+		if cap(arena) < bound {
+			arena = make([]graph.NodeID, 0, bound)
+		} else {
+			arena = arena[:0]
+		}
+		for ci, n := range r.cand[v] {
+			if r.halted() {
+				r.cnArenas[v] = arena
 				return
+			}
+			var hub []uint64
+			if hubRows != nil && int(n) < len(hubRows) {
+				hub = hubRows[n]
+			}
+			if hub != nil {
+				selfLoop := bitset.TestBit(hub, int(n))
+				for j, u := range nbrs {
+					cb := r.candBitsFor(u)
+					start := len(arena)
+					if selfLoop && bitset.TestBit(cb, int(n)) {
+						bitset.ClearBit(cb, int(n))
+						arena = bitset.AppendAnd(arena, hub, cb)
+						bitset.SetBit(cb, int(n))
+					} else {
+						arena = bitset.AppendAnd(arena, hub, cb)
+					}
+					sets[ci*deg+j] = arena[start:len(arena):len(arena)]
+				}
+				continue
 			}
 			// The neighbor list must be captured per candidate because the
 			// directed variant shares the scratch buffer.
-			neighbors := st.candNeighbors(n)
-			st.markDirections(n)
+			neighbors := r.candNeighbors(n)
+			if !g.Directed() {
+				// Every neighbor carries the edge in both orientations, so
+				// any direction requirement holds and the direction stamps
+				// are dead weight: probe the membership plane only.
+				for j, u := range nbrs {
+					mem := r.member[u*r.n : (u+1)*r.n]
+					start := len(arena)
+					for _, nb := range neighbors {
+						if nb != n && mem[nb] == r.epoch {
+							arena = append(arena, nb)
+						}
+					}
+					sets[ci*deg+j] = arena[start:len(arena):len(arena)]
+				}
+				continue
+			}
+			r.markDirections(n)
 			for j, u := range nbrs {
-				req := st.reqs[v][j]
-				ubase := u * st.n
+				req := r.pc.reqs[v][j]
+				ubase := u * r.n
 				start := len(arena)
 				for _, nb := range neighbors {
 					if nb == n {
 						continue
 					}
-					if st.sc.member[ubase+int(nb)] != st.sc.epoch {
+					if r.member[ubase+int(nb)] != r.epoch {
 						continue
 					}
-					if !st.reqOK(req, nb) {
+					if !r.reqOK(req, nb) {
 						continue
 					}
 					arena = append(arena, nb)
@@ -275,184 +624,158 @@ func (st *cnState) initCandidateNeighbors() {
 				sets[ci*deg+j] = arena[start:len(arena):len(arena)]
 			}
 		}
+		r.cnArenas[v] = arena
 	}
 }
 
 // prune alternates the two pruning rules of Section III-C until fixpoint:
 // drop candidates with an empty candidate neighbor set, and drop candidate
-// neighbors that are no longer candidates themselves.
-func (st *cnState) prune() {
-	p := st.p
-	for changed := true; changed && !st.halted(); {
-		changed = false
+// neighbors that are no longer candidates themselves. Rule 2 entries only
+// die when rule 1 killed a candidate, so the (common) round where rule 1
+// finds nothing is already the fixpoint and skips the rule-2 sweep — the
+// sweep touches every CN entry and dominates the cost of pruning.
+func (r *cnRunner) prune() {
+	p := r.p
+	for !r.halted() {
 		// Rule 1: every candidate needs a non-empty CN set per pattern
 		// neighbor.
+		killed := false
 		for v := 0; v < p.NumNodes(); v++ {
-			deg := len(p.PositiveNeighbors(v))
-			for ci, n := range st.cand[v] {
-				if st.halted() {
+			deg := int(r.pc.deg[v])
+			for ci, n := range r.cand[v] {
+				if r.halted() {
 					return
 				}
-				if !st.live(v, n) {
+				if !r.live(v, n) {
 					continue
 				}
 				ok := true
 				for j := 0; j < deg; j++ {
-					if len(st.cn[v][ci*deg+j]) == 0 {
+					if len(r.cnSets[v][ci*deg+j]) == 0 {
 						ok = false
 						break
 					}
 				}
 				if !ok {
-					st.kill(v, n)
-					changed = true
+					r.kill(v, n)
+					killed = true
 				}
 			}
 		}
-		// Rule 2: candidate neighbors must still be candidates.
+		if !killed {
+			return
+		}
+		// Rule 2: candidate neighbors must still be candidates. Filtering
+		// cannot re-trigger rule 1 by itself, so no change tracking: the
+		// next rule-1 pass re-examines every set length anyway.
 		for v := 0; v < p.NumNodes(); v++ {
 			nbrs := p.PositiveNeighbors(v)
 			deg := len(nbrs)
-			for ci, n := range st.cand[v] {
-				if st.halted() {
+			for ci, n := range r.cand[v] {
+				if r.halted() {
 					return
 				}
-				if !st.live(v, n) {
+				if !r.live(v, n) {
 					continue
 				}
 				for j := 0; j < deg; j++ {
 					u := nbrs[j]
-					ubase := u * st.n
-					set := st.cn[v][ci*deg+j]
+					ubase := u * r.n
+					set := r.cnSets[v][ci*deg+j]
 					liveSet := set[:0]
 					for _, nb := range set {
-						if st.sc.member[ubase+int(nb)] == st.sc.epoch {
+						if r.member[ubase+int(nb)] == r.epoch {
 							liveSet = append(liveSet, nb)
-						} else {
-							changed = true
 						}
 					}
-					st.cn[v][ci*deg+j] = liveSet
+					r.cnSets[v][ci*deg+j] = liveSet
 				}
 			}
 		}
 	}
+}
+
+// cnSet returns CN(assignment[u], u, u's j-th pattern neighbor).
+func (r *cnRunner) cnSet(b backEdge) []graph.NodeID {
+	u := int(b.u)
+	img := r.assignment[u]
+	deg := int(r.pc.deg[u])
+	return r.cnSets[u][int(r.posOf(u, img))*deg+int(b.j)]
+}
+
+func (r *cnRunner) isUsed(c graph.NodeID) bool {
+	for _, x := range r.used {
+		if x == c {
+			return true
+		}
+	}
+	return false
 }
 
 // extract performs the forward join of Algorithm 1 lines 14-21 as a
 // backtracking search over the connected-prefix order: the possible images
 // of the next pattern node are the intersection of the candidate neighbor
 // sets of the already-assigned neighbors.
-func (st *cnState) extract() []pattern.Match {
-	p := st.p
-	order := p.SearchOrder()
+func (r *cnRunner) extract() { r.extractStep(0) }
+
+func (r *cnRunner) extractStep(i int) {
+	if r.halted() {
+		return
+	}
+	p, pc := r.p, r.pc
 	n := p.NumNodes()
-
-	// posInOrder[v] = position of pattern node v in the order.
-	posInOrder := make([]int, n)
-	for i, v := range order {
-		posInOrder[v] = i
+	if i == n {
+		if p.EvalAll(r.g, r.assignment) {
+			r.emit(r.assignment)
+		}
+		return
 	}
-	// earlier[i] = for order[i], the list of (assigned pattern node u,
-	// index j of order[i] in u's PositiveNeighbors list).
-	type backEdge struct{ u, j int }
-	earlier := make([][]backEdge, n)
-	for i := 1; i < n; i++ {
-		v := order[i]
-		for _, u := range p.PositiveNeighbors(v) {
-			if posInOrder[u] < i {
-				// find index of v within u's neighbor list
-				for j, w := range p.PositiveNeighbors(u) {
-					if w == v {
-						earlier[i] = append(earlier[i], backEdge{u, j})
-						break
-					}
-				}
-			}
-		}
-	}
-
-	assignment := make(pattern.Match, n)
-	used := make([]graph.NodeID, 0, n)
-	isUsed := func(c graph.NodeID) bool {
-		for _, x := range used {
-			if x == c {
-				return true
-			}
-		}
-		return false
-	}
-	var results []pattern.Match
-
-	// cnSet returns CN(assignment[u], u, u's j-th pattern neighbor).
-	cnSet := func(b backEdge) []graph.NodeID {
-		img := assignment[b.u]
-		deg := len(p.PositiveNeighbors(b.u))
-		return st.cn[b.u][int(st.posOf(b.u, img))*deg+b.j]
-	}
-
-	var recurse func(i int)
-	recurse = func(i int) {
-		if st.halted() {
-			return
-		}
-		if i == n {
-			m := make(pattern.Match, n)
-			copy(m, assignment)
-			if p.EvalAll(st.g, m) {
-				results = append(results, m)
-			}
-			return
-		}
-		v := order[i]
-		if i == 0 {
-			for _, cand := range st.cand[v] {
-				if !st.live(v, cand) {
-					continue
-				}
-				assignment[v] = cand
-				used = append(used, cand)
-				recurse(1)
-				used = used[:len(used)-1]
-			}
-			return
-		}
-		// Intersect the candidate neighbor sets of all earlier neighbors,
-		// seeding from the smallest set.
-		be := earlier[i]
-		smallest := -1
-		size := int(^uint(0) >> 1)
-		for idx, b := range be {
-			if set := cnSet(b); len(set) < size {
-				size = len(set)
-				smallest = idx
-			}
-		}
-		if smallest < 0 {
-			return // disconnected order; Validate prevents this
-		}
-		seed := cnSet(be[smallest])
-	cands:
-		for _, cand := range seed {
-			if isUsed(cand) {
+	v := pc.order[i]
+	if i == 0 {
+		for _, cand := range r.cand[v] {
+			if !r.live(v, cand) {
 				continue
 			}
-			for idx, b := range be {
-				if idx == smallest {
-					continue
-				}
-				if !contains(cnSet(b), cand) {
-					continue cands
-				}
-			}
-			assignment[v] = cand
-			used = append(used, cand)
-			recurse(i + 1)
-			used = used[:len(used)-1]
+			r.assignment[v] = cand
+			r.used = append(r.used, cand)
+			r.extractStep(1)
+			r.used = r.used[:len(r.used)-1]
+		}
+		return
+	}
+	// Intersect the candidate neighbor sets of all earlier neighbors,
+	// seeding from the smallest set.
+	be := pc.earlier[i]
+	smallest := -1
+	size := int(^uint(0) >> 1)
+	for idx := range be {
+		if set := r.cnSet(be[idx]); len(set) < size {
+			size = len(set)
+			smallest = idx
 		}
 	}
-	recurse(0)
-	return results
+	if smallest < 0 {
+		return // disconnected order; Validate prevents this
+	}
+	seed := r.cnSet(be[smallest])
+cands:
+	for _, cand := range seed {
+		if r.isUsed(cand) {
+			continue
+		}
+		for idx := range be {
+			if idx == smallest {
+				continue
+			}
+			if !contains(r.cnSet(be[idx]), cand) {
+				continue cands
+			}
+		}
+		r.assignment[v] = cand
+		r.used = append(r.used, cand)
+		r.extractStep(i + 1)
+		r.used = r.used[:len(r.used)-1]
+	}
 }
 
 func contains(list []graph.NodeID, n graph.NodeID) bool {
@@ -462,4 +785,96 @@ func contains(list []graph.NodeID, n graph.NodeID) bool {
 		}
 	}
 	return false
+}
+
+// keyset is an epoch-stamped open-addressing set of byte keys backed by a
+// single arena — the zero-allocation counterpart of map[string]struct{}
+// for distinct-match counting. Keys are canonical AppendKey encodings;
+// reset is O(1) via epoch bump, and all storage is reused across runs.
+type keyset struct {
+	slotEpoch []int32
+	slotKey   []int32
+	epoch     int32
+	arena     []byte
+	off       []int32 // key i = arena[off[i]:off[i+1]]; len = count+1
+	count     int
+}
+
+func (k *keyset) reset() {
+	k.count = 0
+	k.arena = k.arena[:0]
+	k.off = append(k.off[:0], 0)
+	k.epoch++
+	if k.epoch <= 0 { // wraparound: clear and restart
+		for i := range k.slotEpoch {
+			k.slotEpoch[i] = 0
+		}
+		k.epoch = 1
+	}
+}
+
+func (k *keyset) key(i int32) []byte { return k.arena[k.off[i]:k.off[i+1]] }
+
+func fnv32a(b []byte) uint32 {
+	h := uint32(2166136261)
+	for _, c := range b {
+		h ^= uint32(c)
+		h *= 16777619
+	}
+	return h
+}
+
+// insert adds key to the set, reporting whether it was new. The key bytes
+// are copied into the arena.
+func (k *keyset) insert(key []byte) bool {
+	if len(k.slotEpoch) == 0 {
+		k.slotEpoch = make([]int32, 64)
+		k.slotKey = make([]int32, 64)
+		if k.epoch == 0 {
+			k.epoch = 1
+		}
+		if len(k.off) == 0 {
+			k.off = append(k.off, 0)
+		}
+	}
+	if (k.count+1)*4 > len(k.slotEpoch)*3 {
+		k.grow()
+	}
+	mask := uint32(len(k.slotEpoch) - 1)
+	i := fnv32a(key) & mask
+	for {
+		if k.slotEpoch[i] != k.epoch {
+			k.slotEpoch[i] = k.epoch
+			k.slotKey[i] = int32(k.count)
+			k.arena = append(k.arena, key...)
+			k.off = append(k.off, int32(len(k.arena)))
+			k.count++
+			return true
+		}
+		if bytes.Equal(k.key(k.slotKey[i]), key) {
+			return false
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// grow doubles the slot table and rehashes the live keys.
+func (k *keyset) grow() {
+	old, oldKey := k.slotEpoch, k.slotKey
+	n := len(old) * 2
+	k.slotEpoch = make([]int32, n)
+	k.slotKey = make([]int32, n)
+	mask := uint32(n - 1)
+	for idx, ep := range old {
+		if ep != k.epoch {
+			continue
+		}
+		ki := oldKey[idx]
+		i := fnv32a(k.key(ki)) & mask
+		for k.slotEpoch[i] == k.epoch {
+			i = (i + 1) & mask
+		}
+		k.slotEpoch[i] = k.epoch
+		k.slotKey[i] = ki
+	}
 }

@@ -50,6 +50,30 @@ type MaskedMatcher interface {
 	EmbeddingsWithin(g *graph.Graph, p *pattern.Pattern, within NodeSet) []pattern.Match
 }
 
+// MaskedCounter is a MaskedMatcher that can count distinct matches
+// without materializing the embedding list. The census drivers use it to
+// run the per-focal counting loop with no per-call heap allocation.
+type MaskedCounter interface {
+	MaskedMatcher
+	// NewCountRun returns a reusable counting session. A CountRun serves
+	// one goroutine at a time; census drivers hold one per worker.
+	NewCountRun() CountRun
+}
+
+// CountRun is a reusable distinct-match counting session.
+type CountRun interface {
+	// CountWithin returns the number of distinct matches of p inside
+	// within (nil means the whole graph) under Deduplicate's identity
+	// (subNodes participates for COUNTSP semantics), plus the number of
+	// embeddings enumerated. It is equivalent to
+	//
+	//	embs := m.EmbeddingsWithin(g, p, within)
+	//	return CountDistinct(p, embs, subNodes), len(embs)
+	//
+	// without allocating either list.
+	CountWithin(g *graph.Graph, p *pattern.Pattern, within NodeSet, subNodes []int) (distinct, embeddings int)
+}
+
 // Stoppable is a Matcher whose enumeration can be interrupted from the
 // outside. The census layer injects a cancellation poll so that a context
 // cancel or resource limit reaches into long match enumerations instead of

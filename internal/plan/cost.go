@@ -33,6 +33,15 @@ var PairAlgorithms = []string{NDBas, NDPvot, PTBas, PTRnd, PTOpt}
 // ranking of BENCH_1.json's fig4c sweep (unlabeled triangle census,
 // n=1000 preferential-attachment, k=2): ND-PVOT < PT-BAS < ND-DIFF <<
 // PT-OPT < PT-RND << ND-BAS. A unit is roughly one adjacency-array touch.
+//
+// Re-checked after the bitset/hub-bitmap CN kernels and the zero-alloc
+// counting runs landed: the speedup is close to uniform across drivers
+// (the shared global matching pass and ND-BAS's in-place masked counting
+// both ride the same kernels), so the measured fig4c order is unchanged
+// and the constants still rank correctly. PT-RND and PT-OPT now measure
+// within ~2% of each other on this workload — effectively a tie, in
+// either order — and the model's tiny PT-OPT preference remains a valid
+// tiebreak.
 const (
 	// cMatchEdge is the per-edge cost of a candidate check in CN matching.
 	cMatchEdge = 1.5
