@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race stress bench bench-report bench-planner bench-dynamic bench-parallel vet fmt experiments-unit experiments-small clean
+.PHONY: all build test race stress bench bench-report bench-planner bench-dynamic bench-parallel bench-serve vet fmt experiments-unit experiments-small clean
 
 all: build test
 
@@ -45,6 +45,11 @@ bench-dynamic:
 # acceptance ratios at the 4-worker point).
 bench-parallel:
 	$(GO) run ./cmd/benchreport -suite 6 -o BENCH_6.json
+
+# Serving metrics: prepared-vs-unprepared latency, result-cache hit
+# latency, and HTTP handler QPS at 1/4/8 concurrent clients.
+bench-serve:
+	$(GO) run ./cmd/benchreport -suite 7 -o BENCH_7.json
 
 vet:
 	$(GO) vet ./...

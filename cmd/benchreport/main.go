@@ -16,22 +16,35 @@
 // workers, compared against the BENCH_4 baseline recorded before the
 // bitset kernels and the work-stealing scheduler.
 //
+// Suite 7 covers the serving path: prepared-statement latency against
+// one-shot Execute (the parse+plan cost a warm plan cache removes),
+// result-cache hit latency (no census driver runs at all), and HTTP
+// throughput through the egoserve handler at 1/4/8 concurrent clients.
+//
 // Usage:
 //
 //	benchreport [-o BENCH_1.json] [-ndbas-nodes 1200] [-quick]
 //	benchreport -suite 2 [-o BENCH_2.json]
 //	benchreport -suite 4 [-o BENCH_4.json]
 //	benchreport -suite 6 [-o BENCH_6.json]
+//	benchreport -suite 7 [-o BENCH_7.json]
 package main
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -42,6 +55,7 @@ import (
 	"egocensus/internal/lang"
 	"egocensus/internal/match"
 	"egocensus/internal/pattern"
+	"egocensus/internal/serve"
 	"egocensus/internal/storage"
 )
 
@@ -79,6 +93,51 @@ type Report struct {
 	Dynamic *DynamicReport `json:"dynamic,omitempty"`
 	// Scaling holds the suite-6 worker-scaling metrics.
 	Scaling *ScalingReport `json:"scaling,omitempty"`
+	// Serving holds the suite-7 prepared-query and HTTP serving metrics.
+	Serving *ServingReport `json:"serving,omitempty"`
+}
+
+// ServingReport is the suite-7 artifact: what preparing a statement saves
+// over one-shot execution, what a result-cache hit costs, and the QPS the
+// HTTP handler sustains at increasing client concurrency (result-cache
+// hot path — the steady state of a dashboard refreshing the same query
+// against an unchanged graph version).
+type ServingReport struct {
+	// UnpreparedNsPerOp is Engine.Execute of the query text (parse + plan
+	// + census every call). PreparedNsPerOp is Prepared.ExecuteContext
+	// with the result cache disabled: the plan comes from the warm
+	// epoch-keyed cache, the census still runs. ResultHitNsPerOp is a
+	// result-cache hit: no planning, no census driver.
+	UnpreparedNsPerOp int64 `json:"unprepared_ns_per_op"`
+	PreparedNsPerOp   int64 `json:"prepared_ns_per_op"`
+	ResultHitNsPerOp  int64 `json:"result_cache_hit_ns_per_op"`
+	// PlanCachedObserved / ResultCachedObserved are the ExecStats flags
+	// from the measured executions — the acceptance evidence that the warm
+	// path skipped parse+plan and that the hit path ran no census.
+	PlanCachedObserved   bool `json:"plan_cached_observed"`
+	ResultCachedObserved bool `json:"result_cached_observed"`
+	// PreparedSpeedup = unprepared/prepared; ResultHitSpeedup =
+	// unprepared/result-hit. On a census-dominated query the prepared
+	// speedup approaches 1 (parse+plan is microseconds against a
+	// milliseconds census); the Small pair below repeats the comparison
+	// on a 100-node graph where the fixed parse+plan cost is a visible
+	// fraction of the round trip — the interactive-query regime prepared
+	// statements exist for.
+	PreparedSpeedup        float64 `json:"prepared_speedup"`
+	ResultHitSpeedup       float64 `json:"result_cache_hit_speedup"`
+	UnpreparedSmallNsPerOp int64   `json:"unprepared_small_ns_per_op"`
+	PreparedSmallNsPerOp   int64   `json:"prepared_small_ns_per_op"`
+	PreparedSmallSpeedup   float64 `json:"prepared_small_speedup"`
+	// HTTPQPS is the handler throughput sweep.
+	HTTPQPS []QPSPoint `json:"http_qps"`
+}
+
+// QPSPoint is one concurrency level of the HTTP throughput sweep.
+type QPSPoint struct {
+	Clients  int     `json:"clients"`
+	Requests int     `json:"requests"`
+	Seconds  float64 `json:"seconds"`
+	QPS      float64 `json:"qps"`
 }
 
 // ScalingReport is the suite-6 artifact: the BENCH_4 census workload
@@ -209,7 +268,7 @@ func main() {
 		out        = flag.String("o", "BENCH_1.json", "output JSON path")
 		ndbasNodes = flag.Int("ndbas-nodes", 1200, "graph size for the ND-BAS census workload")
 		quick      = flag.Bool("quick", false, "skip the slower Fig4c per-algorithm sweep")
-		suite      = flag.Int("suite", 1, "workload suite: 1 = kernels, 2 = query planner, 4 = dynamic MVCC core, 6 = worker scaling")
+		suite      = flag.Int("suite", 1, "workload suite: 1 = kernels, 2 = query planner, 4 = dynamic MVCC core, 6 = worker scaling, 7 = prepared queries & HTTP serving")
 	)
 	flag.Parse()
 
@@ -240,6 +299,13 @@ func main() {
 		writeReport(*out, rep)
 		fmt.Fprintf(os.Stderr, "wrote %s (census speedup at 4 workers %.2fx, alloc reduction %.0fx)\n",
 			*out, rep.Scaling.SpeedupAt4Workers, rep.Scaling.AllocReductionAt4Workers)
+		return
+	}
+	if *suite == 7 {
+		servingSuite(rep)
+		writeReport(*out, rep)
+		fmt.Fprintf(os.Stderr, "wrote %s (prepared speedup %.2fx, result-cache hit speedup %.1fx)\n",
+			*out, rep.Serving.PreparedSpeedup, rep.Serving.ResultHitSpeedup)
 		return
 	}
 
@@ -633,6 +699,193 @@ func dynamicSuite(rep *Report) {
 		StreamBatches:          batches,
 		StreamOpsPerBatch:      batchOps,
 	}
+}
+
+// servingSuite measures suite 7. Latency: the same parameterized census
+// query as a one-shot Engine.Execute (parse + plan + census every call),
+// as a prepared execution with the result cache off (plan from the warm
+// epoch-keyed cache, census still runs), and as a result-cache hit
+// (nothing runs). Throughput: the egoserve HTTP handler on the hit path
+// at 1, 4, and 8 concurrent clients over an in-process listener.
+func servingSuite(rep *Report) {
+	// The predicate compares a node attribute, not a label: label-const
+	// predicates are pushed into focal selection at plan time, which a
+	// parameterized query cannot do (the value is unknown when the plan is
+	// compiled), and that would skew the prepared-vs-unprepared numbers.
+	// Attribute predicates evaluate identically on both paths.
+	g := labeledGraph(1000)
+	for i := 0; i < g.NumNodes(); i++ {
+		kind := "even"
+		if i%2 == 1 {
+			kind = "odd"
+		}
+		g.SetNodeAttr(graph.NodeID(i), "kind", kind)
+	}
+	e := core.NewEngine(g)
+	e.Seed = 1
+
+	p, err := e.Prepare(`
+PATTERN tri { ?A-?B; ?B-?C; ?C-?A; }
+SELECT ID, COUNTP(tri, SUBGRAPH(ID, 1)) FROM nodes WHERE kind = $k
+`)
+	if err != nil {
+		fatalErr(err)
+	}
+	params := map[string]string{"k": "even"}
+	const unpSrc = `SELECT ID, COUNTP(tri, SUBGRAPH(ID, 1)) FROM nodes WHERE kind = 'even'`
+
+	unpE := measure("serve/unprepared", 0, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Execute(unpSrc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// Warm the plan cache, then verify the measured paths carry the
+	// acceptance evidence: PlanCached on the census path, ResultCached on
+	// the hit path.
+	noCache := core.ExecOptions{NoResultCache: true}
+	warm, err := p.ExecuteContext(context.Background(), params, noCache)
+	if err != nil {
+		fatalErr(err)
+	}
+	_ = warm
+	probe, err := p.ExecuteContext(context.Background(), params, noCache)
+	if err != nil {
+		fatalErr(err)
+	}
+	planCached := probe.Stats.PlanCached && !probe.Stats.ResultCached
+	prepE := measure("serve/prepared-nocache", 0, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.ExecuteContext(context.Background(), params, noCache); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	if _, err := p.Execute(params); err != nil { // populate the result cache
+		fatalErr(err)
+	}
+	hit, err := p.Execute(params)
+	if err != nil {
+		fatalErr(err)
+	}
+	resultCached := hit.Stats.ResultCached
+	hitE := measure("serve/result-cache-hit", 0, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.Execute(params); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// Small-graph pair: same query shape on 100 nodes, where the census is
+	// tens of microseconds and the fixed parse+plan cost shows up.
+	gs := labeledGraph(100)
+	for i := 0; i < gs.NumNodes(); i++ {
+		kind := "even"
+		if i%2 == 1 {
+			kind = "odd"
+		}
+		gs.SetNodeAttr(graph.NodeID(i), "kind", kind)
+	}
+	es := core.NewEngine(gs)
+	es.Seed = 1
+	ps, err := es.Prepare(`
+PATTERN tri { ?A-?B; ?B-?C; ?C-?A; }
+SELECT ID, COUNTP(tri, SUBGRAPH(ID, 1)) FROM nodes WHERE kind = $k
+`)
+	if err != nil {
+		fatalErr(err)
+	}
+	unpSmallE := measure("serve/unprepared-small", 0, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := es.Execute(unpSrc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	prepSmallE := measure("serve/prepared-small", 0, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := ps.ExecuteContext(context.Background(), params, noCache); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	rep.Entries = append(rep.Entries, unpE, prepE, hitE, unpSmallE, prepSmallE)
+	sv := &ServingReport{
+		UnpreparedNsPerOp:    unpE.NsPerOp,
+		PreparedNsPerOp:      prepE.NsPerOp,
+		ResultHitNsPerOp:     hitE.NsPerOp,
+		PlanCachedObserved:   planCached,
+		ResultCachedObserved: resultCached,
+		PreparedSpeedup:      float64(unpE.NsPerOp) / float64(prepE.NsPerOp),
+		ResultHitSpeedup:     float64(unpE.NsPerOp) / float64(hitE.NsPerOp),
+
+		UnpreparedSmallNsPerOp: unpSmallE.NsPerOp,
+		PreparedSmallNsPerOp:   prepSmallE.NsPerOp,
+		PreparedSmallSpeedup:   float64(unpSmallE.NsPerOp) / float64(prepSmallE.NsPerOp),
+	}
+
+	// HTTP sweep: POST the prepared single-SELECT (tri is already in the
+	// engine catalog) through the real handler stack and count round trips.
+	srv := serve.New(e, serve.Config{MaxInFlight: 8, MaxQueue: 64})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	body, err := json.Marshal(map[string]any{
+		"query":  `SELECT ID, COUNTP(tri, SUBGRAPH(ID, 1)) FROM nodes WHERE kind = $k`,
+		"params": params,
+	})
+	if err != nil {
+		fatalErr(err)
+	}
+	const perClient = 250
+	for _, clients := range []int{1, 4, 8} {
+		var wg sync.WaitGroup
+		var failed atomic.Int64
+		start := time.Now()
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < perClient; i++ {
+					resp, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader(body))
+					if err != nil {
+						failed.Add(1)
+						return
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						failed.Add(1)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		if n := failed.Load(); n > 0 {
+			fatalErr(fmt.Errorf("http sweep at %d clients: %d failed requests", clients, n))
+		}
+		total := clients * perClient
+		pt := QPSPoint{
+			Clients:  clients,
+			Requests: total,
+			Seconds:  elapsed.Seconds(),
+			QPS:      float64(total) / elapsed.Seconds(),
+		}
+		sv.HTTPQPS = append(sv.HTTPQPS, pt)
+		fmt.Fprintf(os.Stderr, "%-32s clients=%-2d %12.0f qps (%d requests in %.2fs)\n",
+			"serve/http-qps", clients, pt.QPS, total, pt.Seconds)
+	}
+	rep.Serving = sv
 }
 
 func fatalErr(err error) {

@@ -20,6 +20,7 @@ package main
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -41,7 +42,7 @@ func main() {
 		workers    = flag.Int("workers", core.DefaultWorkers(), "parallel workers for the counting phase (1 = sequential, <0 = auto; absurd values are clamped)")
 		seed       = flag.Int64("seed", 1, "seed for RND() sampling")
 		limit      = flag.Int("limit", 0, "print at most this many rows per table (0 = all)")
-		format     = flag.String("format", "table", "output format: table or csv")
+		format     = flag.String("format", "table", "output format: table, csv, or json (the same table encoding egoserve returns)")
 		timeout    = flag.Duration("timeout", 0, "per-query evaluation deadline (0 = none); on expiry partial results are printed and the exit status is nonzero")
 		maxMatches = flag.Int("max-matches", 0, "cap on the global match-set size (0 = unlimited); exceeding it prints partial results and exits nonzero")
 		mutlog     = flag.Bool("mutlog", false, "open -graph as a dynamic store: replay its .log mutation sidecar (crash-recovering a torn tail) and query the recovered snapshot")
@@ -91,6 +92,12 @@ func main() {
 	if err != nil {
 		failWith(err, *format, *limit)
 	}
+	if *format == "json" {
+		if err := writeJSON(os.Stdout, tables, *limit); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	for i, t := range tables {
 		if i > 0 {
 			fmt.Println()
@@ -111,6 +118,24 @@ func main() {
 		}
 		fmt.Print(core.FormatTable(t))
 	}
+}
+
+// writeJSON emits every table as a JSON array using the same per-table
+// encoding egoserve's /v1/query responses use, so downstream tooling can
+// consume batch and served results identically.
+func writeJSON(w io.Writer, tables []*core.Table, limit int) error {
+	out := make([]core.TableJSON, 0, len(tables))
+	for _, t := range tables {
+		if limit > 0 && len(t.Rows) > limit {
+			trimmed := *t
+			trimmed.Rows = t.Rows[:limit]
+			t = &trimmed
+		}
+		out = append(out, core.NewTableJSON(t))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 // writeCSV emits one table in RFC-4180 CSV for downstream analysis.
@@ -164,6 +189,10 @@ func failWith(err error, format string, limit int) {
 
 func printPartial(t *core.Table, format string, limit int) {
 	if t == nil || len(t.Rows) == 0 {
+		return
+	}
+	if format == "json" {
+		writeJSON(os.Stdout, []*core.Table{t}, limit)
 		return
 	}
 	fmt.Printf("-- partial results (%d rows before the query stopped)\n", len(t.Rows))

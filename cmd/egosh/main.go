@@ -11,16 +11,21 @@
 // line ends with ';'. Shell commands start with a backslash:
 //
 //	\open <file>          load a graph (binary .egoc opens lazily, text loads)
+//	\save <file>          save the current graph
 //	\gen <nodes> [labels] generate a preferential-attachment graph
 //	\alg <name|auto>      force an algorithm (ND-PVOT, PT-OPT, ...)
+//	\workers <n|auto>     parallel workers for the counting phase
 //	\explain <query>      show the optimized plan without executing
+//	\prepare <name> <q>   compile a parameterized statement once
+//	\execute <name> [k=v] run a prepared statement with $name bindings
 //	\timing               toggle per-stage timing after each query
 //	\ingest <file>        stream a text edge list through the graph writer
 //	\snapshot             show the writer's epoch, overlay, and ingest state
+//	\dot <node> <k> <f>   export an ego subgraph as Graphviz DOT
 //	\stats                print graph statistics
 //	\patterns             list declared patterns
 //	\help                 show this help
-//	\quit                 exit
+//	\quit                 exit (aliases: \q, \exit)
 //
 // \ingest runs in the background: mutations are staged through the MVCC
 // writer and published in batches, so SELECTs keep answering against
@@ -92,6 +97,10 @@ type shell struct {
 	// writer is non-nil once the session graph went live (\ingest): the
 	// engine then pins a fresh snapshot per query while the writer
 	// publishes mutation batches underneath it.
+	// prepared holds \prepare'd statements; adopting a new engine clears
+	// it (compiled statements are bound to the engine they came from).
+	prepared map[string]*core.Prepared
+
 	writer       *graph.Writer
 	ingestActive atomic.Bool
 	ingestFile   string       // set by the REPL goroutine while inactive
@@ -168,6 +177,10 @@ func (sh *shell) adoptEngine(e *core.Engine) {
 	e.Alg = sh.alg
 	e.Opt.Workers = sh.workers
 	sh.engine = e
+	if len(sh.prepared) > 0 {
+		fmt.Fprintf(sh.out, "note: %d prepared statement(s) dropped (graph changed)\n", len(sh.prepared))
+	}
+	sh.prepared = map[string]*core.Prepared{}
 }
 
 func (sh *shell) open(path string) error {
@@ -483,6 +496,26 @@ func (sh *shell) execute(src string) {
 	}
 }
 
+// executePrepared runs one prepared statement with the given bindings,
+// sharing the inflight/cancel bookkeeping and output paths with execute.
+func (sh *shell) executePrepared(p *core.Prepared, params map[string]string) {
+	ctx, cancel := context.WithCancel(context.Background())
+	sh.beginQuery(cancel)
+	t, err := p.ExecuteContext(ctx, params, core.ExecOptions{})
+	sh.endQuery()
+	cancel()
+	if err != nil {
+		sh.printFailure(err)
+		return
+	}
+	fmt.Fprintf(sh.out, "-- %s, %d matches, %d rows, %v\n",
+		t.Algorithm, t.NumMatches, len(t.Rows), t.Elapsed)
+	if sh.timing {
+		sh.printTiming(t)
+	}
+	sh.printRows(t)
+}
+
 // printRows prints a table's rows, truncated for terminal sanity.
 func (sh *shell) printRows(t *core.Table) {
 	limit := 40
@@ -526,12 +559,20 @@ func (sh *shell) printFailure(err error) {
 // printTiming prints the per-stage breakdown of one executed query.
 func (sh *shell) printTiming(t *core.Table) {
 	st := t.Stats
+	if st.ResultCached {
+		fmt.Fprintln(sh.out, "   result served from cache (no execution)")
+		return
+	}
 	focal := "pairs from match set"
 	if st.FocalCount >= 0 {
 		focal = fmt.Sprintf("%d focal", st.FocalCount)
 	}
-	fmt.Fprintf(sh.out, "   plan %v | focal-select %v (%s) | census %v (|M|=%d) | render %v (%d rows)\n",
-		st.PlanTime, st.FocalTime, focal, st.CensusTime, st.MatchSetSize, st.RenderTime, st.Rows)
+	planNote := ""
+	if st.PlanCached {
+		planNote = " (cached)"
+	}
+	fmt.Fprintf(sh.out, "   plan %v%s | focal-select %v (%s) | census %v (|M|=%d) | render %v (%d rows)\n",
+		st.PlanTime, planNote, st.FocalTime, focal, st.CensusTime, st.MatchSetSize, st.RenderTime, st.Rows)
 }
 
 // command handles a backslash command; it returns false to exit the shell.
@@ -549,6 +590,8 @@ commands:
   \alg <name|auto>       force ND-BAS/ND-DIFF/ND-PVOT/PT-BAS/PT-RND/PT-OPT
   \workers <n|auto>      parallel workers for the counting phase (auto = one per CPU; out-of-range values are clamped)
   \explain <query>       show the optimized plan without executing
+  \prepare <name> <stmt> compile one SELECT once; $param placeholders allowed
+  \execute <name> [k=v]  run a prepared statement with parameter bindings
   \timing                toggle per-stage timing after each query
   \ingest <file>         stream a text edge list through the graph writer
                          in the background (queries stay snapshot-consistent)
@@ -556,7 +599,8 @@ commands:
   \dot <node> <k> <file> export S(node, k) as Graphviz DOT
   \stats                 graph statistics
   \patterns              list declared patterns
-  \quit                  exit
+  \help                  show this help
+  \quit                  exit (aliases: \q, \exit)
 `)
 	case `\timing`:
 		sh.timing = !sh.timing
@@ -575,6 +619,56 @@ commands:
 			q += ";"
 		}
 		sh.execute("EXPLAIN " + q)
+	case `\prepare`:
+		rest := strings.TrimSpace(strings.TrimPrefix(line, `\prepare`))
+		sp := strings.IndexAny(rest, " \t")
+		if rest == "" || sp < 0 {
+			fmt.Fprintln(sh.out, "usage: \\prepare <name> SELECT ...")
+			break
+		}
+		name, text := rest[:sp], strings.TrimSpace(rest[sp:])
+		if !strings.HasSuffix(text, ";") {
+			text += ";"
+		}
+		p, err := sh.engine.Prepare(text)
+		if err != nil {
+			fmt.Fprintf(sh.out, "error: %v\n", err)
+			break
+		}
+		if _, exists := sh.prepared[name]; exists {
+			fmt.Fprintf(sh.out, "replacing prepared statement %s\n", name)
+		}
+		sh.prepared[name] = p
+		if params := p.Params(); len(params) > 0 {
+			fmt.Fprintf(sh.out, "prepared %s (params: $%s)\n", name, strings.Join(params, ", $"))
+		} else {
+			fmt.Fprintf(sh.out, "prepared %s (no params)\n", name)
+		}
+	case `\execute`:
+		if len(fields) < 2 {
+			fmt.Fprintln(sh.out, "usage: \\execute <name> [param=value ...]")
+			break
+		}
+		p, ok := sh.prepared[fields[1]]
+		if !ok {
+			fmt.Fprintf(sh.out, "error: no prepared statement %q (see \\prepare)\n", fields[1])
+			break
+		}
+		params := make(map[string]string, len(fields)-2)
+		bad := false
+		for _, f := range fields[2:] {
+			k, v, found := strings.Cut(f, "=")
+			if !found || k == "" {
+				fmt.Fprintf(sh.out, "error: bindings are param=value, got %q\n", f)
+				bad = true
+				break
+			}
+			params[k] = v
+		}
+		if bad {
+			break
+		}
+		sh.executePrepared(p, params)
 	case `\save`:
 		if len(fields) != 2 {
 			fmt.Fprintln(sh.out, "usage: \\save <file>")

@@ -282,6 +282,21 @@ type (
 	// for execution; Store implements it, so engines can plan and EXPLAIN
 	// against a disk store before materialization.
 	GraphSource = plan.Source
+	// Prepared is a compiled census query: parsed and fingerprinted once,
+	// executed many times with per-call $name parameter bindings, sharing
+	// the engine's epoch-keyed plan and result caches. Safe for unlimited
+	// concurrent callers.
+	Prepared = core.Prepared
+	// ExecOptions are per-execution knobs for a prepared query (limit
+	// overrides, result-cache bypass).
+	ExecOptions = core.ExecOptions
+	// ParamError reports missing or unexpected parameter bindings.
+	ParamError = core.ParamError
+	// EngineCacheStats reports the engine's plan- and result-cache
+	// counters.
+	EngineCacheStats = core.CacheStats
+	// QueryFingerprint is the canonical 128-bit cache key of a query.
+	QueryFingerprint = lang.Fingerprint
 )
 
 // NewEngine returns a query engine over g.

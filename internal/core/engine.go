@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"runtime/debug"
 	"strings"
+	"sync"
 	"time"
 
 	"egocensus/internal/graph"
@@ -14,12 +15,18 @@ import (
 	"egocensus/internal/plan"
 )
 
-// Engine is the thin facade over the query pipeline's four layers: it
+// Engine is the session facade over the query pipeline's four layers: it
 // parses census scripts (internal/lang), builds and optimizes logical
 // plans against a statistics snapshot (internal/plan), compiles them to
 // physical operator pipelines over the census drivers (operator.go), and
 // renders result tables (render.go). It keeps a pattern catalog across
 // Execute calls.
+//
+// The execution pipeline itself is stateless: every query copies what it
+// needs out of the engine up front, so one engine serves any number of
+// concurrent Execute/Run/Prepared calls. The configuration fields (G,
+// Alg, Opt, Seed, Source) are read at query time without synchronization
+// — set them before sharing the engine and treat them as frozen after.
 type Engine struct {
 	// G is the database graph. Engines built from a Source leave it nil
 	// until a query executes (see Graph); planning and EXPLAIN need only
@@ -35,9 +42,26 @@ type Engine struct {
 	// Source supplies planner statistics and lazily hydrates the graph.
 	Source plan.Source
 
+	// mu guards the mutable session state below: the pattern catalog, the
+	// memoized statistics, lazy graph hydration, and cache construction.
+	mu      sync.Mutex
 	stats   *graph.Stats
 	catalog map[string]*pattern.Pattern
+
+	// planCache holds compiled plans for prepared queries, keyed by
+	// (fingerprint, statistics epoch, engine config); resultCache holds
+	// whole result tables for prepared executions, keyed additionally by
+	// the bound parameters and seed. Both are lazily built with default
+	// capacities; see ConfigureCaches.
+	planCache   *plan.Cache
+	resultCache *resultCache
 }
+
+// Default cache capacities (see ConfigureCaches).
+const (
+	DefaultPlanCacheEntries = 256
+	DefaultResultCacheBytes = 64 << 20
+)
 
 // NewEngine returns an engine over an in-memory graph.
 func NewEngine(g *graph.Graph) *Engine {
@@ -60,10 +84,63 @@ func NewEngineLive(w *graph.Writer) *Engine {
 	return NewEngineFromSource(plan.FromWriter(w))
 }
 
+// ConfigureCaches sizes the prepared-query caches: planEntries bounds the
+// plan cache entry count and resultBytes budgets the result cache
+// (approximate bytes of cached tables). Zero or negative disables the
+// respective cache. Call before sharing the engine across goroutines.
+func (e *Engine) ConfigureCaches(planEntries int, resultBytes int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.planCache = plan.NewCache(planEntries)
+	e.resultCache = newResultCache(resultBytes)
+}
+
+// plans returns the plan cache, building it at the default capacity on
+// first use.
+func (e *Engine) plans() *plan.Cache {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.planCache == nil {
+		e.planCache = plan.NewCache(DefaultPlanCacheEntries)
+	}
+	return e.planCache
+}
+
+// results returns the result cache, building it at the default budget on
+// first use.
+func (e *Engine) results() *resultCache {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.resultCache == nil {
+		e.resultCache = newResultCache(DefaultResultCacheBytes)
+	}
+	return e.resultCache
+}
+
+// CacheStats reports the prepared-query cache counters.
+type CacheStats struct {
+	Plan   plan.CacheStats  `json:"plan"`
+	Result ResultCacheStats `json:"result"`
+}
+
+// CacheStats returns point-in-time counters for both caches.
+func (e *Engine) CacheStats() CacheStats {
+	return CacheStats{Plan: e.plans().Stats(), Result: e.results().Stats()}
+}
+
+// graphField reads e.G under the session lock: lazy hydration writes it
+// concurrently with queries on a shared engine.
+func (e *Engine) graphField() *graph.Graph {
+	e.mu.Lock()
+	g := e.G
+	e.mu.Unlock()
+	return g
+}
+
 // snapshotSource returns the engine's source as a SnapshotSource when it
 // is versioned and no explicit graph pins the engine to one version.
 func (e *Engine) snapshotSource() (plan.SnapshotSource, bool) {
-	if e.G != nil {
+	if e.graphField() != nil {
 		return nil, false
 	}
 	ss, ok := e.Source.(plan.SnapshotSource)
@@ -75,8 +152,8 @@ func (e *Engine) snapshotSource() (plan.SnapshotSource, bool) {
 // snapshot's graph and is intentionally NOT cached on the engine —
 // each call observes the current version.
 func (e *Engine) Graph() (*graph.Graph, error) {
-	if e.G != nil {
-		return e.G, nil
+	if g := e.graphField(); g != nil {
+		return g, nil
 	}
 	if e.Source == nil {
 		return nil, fmt.Errorf("engine: no graph and no source")
@@ -86,7 +163,13 @@ func (e *Engine) Graph() (*graph.Graph, error) {
 		return nil, err
 	}
 	if _, live := e.Source.(plan.SnapshotSource); !live {
-		e.G = g
+		// Hydrate once; a concurrent first query may have won the race.
+		e.mu.Lock()
+		if e.G == nil {
+			e.G = g
+		}
+		g = e.G
+		e.mu.Unlock()
 	}
 	return g, nil
 }
@@ -96,25 +179,35 @@ func (e *Engine) Graph() (*graph.Graph, error) {
 // themselves, so the engine never serves stale statistics for a graph
 // that has since published new versions.
 func (e *Engine) Stats() (*graph.Stats, error) {
-	if e.stats != nil {
-		return e.stats, nil
-	}
 	if ss, ok := e.snapshotSource(); ok {
 		return ss.GraphStats()
 	}
-	if e.Source != nil {
-		s, err := e.Source.GraphStats()
-		if err != nil {
-			return nil, err
-		}
-		e.stats = s
+	e.mu.Lock()
+	if e.stats != nil {
+		s := e.stats
+		e.mu.Unlock()
 		return s, nil
 	}
-	if e.G == nil {
+	e.mu.Unlock()
+	var s *graph.Stats
+	switch {
+	case e.Source != nil:
+		var err error
+		if s, err = e.Source.GraphStats(); err != nil {
+			return nil, err
+		}
+	case e.graphField() != nil:
+		s = graph.ComputeStats(e.graphField())
+	default:
 		return nil, fmt.Errorf("engine: no graph and no source")
 	}
-	e.stats = graph.ComputeStats(e.G)
-	return e.stats, nil
+	e.mu.Lock()
+	if e.stats == nil {
+		e.stats = s
+	}
+	s = e.stats
+	e.mu.Unlock()
+	return s, nil
 }
 
 // Row is one result row: the focal node(s) in FROM-clause order and the
@@ -167,6 +260,8 @@ func (e *Engine) DefinePattern(p *pattern.Pattern) error {
 	if err := p.Validate(); err != nil {
 		return err
 	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if _, dup := e.catalog[p.Name]; dup {
 		return fmt.Errorf("engine: pattern %s already defined", p.Name)
 	}
@@ -177,11 +272,26 @@ func (e *Engine) DefinePattern(p *pattern.Pattern) error {
 // Patterns returns a copy of the engine's pattern catalog; mutating the
 // returned map does not affect the engine.
 func (e *Engine) Patterns() map[string]*pattern.Pattern {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	out := make(map[string]*pattern.Pattern, len(e.catalog))
 	for name, p := range e.catalog {
 		out[name] = p
 	}
 	return out
+}
+
+// adoptPatterns merges the patterns a parse produced into the catalog,
+// skipping names that already exist (the parser rejects genuine
+// redefinitions; existing entries here are the catalog seed itself).
+func (e *Engine) adoptPatterns(parsed map[string]*pattern.Pattern) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for name, p := range parsed {
+		if _, exists := e.catalog[name]; !exists {
+			e.catalog[name] = p
+		}
+	}
 }
 
 // Execute parses src (PATTERN definitions and SELECT queries) and runs
@@ -198,18 +308,16 @@ func (e *Engine) Execute(src string) ([]*Table, error) {
 // a failure are not returned; the typed error's PartialTable carries the
 // failing query's partial output.
 func (e *Engine) ExecuteContext(ctx context.Context, src string) ([]*Table, error) {
-	script, err := lang.ParseWith(src, e.catalog)
+	parseStart := time.Now()
+	script, err := lang.ParseWith(src, e.Patterns())
 	if err != nil {
 		return nil, err
 	}
-	for name, p := range script.Patterns {
-		if _, exists := e.catalog[name]; !exists {
-			e.catalog[name] = p
-		}
-	}
+	parseTime := time.Since(parseStart)
+	e.adoptPatterns(script.Patterns)
 	var tables []*Table
 	for _, q := range script.Queries() {
-		t, err := e.RunContext(ctx, q)
+		t, err := e.runContext(ctx, q, nil, ExecStats{ParseTime: parseTime})
 		if err != nil {
 			return nil, err
 		}
@@ -231,7 +339,7 @@ func (e *Engine) Plan(q *lang.SelectStmt) (*plan.Physical, error) {
 // planWith optimizes q against an explicit statistics snapshot, so a
 // pinned query plans against the same version it executes on.
 func (e *Engine) planWith(q *lang.SelectStmt, s *graph.Stats) (*plan.Physical, error) {
-	logical, err := plan.Build(q, e.catalog)
+	logical, err := plan.Build(q, e.Patterns())
 	if err != nil {
 		return nil, err
 	}
@@ -258,66 +366,122 @@ func (e *Engine) Run(q *lang.SelectStmt) (*Table, error) {
 // unrecoverable runtime corruption aborts the process before any recover
 // runs, so the conversion never masks it.
 func (e *Engine) RunContext(ctx context.Context, q *lang.SelectStmt) (*Table, error) {
-	// Versioned sources: pin one snapshot up front so planning statistics,
-	// EXPLAIN output, and execution all observe the same epoch regardless
-	// of concurrent publishes.
-	var pinned *graph.Snapshot
-	var epoch uint64
-	if ss, ok := e.snapshotSource(); ok {
-		pinned = ss.Snapshot()
-		epoch = pinned.Epoch()
-	}
+	return e.runContext(ctx, q, nil, ExecStats{})
+}
 
-	planStart := time.Now()
-	var phys *plan.Physical
-	var err error
+// pin resolves the snapshot a query should observe: versioned sources pin
+// one snapshot up front so planning statistics, EXPLAIN output, and
+// execution all see the same epoch regardless of concurrent publishes.
+func (e *Engine) pin() (*graph.Snapshot, uint64) {
+	if ss, ok := e.snapshotSource(); ok {
+		snap := ss.Snapshot()
+		return snap, snap.Epoch()
+	}
+	return nil, 0
+}
+
+// statsFor returns planning statistics for a pinned snapshot (or the
+// engine's current statistics when unpinned).
+func (e *Engine) statsFor(pinned *graph.Snapshot) (*graph.Stats, error) {
 	if pinned != nil {
 		ss, _ := e.snapshotSource()
-		s, serr := ss.StatsAt(pinned)
-		if serr != nil {
-			return nil, serr
-		}
-		phys, err = e.planWith(q, s)
-	} else {
-		phys, err = e.Plan(q)
+		return ss.StatsAt(pinned)
 	}
+	return e.Stats()
+}
+
+// graphFor returns the execution graph for a pinned snapshot (or the
+// engine's graph when unpinned).
+func (e *Engine) graphFor(pinned *graph.Snapshot) (*graph.Graph, error) {
+	if pinned != nil {
+		return pinned.Graph(), nil
+	}
+	return e.Graph()
+}
+
+// runContext is the uncached execution path shared by Run/Execute: plan
+// against the pinned version, then hand off to the stateless executor.
+func (e *Engine) runContext(ctx context.Context, q *lang.SelectStmt, params map[string]string, base ExecStats) (*Table, error) {
+	pinned, epoch := e.pin()
+	planStart := time.Now()
+	s, err := e.statsFor(pinned)
 	if err != nil {
 		return nil, err
 	}
-	planTime := time.Since(planStart)
+	phys, err := e.planWith(q, s)
+	if err != nil {
+		return nil, err
+	}
+	base.PlanTime = time.Since(planStart)
 	if q.Explain {
-		t := explainTable(q, phys, planTime)
+		t := explainTable(q, phys, base)
 		t.Epoch = epoch
 		return t, nil
 	}
-	var g *graph.Graph
-	if pinned != nil {
-		g = pinned.Graph()
-	} else if g, err = e.Graph(); err != nil {
+	g, err := e.graphFor(pinned)
+	if err != nil {
 		return nil, err
 	}
-	gd, cancel := newGuard(ctx, e.Opt.Limits)
+	return execute(ctx, execRequest{
+		q:      q,
+		phys:   phys,
+		g:      g,
+		epoch:  epoch,
+		seed:   e.Seed,
+		opt:    e.Opt,
+		params: params,
+		base:   base,
+	})
+}
+
+// execRequest carries everything one execution needs. It is built per
+// call and never shared, which is what makes the executor safe for
+// unlimited concurrent callers over one engine.
+type execRequest struct {
+	q      *lang.SelectStmt
+	phys   *plan.Physical
+	g      *graph.Graph
+	epoch  uint64
+	seed   int64
+	opt    Options
+	params map[string]string
+	// base carries measurements taken before execution (parse and plan
+	// stages, cache flags).
+	base ExecStats
+}
+
+// execute compiles the physical plan to its operator pipeline and runs
+// it. This is the stateless executor: it reads nothing through the
+// engine.
+func execute(ctx context.Context, req execRequest) (*Table, error) {
+	gd, cancel := newGuard(ctx, req.opt.Limits)
 	defer cancel()
 	st := &execState{
-		e:    e,
-		g:    g,
-		phys: phys,
-		q:    q,
-		gd:   gd,
+		g:      req.g,
+		phys:   req.phys,
+		q:      req.q,
+		gd:     gd,
+		seed:   req.seed,
+		opt:    req.opt,
+		params: req.params,
 		table: &Table{
-			Query: q,
-			Plan:  phys,
-			Stats: ExecStats{PlanTime: planTime},
-			Epoch: epoch,
+			Query: req.q,
+			Plan:  req.phys,
+			Stats: req.base,
+			Epoch: req.epoch,
 		},
 	}
-	st.specs = make([]Spec, len(phys.Aggs))
-	for i, agg := range phys.Aggs {
-		st.specs[i] = Spec{Pattern: agg.Pattern, Subpattern: agg.Subpattern, K: phys.K}
+	st.specs = make([]Spec, len(req.phys.Aggs))
+	for i, agg := range req.phys.Aggs {
+		pat, err := agg.Pattern.BindParams(req.params)
+		if err != nil {
+			return nil, err
+		}
+		st.specs[i] = Spec{Pattern: pat, Subpattern: agg.Subpattern, K: req.phys.K}
 	}
-	if phys.Pair {
+	if req.phys.Pair {
 		mode := Intersection
-		if phys.Union {
+		if req.phys.Union {
 			mode = Union
 		}
 		st.pairSpec = &PairSpec{Spec: st.specs[0], Mode: mode}
@@ -379,13 +543,13 @@ func attachPartialTable(err error, st *execState) {
 }
 
 // explainTable renders the optimized plan tree as a one-column table.
-func explainTable(q *lang.SelectStmt, phys *plan.Physical, planTime time.Duration) *Table {
+func explainTable(q *lang.SelectStmt, phys *plan.Physical, base ExecStats) *Table {
 	t := &Table{
 		Query:     q,
 		Header:    []string{"plan"},
 		Plan:      phys,
 		Algorithm: Algorithm(phys.Algorithm(0)),
-		Stats:     ExecStats{PlanTime: planTime},
+		Stats:     base,
 	}
 	for _, line := range strings.Split(strings.TrimRight(phys.Explain(), "\n"), "\n") {
 		t.Rows = append(t.Rows, []string{line})
@@ -394,10 +558,10 @@ func explainTable(q *lang.SelectStmt, phys *plan.Physical, planTime time.Duratio
 }
 
 // rndStream returns a deterministic RND() source for a focal node or pair:
-// the value depends only on the engine seed and the focal identity, not on
+// the value depends only on the seed and the focal identity, not on
 // evaluation order.
-func (e *Engine) rndStream(a, b int64) func() float64 {
-	state := uint64(e.Seed)*0x9E3779B97F4A7C15 ^ uint64(a+1)*0xBF58476D1CE4E5B9 ^ uint64(b+1)*0x94D049BB133111EB
+func rndStream(seed, a, b int64) func() float64 {
+	state := uint64(seed)*0x9E3779B97F4A7C15 ^ uint64(a+1)*0xBF58476D1CE4E5B9 ^ uint64(b+1)*0x94D049BB133111EB
 	return func() float64 {
 		// splitmix64 step
 		state += 0x9E3779B97F4A7C15

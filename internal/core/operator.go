@@ -16,9 +16,21 @@ import (
 // ExecStats records per-stage measurements of one query's physical
 // pipeline, threaded into the result Table (and egosh's \timing).
 type ExecStats struct {
+	// ParseTime covers lexing and parsing. Prepared executions report
+	// zero: the statement was parsed once at Prepare time.
+	ParseTime time.Duration
 	// PlanTime covers logical plan construction plus cost-based
-	// optimization.
+	// optimization. Prepared executions served from the plan cache report
+	// only the cache probe.
 	PlanTime time.Duration
+	// PlanCached reports that the optimized plan came from the engine's
+	// plan cache (same fingerprint, same statistics epoch) — parse and
+	// optimization were both skipped.
+	PlanCached bool
+	// ResultCached reports that the whole table came from the engine's
+	// result cache: no pipeline stage ran, and the stage timings below
+	// describe the execution that originally produced the rows.
+	ResultCached bool
 	// FocalTime covers WHERE resolution to focal nodes or pairs.
 	FocalTime time.Duration
 	// FocalCount is the focal-set size after WHERE: nodes for single-node
@@ -49,13 +61,17 @@ type Operator interface {
 }
 
 // execState is the mutable state a pipeline threads through its
-// operators.
+// operators. It deliberately does not reference the Engine: everything an
+// execution needs is copied in up front, so any number of pipelines can
+// run concurrently over a shared engine without touching shared state.
 type execState struct {
-	e        *Engine
 	g        *graph.Graph
 	phys     *plan.Physical
 	q        *lang.SelectStmt
 	gd       *guard // one guard spans the whole pipeline (nil: ungoverned)
+	seed     int64  // RND() stream seed
+	opt      Options
+	params   map[string]string // $name bindings (nil: parameter-free)
 	specs    []Spec
 	pairSpec *PairSpec
 	results  []*Result
@@ -71,7 +87,8 @@ func compile(phys *plan.Physical) []Operator {
 }
 
 // passes evaluates the WHERE clause for a focal binding (node or ordered
-// pair) with the engine's deterministic RND() stream.
+// pair) with the deterministic RND() stream and the execution's parameter
+// bindings.
 func (st *execState) passes(nodes ...graph.NodeID) (bool, error) {
 	if st.q.Where == nil {
 		return true, nil
@@ -84,7 +101,7 @@ func (st *execState) passes(nodes ...graph.NodeID) (bool, error) {
 	if len(nodes) > 1 {
 		b = int64(nodes[1])
 	}
-	return lang.EvalWhere(st.q.Where, st.g, bindings, st.e.rndStream(a, b))
+	return lang.EvalWhereParams(st.q.Where, st.g, bindings, rndStream(st.seed, a, b), st.params)
 }
 
 // focalSelectOp resolves the WHERE clause to the focal node set (or, for
@@ -178,7 +195,7 @@ func (censusOp) Run(st *execState) error {
 	case st.phys.Batched:
 		// Multiple aggregates sharing one BFS per focal node.
 		st.table.Algorithm = NDPvot
-		results, err := countManyGuarded(st.g, st.specs, st.e.Opt, st.gd)
+		results, err := countManyGuarded(st.g, st.specs, st.opt, st.gd)
 		if err != nil {
 			return err
 		}
@@ -189,7 +206,7 @@ func (censusOp) Run(st *execState) error {
 			if err := spec.Validate(st.g); err != nil {
 				return err
 			}
-			res, err := countGuarded(st.g, spec, Algorithm(st.phys.Algorithm(i)), st.e.Opt, st.gd)
+			res, err := countGuarded(st.g, spec, Algorithm(st.phys.Algorithm(i)), st.opt, st.gd)
 			if err != nil {
 				return err
 			}
@@ -236,7 +253,7 @@ func (pairCensusOp) Run(st *execState) error {
 		return err
 	}
 	start := time.Now()
-	res, err := countPairsGuarded(st.g, *st.pairSpec, alg, st.e.Opt, st.gd)
+	res, err := countPairsGuarded(st.g, *st.pairSpec, alg, st.opt, st.gd)
 	if err != nil {
 		return err
 	}

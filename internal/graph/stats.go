@@ -23,6 +23,12 @@ type Stats struct {
 	// LabelCounts maps each label name to the number of nodes carrying it.
 	// Unlabeled nodes are not counted.
 	LabelCounts map[string]int
+	// Epoch identifies the snapshot version these statistics describe.
+	// Versioned sources stamp it from the snapshot they were computed
+	// against; static sources leave it zero. Plan caches key on it so a
+	// plan costed against stale statistics is never reused after a
+	// publish.
+	Epoch uint64
 }
 
 // MaxMoment is the highest falling-factorial degree moment tracked.

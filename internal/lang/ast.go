@@ -2,6 +2,7 @@ package lang
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"egocensus/internal/pattern"
@@ -186,6 +187,43 @@ func (o LitOperand) String() string { return "'" + o.Value + "'" }
 type RndOperand struct{}
 
 func (RndOperand) String() string { return "RND()" }
+
+// ParamOperand is a $name placeholder bound at execution time. Prepared
+// queries compile once with the slot open and substitute a value per call.
+type ParamOperand struct{ Name string }
+
+func (o ParamOperand) String() string { return "$" + o.Name }
+
+// CollectParams returns the sorted, deduplicated $name parameters the
+// expression references (nil-safe, empty for parameter-free expressions).
+func CollectParams(e Expr) []string {
+	seen := map[string]bool{}
+	var walk func(e Expr)
+	walk = func(e Expr) {
+		switch x := e.(type) {
+		case *BoolExpr:
+			walk(x.L)
+			walk(x.R)
+		case *NotExpr:
+			walk(x.E)
+		case *CmpExpr:
+			for _, o := range []Operand{x.L, x.R} {
+				if p, ok := o.(ParamOperand); ok {
+					seen[p.Name] = true
+				}
+			}
+		}
+	}
+	if e != nil {
+		walk(e)
+	}
+	out := make([]string, 0, len(seen))
+	for name := range seen {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
 
 // Script is a parsed sequence of statements with a pattern catalog.
 type Script struct {

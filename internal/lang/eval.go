@@ -15,13 +15,20 @@ type Binding struct {
 	Node  graph.NodeID
 }
 
-// EvalWhere evaluates a WHERE expression for the given focal bindings.
-// rnd supplies the value of RND() (called at most once per occurrence);
-// it may be nil when the expression contains no RND().
+// EvalWhere evaluates a parameter-free WHERE expression for the given
+// focal bindings. rnd supplies the value of RND() (called at most once per
+// occurrence); it may be nil when the expression contains no RND().
 func EvalWhere(e Expr, g *graph.Graph, bindings []Binding, rnd func() float64) (bool, error) {
+	return EvalWhereParams(e, g, bindings, rnd, nil)
+}
+
+// EvalWhereParams is EvalWhere with $name parameter bindings: every
+// ParamOperand resolves through params; referencing an unbound parameter
+// is an error.
+func EvalWhereParams(e Expr, g *graph.Graph, bindings []Binding, rnd func() float64, params map[string]string) (bool, error) {
 	switch x := e.(type) {
 	case *BoolExpr:
-		l, err := EvalWhere(x.L, g, bindings, rnd)
+		l, err := EvalWhereParams(x.L, g, bindings, rnd, params)
 		if err != nil {
 			return false, err
 		}
@@ -32,16 +39,16 @@ func EvalWhere(e Expr, g *graph.Graph, bindings []Binding, rnd func() float64) (
 		if x.Op == "OR" && l {
 			return true, nil
 		}
-		return EvalWhere(x.R, g, bindings, rnd)
+		return EvalWhereParams(x.R, g, bindings, rnd, params)
 	case *NotExpr:
-		v, err := EvalWhere(x.E, g, bindings, rnd)
+		v, err := EvalWhereParams(x.E, g, bindings, rnd, params)
 		return !v, err
 	case *CmpExpr:
-		lv, lok, err := operandValue(x.L, g, bindings, rnd)
+		lv, lok, err := operandValue(x.L, g, bindings, rnd, params)
 		if err != nil {
 			return false, err
 		}
-		rv, rok, err := operandValue(x.R, g, bindings, rnd)
+		rv, rok, err := operandValue(x.R, g, bindings, rnd, params)
 		if err != nil {
 			return false, err
 		}
@@ -53,10 +60,16 @@ func EvalWhere(e Expr, g *graph.Graph, bindings []Binding, rnd func() float64) (
 	return false, fmt.Errorf("lang: unknown expression type %T", e)
 }
 
-func operandValue(o Operand, g *graph.Graph, bindings []Binding, rnd func() float64) (string, bool, error) {
+func operandValue(o Operand, g *graph.Graph, bindings []Binding, rnd func() float64, params map[string]string) (string, bool, error) {
 	switch x := o.(type) {
 	case LitOperand:
 		return x.Value, true, nil
+	case ParamOperand:
+		v, ok := params[x.Name]
+		if !ok {
+			return "", false, fmt.Errorf("lang: unbound parameter $%s", x.Name)
+		}
+		return v, true, nil
 	case RndOperand:
 		if rnd == nil {
 			return "", false, fmt.Errorf("lang: RND() not available in this context")

@@ -1,0 +1,179 @@
+package lang
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+
+	"egocensus/internal/pattern"
+)
+
+// Fingerprint is a canonical 128-bit key for a census query. Two query
+// texts that normalize to the same AST — same SELECT shape, same WHERE
+// predicate, same referenced pattern definitions — share a fingerprint
+// regardless of whitespace, comments, keyword case, or the values later
+// bound to $name parameter slots. The plan and result caches key on it.
+type Fingerprint [16]byte
+
+func (f Fingerprint) String() string { return fmt.Sprintf("%x", f[:]) }
+
+// QueryFingerprint computes the canonical fingerprint of a query against
+// a pattern catalog. The catalog must contain every pattern the query's
+// COUNTP/COUNTSP aggregates reference; the referenced definitions are
+// folded into the key so a redefined pattern yields a different
+// fingerprint. Parameter slots contribute their names, never values.
+func QueryFingerprint(q *SelectStmt, catalog map[string]*pattern.Pattern) (Fingerprint, error) {
+	var fp Fingerprint
+	buf := make([]byte, 0, 256)
+	buf = append(buf, 'Q', 1) // format tag + version
+	if q.Explain {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+
+	buf = appendUvarint(buf, uint64(len(q.Items)))
+	seen := map[string]bool{}
+	for _, it := range q.Items {
+		if it.Col != nil {
+			buf = append(buf, 'c')
+			buf = appendString(buf, it.Col.Alias)
+			buf = appendString(buf, strings.ToUpper(it.Col.Name))
+			continue
+		}
+		c := it.Count
+		if c.Subpattern != "" {
+			buf = append(buf, 's')
+			buf = appendString(buf, c.Subpattern)
+		} else {
+			buf = append(buf, 'p')
+		}
+		buf = appendString(buf, c.PatternName)
+		if !seen[c.PatternName] {
+			seen[c.PatternName] = true
+			pat := catalog[c.PatternName]
+			if pat == nil {
+				return fp, fmt.Errorf("lang: fingerprint: pattern %q not in catalog", c.PatternName)
+			}
+			buf = pat.AppendCanonical(buf)
+		}
+		buf = appendUvarint(buf, uint64(c.Neighborhood.Kind))
+		buf = appendUvarint(buf, uint64(len(c.Neighborhood.Refs)))
+		for _, r := range c.Neighborhood.Refs {
+			buf = appendString(buf, r.Alias)
+			buf = appendString(buf, strings.ToUpper(r.Name))
+		}
+		buf = appendUvarint(buf, uint64(c.Neighborhood.K))
+	}
+
+	buf = appendUvarint(buf, uint64(len(q.Aliases)))
+	for _, a := range q.Aliases {
+		buf = appendString(buf, a)
+	}
+
+	buf = appendExpr(buf, q.Where)
+
+	if q.Order != nil {
+		buf = append(buf, 'O')
+		if q.Order.ByCount {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+			buf = appendString(buf, q.Order.Col.Alias)
+			buf = appendString(buf, strings.ToUpper(q.Order.Col.Name))
+		}
+		if q.Order.Desc {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	} else {
+		buf = append(buf, 'o')
+	}
+	buf = appendUvarint(buf, uint64(q.Limit))
+
+	h := fnv.New128a()
+	h.Write(buf)
+	h.Sum(fp[:0])
+	return fp, nil
+}
+
+func appendExpr(dst []byte, e Expr) []byte {
+	switch x := e.(type) {
+	case nil:
+		return append(dst, 'n')
+	case *BoolExpr:
+		dst = append(dst, 'B')
+		dst = appendString(dst, x.Op)
+		dst = appendExpr(dst, x.L)
+		return appendExpr(dst, x.R)
+	case *NotExpr:
+		dst = append(dst, 'N')
+		return appendExpr(dst, x.E)
+	case *CmpExpr:
+		dst = append(dst, 'C')
+		dst = appendUvarint(dst, uint64(x.Op))
+		dst = appendOperand(dst, x.L)
+		return appendOperand(dst, x.R)
+	}
+	// Unknown node types still hash deterministically via their rendering.
+	dst = append(dst, 'X')
+	return appendString(dst, ExprString(e))
+}
+
+func appendOperand(dst []byte, o Operand) []byte {
+	switch x := o.(type) {
+	case ColOperand:
+		dst = append(dst, 'r')
+		dst = appendString(dst, x.Ref.Alias)
+		return appendString(dst, strings.ToUpper(x.Ref.Name))
+	case LitOperand:
+		dst = append(dst, 'l')
+		return appendString(dst, x.Value)
+	case RndOperand:
+		return append(dst, 'R')
+	case ParamOperand:
+		// Parameter slots hash by name only: the fingerprint is stable
+		// across executions with different bound values.
+		dst = append(dst, 'P')
+		return appendString(dst, x.Name)
+	}
+	dst = append(dst, 'x')
+	return appendString(dst, o.String())
+}
+
+func appendUvarint(dst []byte, v uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	return append(dst, tmp[:n]...)
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = appendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// QueryParams returns the sorted, deduplicated $name parameters the query
+// references — in its WHERE clause and in every pattern its aggregates
+// count. Missing catalog entries are skipped (Prepare validates those).
+func QueryParams(q *SelectStmt, catalog map[string]*pattern.Pattern) []string {
+	seen := map[string]bool{}
+	for _, name := range CollectParams(q.Where) {
+		seen[name] = true
+	}
+	for _, c := range q.CountItems() {
+		if pat := catalog[c.PatternName]; pat != nil {
+			for _, name := range pat.ParamNames() {
+				seen[name] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for name := range seen {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

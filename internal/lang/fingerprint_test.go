@@ -1,0 +1,161 @@
+package lang
+
+import (
+	"reflect"
+	"testing"
+
+	"egocensus/internal/graph"
+)
+
+func fingerprintOf(t *testing.T, src string) Fingerprint {
+	t.Helper()
+	s := mustParse(t, src)
+	qs := s.Queries()
+	if len(qs) != 1 {
+		t.Fatalf("want one query, got %d", len(qs))
+	}
+	fp, err := QueryFingerprint(qs[0], s.Patterns)
+	if err != nil {
+		t.Fatalf("fingerprint: %v", err)
+	}
+	return fp
+}
+
+func TestFingerprintStableAcrossFormatting(t *testing.T) {
+	a := fingerprintOf(t, `
+PATTERN p { ?A-?B; }
+SELECT ID, COUNTP(p, SUBGRAPH(ID, 2)) FROM nodes WHERE degree > '3'
+`)
+	b := fingerprintOf(t, `
+PATTERN p {
+  ?A - ?B;   -- same edge, different layout
+}
+select id,
+  countp(p, subgraph(id, 2))
+from nodes where degree > '3'
+`)
+	if a != b {
+		t.Fatalf("formatting changed fingerprint: %s vs %s", a, b)
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := fingerprintOf(t, `
+PATTERN p { ?A-?B; }
+SELECT ID, COUNTP(p, SUBGRAPH(ID, 2)) FROM nodes
+`)
+	cases := map[string]string{
+		"radius": `
+PATTERN p { ?A-?B; }
+SELECT ID, COUNTP(p, SUBGRAPH(ID, 3)) FROM nodes
+`,
+		"pattern shape": `
+PATTERN p { ?A->?B; }
+SELECT ID, COUNTP(p, SUBGRAPH(ID, 2)) FROM nodes
+`,
+		"pattern predicate": `
+PATTERN p { ?A-?B; [?A.LABEL='x']; }
+SELECT ID, COUNTP(p, SUBGRAPH(ID, 2)) FROM nodes
+`,
+		"where clause": `
+PATTERN p { ?A-?B; }
+SELECT ID, COUNTP(p, SUBGRAPH(ID, 2)) FROM nodes WHERE kind = 'gene'
+`,
+		"limit": `
+PATTERN p { ?A-?B; }
+SELECT ID, COUNTP(p, SUBGRAPH(ID, 2)) FROM nodes LIMIT 5
+`,
+		"order": `
+PATTERN p { ?A-?B; }
+SELECT ID, COUNTP(p, SUBGRAPH(ID, 2)) FROM nodes ORDER BY COUNT DESC
+`,
+		"explain": `
+PATTERN p { ?A-?B; }
+EXPLAIN SELECT ID, COUNTP(p, SUBGRAPH(ID, 2)) FROM nodes
+`,
+	}
+	for name, src := range cases {
+		if got := fingerprintOf(t, src); got == base {
+			t.Errorf("%s: fingerprint did not change", name)
+		}
+	}
+}
+
+func TestFingerprintIgnoresParamValuesButNotNames(t *testing.T) {
+	// Same slot name: identical key regardless of what will be bound.
+	a := fingerprintOf(t, `
+PATTERN p { ?A-?B; }
+SELECT ID, COUNTP(p, SUBGRAPH(ID, 2)) FROM nodes WHERE kind = $k
+`)
+	b := fingerprintOf(t, `
+PATTERN p { ?A-?B; }
+SELECT ID, COUNTP(p, SUBGRAPH(ID, 2)) FROM nodes WHERE kind = $k
+`)
+	if a != b {
+		t.Fatal("identical parameterized queries disagree")
+	}
+	c := fingerprintOf(t, `
+PATTERN p { ?A-?B; }
+SELECT ID, COUNTP(p, SUBGRAPH(ID, 2)) FROM nodes WHERE kind = $other
+`)
+	if a == c {
+		t.Fatal("renaming the parameter slot should change the fingerprint")
+	}
+	// A parameter slot is not the same key as a literal.
+	d := fingerprintOf(t, `
+PATTERN p { ?A-?B; }
+SELECT ID, COUNTP(p, SUBGRAPH(ID, 2)) FROM nodes WHERE kind = 'k'
+`)
+	if a == d {
+		t.Fatal("parameter slot and literal should not collide")
+	}
+}
+
+func TestFingerprintMissingPattern(t *testing.T) {
+	s := mustParse(t, `
+PATTERN p { ?A-?B; }
+SELECT ID, COUNTP(p, SUBGRAPH(ID, 2)) FROM nodes
+`)
+	if _, err := QueryFingerprint(s.Queries()[0], nil); err == nil {
+		t.Fatal("expected error for missing catalog entry")
+	}
+}
+
+func TestQueryParams(t *testing.T) {
+	s := mustParse(t, `
+PATTERN p { ?A-?B; [?A.kind=$pk]; }
+SELECT ID, COUNTP(p, SUBGRAPH(ID, 2)) FROM nodes WHERE label = $wl AND label != $pk
+`)
+	got := QueryParams(s.Queries()[0], s.Patterns)
+	want := []string{"pk", "wl"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("QueryParams = %v want %v", got, want)
+	}
+}
+
+func TestEvalWhereParams(t *testing.T) {
+	g := graph.New(false)
+	n := g.AddNode()
+	g.SetNodeAttr(n, "kind", "gene")
+	s := mustParse(t, `
+PATTERN p { ?A; }
+SELECT ID, COUNTP(p, SUBGRAPH(ID, 1)) FROM nodes WHERE kind = $k
+`)
+	q := s.Queries()[0]
+	bind := []Binding{{Alias: "", Node: n}}
+
+	ok, err := EvalWhereParams(q.Where, g, bind, nil, map[string]string{"k": "gene"})
+	if err != nil || !ok {
+		t.Fatalf("bound match: ok=%v err=%v", ok, err)
+	}
+	ok, err = EvalWhereParams(q.Where, g, bind, nil, map[string]string{"k": "protein"})
+	if err != nil || ok {
+		t.Fatalf("bound mismatch: ok=%v err=%v", ok, err)
+	}
+	if _, err = EvalWhereParams(q.Where, g, bind, nil, nil); err == nil {
+		t.Fatal("unbound parameter should error")
+	}
+	if names := CollectParams(q.Where); len(names) != 1 || names[0] != "k" {
+		t.Fatalf("CollectParams = %v", names)
+	}
+}

@@ -123,6 +123,18 @@ func (lx *lexer) next() (Token, error) {
 		tok.Kind = TokVariable
 		tok.Text = b.String()
 		return tok, nil
+	case r == '$':
+		lx.advance()
+		if !isIdentStart(lx.peek()) {
+			return tok, lx.errorf("expected parameter name after '$'")
+		}
+		var b strings.Builder
+		for lx.pos < len(lx.src) && isIdentPart(lx.peek()) {
+			b.WriteRune(lx.advance())
+		}
+		tok.Kind = TokParam
+		tok.Text = b.String()
+		return tok, nil
 	case r == '\'' || r == '"':
 		quote := lx.advance()
 		var b strings.Builder

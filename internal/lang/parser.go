@@ -218,7 +218,7 @@ func labelConst(l, r pattern.Operand) (nodeIdx int, c string, ok bool) {
 		return o.Node >= 0 && strings.EqualFold(o.Attr, "label")
 	}
 	isConst := func(o pattern.Operand) bool {
-		return o.Node < 0 && o.EdgeFrom < 0
+		return o.Node < 0 && o.EdgeFrom < 0 && o.ParamName == ""
 	}
 	switch {
 	case isLabelRef(l) && isConst(r):
@@ -284,6 +284,9 @@ func (p *parser) parsePatternOperand(pat *pattern.Pattern, nodeIdx func(string) 
 	case p.at(TokString), p.at(TokNumber):
 		t := p.advance()
 		return pattern.Const(t.Text), nil
+	case p.at(TokParam):
+		t := p.advance()
+		return pattern.Param(t.Text), nil
 	}
 	return pattern.Operand{}, p.errorf("expected operand, found %s", p.cur())
 }
@@ -663,6 +666,9 @@ func (p *parser) parseWhereOperand() (Operand, error) {
 	case p.at(TokString), p.at(TokNumber):
 		t := p.advance()
 		return LitOperand{Value: t.Text}, nil
+	case p.at(TokParam):
+		t := p.advance()
+		return ParamOperand{Name: t.Text}, nil
 	}
 	return nil, p.errorf("expected WHERE operand, found %s", p.cur())
 }

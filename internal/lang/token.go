@@ -18,6 +18,7 @@ const (
 	TokEOF TokenKind = iota
 	TokIdent
 	TokVariable // ?A
+	TokParam    // $name
 	TokNumber
 	TokString // 'x' or "x"
 
@@ -53,6 +54,8 @@ func (k TokenKind) String() string {
 		return "identifier"
 	case TokVariable:
 		return "variable"
+	case TokParam:
+		return "parameter"
 	case TokNumber:
 		return "number"
 	case TokString:

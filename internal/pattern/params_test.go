@@ -1,0 +1,115 @@
+package pattern
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func paramPattern(t *testing.T) *Pattern {
+	t.Helper()
+	p := New("labeled_edge")
+	a, err := p.AddNode("A", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.AddNode("B", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddEdge(a, b, false, false); err != nil {
+		t.Fatal(err)
+	}
+	p.AddPredicate(Predicate{Op: OpEq, L: NodeAttr(a, "kind"), R: Param("k")})
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestParamNamesAndHasParams(t *testing.T) {
+	p := paramPattern(t)
+	if !p.HasParams() {
+		t.Fatal("HasParams = false")
+	}
+	if got := p.ParamNames(); !reflect.DeepEqual(got, []string{"k"}) {
+		t.Fatalf("ParamNames = %v", got)
+	}
+
+	q := New("plain")
+	if _, err := q.AddNode("A", ""); err != nil {
+		t.Fatal(err)
+	}
+	if q.HasParams() || len(q.ParamNames()) != 0 {
+		t.Fatal("parameter-free pattern reports params")
+	}
+}
+
+func TestBindParams(t *testing.T) {
+	p := paramPattern(t)
+
+	bound, err := p.BindParams(map[string]string{"k": "gene"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bound == p {
+		t.Fatal("binding should clone, not mutate")
+	}
+	if p.HasParams() == false {
+		t.Fatal("original mutated by BindParams")
+	}
+	if bound.HasParams() {
+		t.Fatal("bound clone still has params")
+	}
+	if !strings.Contains(bound.String(), "'gene'") {
+		t.Fatalf("bound render missing substituted literal: %s", bound.String())
+	}
+
+	if _, err := p.BindParams(nil); err == nil {
+		t.Fatal("missing parameter should error")
+	}
+
+	// No-op fast path for parameter-free patterns.
+	q := New("plain")
+	if _, err := q.AddNode("A", ""); err != nil {
+		t.Fatal(err)
+	}
+	same, err := q.BindParams(nil)
+	if err != nil || same != q {
+		t.Fatalf("parameter-free bind should return receiver: %v %v", same, err)
+	}
+}
+
+func TestAppendCanonicalStability(t *testing.T) {
+	a := paramPattern(t)
+	b := paramPattern(t)
+	ca := a.AppendCanonical(nil)
+	cb := b.AppendCanonical(nil)
+	if !bytes.Equal(ca, cb) {
+		t.Fatal("identical patterns produced different canonical bytes")
+	}
+
+	// Bound values change the canonical encoding (they are constants);
+	// the open slot encodes by name.
+	bound, err := a.BindParams(map[string]string{"k": "gene"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(ca, bound.AppendCanonical(nil)) {
+		t.Fatal("bound pattern canonical bytes should differ from open slot")
+	}
+
+	// Structural change is visible.
+	c := paramPattern(t)
+	n, err := c.AddNode("C", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddEdge(0, n, true, false); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(ca, c.AppendCanonical(nil)) {
+		t.Fatal("structural change not reflected in canonical bytes")
+	}
+}

@@ -41,7 +41,8 @@ func (op CmpOp) String() string {
 }
 
 // Operand is one side of a predicate: a node attribute reference
-// (?A.attr), an edge attribute reference (EDGE(?A,?B).attr), or a constant.
+// (?A.attr), an edge attribute reference (EDGE(?A,?B).attr), a constant,
+// or an unbound $name parameter slot.
 type Operand struct {
 	// Node >= 0 selects a node-attribute reference on that pattern node.
 	Node int
@@ -53,6 +54,9 @@ type Operand struct {
 	Attr string
 	// Const holds the literal for constant operands.
 	Const string
+	// ParamName marks an unbound parameter slot ($name): the pattern
+	// cannot be matched until BindParams substitutes a constant.
+	ParamName string
 }
 
 // NodeAttr returns an operand referencing attr of pattern node idx.
@@ -71,7 +75,15 @@ func Const(v string) Operand {
 	return Operand{Node: -1, EdgeFrom: -1, EdgeTo: -1, Const: v}
 }
 
-func (o Operand) isConst() bool { return o.Node < 0 && o.EdgeFrom < 0 }
+// Param returns an unbound parameter-slot operand ($name); BindParams
+// substitutes the value at execution time.
+func Param(name string) Operand {
+	return Operand{Node: -1, EdgeFrom: -1, EdgeTo: -1, ParamName: name}
+}
+
+func (o Operand) isConst() bool { return o.Node < 0 && o.EdgeFrom < 0 && o.ParamName == "" }
+
+func (o Operand) isParam() bool { return o.ParamName != "" }
 
 // Predicate is a comparison between two operands, evaluated on a candidate
 // match.
@@ -98,6 +110,8 @@ func (o Operand) render(p *Pattern) string {
 		return fmt.Sprintf("?%s.%s", p.nodes[o.Node].Var, o.Attr)
 	case o.EdgeFrom >= 0:
 		return fmt.Sprintf("EDGE(?%s,?%s).%s", p.nodes[o.EdgeFrom].Var, p.nodes[o.EdgeTo].Var, o.Attr)
+	case o.isParam():
+		return "$" + o.ParamName
 	default:
 		return "'" + o.Const + "'"
 	}
@@ -111,6 +125,10 @@ func (pr Predicate) render(p *Pattern) string {
 // referenced attribute or edge is absent (the predicate then fails).
 func (o Operand) value(g *graph.Graph, m Match) (string, bool) {
 	switch {
+	case o.isParam():
+		// Unbound parameter slots never match; executions must substitute
+		// them via BindParams first.
+		return "", false
 	case o.Node >= 0:
 		attr := o.Attr
 		if strings.EqualFold(attr, graph.LabelAttr) {

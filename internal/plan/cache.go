@@ -1,0 +1,125 @@
+package plan
+
+import (
+	"container/list"
+	"sync"
+)
+
+// CacheKey identifies one compiled plan: the canonical query fingerprint
+// plus the statistics epoch the plan was costed against and an engine
+// configuration tag (forced algorithm, tuning knobs). A publish advances
+// the epoch, so plans priced on stale statistics age out of the working
+// set instead of being served forever.
+type CacheKey struct {
+	Fingerprint [16]byte
+	Epoch       uint64
+	Config      uint64
+}
+
+// CacheStats are cumulative hit/miss counters for one cache.
+type CacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+}
+
+// Cache is a bounded, concurrency-safe LRU of compiled plan artifacts.
+// Values are opaque (the execution layer stores its compiled pipelines
+// here; this package deliberately does not depend on it). A zero capacity
+// disables caching: Put is a no-op and Get always misses.
+type Cache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[CacheKey]*list.Element
+	lru     *list.List // front = most recent
+	stats   CacheStats
+}
+
+type cacheEntry struct {
+	key CacheKey
+	val any
+}
+
+// NewCache returns an LRU plan cache holding at most capacity entries.
+func NewCache(capacity int) *Cache {
+	return &Cache{
+		cap:     capacity,
+		entries: make(map[CacheKey]*list.Element),
+		lru:     list.New(),
+	}
+}
+
+// Get returns the cached value for key, marking it most recently used.
+func (c *Cache) Get(key CacheKey) (any, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.stats.Misses++
+		return nil, false
+	}
+	c.stats.Hits++
+	c.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// Put inserts (or refreshes) a value, evicting the least recently used
+// entry when over capacity.
+func (c *Cache) Put(key CacheKey, val any) {
+	if c == nil || c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, val: val})
+	for c.lru.Len() > c.cap {
+		last := c.lru.Back()
+		c.lru.Remove(last)
+		delete(c.entries, last.Value.(*cacheEntry).key)
+		c.stats.Evictions++
+	}
+}
+
+// Len returns the current entry count.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Stats returns a point-in-time copy of the counters.
+func (c *Cache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.stats
+	st.Entries = c.lru.Len()
+	return st
+}
+
+// Purge drops every entry (counters are preserved).
+func (c *Cache) Purge() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lru.Init()
+	for k := range c.entries {
+		delete(c.entries, k)
+	}
+}

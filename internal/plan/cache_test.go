@@ -1,0 +1,117 @@
+package plan
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func key(i int, epoch uint64) CacheKey {
+	var k CacheKey
+	copy(k.Fingerprint[:], fmt.Sprintf("%016d", i))
+	k.Epoch = epoch
+	return k
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	c.Put(key(1, 0), "a")
+	c.Put(key(2, 0), "b")
+	if _, ok := c.Get(key(1, 0)); !ok {
+		t.Fatal("entry 1 missing")
+	}
+	// 1 is now most recent; inserting 3 must evict 2.
+	c.Put(key(3, 0), "c")
+	if _, ok := c.Get(key(2, 0)); ok {
+		t.Fatal("entry 2 should have been evicted")
+	}
+	if _, ok := c.Get(key(1, 0)); !ok {
+		t.Fatal("entry 1 should have survived")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCacheEpochSeparatesEntries(t *testing.T) {
+	c := NewCache(8)
+	c.Put(key(1, 1), "old")
+	c.Put(key(1, 2), "new")
+	if v, ok := c.Get(key(1, 1)); !ok || v != "old" {
+		t.Fatalf("epoch 1: %v %v", v, ok)
+	}
+	if v, ok := c.Get(key(1, 2)); !ok || v != "new" {
+		t.Fatalf("epoch 2: %v %v", v, ok)
+	}
+	// Config tag separates too (same query, different forced algorithm).
+	k := key(1, 2)
+	k.Config = 7
+	if _, ok := c.Get(k); ok {
+		t.Fatal("config tag should separate entries")
+	}
+}
+
+func TestCacheCounters(t *testing.T) {
+	c := NewCache(4)
+	c.Get(key(1, 0))
+	c.Put(key(1, 0), "v")
+	c.Get(key(1, 0))
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCacheZeroCapacityAndNil(t *testing.T) {
+	c := NewCache(0)
+	c.Put(key(1, 0), "v")
+	if _, ok := c.Get(key(1, 0)); ok {
+		t.Fatal("zero-capacity cache should never hit")
+	}
+	var nilCache *Cache
+	nilCache.Put(key(1, 0), "v")
+	if _, ok := nilCache.Get(key(1, 0)); ok {
+		t.Fatal("nil cache should never hit")
+	}
+	if nilCache.Len() != 0 {
+		t.Fatal("nil cache Len")
+	}
+	nilCache.Purge()
+}
+
+func TestCachePurge(t *testing.T) {
+	c := NewCache(4)
+	c.Put(key(1, 0), "v")
+	c.Put(key(2, 0), "w")
+	c.Purge()
+	if c.Len() != 0 {
+		t.Fatalf("Len after purge = %d", c.Len())
+	}
+	if _, ok := c.Get(key(1, 0)); ok {
+		t.Fatal("purged entry still present")
+	}
+}
+
+func TestCacheConcurrentStress(t *testing.T) {
+	c := NewCache(16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := key(i%24, uint64(w%3))
+				if i%2 == 0 {
+					c.Put(k, i)
+				} else {
+					c.Get(k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() > 16 {
+		t.Fatalf("cache exceeded capacity: %d", c.Len())
+	}
+}

@@ -88,6 +88,7 @@ func (s *WriterSource) StatsAt(snap *graph.Snapshot) (*graph.Stats, error) {
 	s.mu.Unlock()
 	// Compute outside the lock: stats over a frozen snapshot are pure.
 	st := graph.ComputeStats(snap.Graph())
+	st.Epoch = snap.Epoch()
 	s.mu.Lock()
 	// Last writer wins; only overwrite a cache for an older epoch so a
 	// concurrent computation for a newer version is not clobbered.

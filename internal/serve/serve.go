@@ -1,0 +1,378 @@
+// Package serve is the HTTP/JSON serving front end over a census engine:
+// a concurrent query endpoint with prepared-statement reuse, admission
+// control, and per-request resource knobs. cmd/egoserve wires it to a
+// stored graph; tests and benchmarks drive the handler directly.
+//
+// Endpoints:
+//
+//	POST /v1/query — execute a census request (see QueryRequest)
+//	GET  /v1/stats — graph version, cache counters, admission gauges
+//	GET  /healthz  — liveness probe
+//
+// Every request with exactly one SELECT runs through a prepared statement
+// cached by query text, so repeated requests share the engine's
+// epoch-keyed plan and result caches. Multi-statement scripts fall back
+// to one-shot execution (and cannot carry parameters).
+//
+// Admission control bounds the work in flight: at most MaxInFlight
+// queries execute concurrently, at most MaxQueue more wait for a slot,
+// and everything beyond that is rejected immediately with HTTP 429 — the
+// server sheds load instead of queueing unboundedly.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"egocensus/internal/core"
+)
+
+// Config tunes the server; the zero value picks sensible defaults.
+type Config struct {
+	// MaxInFlight bounds concurrently executing queries (default:
+	// GOMAXPROCS).
+	MaxInFlight int
+	// MaxQueue bounds queries waiting for an execution slot (default: 4×
+	// MaxInFlight). Requests arriving beyond the queue are rejected with
+	// HTTP 429.
+	MaxQueue int
+	// DefaultTimeout applies when a request carries no timeout_ms
+	// (default: 30s). MaxTimeout caps what a request may ask for
+	// (default: 5m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// MaxBodyBytes bounds the request body (default: 1 MiB).
+	MaxBodyBytes int64
+}
+
+func (c Config) maxInFlight() int {
+	if c.MaxInFlight > 0 {
+		return c.MaxInFlight
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (c Config) maxQueue() int {
+	if c.MaxQueue > 0 {
+		return c.MaxQueue
+	}
+	return 4 * c.maxInFlight()
+}
+
+func (c Config) defaultTimeout() time.Duration {
+	if c.DefaultTimeout > 0 {
+		return c.DefaultTimeout
+	}
+	return 30 * time.Second
+}
+
+func (c Config) maxTimeout() time.Duration {
+	if c.MaxTimeout > 0 {
+		return c.MaxTimeout
+	}
+	return 5 * time.Minute
+}
+
+func (c Config) maxBodyBytes() int64 {
+	if c.MaxBodyBytes > 0 {
+		return c.MaxBodyBytes
+	}
+	return 1 << 20
+}
+
+// QueryRequest is the body of POST /v1/query.
+type QueryRequest struct {
+	// Query is the census text: optional PATTERN definitions and one or
+	// more SELECT statements. Single-SELECT requests are served through a
+	// prepared statement and may reference $name parameters.
+	Query string `json:"query"`
+	// Params binds the statement's $name parameters.
+	Params map[string]string `json:"params,omitempty"`
+	// TimeoutMillis bounds evaluation wall-clock time for this request
+	// (0: the server default).
+	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
+	// MaxRows caps result rows for this request (0: unlimited).
+	MaxRows int `json:"max_rows,omitempty"`
+	// NoCache bypasses the result cache: the query runs fully and its
+	// table is not stored.
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// QueryResponse is the body of a successful POST /v1/query.
+type QueryResponse struct {
+	Tables []core.TableJSON `json:"tables"`
+	// ElapsedMicros is the server-side wall time of the whole request
+	// (admission wait included).
+	ElapsedMicros int64 `json:"elapsed_us"`
+}
+
+// ErrorResponse is the body of a failed request.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	// Partial carries the rows a deadline- or limit-stopped query produced
+	// before it was cut off.
+	Partial *core.TableJSON `json:"partial,omitempty"`
+}
+
+// StatsResponse is the body of GET /v1/stats.
+type StatsResponse struct {
+	Epoch      uint64          `json:"epoch"`
+	Nodes      int             `json:"nodes"`
+	Edges      int             `json:"edges"`
+	Cache      core.CacheStats `json:"cache"`
+	InFlight   int64           `json:"in_flight"`
+	Queued     int64           `json:"queued"`
+	Requests   uint64          `json:"requests"`
+	Rejected   uint64          `json:"rejected"`
+	Statements int             `json:"prepared_statements"`
+}
+
+// Server is the HTTP front end over one engine. Create with New; it
+// implements http.Handler.
+type Server struct {
+	e   *core.Engine
+	cfg Config
+	mux *http.ServeMux
+
+	sem      chan struct{}
+	queued   atomic.Int64
+	inFlight atomic.Int64
+	requests atomic.Uint64
+	rejected atomic.Uint64
+
+	mu       sync.Mutex
+	prepared map[string]*core.Prepared
+}
+
+// New returns a server over e.
+func New(e *core.Engine, cfg Config) *Server {
+	s := &Server{
+		e:        e,
+		cfg:      cfg,
+		sem:      make(chan struct{}, cfg.maxInFlight()),
+		prepared: map[string]*core.Prepared{},
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// errBusy is the admission-control rejection.
+var errBusy = errors.New("serve: saturated — execution slots and wait queue are full")
+
+// acquire admits one execution: immediately when a slot is free, after a
+// bounded wait when the queue has room, and with errBusy otherwise.
+func (s *Server) acquire(ctx context.Context) (release func(), err error) {
+	free := func() { s.inFlight.Add(-1); <-s.sem }
+	select {
+	case s.sem <- struct{}{}:
+		s.inFlight.Add(1)
+		return free, nil
+	default:
+	}
+	if s.queued.Add(1) > int64(s.cfg.maxQueue()) {
+		s.queued.Add(-1)
+		return nil, errBusy
+	}
+	defer s.queued.Add(-1)
+	select {
+	case s.sem <- struct{}{}:
+		s.inFlight.Add(1)
+		return free, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// preparedFor returns the cached prepared statement for a query text,
+// preparing it on first use. Serialized so concurrent first requests for
+// one text never race on pattern definition.
+func (s *Server) preparedFor(text string) (*core.Prepared, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p, ok := s.prepared[text]; ok {
+		return p, nil
+	}
+	p, err := s.e.Prepare(text)
+	if err != nil {
+		return nil, err
+	}
+	s.prepared[text] = p
+	return p, nil
+}
+
+// statementCount reports the prepared-statement cache size.
+func (s *Server) statementCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.prepared)
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.requests.Add(1)
+	var req QueryRequest
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.maxBodyBytes()+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: reading body: %w", err))
+		return
+	}
+	if int64(len(body)) > s.cfg.maxBodyBytes() {
+		writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("serve: body exceeds %d bytes", s.cfg.maxBodyBytes()))
+		return
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad request body: %w", err))
+		return
+	}
+	if req.Query == "" {
+		writeError(w, http.StatusBadRequest, errors.New("serve: empty query"))
+		return
+	}
+
+	release, err := s.acquire(r.Context())
+	if err != nil {
+		s.rejected.Add(1)
+		status := http.StatusTooManyRequests
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			status = 499 // client went away while queued
+		}
+		w.Header().Set("Retry-After", "1")
+		writeError(w, status, err)
+		return
+	}
+	defer release()
+
+	timeout := s.cfg.defaultTimeout()
+	if req.TimeoutMillis > 0 {
+		timeout = time.Duration(req.TimeoutMillis) * time.Millisecond
+	}
+	if max := s.cfg.maxTimeout(); timeout > max {
+		timeout = max
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	tables, err := s.execute(ctx, &req)
+	if err != nil {
+		status, resp := errorResponse(err)
+		writeJSON(w, status, resp)
+		return
+	}
+	out := QueryResponse{Tables: make([]core.TableJSON, len(tables))}
+	for i, t := range tables {
+		out.Tables[i] = core.NewTableJSON(t)
+	}
+	out.ElapsedMicros = time.Since(start).Microseconds()
+	writeJSON(w, http.StatusOK, out)
+}
+
+// execute routes a request through the prepared path (single SELECT) or
+// the script path (multi-statement, parameter-free).
+func (s *Server) execute(ctx context.Context, req *QueryRequest) ([]*core.Table, error) {
+	p, err := s.preparedFor(req.Query)
+	if errors.Is(err, core.ErrNotOneSelect) {
+		if len(req.Params) > 0 {
+			return nil, errors.New("serve: params require a single-SELECT query")
+		}
+		return s.e.ExecuteContext(ctx, req.Query)
+	}
+	if err != nil {
+		return nil, err
+	}
+	opts := core.ExecOptions{NoResultCache: req.NoCache}
+	if req.MaxRows > 0 {
+		limits := s.e.Opt.Limits
+		limits.MaxResultRows = req.MaxRows
+		opts.Limits = &limits
+	}
+	params := req.Params
+	if params == nil {
+		params = map[string]string{}
+	}
+	t, err := p.ExecuteContext(ctx, params, opts)
+	if err != nil {
+		return nil, err
+	}
+	return []*core.Table{t}, nil
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := StatsResponse{
+		Cache:      s.e.CacheStats(),
+		InFlight:   s.inFlight.Load(),
+		Queued:     s.queued.Load(),
+		Requests:   s.requests.Load(),
+		Rejected:   s.rejected.Load(),
+		Statements: s.statementCount(),
+	}
+	if st, err := s.e.Stats(); err == nil {
+		resp.Epoch, resp.Nodes, resp.Edges = st.Epoch, st.Nodes, st.Edges
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	io.WriteString(w, "ok\n")
+}
+
+// errorResponse maps an execution failure to a status code, attaching
+// partial results to deadline/limit stops.
+func errorResponse(err error) (int, ErrorResponse) {
+	resp := ErrorResponse{Error: err.Error()}
+	var ce *core.CanceledError
+	var le *core.LimitError
+	var pe *core.ParamError
+	var ie *core.InternalError
+	switch {
+	case errors.As(err, &ce):
+		resp.Partial = partialJSON(ce.PartialTable)
+		return http.StatusGatewayTimeout, resp
+	case errors.As(err, &le):
+		resp.Partial = partialJSON(le.PartialTable)
+		return http.StatusUnprocessableEntity, resp
+	case errors.As(err, &pe):
+		return http.StatusBadRequest, resp
+	case errors.As(err, &ie):
+		// Keep stacks out of responses; the handler's error string carries
+		// the query.
+		return http.StatusInternalServerError, ErrorResponse{Error: "internal execution error"}
+	default:
+		return http.StatusBadRequest, resp
+	}
+}
+
+func partialJSON(t *core.Table) *core.TableJSON {
+	if t == nil {
+		return nil
+	}
+	j := core.NewTableJSON(t)
+	return &j
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}

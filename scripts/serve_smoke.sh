@@ -1,0 +1,50 @@
+#!/bin/sh
+# End-to-end smoke test of the egoserve HTTP front end: generate a graph,
+# start the server, exercise /healthz, /v1/query, and /v1/stats, verify
+# that a repeated identical request is served from the result cache, and
+# check that SIGTERM drains cleanly. Run from the repository root.
+set -eu
+
+addr=127.0.0.1:18947
+tmp=$(mktemp -d)
+pid=
+cleanup() {
+	[ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+	rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+go run ./cmd/gengraph -nodes 300 -labels 3 -out "$tmp/g.egoc"
+go build -o "$tmp/egoserve" ./cmd/egoserve
+"$tmp/egoserve" -graph "$tmp/g.egoc" -addr "$addr" &
+pid=$!
+
+for _ in $(seq 1 50); do
+	if curl -fsS "http://$addr/healthz" >/dev/null 2>&1; then
+		break
+	fi
+	sleep 0.2
+done
+curl -fsS "http://$addr/healthz" | grep -q ok
+
+# First request defines the pattern and runs one SELECT (a single-SELECT
+# script still runs prepared, and leaves tri in the engine catalog).
+script='{"query":"PATTERN tri { ?A-?B; ?B-?C; ?C-?A; } SELECT ID, COUNTP(tri, SUBGRAPH(ID, 1)) FROM nodes LIMIT 5"}'
+curl -fsS -X POST -d "$script" "http://$addr/v1/query" | grep -q '"result_cached":false'
+
+# A distinct query (different LIMIT, so a different fingerprint) must miss
+# on its first execution and hit the result cache on the repeat.
+q='{"query":"SELECT ID, COUNTP(tri, SUBGRAPH(ID, 1)) FROM nodes LIMIT 7"}'
+curl -fsS -X POST -d "$q" "http://$addr/v1/query" | grep -q '"result_cached":false'
+curl -fsS -X POST -d "$q" "http://$addr/v1/query" | grep -q '"result_cached":true'
+
+curl -fsS "http://$addr/v1/stats" | grep -q '"prepared_statements":2'
+
+# A parse error must come back as HTTP 400, not tear the server down.
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST -d '{"query":"SELEC"}' "http://$addr/v1/query")
+[ "$code" = 400 ]
+
+kill -TERM "$pid"
+wait "$pid"
+pid=
+echo "serve smoke: ok"
