@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race stress bench bench-report bench-planner bench-dynamic bench-parallel bench-serve vet fmt experiments-unit experiments-small clean
+.PHONY: all build test race stress chaos bench bench-report bench-planner bench-dynamic bench-parallel bench-serve vet fmt experiments-unit experiments-small clean
 
 all: build test
 
@@ -20,6 +20,13 @@ race:
 # tests with randomized steal timing, repeated under the race detector.
 stress:
 	$(GO) test -race -count=3 -run 'Stress|Stealing' ./internal/core/
+
+# Crash-recovery soak: scripted filesystem faults (torn writes, failed
+# fsyncs, crash-after-op) against the dynamic store, checking
+# replay-or-truncate recovery and degraded-mode serving. Set CHAOS_ITERS
+# / CHAOS_SEED to widen or reproduce a run.
+chaos:
+	./scripts/chaos_soak.sh
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .

@@ -64,6 +64,7 @@ func main() {
 	}
 
 	var e *core.Engine
+	var writeHealth func() error
 	if *mutlog {
 		ds, err := storage.OpenDynamic(*graphPath)
 		if err != nil {
@@ -74,6 +75,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "egoserve: recovered epoch %d (base image at epoch %d, %d log records, %d bytes)\n",
 			ds.Snapshot().Epoch(), baseEpoch, records, bytes)
 		e = core.NewEngineLive(ds.Writer())
+		// A writer that degrades on WAL failure keeps serving reads;
+		// /healthz reports it so operators see the read-only state.
+		writeHealth = ds.Writer().Degraded
 	} else {
 		st, err := storage.Open(*graphPath, 0)
 		if err != nil {
@@ -92,6 +96,7 @@ func main() {
 		MaxQueue:       *queue,
 		DefaultTimeout: *reqTimeout,
 		MaxTimeout:     *maxTimeout,
+		WriteHealth:    writeHealth,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 

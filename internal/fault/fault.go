@@ -1,0 +1,82 @@
+// Package fault is the filesystem seam under internal/storage: an
+// interface over exactly the file operations the storage layer performs
+// (open, create, write, sync, rename, remove, truncate, read), a
+// passthrough implementation over the os package, and a deterministic,
+// seedable fault injector (inject.go) that executes scripted failure
+// plans — fail the Nth sync, tear a write short, return ENOSPC/EIO, add
+// latency, halt the filesystem after an operation to simulate a crash.
+// Every durability and recovery path in storage becomes testable without
+// build tags: production code takes the OS implementation, tests and the
+// chaos harness (cmd/chaos) substitute an Injector.
+package fault
+
+import (
+	"io"
+	"os"
+)
+
+// File is the per-handle surface storage uses. *os.File satisfies it.
+type File interface {
+	io.Reader
+	io.Writer
+	io.ReaderAt
+	io.Seeker
+	io.Closer
+
+	// Name returns the path the file was opened with.
+	Name() string
+	// Stat returns the file's metadata.
+	Stat() (os.FileInfo, error)
+	// Sync flushes the file to stable storage.
+	Sync() error
+	// Truncate changes the file's size.
+	Truncate(size int64) error
+}
+
+// FS is the filesystem surface storage uses. Implementations must be safe
+// for concurrent use: the dynamic store's background compactor runs
+// alongside the writer's WAL appends.
+type FS interface {
+	// Open opens a file (or directory, for directory fsync) read-only.
+	Open(name string) (File, error)
+	// OpenFile is the generalized open.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// CreateTemp creates a new temporary file in dir (os.CreateTemp
+	// semantics).
+	CreateTemp(dir, pattern string) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// Stat returns metadata for the named file.
+	Stat(name string) (os.FileInfo, error)
+	// ReadFile reads the whole named file.
+	ReadFile(name string) ([]byte, error)
+}
+
+// OS is the passthrough FS over the real filesystem; the zero value is
+// ready to use.
+type OS struct{}
+
+// Open implements FS.
+func (OS) Open(name string) (File, error) { return os.Open(name) }
+
+// OpenFile implements FS.
+func (OS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+// CreateTemp implements FS.
+func (OS) CreateTemp(dir, pattern string) (File, error) { return os.CreateTemp(dir, pattern) }
+
+// Rename implements FS.
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove implements FS.
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+// Stat implements FS.
+func (OS) Stat(name string) (os.FileInfo, error) { return os.Stat(name) }
+
+// ReadFile implements FS.
+func (OS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }

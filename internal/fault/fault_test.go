@@ -1,0 +1,161 @@
+package fault
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+func writeThrough(t *testing.T, fs FS, path string, chunks ...[]byte) (written int, lastErr error) {
+	t.Helper()
+	f, err := fs.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for _, c := range chunks {
+		n, err := f.Write(c)
+		written += n
+		if err != nil {
+			return written, err
+		}
+		if err := f.Sync(); err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}
+
+func TestInjectNthSync(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(OS{}, 1, Rule{Op: OpSync, From: 2, Count: 1, Err: syscall.EIO})
+	_, err := writeThrough(t, inj, filepath.Join(dir, "a"), []byte("one"), []byte("two"), []byte("three"))
+	if err == nil {
+		t.Fatal("second sync should have failed")
+	}
+	var ie *InjectedError
+	if !errors.As(err, &ie) || ie.Op != OpSync {
+		t.Fatalf("err = %v, want injected sync failure", err)
+	}
+	if !errors.Is(err, syscall.EIO) {
+		t.Fatalf("errors.Is(err, EIO) = false for %v", err)
+	}
+	if got := inj.RuleFired(0); got != 1 {
+		t.Fatalf("rule fired %d times, want 1", got)
+	}
+	// Outside the window the same file keeps working.
+	if _, err := writeThrough(t, inj, filepath.Join(dir, "b"), []byte("x"), []byte("y"), []byte("z")); err != nil {
+		t.Fatalf("unrelated syncs failed: %v", err)
+	}
+}
+
+func TestInjectTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "torn")
+	inj := NewInjector(OS{}, 1, Rule{Op: OpWrite, From: 2, Count: 1, Err: syscall.EIO, KeepBytes: 3})
+	n, err := writeThrough(t, inj, path, []byte("aaaa"), []byte("bbbbbb"))
+	if err == nil {
+		t.Fatal("second write should have failed")
+	}
+	if n != 4+3 {
+		t.Fatalf("written = %d, want 7 (full first chunk + 3-byte torn prefix)", n)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "aaaabbb" {
+		t.Fatalf("on-disk bytes %q, want torn prefix %q", data, "aaaabbb")
+	}
+}
+
+func TestInjectHaltAfterOp(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "h")
+	inj := NewInjector(OS{}, 1, Rule{Op: OpWrite, From: 2, Count: 1, Halt: true})
+	// The second write itself succeeds (crash-after-op), then everything
+	// halts.
+	n, err := writeThrough(t, inj, path, []byte("11"), []byte("22"), []byte("33"))
+	if !errors.Is(err, ErrHalted) {
+		t.Fatalf("err = %v, want ErrHalted", err)
+	}
+	if n != 4 {
+		t.Fatalf("written = %d, want 4 (both completed writes)", n)
+	}
+	if !inj.Halted() {
+		t.Fatal("injector not halted")
+	}
+	if _, err := inj.Open(path); !errors.Is(err, ErrHalted) {
+		t.Fatalf("open after halt = %v, want ErrHalted", err)
+	}
+	// The real bytes survive the crash.
+	data, _ := os.ReadFile(path)
+	if string(data) != "1122" {
+		t.Fatalf("on-disk bytes %q, want %q", data, "1122")
+	}
+}
+
+func TestInjectPathFilterAndRename(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(OS{}, 1,
+		Rule{Op: OpRename, Path: ".log", Err: syscall.ENOSPC},
+	)
+	src := filepath.Join(dir, "a.tmp")
+	if err := os.WriteFile(src, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Rename to a non-matching destination passes through.
+	if err := inj.Rename(src, filepath.Join(dir, "a.dat")); err != nil {
+		t.Fatalf("unmatched rename failed: %v", err)
+	}
+	// Rename to a matching destination is rejected with the scripted errno.
+	err := inj.Rename(filepath.Join(dir, "a.dat"), filepath.Join(dir, "a.log"))
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("matched rename: err = %v, want ENOSPC", err)
+	}
+}
+
+func TestInjectProbDeterministic(t *testing.T) {
+	run := func() []int {
+		dir := t.TempDir()
+		inj := NewInjector(OS{}, 42, Rule{Op: OpSync, Prob: 0.5, Err: syscall.EIO})
+		var failedAt []int
+		f, err := inj.OpenFile(filepath.Join(dir, "p"), os.O_RDWR|os.O_CREATE, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		for i := 0; i < 32; i++ {
+			if err := f.Sync(); err != nil {
+				failedAt = append(failedAt, i)
+			}
+		}
+		return failedAt
+	}
+	a, b := run(), run()
+	if len(a) == 0 || len(a) == 32 {
+		t.Fatalf("p=0.5 plan fired %d/32 times; gate not probabilistic", len(a))
+	}
+	for i := range a {
+		if i >= len(b) || a[i] != b[i] {
+			t.Fatalf("same seed, different fault sequence: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestInjectorReset(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(OS{}, 1, Rule{Op: OpSync, Err: syscall.EIO})
+	if _, err := writeThrough(t, inj, filepath.Join(dir, "r"), []byte("x")); err == nil {
+		t.Fatal("sync should fail under the plan")
+	}
+	inj.ClearRules()
+	if _, err := writeThrough(t, inj, filepath.Join(dir, "r"), []byte("x")); err != nil {
+		t.Fatalf("sync after ClearRules failed: %v", err)
+	}
+	if inj.OpCount(OpSync) != 2 {
+		t.Fatalf("sync op count = %d, want 2", inj.OpCount(OpSync))
+	}
+}

@@ -1,0 +1,444 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Op names one injectable filesystem operation kind.
+type Op uint8
+
+// The operation kinds an Injector can match.
+const (
+	OpOpen Op = iota // Open, OpenFile, CreateTemp
+	OpRead           // Read, ReadAt, ReadFile
+	OpWrite
+	OpSync
+	OpRename
+	OpRemove
+	OpTruncate
+	OpStat
+	numOps
+)
+
+var opNames = [numOps]string{"open", "read", "write", "sync", "rename", "remove", "truncate", "stat"}
+
+// String returns the op's lowercase name.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// ErrHalted is returned by every operation after the injector halts — the
+// simulated process death. Bytes already on disk stay exactly as the
+// preceding operations left them.
+var ErrHalted = errors.New("fault: filesystem halted (simulated crash)")
+
+// InjectedError wraps the scripted failure a rule returns, so tests can
+// tell an injected fault from a real one. Unwrap exposes the scripted
+// cause (syscall.ENOSPC, syscall.EIO, ...), keeping errors.Is chains
+// intact.
+type InjectedError struct {
+	Op   Op
+	Path string
+	Err  error
+}
+
+// Error implements error.
+func (e *InjectedError) Error() string {
+	return fmt.Sprintf("fault: injected %s failure on %s: %v", e.Op, e.Path, e.Err)
+}
+
+// Unwrap exposes the scripted cause.
+func (e *InjectedError) Unwrap() error { return e.Err }
+
+// Rule is one entry of a scripted failure plan. A rule matches an
+// operation by kind and path substring; occurrences of matching
+// operations are counted per rule, and the rule fires on occurrences
+// [From, From+Count) (From 0 means 1, Count 0 means every occurrence from
+// From on), gated by Prob when set. What firing does:
+//
+//   - Delay alone: sleep, then perform the operation normally (latency
+//     injection).
+//   - Err set: fail the operation with that error (wrapped in
+//     *InjectedError). A failing write first writes KeepBytes prefix
+//     bytes for real — a torn write, leaving a genuinely partial frame on
+//     disk.
+//   - Halt set with Err nil: perform the operation fully, then halt the
+//     filesystem (crash-after-op). With Err set, the operation fails and
+//     then the filesystem halts.
+type Rule struct {
+	// Op is the operation kind to match.
+	Op Op
+	// Path matches operations whose path contains this substring; empty
+	// matches every path.
+	Path string
+	// From is the first matching occurrence (1-based) the rule fires on;
+	// 0 means the first.
+	From int
+	// Count bounds how many occurrences fire; 0 means unlimited.
+	Count int
+	// Prob gates each firing with a seeded coin flip; <= 0 means always.
+	Prob float64
+	// Err is the failure to inject; nil makes the rule delay-only (or
+	// crash-after-op when Halt is set).
+	Err error
+	// KeepBytes is how many prefix bytes a failing write persists before
+	// the error (torn write). Only meaningful for OpWrite with Err set.
+	KeepBytes int
+	// Delay is slept before the operation (fired or passed through).
+	Delay time.Duration
+	// Halt stops the whole filesystem after this rule fires.
+	Halt bool
+}
+
+func (r *Rule) window() (from, to int) {
+	from = r.From
+	if from <= 0 {
+		from = 1
+	}
+	if r.Count <= 0 {
+		return from, int(^uint(0) >> 1)
+	}
+	return from, from + r.Count
+}
+
+// Injector wraps an FS with a scripted failure plan. It is safe for
+// concurrent use; with a single caller the fault sequence is fully
+// deterministic for a given seed and plan.
+type Injector struct {
+	inner FS
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	rules  []Rule
+	fired  []int
+	seen   []int // occurrence counters, parallel to rules
+	ops    [numOps]int64
+	halted bool
+}
+
+// NewInjector wraps inner with a failure plan. seed drives the
+// probability gates (Rule.Prob) deterministically.
+func NewInjector(inner FS, seed int64, rules ...Rule) *Injector {
+	inj := &Injector{inner: inner, rng: rand.New(rand.NewSource(seed))}
+	inj.SetRules(rules...)
+	return inj
+}
+
+// SetRules replaces the plan and resets its occurrence counters; firing
+// statistics of the old plan are discarded.
+func (inj *Injector) SetRules(rules ...Rule) {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	inj.rules = append([]Rule(nil), rules...)
+	inj.fired = make([]int, len(rules))
+	inj.seen = make([]int, len(rules))
+}
+
+// ClearRules drops the plan: the filesystem behaves normally afterwards
+// (unless halted).
+func (inj *Injector) ClearRules() { inj.SetRules() }
+
+// Halt stops the filesystem: every subsequent operation returns
+// ErrHalted, simulating the process dying at this instant. On-disk state
+// is whatever the completed operations left behind.
+func (inj *Injector) Halt() {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	inj.halted = true
+}
+
+// Halted reports whether the filesystem has halted.
+func (inj *Injector) Halted() bool {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return inj.halted
+}
+
+// RuleFired returns how many times rule i has fired.
+func (inj *Injector) RuleFired(i int) int {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	if i < 0 || i >= len(inj.fired) {
+		return 0
+	}
+	return inj.fired[i]
+}
+
+// OpCount returns how many operations of the given kind have been
+// attempted (including halted and failed ones).
+func (inj *Injector) OpCount(op Op) int64 {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	if int(op) >= len(inj.ops) {
+		return 0
+	}
+	return inj.ops[op]
+}
+
+// decision is what the plan says about one operation.
+type decision struct {
+	delay     time.Duration
+	err       error // nil: proceed normally
+	keepBytes int
+	haltAfter bool
+}
+
+// decide consults the plan for one operation. It updates occurrence and
+// firing counters under the injector lock; the caller performs the real
+// operation (and any sleep) outside it.
+func (inj *Injector) decide(op Op, path string) decision {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	inj.ops[op]++
+	if inj.halted {
+		return decision{err: ErrHalted}
+	}
+	for i := range inj.rules {
+		r := &inj.rules[i]
+		if r.Op != op || (r.Path != "" && !strings.Contains(path, r.Path)) {
+			continue
+		}
+		inj.seen[i]++
+		from, to := r.window()
+		if inj.seen[i] < from || inj.seen[i] >= to {
+			continue
+		}
+		if r.Prob > 0 && inj.rng.Float64() >= r.Prob {
+			continue
+		}
+		inj.fired[i]++
+		d := decision{delay: r.Delay, keepBytes: r.KeepBytes, haltAfter: r.Halt}
+		if r.Err != nil {
+			d.err = &InjectedError{Op: op, Path: path, Err: r.Err}
+		}
+		if r.Halt && r.Err != nil {
+			// Fail-and-halt: the failure is the last thing the process sees.
+			inj.halted = true
+		}
+		return d
+	}
+	return decision{}
+}
+
+// haltNow flips the halted flag after a crash-after-op rule completed its
+// operation.
+func (inj *Injector) haltNow() {
+	inj.mu.Lock()
+	inj.halted = true
+	inj.mu.Unlock()
+}
+
+// Open implements FS.
+func (inj *Injector) Open(name string) (File, error) {
+	d := inj.decide(OpOpen, name)
+	sleep(d.delay)
+	if d.err != nil {
+		return nil, d.err
+	}
+	f, err := inj.inner.Open(name)
+	if d.haltAfter {
+		inj.haltNow()
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{inj: inj, f: f, path: name}, nil
+}
+
+// OpenFile implements FS.
+func (inj *Injector) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	d := inj.decide(OpOpen, name)
+	sleep(d.delay)
+	if d.err != nil {
+		return nil, d.err
+	}
+	f, err := inj.inner.OpenFile(name, flag, perm)
+	if d.haltAfter {
+		inj.haltNow()
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{inj: inj, f: f, path: name}, nil
+}
+
+// CreateTemp implements FS.
+func (inj *Injector) CreateTemp(dir, pattern string) (File, error) {
+	d := inj.decide(OpOpen, dir+"/"+pattern)
+	sleep(d.delay)
+	if d.err != nil {
+		return nil, d.err
+	}
+	f, err := inj.inner.CreateTemp(dir, pattern)
+	if d.haltAfter {
+		inj.haltNow()
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{inj: inj, f: f, path: f.Name()}, nil
+}
+
+// Rename implements FS.
+func (inj *Injector) Rename(oldpath, newpath string) error {
+	d := inj.decide(OpRename, newpath)
+	sleep(d.delay)
+	if d.err != nil {
+		return d.err
+	}
+	err := inj.inner.Rename(oldpath, newpath)
+	if d.haltAfter {
+		inj.haltNow()
+	}
+	return err
+}
+
+// Remove implements FS.
+func (inj *Injector) Remove(name string) error {
+	d := inj.decide(OpRemove, name)
+	sleep(d.delay)
+	if d.err != nil {
+		return d.err
+	}
+	err := inj.inner.Remove(name)
+	if d.haltAfter {
+		inj.haltNow()
+	}
+	return err
+}
+
+// Stat implements FS.
+func (inj *Injector) Stat(name string) (os.FileInfo, error) {
+	d := inj.decide(OpStat, name)
+	sleep(d.delay)
+	if d.err != nil {
+		return nil, d.err
+	}
+	fi, err := inj.inner.Stat(name)
+	if d.haltAfter {
+		inj.haltNow()
+	}
+	return fi, err
+}
+
+// ReadFile implements FS.
+func (inj *Injector) ReadFile(name string) ([]byte, error) {
+	d := inj.decide(OpRead, name)
+	sleep(d.delay)
+	if d.err != nil {
+		return nil, d.err
+	}
+	b, err := inj.inner.ReadFile(name)
+	if d.haltAfter {
+		inj.haltNow()
+	}
+	return b, err
+}
+
+func sleep(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// injFile threads a handle's operations back through the injector.
+type injFile struct {
+	inj  *Injector
+	f    File
+	path string
+}
+
+func (jf *injFile) Name() string { return jf.f.Name() }
+
+func (jf *injFile) Read(p []byte) (int, error) {
+	d := jf.inj.decide(OpRead, jf.path)
+	sleep(d.delay)
+	if d.err != nil {
+		return 0, d.err
+	}
+	n, err := jf.f.Read(p)
+	if d.haltAfter {
+		jf.inj.haltNow()
+	}
+	return n, err
+}
+
+func (jf *injFile) ReadAt(p []byte, off int64) (int, error) {
+	d := jf.inj.decide(OpRead, jf.path)
+	sleep(d.delay)
+	if d.err != nil {
+		return 0, d.err
+	}
+	n, err := jf.f.ReadAt(p, off)
+	if d.haltAfter {
+		jf.inj.haltNow()
+	}
+	return n, err
+}
+
+func (jf *injFile) Write(p []byte) (int, error) {
+	d := jf.inj.decide(OpWrite, jf.path)
+	sleep(d.delay)
+	if d.err != nil {
+		n := 0
+		if keep := d.keepBytes; keep > 0 {
+			if keep > len(p) {
+				keep = len(p)
+			}
+			// The torn prefix really reaches the file, so recovery code
+			// sees a genuinely partial frame on disk.
+			n, _ = jf.f.Write(p[:keep])
+		}
+		return n, d.err
+	}
+	n, err := jf.f.Write(p)
+	if d.haltAfter {
+		jf.inj.haltNow()
+	}
+	return n, err
+}
+
+func (jf *injFile) Seek(offset int64, whence int) (int64, error) {
+	return jf.f.Seek(offset, whence)
+}
+
+func (jf *injFile) Sync() error {
+	d := jf.inj.decide(OpSync, jf.path)
+	sleep(d.delay)
+	if d.err != nil {
+		return d.err
+	}
+	err := jf.f.Sync()
+	if d.haltAfter {
+		jf.inj.haltNow()
+	}
+	return err
+}
+
+func (jf *injFile) Truncate(size int64) error {
+	d := jf.inj.decide(OpTruncate, jf.path)
+	sleep(d.delay)
+	if d.err != nil {
+		return d.err
+	}
+	err := jf.f.Truncate(size)
+	if d.haltAfter {
+		jf.inj.haltNow()
+	}
+	return err
+}
+
+// Close always passes through: closing a dead process's descriptors has
+// no durability effect, and letting it succeed keeps tests leak-free.
+func (jf *injFile) Close() error { return jf.f.Close() }
+
+func (jf *injFile) Stat() (os.FileInfo, error) { return jf.f.Stat() }

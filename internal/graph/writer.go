@@ -2,8 +2,10 @@ package graph
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // WAL is the durability hook a Writer calls before publishing a batch:
@@ -40,9 +42,19 @@ type Writer struct {
 	// max(256, nodes/8). Negative disables background compaction.
 	CompactOverlayAt int
 
+	// WALRetry bounds the retries of transient WAL-append failures
+	// (degraded.go). Set before sharing the writer; the zero value picks
+	// the defaults (4 attempts, 2ms..50ms exponential backoff + jitter).
+	WALRetry RetryPolicy
+
 	mu      sync.Mutex
 	cur     atomic.Pointer[Snapshot]
 	pending []Op
+
+	// degraded is the sticky read-only failure state (degraded.go); rng
+	// drives the retry jitter. Both are guarded by mu.
+	degraded *DegradedError
+	rng      *rand.Rand
 
 	// Staged object counts: IDs handed out for ops not yet published.
 	stagedNodes int
@@ -182,19 +194,29 @@ func (w *Writer) mustStagedNode(n NodeID) {
 
 // Publish makes the pending batch durable (when a WAL is attached),
 // applies it copy-on-write, and atomically installs the next snapshot.
-// With nothing pending it returns the current snapshot unchanged. On a
-// WAL error no snapshot is published and the ops stay pending, so the
-// caller may retry.
+// With nothing pending it returns the current snapshot unchanged.
+//
+// A transient WAL failure (storage classifies; see IsTransient) is
+// retried under WALRetry before anything is given up. An unrecoverable
+// failure aborts the publish — no snapshot appears, the ops stay pending
+// — and flips the writer into read-only degraded mode: this and every
+// subsequent Publish returns the same *DegradedError until
+// ClearDegraded. Readers are never affected; Snapshot() stays an atomic
+// load of the last published version throughout.
 func (w *Writer) Publish() (*Snapshot, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	base := w.cur.Load()
+	if w.degraded != nil {
+		return base, w.degraded
+	}
 	if len(w.pending) == 0 {
 		return base, nil
 	}
 	if w.wal != nil {
-		if err := w.wal.AppendBatch(w.pending); err != nil {
-			return base, fmt.Errorf("graph: publish aborted, WAL append failed: %w", err)
+		if err := w.appendWAL(w.pending); err != nil {
+			w.degraded = &DegradedError{Cause: err, Epoch: base.epoch, Since: time.Now()}
+			return base, w.degraded
 		}
 	}
 	next := applyBatch(base.g, w.pending, base.epoch+1)
@@ -285,6 +307,8 @@ type WriterStats struct {
 	CSRBuilt    bool
 	// Compactions counts completed background CSR compactions.
 	Compactions int64
+	// Degraded reports read-only degraded mode (see Writer.Degraded).
+	Degraded bool
 }
 
 // Stats snapshots the writer's monitoring counters.
@@ -302,6 +326,7 @@ func (w *Writer) Stats() WriterStats {
 		OverlayRows:  rows,
 		CSRBuilt:     built,
 		Compactions:  w.compactions.Load(),
+		Degraded:     w.degraded != nil,
 	}
 }
 

@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"reflect"
@@ -299,11 +300,14 @@ func TestWriterWALOrdering(t *testing.T) {
 		t.Fatalf("wal batches = %v", appended)
 	}
 
-	// A failing WAL append must abort the publish and keep ops pending.
+	// A failing WAL append must abort the publish, keep ops pending, and
+	// (the failure being permanent — no Transient marker) degrade the
+	// writer to read-only.
 	w.AddNode()
 	fail = true
-	if _, err := w.Publish(); err == nil {
-		t.Fatal("publish succeeded despite WAL failure")
+	var de *DegradedError
+	if _, err := w.Publish(); !errors.As(err, &de) {
+		t.Fatalf("publish err = %v, want *DegradedError", err)
 	}
 	if got := w.Snapshot().NumNodes(); got != 1 {
 		t.Fatalf("snapshot advanced past failed WAL append: nodes=%d", got)
@@ -311,7 +315,18 @@ func TestWriterWALOrdering(t *testing.T) {
 	if w.Pending() != 1 {
 		t.Fatalf("pending = %d want 1 (retained for retry)", w.Pending())
 	}
+	// Degraded mode is sticky: the WAL being healthy again changes
+	// nothing until the operator clears it.
 	fail = false
+	if _, err := w.Publish(); !errors.As(err, &de) {
+		t.Fatalf("publish while degraded: err = %v, want *DegradedError", err)
+	}
+	if w.Degraded() == nil || !w.Stats().Degraded {
+		t.Fatal("degraded state not reported")
+	}
+	if !w.ClearDegraded() {
+		t.Fatal("ClearDegraded returned false on a degraded writer")
+	}
 	s, err := w.Publish()
 	if err != nil || s.NumNodes() != 2 {
 		t.Fatalf("retry publish: %v nodes=%d", err, s.NumNodes())

@@ -1,0 +1,214 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// This file is the server's self-healing layer: per-statement circuit
+// breakers that stop hammering a query whose executions keep failing
+// internally, a latency ring that turns recent p50 into an honest
+// Retry-After under load shedding, and the tri-state health model
+// (ok | degraded | unhealthy) the /healthz endpoint reports.
+//
+// The split of responsibility: "degraded" comes from the storage write
+// path (the graph writer is read-only after an unrecoverable WAL failure;
+// queries still serve snapshots, so the probe stays 200), while
+// "unhealthy" means the query path itself is failing — consecutive
+// internal errors or panics — and flips the probe to 503 so a load
+// balancer rotates the instance out.
+
+// breaker states.
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// breaker is a per-prepared-statement circuit breaker. Consecutive
+// internal execution errors trip it open; while open, requests for the
+// statement are rejected immediately with 503 and the cooldown's
+// remainder as Retry-After. After the cooldown one probe request is let
+// through (half-open): success closes the breaker, another internal
+// error re-opens it for a fresh cooldown.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+
+	state       int
+	consecutive int
+	openedAt    time.Time
+	probing     bool
+	trips       uint64
+}
+
+// admit asks whether a request for this statement may proceed. When the
+// breaker is open it returns ok=false and how long the caller should
+// tell the client to wait; otherwise ok=true, with probe marking the
+// single half-open trial request (the caller must report its outcome).
+func (b *breaker) admit(now time.Time) (probe bool, retryAfter time.Duration, ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return false, 0, true
+	case breakerOpen:
+		if remaining := b.cooldown - now.Sub(b.openedAt); remaining > 0 {
+			return false, remaining, false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true, 0, true
+	default: // half-open
+		if b.probing {
+			// One probe at a time; everyone else keeps waiting a beat.
+			return false, b.cooldown / 2, false
+		}
+		b.probing = true
+		return true, 0, true
+	}
+}
+
+// report records an execution outcome. Only internal failures (panics,
+// executor bugs) count against the breaker — user errors like bad
+// parameters or timeouts say nothing about the statement's health.
+func (b *breaker) report(probe, internalErr bool, now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if probe {
+		b.probing = false
+	}
+	if !internalErr {
+		if b.state != breakerOpen {
+			b.state = breakerClosed
+		}
+		b.consecutive = 0
+		return
+	}
+	b.consecutive++
+	if b.state == breakerHalfOpen || (b.state == breakerClosed && b.consecutive >= b.threshold) {
+		b.state = breakerOpen
+		b.openedAt = now
+		b.trips++
+	}
+}
+
+// snapshot returns (open, trips) for stats without holding the lock long.
+func (b *breaker) snapshot(now time.Time) (open bool, trips uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	open = b.state == breakerOpen && now.Sub(b.openedAt) < b.cooldown ||
+		b.state == breakerHalfOpen
+	return open, b.trips
+}
+
+// breakerFor returns the circuit breaker for a query text, creating it
+// on first use. Breakers live alongside the prepared-statement cache and
+// share its lifetime.
+func (s *Server) breakerFor(text string) *breaker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b, ok := s.breakers[text]; ok {
+		return b
+	}
+	b := &breaker{threshold: s.cfg.breakerThreshold(), cooldown: s.cfg.breakerCooldown()}
+	s.breakers[text] = b
+	return b
+}
+
+// breakerStats aggregates open/trip counts across all statements.
+func (s *Server) breakerStats() (open int, trips uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := time.Now()
+	for _, b := range s.breakers {
+		o, t := b.snapshot(now)
+		if o {
+			open++
+		}
+		trips += t
+	}
+	return open, trips
+}
+
+// latencyRing keeps the last N successful query latencies for percentile
+// estimates. Fixed-size, lock-per-op; the write path touches it once per
+// completed request.
+type latencyRing struct {
+	mu  sync.Mutex
+	buf [64]time.Duration
+	n   int
+	idx int
+}
+
+func (r *latencyRing) add(d time.Duration) {
+	r.mu.Lock()
+	r.buf[r.idx] = d
+	r.idx = (r.idx + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// p50 returns the median recorded latency, 0 when nothing is recorded.
+func (r *latencyRing) p50() time.Duration {
+	r.mu.Lock()
+	tmp := make([]time.Duration, r.n)
+	copy(tmp, r.buf[:r.n])
+	r.mu.Unlock()
+	if len(tmp) == 0 {
+		return 0
+	}
+	sort.Slice(tmp, func(i, j int) bool { return tmp[i] < tmp[j] })
+	return tmp[len(tmp)/2]
+}
+
+// retryAfterSeconds derives the 429 Retry-After hint from live load: the
+// number of drain waves ahead of a newly queued request (queue depth over
+// execution slots) times the recent p50 latency, clamped to [1s, 60s]. An
+// idle or unmeasured server answers the old constant 1.
+func (s *Server) retryAfterSeconds() int {
+	p50 := s.lat.p50()
+	if p50 <= 0 {
+		return 1
+	}
+	waves := (s.queued.Load() + int64(s.cfg.maxInFlight())) / int64(s.cfg.maxInFlight())
+	secs := int(math.Ceil((time.Duration(waves) * p50).Seconds()))
+	if secs < 1 {
+		return 1
+	}
+	if secs > 60 {
+		return 60
+	}
+	return secs
+}
+
+// retryAfterFromCooldown converts a breaker cooldown remainder to whole
+// seconds, at least 1.
+func retryAfterFromCooldown(d time.Duration) int {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		return 1
+	}
+	return secs
+}
+
+// health evaluates the tri-state model. Order matters: a failing query
+// path is unhealthy even if the writer also happens to be degraded,
+// because serving wrong/no answers is worse than serving stale ones.
+func (s *Server) health() (status string, code int, detail string) {
+	if n := s.consecInternal.Load(); n >= int64(s.cfg.unhealthyAfter()) {
+		return "unhealthy", 503, fmt.Sprintf("%d consecutive internal query failures", n)
+	}
+	if s.cfg.WriteHealth != nil {
+		if err := s.cfg.WriteHealth(); err != nil {
+			return "degraded", 200, err.Error()
+		}
+	}
+	return "ok", 200, ""
+}

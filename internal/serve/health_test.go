@@ -1,0 +1,224 @@
+package serve
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// healthQuery is a distinct valid statement for health tests, so breaker
+// state keyed on serveQuery never interferes.
+const healthQuery = `
+PATTERN wedge { ?A-?B; ?B-?C; }
+SELECT ID, COUNTP(wedge, SUBGRAPH(ID, 1)) FROM nodes
+`
+
+func TestBreakerLifecycle(t *testing.T) {
+	b := &breaker{threshold: 2, cooldown: time.Minute}
+	now := time.Unix(1000, 0)
+
+	if _, _, ok := b.admit(now); !ok {
+		t.Fatal("fresh breaker rejected")
+	}
+	b.report(false, true, now)
+	if _, _, ok := b.admit(now); !ok {
+		t.Fatal("breaker tripped below threshold")
+	}
+	b.report(false, true, now)
+
+	// Two consecutive internal errors: open. Rejections carry the
+	// cooldown remainder.
+	probe, wait, ok := b.admit(now.Add(10 * time.Second))
+	if ok || probe {
+		t.Fatalf("open breaker admitted (probe=%v)", probe)
+	}
+	if wait != 50*time.Second {
+		t.Fatalf("retry hint %v, want the 50s cooldown remainder", wait)
+	}
+
+	// Cooldown elapsed: exactly one half-open probe goes through, the
+	// rest keep getting rejected until it reports.
+	later := now.Add(2 * time.Minute)
+	probe, _, ok = b.admit(later)
+	if !ok || !probe {
+		t.Fatalf("cooled-down breaker did not offer a probe (ok=%v probe=%v)", ok, probe)
+	}
+	if _, _, ok := b.admit(later); ok {
+		t.Fatal("second concurrent probe admitted")
+	}
+
+	// Probe fails: straight back to open for a fresh cooldown.
+	b.report(true, true, later)
+	if _, _, ok := b.admit(later.Add(time.Second)); ok {
+		t.Fatal("breaker admitted right after a failed probe")
+	}
+
+	// Next probe succeeds: closed, normal traffic resumes.
+	again := later.Add(2 * time.Minute)
+	probe, _, ok = b.admit(again)
+	if !ok || !probe {
+		t.Fatal("no probe after second cooldown")
+	}
+	b.report(true, false, again)
+	if probe, _, ok := b.admit(again); !ok || probe {
+		t.Fatalf("closed breaker still probing (ok=%v probe=%v)", ok, probe)
+	}
+	if open, trips := b.snapshot(again); open || trips != 2 {
+		t.Fatalf("snapshot open=%v trips=%d, want closed with 2 trips", open, trips)
+	}
+}
+
+func TestServeBreakerOpenRejectsWith503(t *testing.T) {
+	s := testServer(t, Config{BreakerCooldown: time.Minute})
+	// Trip the statement's breaker directly — real internal errors need
+	// an executor bug, which is exactly what the breaker is for.
+	br := s.breakerFor(serveQuery)
+	for i := 0; i < s.cfg.breakerThreshold(); i++ {
+		br.report(false, true, time.Now())
+	}
+	w, _ := postQuery(t, s, QueryRequest{Query: serveQuery, Params: map[string]string{"k": "odd"}})
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503 from the open breaker: %s", w.Code, w.Body.String())
+	}
+	ra, err := strconv.Atoi(w.Header().Get("Retry-After"))
+	if err != nil || ra < 1 || ra > 60 {
+		t.Fatalf("Retry-After = %q, want a 1..60s hint", w.Header().Get("Retry-After"))
+	}
+	// Other statements are unaffected.
+	if w, resp := postQuery(t, s, QueryRequest{Query: healthQuery}); resp == nil {
+		t.Fatalf("independent statement rejected: %d %s", w.Code, w.Body.String())
+	}
+	if open, _ := s.breakerStats(); open != 1 {
+		t.Fatalf("open breakers = %d, want 1", open)
+	}
+}
+
+func TestServePanicRecoveryAndUnhealthy(t *testing.T) {
+	s := testServer(t, Config{UnhealthyAfter: 2})
+	s.mux.HandleFunc("GET /boom", func(http.ResponseWriter, *http.Request) {
+		panic("kaboom")
+	})
+	for i := 0; i < 2; i++ {
+		w := httptest.NewRecorder()
+		s.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/boom", nil))
+		if w.Code != http.StatusInternalServerError {
+			t.Fatalf("panic request %d: status %d, want 500", i, w.Code)
+		}
+		if !strings.Contains(w.Body.String(), "internal server error") {
+			t.Fatalf("panic response leaked or was empty: %s", w.Body.String())
+		}
+	}
+	if s.panics.Load() != 2 {
+		t.Fatalf("panics = %d, want 2", s.panics.Load())
+	}
+
+	// Two consecutive internal failures cross UnhealthyAfter: the probe
+	// fails so a balancer stops routing here.
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if w.Code != http.StatusServiceUnavailable || !strings.Contains(w.Body.String(), "unhealthy") {
+		t.Fatalf("healthz after panics: %d %q, want 503 unhealthy", w.Code, w.Body.String())
+	}
+
+	// One successful query heals the gauge.
+	if w, resp := postQuery(t, s, QueryRequest{Query: healthQuery}); resp == nil {
+		t.Fatalf("healing query failed: %d %s", w.Code, w.Body.String())
+	}
+	w = httptest.NewRecorder()
+	s.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if w.Code != http.StatusOK || w.Body.String() != "ok\n" {
+		t.Fatalf("healthz after recovery: %d %q, want 200 ok", w.Code, w.Body.String())
+	}
+}
+
+func TestServeHealthzDegraded(t *testing.T) {
+	var writeErr error
+	s := testServer(t, Config{WriteHealth: func() error { return writeErr }})
+
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if w.Code != http.StatusOK || w.Body.String() != "ok\n" {
+		t.Fatalf("healthy probe: %d %q", w.Code, w.Body.String())
+	}
+
+	// Storage write path degrades: probe stays 200 (reads still serve)
+	// but reports the read-only state and its cause.
+	writeErr = errors.New("wal append exhausted retries: no space left on device")
+	w = httptest.NewRecorder()
+	s.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("degraded probe must not 503 (queries serve): got %d", w.Code)
+	}
+	body := w.Body.String()
+	if !strings.HasPrefix(body, "degraded: ") || !strings.Contains(body, "no space left") {
+		t.Fatalf("degraded body %q", body)
+	}
+	// Queries keep working while degraded.
+	if w, resp := postQuery(t, s, QueryRequest{Query: healthQuery}); resp == nil {
+		t.Fatalf("query during degraded mode failed: %d %s", w.Code, w.Body.String())
+	}
+	// Stats mirrors the state.
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/stats", nil))
+	if !strings.Contains(rec.Body.String(), `"health":"degraded"`) {
+		t.Fatalf("stats body lacks degraded health: %s", rec.Body.String())
+	}
+
+	// Writer recovers: probe flips back.
+	writeErr = nil
+	w = httptest.NewRecorder()
+	s.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if w.Code != http.StatusOK || w.Body.String() != "ok\n" {
+		t.Fatalf("recovered probe: %d %q", w.Code, w.Body.String())
+	}
+}
+
+func TestAdaptiveRetryAfter(t *testing.T) {
+	s := testServer(t, Config{MaxInFlight: 4})
+	// No latency samples yet: the conservative constant.
+	if got := s.retryAfterSeconds(); got != 1 {
+		t.Fatalf("unmeasured retry-after = %d, want 1", got)
+	}
+	// p50 2s, empty queue: one drain wave.
+	for i := 0; i < 8; i++ {
+		s.lat.add(2 * time.Second)
+	}
+	if got := s.retryAfterSeconds(); got != 2 {
+		t.Fatalf("idle retry-after = %d, want 2 (one wave x 2s p50)", got)
+	}
+	// Deep queue: 12 queued / 4 slots = 3 more waves ahead of you.
+	s.queued.Store(12)
+	if got := s.retryAfterSeconds(); got != 8 {
+		t.Fatalf("queued retry-after = %d, want 8 (4 waves x 2s)", got)
+	}
+	// Clamp at 60s no matter how bad it looks.
+	s.queued.Store(10000)
+	if got := s.retryAfterSeconds(); got != 60 {
+		t.Fatalf("clamped retry-after = %d, want 60", got)
+	}
+	s.queued.Store(0)
+}
+
+func TestLatencyRingP50(t *testing.T) {
+	var r latencyRing
+	if r.p50() != 0 {
+		t.Fatal("empty ring reported a percentile")
+	}
+	r.add(1 * time.Millisecond)
+	r.add(3 * time.Millisecond)
+	r.add(2 * time.Millisecond)
+	if got := r.p50(); got != 2*time.Millisecond {
+		t.Fatalf("p50 = %v, want 2ms", got)
+	}
+	// Overwrite the whole ring with a new regime: the median follows.
+	for i := 0; i < 200; i++ {
+		r.add(50 * time.Millisecond)
+	}
+	if got := r.p50(); got != 50*time.Millisecond {
+		t.Fatalf("p50 after wrap = %v, want 50ms", got)
+	}
+}

@@ -26,8 +26,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
 	"runtime"
+	"runtime/debug"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -51,6 +54,21 @@ type Config struct {
 	MaxTimeout     time.Duration
 	// MaxBodyBytes bounds the request body (default: 1 MiB).
 	MaxBodyBytes int64
+	// BreakerThreshold is how many consecutive internal errors trip a
+	// statement's circuit breaker open (default: 5; negative disables the
+	// breakers).
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped breaker rejects before
+	// letting a half-open probe through (default: 5s).
+	BreakerCooldown time.Duration
+	// UnhealthyAfter is how many consecutive internal failures (any
+	// statement, panics included) flip /healthz to 503 (default: 3).
+	UnhealthyAfter int
+	// WriteHealth, when set, reports the storage write path's health; a
+	// non-nil result marks the server degraded (read-only) on /healthz
+	// without failing the probe. cmd/egoserve wires the graph writer's
+	// Degraded method here.
+	WriteHealth func() error
 }
 
 func (c Config) maxInFlight() int {
@@ -86,6 +104,27 @@ func (c Config) maxBodyBytes() int64 {
 		return c.MaxBodyBytes
 	}
 	return 1 << 20
+}
+
+func (c Config) breakerThreshold() int {
+	if c.BreakerThreshold != 0 {
+		return c.BreakerThreshold
+	}
+	return 5
+}
+
+func (c Config) breakerCooldown() time.Duration {
+	if c.BreakerCooldown > 0 {
+		return c.BreakerCooldown
+	}
+	return 5 * time.Second
+}
+
+func (c Config) unhealthyAfter() int {
+	if c.UnhealthyAfter > 0 {
+		return c.UnhealthyAfter
+	}
+	return 3
 }
 
 // QueryRequest is the body of POST /v1/query.
@@ -133,6 +172,16 @@ type StatsResponse struct {
 	Requests   uint64          `json:"requests"`
 	Rejected   uint64          `json:"rejected"`
 	Statements int             `json:"prepared_statements"`
+	// Health mirrors /healthz: "ok", "degraded", or "unhealthy".
+	Health string `json:"health"`
+	// Panics counts handler panics caught by the recovery middleware.
+	Panics uint64 `json:"panics"`
+	// OpenBreakers and BreakerTrips describe the per-statement circuit
+	// breakers: how many are currently rejecting, and lifetime trips.
+	OpenBreakers int    `json:"open_breakers"`
+	BreakerTrips uint64 `json:"breaker_trips"`
+	// P50Micros is the median latency of the recent successful queries.
+	P50Micros int64 `json:"p50_us"`
 }
 
 // Server is the HTTP front end over one engine. Create with New; it
@@ -148,8 +197,16 @@ type Server struct {
 	requests atomic.Uint64
 	rejected atomic.Uint64
 
+	// Self-healing state (health.go): caught panics, the
+	// consecutive-internal-failure gauge behind the unhealthy state, and
+	// the recent-latency ring behind adaptive Retry-After.
+	panics         atomic.Uint64
+	consecInternal atomic.Int64
+	lat            latencyRing
+
 	mu       sync.Mutex
 	prepared map[string]*core.Prepared
+	breakers map[string]*breaker
 }
 
 // New returns a server over e.
@@ -159,6 +216,7 @@ func New(e *core.Engine, cfg Config) *Server {
 		cfg:      cfg,
 		sem:      make(chan struct{}, cfg.maxInFlight()),
 		prepared: map[string]*core.Prepared{},
+		breakers: map[string]*breaker{},
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
@@ -167,8 +225,41 @@ func New(e *core.Engine, cfg Config) *Server {
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler. All routes run under panic
+// recovery: a panicking handler becomes a 500 (when the response has not
+// started), counts toward the unhealthy threshold, and never takes the
+// process down with it.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	sw := &statusWriter{ResponseWriter: w}
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.panics.Add(1)
+			s.consecInternal.Add(1)
+			log.Printf("serve: panic in %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+			if !sw.wrote {
+				writeJSON(sw, http.StatusInternalServerError, ErrorResponse{Error: "internal server error"})
+			}
+		}
+	}()
+	s.mux.ServeHTTP(sw, r)
+}
+
+// statusWriter tracks whether the response has started, so the panic
+// middleware knows if a 500 can still be written.
+type statusWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (sw *statusWriter) WriteHeader(status int) {
+	sw.wrote = true
+	sw.ResponseWriter.WriteHeader(status)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	sw.wrote = true
+	return sw.ResponseWriter.Write(p)
+}
 
 // errBusy is the admission-control rejection.
 var errBusy = errors.New("serve: saturated — execution slots and wait queue are full")
@@ -243,14 +334,34 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Circuit breaker: a statement that keeps failing internally is
+	// rejected up front instead of burning an execution slot every time.
+	var br *breaker
+	probe := false
+	if s.cfg.breakerThreshold() > 0 {
+		br = s.breakerFor(req.Query)
+		var wait time.Duration
+		var ok bool
+		if probe, wait, ok = br.admit(time.Now()); !ok {
+			s.rejected.Add(1)
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterFromCooldown(wait)))
+			writeError(w, http.StatusServiceUnavailable,
+				errors.New("serve: circuit breaker open — this query has been failing internally; retry after the cooldown"))
+			return
+		}
+	}
+
 	release, err := s.acquire(r.Context())
 	if err != nil {
 		s.rejected.Add(1)
+		if br != nil {
+			br.report(probe, false, time.Now())
+		}
 		status := http.StatusTooManyRequests
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			status = 499 // client went away while queued
 		}
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		writeError(w, status, err)
 		return
 	}
@@ -267,6 +378,20 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 
 	tables, err := s.execute(ctx, &req)
+	internal := false
+	if err != nil {
+		var ie *core.InternalError
+		internal = errors.As(err, &ie)
+	}
+	if br != nil {
+		br.report(probe, internal, time.Now())
+	}
+	if internal {
+		s.consecInternal.Add(1)
+	} else if err == nil {
+		s.consecInternal.Store(0)
+		s.lat.add(time.Since(start))
+	}
 	if err != nil {
 		status, resp := errorResponse(err)
 		writeJSON(w, status, resp)
@@ -322,13 +447,26 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if st, err := s.e.Stats(); err == nil {
 		resp.Epoch, resp.Nodes, resp.Edges = st.Epoch, st.Nodes, st.Edges
 	}
+	resp.Health, _, _ = s.health()
+	resp.Panics = s.panics.Load()
+	resp.OpenBreakers, resp.BreakerTrips = s.breakerStats()
+	resp.P50Micros = s.lat.p50().Microseconds()
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleHealthz reports the tri-state health model: 200 "ok", 200
+// "degraded: <cause>" (writes are read-only, queries fine — probes must
+// not kill a serving replica over a storage fault), or 503 "unhealthy:
+// <cause>" when the query path itself keeps failing.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status, code, detail := s.health()
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	w.WriteHeader(http.StatusOK)
-	io.WriteString(w, "ok\n")
+	w.WriteHeader(code)
+	if detail != "" {
+		fmt.Fprintf(w, "%s: %s\n", status, detail)
+		return
+	}
+	io.WriteString(w, status+"\n")
 }
 
 // errorResponse maps an execution failure to a status code, attaching

@@ -5,6 +5,7 @@ import (
 	"os"
 	"sync"
 
+	"egocensus/internal/fault"
 	"egocensus/internal/graph"
 )
 
@@ -24,6 +25,7 @@ import (
 // batches are already folded into the image, so it is discarded and a
 // fresh log is started at the epoch where it ended.
 type DynamicStore struct {
+	fsys     fault.FS
 	basePath string
 	logPath  string
 	w        *graph.Writer
@@ -49,15 +51,20 @@ const DefaultCompactAtBytes = 4 << 20
 // image is saved atomically, an empty mutation log is created beside it,
 // and the opened store is returned. Fails if basePath already exists.
 func CreateDynamic(basePath string, g *graph.Graph) (*DynamicStore, error) {
-	if _, err := os.Stat(basePath); err == nil {
+	return CreateDynamicFS(fault.OS{}, basePath, g)
+}
+
+// CreateDynamicFS is CreateDynamic through an explicit filesystem seam.
+func CreateDynamicFS(fsys fault.FS, basePath string, g *graph.Graph) (*DynamicStore, error) {
+	if _, err := fsys.Stat(basePath); err == nil {
 		return nil, fmt.Errorf("storage: %s already exists", basePath)
 	} else if !os.IsNotExist(err) {
 		return nil, err
 	}
-	if err := Save(basePath, g); err != nil {
+	if err := SaveFS(fsys, basePath, g); err != nil {
 		return nil, err
 	}
-	return OpenDynamic(basePath)
+	return OpenDynamicFS(fsys, basePath)
 }
 
 // OpenDynamic opens the dynamic store at basePath: the base image is
@@ -67,11 +74,18 @@ func CreateDynamic(basePath string, g *graph.Graph) (*DynamicStore, error) {
 // returned store's background compactor is active with the default
 // threshold; tune it with SetCompactAtBytes.
 func OpenDynamic(basePath string) (*DynamicStore, error) {
-	g, err := Load(basePath)
+	return OpenDynamicFS(fault.OS{}, basePath)
+}
+
+// OpenDynamicFS is OpenDynamic through an explicit filesystem seam: the
+// chaos harness opens stores over a fault.Injector to drive scripted
+// crash, torn-write and errno faults through every recovery path.
+func OpenDynamicFS(fsys fault.FS, basePath string) (*DynamicStore, error) {
+	g, err := LoadFS(fsys, basePath)
 	if err != nil {
 		return nil, err
 	}
-	baseCRC, err := baseImageCRC(basePath)
+	baseCRC, err := baseImageCRC(fsys, basePath)
 	if err != nil {
 		return nil, err
 	}
@@ -79,15 +93,15 @@ func OpenDynamic(basePath string) (*DynamicStore, error) {
 
 	var log *Log
 	lastEpoch := uint64(0)
-	switch _, statErr := os.Stat(logPath); {
+	switch _, statErr := fsys.Stat(logPath); {
 	case os.IsNotExist(statErr):
-		if log, err = CreateLog(logPath, baseCRC, 0); err != nil {
+		if log, err = CreateLogFS(fsys, logPath, baseCRC, 0); err != nil {
 			return nil, err
 		}
 	case statErr != nil:
 		return nil, statErr
 	default:
-		log, err = OpenLog(logPath, baseCRC, func(d graph.Delta) error {
+		log, err = OpenLogFS(fsys, logPath, baseCRC, func(d graph.Delta) error {
 			for _, op := range d.Ops {
 				if err := graph.ApplyOp(g, op); err != nil {
 					return err
@@ -100,11 +114,11 @@ func OpenDynamic(basePath string) (*DynamicStore, error) {
 			// renaming the new base image but before swapping the log: the
 			// old log's batches are already folded into the image. Discard
 			// it, but resume the epoch sequence past its last record.
-			staleCRC, staleLast, scanErr := LogBaseCRC(logPath)
+			staleCRC, staleLast, scanErr := logBaseCRCFS(fsys, logPath)
 			if scanErr != nil || staleCRC == baseCRC {
 				return nil, err
 			}
-			if log, err = CreateLog(logPath, baseCRC, staleLast); err != nil {
+			if log, err = CreateLogFS(fsys, logPath, baseCRC, staleLast); err != nil {
 				return nil, err
 			}
 		}
@@ -112,6 +126,7 @@ func OpenDynamic(basePath string) (*DynamicStore, error) {
 	}
 
 	ds := &DynamicStore{
+		fsys:           fsys,
 		basePath:       basePath,
 		logPath:        logPath,
 		log:            log,
@@ -190,21 +205,21 @@ func (ds *DynamicStore) Compact() error {
 		return fmt.Errorf("storage: dynamic store %s is closed", ds.basePath)
 	}
 	err := ds.w.Barrier(^uint64(0), func(cur *graph.Snapshot, _ []graph.Delta) (graph.WAL, error) {
-		if err := Save(ds.basePath, cur.Graph()); err != nil {
+		if err := SaveFS(ds.fsys, ds.basePath, cur.Graph()); err != nil {
 			return nil, err
 		}
-		newCRC, err := baseImageCRC(ds.basePath)
+		newCRC, err := baseImageCRC(ds.fsys, ds.basePath)
 		if err != nil {
 			return nil, err
 		}
 		tmp := ds.logPath + ".compact"
-		nl, err := CreateLog(tmp, newCRC, cur.Epoch())
+		nl, err := CreateLogFS(ds.fsys, tmp, newCRC, cur.Epoch())
 		if err != nil {
 			return nil, err
 		}
 		if err := nl.renameLogInto(ds.logPath); err != nil {
 			nl.Close()
-			os.Remove(tmp)
+			ds.fsys.Remove(tmp)
 			return nil, err
 		}
 		ds.log.Close()

@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"sync"
 
+	"egocensus/internal/fault"
 	"egocensus/internal/graph"
 )
 
@@ -48,8 +49,9 @@ const (
 // Log is an open mutation-log segment positioned for appending. It
 // implements graph.WAL, so it plugs directly into graph.Writer.SetWAL.
 type Log struct {
+	fsys      fault.FS
 	path      string
-	f         *os.File
+	f         fault.File
 	baseCRC   uint32
 	baseEpoch uint64
 
@@ -68,23 +70,28 @@ type Log struct {
 // base image with trailing CRC baseCRC, whose state is epoch baseEpoch.
 // The header is fsynced before returning.
 func CreateLog(path string, baseCRC uint32, baseEpoch uint64) (*Log, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	return CreateLogFS(fault.OS{}, path, baseCRC, baseEpoch)
+}
+
+// CreateLogFS is CreateLog through an explicit filesystem seam.
+func CreateLogFS(fsys fault.FS, path string, baseCRC uint32, baseEpoch uint64) (*Log, error) {
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	l := &Log{path: path, f: f, baseCRC: baseCRC, baseEpoch: baseEpoch, lastEpoch: baseEpoch}
+	l := &Log{fsys: fsys, path: path, f: f, baseCRC: baseCRC, baseEpoch: baseEpoch, lastEpoch: baseEpoch}
 	var hdr [logHeaderSize]byte
 	copy(hdr[:], LogMagic[:])
 	binary.LittleEndian.PutUint32(hdr[6:], baseCRC)
 	binary.LittleEndian.PutUint64(hdr[10:], baseEpoch)
 	if _, err := f.Write(hdr[:]); err != nil {
 		f.Close()
-		os.Remove(path)
+		fsys.Remove(path)
 		return nil, err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(path)
+		fsys.Remove(path)
 		return nil, err
 	}
 	l.size = logHeaderSize
@@ -103,7 +110,12 @@ func CreateLog(path string, baseCRC uint32, baseEpoch uint64) (*Log, error) {
 // fails to decode, or whose epoch breaks the contiguous sequence, is also
 // *CorruptFileError: that is structural damage, not a crash artifact.
 func OpenLog(path string, baseCRC uint32, apply func(graph.Delta) error) (*Log, error) {
-	data, err := os.ReadFile(path)
+	return OpenLogFS(fault.OS{}, path, baseCRC, apply)
+}
+
+// OpenLogFS is OpenLog through an explicit filesystem seam.
+func OpenLogFS(fsys fault.FS, path string, baseCRC uint32, apply func(graph.Delta) error) (*Log, error) {
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
@@ -136,7 +148,7 @@ func OpenLog(path string, baseCRC uint32, apply func(graph.Delta) error) (*Log, 
 		lastEpoch = d.Epoch
 	}
 
-	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	f, err := fsys.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, err
 	}
@@ -154,6 +166,7 @@ func OpenLog(path string, baseCRC uint32, apply func(graph.Delta) error) (*Log, 
 		return nil, err
 	}
 	return &Log{
+		fsys:      fsys,
 		path:      path,
 		f:         f,
 		baseCRC:   baseCRC,
@@ -170,7 +183,11 @@ func OpenLog(path string, baseCRC uint32, apply func(graph.Delta) error) (*Log, 
 // It also scans for the last intact epoch, which bounds the epoch
 // sequence a fresh log must resume from.
 func LogBaseCRC(path string) (baseCRC uint32, lastEpoch uint64, err error) {
-	data, err := os.ReadFile(path)
+	return logBaseCRCFS(fault.OS{}, path)
+}
+
+func logBaseCRCFS(fsys fault.FS, path string) (baseCRC uint32, lastEpoch uint64, err error) {
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -281,9 +298,16 @@ func takeStr16(p []byte) (string, []byte, error) {
 // AppendBatch encodes ops as the next epoch's record, appends it, and
 // fsyncs before returning — this is the graph.WAL hook, called by
 // graph.Writer.Publish before the batch becomes visible in memory. On a
-// write failure the partial frame is truncated away; if even that fails
-// the log marks itself broken and refuses further appends rather than
-// risk a malformed middle.
+// write failure the partial frame is truncated away (and the file offset
+// rewound to the record boundary, so a retried append never leaves a
+// zero-filled hole behind a torn prefix); if even that fails the log
+// marks itself broken and refuses further appends rather than risk a
+// malformed middle.
+//
+// Failures are classified for the writer's retry policy: conditions that
+// can clear (ENOSPC and friends) come back as *TransientError once the
+// log is restored to a clean record boundary, everything else — including
+// any failure to restore the boundary — is permanent.
 func (l *Log) AppendBatch(ops []graph.Op) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -293,21 +317,32 @@ func (l *Log) AppendBatch(ops []graph.Op) error {
 	epoch := l.lastEpoch + 1
 	l.buf = appendLogRecord(l.buf[:0], epoch, ops)
 	if _, err := l.f.Write(l.buf); err != nil {
-		if terr := l.f.Truncate(l.size); terr != nil {
-			l.broken = terr
-		}
-		return err
+		return l.rewind("wal append", err)
 	}
 	if err := l.f.Sync(); err != nil {
-		if terr := l.f.Truncate(l.size); terr != nil {
-			l.broken = terr
-		}
-		return err
+		return l.rewind("wal sync", err)
 	}
 	l.lastEpoch = epoch
 	l.records++
 	l.size += int64(len(l.buf))
 	return nil
+}
+
+// rewind restores the log to its last durable record boundary after a
+// failed append: the partial frame is truncated away and the write offset
+// rewound. Success makes the original failure safely retryable (returned
+// classified); failure marks the log broken and returns a permanent
+// error.
+func (l *Log) rewind(op string, cause error) error {
+	if err := l.f.Truncate(l.size); err != nil {
+		l.broken = err
+		return fmt.Errorf("storage: %s failed (%v) and the partial frame could not be truncated: %w", op, cause, err)
+	}
+	if _, err := l.f.Seek(l.size, io.SeekStart); err != nil {
+		l.broken = err
+		return fmt.Errorf("storage: %s failed (%v) and the log offset could not be rewound: %w", op, cause, err)
+	}
+	return classifyIO(op, l.path, cause)
 }
 
 // appendLogRecord frames one batch: length, payload, payload CRC.
@@ -361,8 +396,8 @@ func (l *Log) Close() error { return l.f.Close() }
 
 // baseImageCRC reads the trailing CRC32 of a .egoc base image, the value
 // a sidecar log's header must match.
-func baseImageCRC(path string) (uint32, error) {
-	f, err := os.Open(path)
+func baseImageCRC(fsys fault.FS, path string) (uint32, error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return 0, err
 	}
@@ -386,13 +421,10 @@ func baseImageCRC(path string) (uint32, error) {
 // rename the open handle keeps appending to the same inode, now visible
 // at dst.
 func (l *Log) renameLogInto(dst string) error {
-	if err := os.Rename(l.path, dst); err != nil {
+	if err := l.fsys.Rename(l.path, dst); err != nil {
 		return err
 	}
 	l.path = dst
-	if d, err := os.Open(filepath.Dir(dst)); err == nil {
-		d.Sync()
-		d.Close()
-	}
+	syncDir(l.fsys, filepath.Dir(dst))
 	return nil
 }

@@ -5,8 +5,8 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"os"
 
+	"egocensus/internal/fault"
 	"egocensus/internal/graph"
 )
 
@@ -21,7 +21,7 @@ const DefaultCacheBlocks = 1024
 // resident; adjacency and attribute payloads are read on demand through a
 // fixed-capacity block cache.
 type Store struct {
-	f    *os.File
+	f    fault.File
 	path string
 	size int64
 	h    header
@@ -54,7 +54,12 @@ type CacheStats struct {
 // file that fails any structural check yields a *CorruptFileError; no
 // corrupt input panics the reader or allocates beyond the file's size.
 func Open(path string, cacheBlocks int) (*Store, error) {
-	f, err := os.Open(path)
+	return OpenFS(fault.OS{}, path, cacheBlocks)
+}
+
+// OpenFS is Open through an explicit filesystem seam.
+func OpenFS(fsys fault.FS, path string, cacheBlocks int) (*Store, error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return nil, err
 	}
