@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race stress chaos bench bench-report bench-planner bench-dynamic bench-parallel bench-serve vet fmt experiments-unit experiments-small clean
+.PHONY: all build test race stress chaos bench bench-report bench-planner bench-dynamic bench-parallel bench-serve bench-sharded vet fmt experiments-unit experiments-small clean
 
 all: build test
 
@@ -19,7 +19,7 @@ race:
 # convergence, live-engine ingest) plus the work-stealing determinism
 # tests with randomized steal timing, repeated under the race detector.
 stress:
-	$(GO) test -race -count=3 -run 'Stress|Stealing' ./internal/core/
+	$(GO) test -race -shuffle=on -count=3 -run 'Stress|Stealing|Shard' ./internal/core/ ./internal/storage/
 
 # Crash-recovery soak: scripted filesystem faults (torn writes, failed
 # fsyncs, crash-after-op) against the dynamic store, checking
@@ -57,6 +57,13 @@ bench-parallel:
 # latency, and HTTP handler QPS at 1/4/8 concurrent clients.
 bench-serve:
 	$(GO) run ./cmd/benchreport -suite 7 -o BENCH_7.json
+
+# Sharded-store metrics: durable ingest throughput at 1/2/4/8 shards,
+# parallel replay-on-open, and census latency parity on a pinned sharded
+# snapshot (the >=2x-at-4-shards criterion assumes >=4 CPUs; the report
+# records gomaxprocs).
+bench-sharded:
+	$(GO) run ./cmd/benchreport -suite 8 -o BENCH_8.json
 
 vet:
 	$(GO) vet ./...

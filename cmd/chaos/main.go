@@ -55,26 +55,30 @@ SELECT ID, COUNTP(tri, SUBGRAPH(ID, 1)) FROM nodes
 func main() {
 	iters := flag.Int("iters", 25, "soak iterations")
 	seed := flag.Int64("seed", 0, "master seed (0: derive from the clock)")
+	shards := flag.Int("shards", 1, "shard count for the stores under test (1 = the historical single-log layout)")
 	flag.Parse()
 	if *seed == 0 {
 		*seed = time.Now().UnixNano()
 	}
-	fmt.Printf("chaos: %d iterations, seed %d (rerun with -seed %d to reproduce)\n", *iters, *seed, *seed)
+	fmt.Printf("chaos: %d iterations, seed %d, %d shards (rerun with -seed %d to reproduce)\n", *iters, *seed, *shards, *seed)
 
 	for i := 0; i < *iters; i++ {
 		rng := rand.New(rand.NewSource(*seed + int64(i)*7919))
 		var err error
 		var kind string
-		switch i % 5 {
-		case 3:
+		switch {
+		case i%5 == 3:
 			kind = "compaction-crash"
-			err = iterCompactionCrash(rng)
-		case 4:
+			err = iterCompactionCrash(rng, *shards)
+		case i%5 == 4 && *shards > 1 && i%2 == 0:
+			kind = "shard-compaction-kill"
+			err = iterShardCompactionKill(rng, *shards)
+		case i%5 == 4:
 			kind = "degraded-serving"
-			err = iterDegradedServing(rng)
+			err = iterDegradedServing(rng, *shards)
 		default:
 			kind = "append-crash"
-			err = iterAppendCrash(rng)
+			err = iterAppendCrash(rng, *shards)
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "chaos: FAIL iteration %d (%s, seed %d): %v\n", i, kind, *seed, err)
@@ -131,7 +135,7 @@ func randBatch(rng *rand.Rand, nodes int) ([]graph.Op, int) {
 }
 
 // stage mirrors a generated batch into the writer's staging API.
-func stage(w *graph.Writer, ops []graph.Op) {
+func stage(w *graph.ShardedWriter, ops []graph.Op) {
 	for _, op := range ops {
 		switch op.Kind {
 		case graph.OpAddNode:
@@ -212,7 +216,7 @@ func randomCrashRule(rng *rand.Rand) fault.Rule {
 // iterAppendCrash is the core soak loop body: publish batches through an
 // injected filesystem until a scripted fault kills the "process", then
 // reopen and check every recovery invariant.
-func iterAppendCrash(rng *rand.Rand) error {
+func iterAppendCrash(rng *rand.Rand, shards int) error {
 	dir, err := os.MkdirTemp("", "chaos-*")
 	if err != nil {
 		return err
@@ -222,7 +226,7 @@ func iterAppendCrash(rng *rand.Rand) error {
 
 	gseed := rng.Int63()
 	inj := fault.NewInjector(fault.OS{}, rng.Int63())
-	ds, err := storage.CreateDynamicFS(inj, base, seedGraph(gseed))
+	ds, err := storage.CreateDynamicShardedFS(inj, base, seedGraph(gseed), shards)
 	if err != nil {
 		return fmt.Errorf("create: %w", err)
 	}
@@ -314,7 +318,7 @@ func iterAppendCrash(rng *rand.Rand) error {
 // iterCompactionCrash kills the process mid-compaction — before the base
 // rename, between rename and log swap (the stale-log window), or at the
 // log swap — and checks the store recovers the published state.
-func iterCompactionCrash(rng *rand.Rand) error {
+func iterCompactionCrash(rng *rand.Rand, shards int) error {
 	dir, err := os.MkdirTemp("", "chaos-*")
 	if err != nil {
 		return err
@@ -324,7 +328,7 @@ func iterCompactionCrash(rng *rand.Rand) error {
 
 	gseed := rng.Int63()
 	inj := fault.NewInjector(fault.OS{}, rng.Int63())
-	ds, err := storage.CreateDynamicFS(inj, base, seedGraph(gseed))
+	ds, err := storage.CreateDynamicShardedFS(inj, base, seedGraph(gseed), shards)
 	if err != nil {
 		return fmt.Errorf("create: %w", err)
 	}
@@ -393,7 +397,7 @@ func iterCompactionCrash(rng *rand.Rand) error {
 // answering from the pinned snapshot (reference-equal), /healthz reports
 // degraded without failing the probe, and clearing the fault plus
 // ClearDegraded resumes publishing.
-func iterDegradedServing(rng *rand.Rand) error {
+func iterDegradedServing(rng *rand.Rand, shards int) error {
 	dir, err := os.MkdirTemp("", "chaos-*")
 	if err != nil {
 		return err
@@ -403,7 +407,7 @@ func iterDegradedServing(rng *rand.Rand) error {
 
 	gseed := rng.Int63()
 	inj := fault.NewInjector(fault.OS{}, rng.Int63())
-	ds, err := storage.CreateDynamicFS(inj, base, seedGraph(gseed))
+	ds, err := storage.CreateDynamicShardedFS(inj, base, seedGraph(gseed), shards)
 	if err != nil {
 		return fmt.Errorf("create: %w", err)
 	}
@@ -424,7 +428,7 @@ func iterDegradedServing(rng *rand.Rand) error {
 		return err
 	}
 
-	srv := serve.New(core.NewEngineLive(w), serve.Config{WriteHealth: w.Degraded})
+	srv := serve.New(core.NewEngineLiveSharded(w), serve.Config{WriteHealth: w.Degraded})
 
 	// Every further fsync on the log hits ENOSPC: retries exhaust and the
 	// writer degrades.
@@ -487,6 +491,99 @@ func iterDegradedServing(rng *rand.Rand) error {
 	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
 	if rec.Code != http.StatusOK || rec.Body.String() != "ok\n" {
 		return fmt.Errorf("healthz after recovery: %d %q", rec.Code, rec.Body.String())
+	}
+	return nil
+}
+
+// iterShardCompactionKill targets the sharded compaction swap: a P-shard
+// compaction renames the base image and then each of the P log segments
+// in turn, and those P+1 renames cannot be atomic together. The process
+// is killed at a random segment rename, leaving a mix of swapped (new,
+// empty) and stale (bound to the previous image) segments. Reopening
+// must resolve the mix per segment: the shards whose swap never happened
+// lose nothing — their batches are already folded into the renamed image
+// — and the recovered epoch and graph equal the last acknowledged state.
+func iterShardCompactionKill(rng *rand.Rand, shards int) error {
+	dir, err := os.MkdirTemp("", "chaos-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	base := filepath.Join(dir, "g.egoc")
+
+	gseed := rng.Int63()
+	inj := fault.NewInjector(fault.OS{}, rng.Int63())
+	ds, err := storage.CreateDynamicShardedFS(inj, base, seedGraph(gseed), shards)
+	if err != nil {
+		return fmt.Errorf("create: %w", err)
+	}
+	ds.SetCompactAtBytes(0)
+	ref := seedGraph(gseed)
+	nodes := ref.NumNodes()
+
+	w := ds.Writer()
+	lastAcked := uint64(0)
+	for b := 0; b < 3+rng.Intn(4); b++ {
+		var ops []graph.Op
+		ops, nodes = randBatch(rng, nodes)
+		stage(w, ops)
+		snap, err := w.Publish()
+		if err != nil {
+			return fmt.Errorf("clean publish: %w", err)
+		}
+		lastAcked = snap.Epoch()
+		if err := applyRef(ref, ops); err != nil {
+			return err
+		}
+	}
+
+	// Rename #1 is the base image; #2 … #shards+1 swap the segments.
+	// Killing at a random segment swap leaves segments 0..k-2 new and
+	// k-1..P-1 stale.
+	k := 2 + rng.Intn(shards)
+	inj.SetRules(fault.Rule{Op: fault.OpRename, From: k, Count: 1, Err: syscall.EIO, Halt: true})
+	_ = ds.Compact() // the "process" dies mid-swap
+	inj.Halt()
+	ds.Close()
+
+	ds2, err := storage.OpenDynamic(base)
+	if err != nil {
+		return fmt.Errorf("reopen after shard-compaction kill: %w", err)
+	}
+	defer ds2.Close()
+	ds2.SetCompactAtBytes(0)
+	if got := ds2.Snapshot().Epoch(); got != lastAcked {
+		return fmt.Errorf("recovered epoch %d after shard-compaction kill at rename %d, want %d", got, k, lastAcked)
+	}
+	if ds2.Shards() != shards {
+		return fmt.Errorf("recovered store has %d shards, want %d", ds2.Shards(), shards)
+	}
+	if fp, wfp := fingerprint(ds2.Snapshot().Graph()), fingerprint(ref); fp != wfp {
+		return fmt.Errorf("shard-compaction kill lost state:\n--- recovered\n%s--- reference\n%s", fp, wfp)
+	}
+	gotCensus, err := census(ds2.Snapshot().Graph())
+	if err != nil {
+		return fmt.Errorf("census over recovered graph: %w", err)
+	}
+	wantCensus, err := census(ref)
+	if err != nil {
+		return err
+	}
+	if gotCensus != wantCensus {
+		return fmt.Errorf("census diverges after shard-compaction kill:\n--- recovered\n%s--- reference\n%s", gotCensus, wantCensus)
+	}
+
+	// Still fully writable across every shard, and a clean compaction
+	// completes the interrupted swap.
+	w2 := ds2.Writer()
+	var ops []graph.Op
+	ops, nodes = randBatch(rng, ref.NumNodes())
+	stage(w2, ops)
+	if _, err := w2.Publish(); err != nil {
+		return fmt.Errorf("publish after shard-compaction kill: %w", err)
+	}
+	if err := ds2.Compact(); err != nil {
+		return fmt.Errorf("compaction after recovery: %w", err)
 	}
 	return nil
 }

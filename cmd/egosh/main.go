@@ -19,7 +19,7 @@
 //	\prepare <name> <q>   compile a parameterized statement once
 //	\execute <name> [k=v] run a prepared statement with $name bindings
 //	\timing               toggle per-stage timing after each query
-//	\ingest <file>        stream a text edge list through the graph writer
+//	\ingest <file> [P]    stream a text edge list through P ingest lanes
 //	\snapshot             show the writer's epoch, overlay, and ingest state
 //	\dot <node> <k> <f>   export an ego subgraph as Graphviz DOT
 //	\stats                print graph statistics
@@ -101,7 +101,7 @@ type shell struct {
 	// it (compiled statements are bound to the engine they came from).
 	prepared map[string]*core.Prepared
 
-	writer       *graph.Writer
+	writer       *graph.ShardedWriter
 	ingestActive atomic.Bool
 	ingestFile   string       // set by the REPL goroutine while inactive
 	ingestOps    atomic.Int64 // mutations staged by the running ingest
@@ -222,18 +222,27 @@ func (sh *shell) ingestBlocked() bool {
 }
 
 // goLive promotes the session graph to a mutating one: the current graph
-// is frozen as epoch 0 under a Writer and the engine is replaced by a
-// live engine that pins a fresh snapshot per query.
-func (sh *shell) goLive() bool {
+// is frozen as epoch 0 under a sharded writer and the engine is replaced
+// by a live engine that pins a fresh snapshot per query. shards > 1
+// partitions staging into independent ingest lanes (0 keeps the current
+// writer's shard count, or 1 lane for a fresh writer).
+func (sh *shell) goLive(shards int) bool {
 	if sh.writer != nil {
+		if shards > 1 && sh.writer.Shards() != shards {
+			fmt.Fprintf(sh.out, "error: session is already live with %d shard(s)\n", sh.writer.Shards())
+			return false
+		}
 		return true
 	}
 	g := sh.graphOrComplain()
 	if g == nil {
 		return false
 	}
-	sh.writer = graph.NewWriter(g)
-	sh.adoptEngine(core.NewEngineLive(sh.writer))
+	if shards < 1 {
+		shards = 1
+	}
+	sh.writer = graph.NewShardedWriter(g, shards)
+	sh.adoptEngine(core.NewEngineLiveSharded(sh.writer))
 	return true
 }
 
@@ -242,7 +251,7 @@ func (sh *shell) goLive() bool {
 // "<a> <b>" pairs, "edge <a> <b> [k=v ...]", "node <id> [k=v ...]", '#'
 // comments. Node IDs are literal: referencing an ID beyond the current
 // graph creates the nodes up to it.
-func (sh *shell) startIngest(path string) {
+func (sh *shell) startIngest(path string, shards int) {
 	if sh.ingestActive.Load() {
 		fmt.Fprintf(sh.out, "error: ingest of %s already running\n", sh.ingestFile)
 		return
@@ -252,7 +261,7 @@ func (sh *shell) startIngest(path string) {
 		fmt.Fprintf(sh.out, "error: %v\n", err)
 		return
 	}
-	if !sh.goLive() {
+	if !sh.goLive(shards) {
 		f.Close()
 		return
 	}
@@ -376,6 +385,15 @@ func (sh *shell) printSnapshot() {
 			st.OverlayRows, st.Compactions)
 	} else {
 		fmt.Fprintln(sh.out, "csr: not built yet (the first traversal builds it)")
+	}
+	if sh.writer.Shards() > 1 {
+		for _, ss := range sh.writer.ShardStats() {
+			state := "ok"
+			if ss.Degraded {
+				state = "degraded"
+			}
+			fmt.Fprintf(sh.out, "shard %d: %d pending ops, %s\n", ss.Shard, ss.PendingOps, state)
+		}
 	}
 	if sh.ingestActive.Load() {
 		fmt.Fprintf(sh.out, "ingest running: %s (%d ops staged so far)\n", sh.ingestFile, sh.ingestOps.Load())
@@ -593,7 +611,7 @@ commands:
   \prepare <name> <stmt> compile one SELECT once; $param placeholders allowed
   \execute <name> [k=v]  run a prepared statement with parameter bindings
   \timing                toggle per-stage timing after each query
-  \ingest <file>         stream a text edge list through the graph writer
+  \ingest <file> [P]     stream a text edge list through P shard lanes
                          in the background (queries stay snapshot-consistent)
   \snapshot              writer epoch, delta-overlay size, ingest progress
   \dot <node> <k> <file> export S(node, k) as Graphviz DOT
@@ -702,11 +720,20 @@ commands:
 			fmt.Fprintf(sh.out, "error: %v\n", err)
 		}
 	case `\ingest`:
-		if len(fields) != 2 {
-			fmt.Fprintln(sh.out, "usage: \\ingest <file>")
+		if len(fields) != 2 && len(fields) != 3 {
+			fmt.Fprintln(sh.out, "usage: \\ingest <file> [shards]")
 			break
 		}
-		sh.startIngest(fields[1])
+		shards := 0
+		if len(fields) == 3 {
+			n, err := strconv.Atoi(fields[2])
+			if err != nil || n < 1 {
+				fmt.Fprintf(sh.out, "error: invalid shard count %q\n", fields[2])
+				break
+			}
+			shards = n
+		}
+		sh.startIngest(fields[1], shards)
 	case `\snapshot`:
 		sh.printSnapshot()
 	case `\gen`:

@@ -297,7 +297,7 @@ func TestShellIngestBlocksGraphSwitch(t *testing.T) {
 	sh := newShell(&out, 1)
 	sh.run(strings.NewReader("\\gen 10\n\\quit\n"))
 	// Simulate a running ingest and check the guards refuse.
-	sh.writer = graph.NewWriter(gen.ErdosRenyi(5, 5, 1))
+	sh.writer = graph.NewShardedWriter(gen.ErdosRenyi(5, 5, 1), 1)
 	sh.ingestFile = "busy.el"
 	sh.ingestActive.Store(true)
 	sh.command(`\gen 20`)

@@ -5,7 +5,7 @@
 //
 //	gengraph -out graph.egoc -nodes 100000 [-model ba|er|ws|geo|planted|dba]
 //	         [-m 5] [-labels 4] [-signed 0.0] [-seed 1]
-//	         [-beta 0.1] [-radius 0.05] [-communities 8] [-text]
+//	         [-beta 0.1] [-radius 0.05] [-communities 8] [-text] [-shards 4]
 //
 // The defaults reproduce the paper's setup: a preferential-attachment
 // graph with |E| = 5 |V| and labels drawn uniformly from 4 labels
@@ -35,6 +35,7 @@ func main() {
 		radius = flag.Float64("radius", 0.05, "connection radius (geo model)")
 		comms  = flag.Int("communities", 8, "community count (planted model)")
 		text   = flag.Bool("text", false, "write the text exchange format instead of binary")
+		shards = flag.Int("shards", 1, "shard count recorded in the image header: opening the image as a dynamic store (-mutlog) runs this many independent ingest lanes (1 = historical unsharded layout)")
 	)
 	flag.Parse()
 	if *out == "" {
@@ -66,8 +67,12 @@ func main() {
 	if *signed > 0 {
 		gen.AssignSigns(g, *signed, *seed+2)
 	}
-	save := storage.Save
+	save := func(path string, g *graph.Graph) error { return storage.SaveSharded(path, g, *shards) }
 	if *text {
+		if *shards > 1 {
+			fmt.Fprintln(os.Stderr, "gengraph: -shards applies to the binary store format only")
+			os.Exit(2)
+		}
 		save = storage.SaveText
 	}
 	if err := save(*out, g); err != nil {

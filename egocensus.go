@@ -403,6 +403,15 @@ type (
 	// plus an fsynced append-only mutation log, with crash recovery on
 	// open and background log compaction.
 	DynamicStore = storage.DynamicStore
+	// Partitioner is the deterministic node-to-shard map of a sharded
+	// store; its shard count is fixed at creation and recorded in the
+	// image header. The zero value is disabled (one shard).
+	Partitioner = graph.Partitioner
+	// ShardedGraphWriter is the mutation path of a sharded versioned
+	// graph: P independent staging/WAL/apply lanes composed under a
+	// single global epoch, with per-shard degraded mode. A 1-shard
+	// writer behaves exactly like GraphWriter.
+	ShardedGraphWriter = graph.ShardedWriter
 )
 
 // NewWriter freezes g as the epoch-0 snapshot and returns its writer; all
@@ -417,6 +426,24 @@ func FreezeGraph(g *Graph) *Snapshot { return graph.Freeze(g) }
 // the Epoch stamped on each table) are version-consistent even while
 // ingest continues.
 func NewLiveEngine(w *GraphWriter) *Engine { return core.NewEngineLive(w) }
+
+// NewShardedWriter freezes g as the epoch-0 snapshot of a P-lane sharded
+// writer; NewPartitioner(shards) is its node-to-shard map.
+func NewShardedWriter(g *Graph, shards int) *ShardedGraphWriter {
+	return graph.NewShardedWriter(g, shards)
+}
+
+// NewPartitioner returns the deterministic node-to-shard map used by
+// sharded writers and stores with the given shard count.
+func NewPartitioner(shards int) Partitioner { return graph.NewPartitioner(shards) }
+
+// NewLiveShardedEngine returns a query engine over a sharded mutating
+// graph: queries pin snapshots exactly as with NewLiveEngine, and census
+// scheduling is seeded shard-affinely through the writer's partitioner
+// (results are identical to the unsharded engine's).
+func NewLiveShardedEngine(w *ShardedGraphWriter) *Engine {
+	return core.NewEngineLiveSharded(w)
+}
 
 // CountSnapshot evaluates a single-node census against one pinned
 // version.
@@ -440,9 +467,21 @@ func CreateDynamic(basePath string, g *Graph) (*DynamicStore, error) {
 	return storage.CreateDynamic(basePath, g)
 }
 
+// CreateDynamicSharded initializes a durable dynamic store with P
+// independent ingest lanes: the mutation log becomes P per-shard segment
+// files that append, fsync, and replay in parallel, and one full shard
+// degrades alone instead of blocking the rest. The shard count is
+// recorded in the image header; shards == 1 produces the unsharded
+// layout byte for byte.
+func CreateDynamicSharded(basePath string, g *Graph, shards int) (*DynamicStore, error) {
+	return storage.CreateDynamicSharded(basePath, g, shards)
+}
+
 // OpenDynamic opens a dynamic store, replaying the mutation log onto the
 // base image — truncating a torn tail from a crashed append, discarding a
 // stale log from a crashed compaction — and resumes the epoch sequence.
+// The store's recorded shard count (one for pre-sharding stores) selects
+// the log layout automatically.
 func OpenDynamic(basePath string) (*DynamicStore, error) {
 	return storage.OpenDynamic(basePath)
 }

@@ -221,6 +221,50 @@ SELECT ID, COUNTP(tri, SUBGRAPH(ID, 1)) FROM nodes`)
 	}
 }
 
+func TestFacadeShardedStore(t *testing.T) {
+	if p := NewPartitioner(4); !p.Enabled() || p.Shards() != 4 {
+		t.Fatalf("partitioner: enabled=%v shards=%d", p.Enabled(), p.Shards())
+	}
+
+	// Live sharded writer + engine: queries answer while lanes ingest.
+	sw := NewShardedWriter(ErdosRenyi(20, 30, 13), 4)
+	sw.AddEdge(sw.AddNode(), 0)
+	if _, err := sw.Publish(); err != nil {
+		t.Fatal(err)
+	}
+	tables, err := NewLiveShardedEngine(sw).Execute(
+		`PATTERN tri { ?A-?B; ?B-?C; ?A-?C; } SELECT ID, COUNTP(tri, SUBGRAPH(ID, 1)) FROM nodes LIMIT 3`)
+	if err != nil || tables[0].Epoch != sw.Snapshot().Epoch() {
+		t.Fatalf("sharded live query: %v (epoch %d vs %d)", err, tables[0].Epoch, sw.Snapshot().Epoch())
+	}
+
+	// Durable sharded store: published batches survive reopen, and the
+	// recorded shard count is rediscovered.
+	base := filepath.Join(t.TempDir(), "dyn.egoc")
+	ds, err := CreateDynamicSharded(base, ErdosRenyi(20, 30, 13), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dw := ds.Writer()
+	dw.AddEdge(dw.AddNode(), 0)
+	if _, err := dw.Publish(); err != nil {
+		t.Fatal(err)
+	}
+	wantEpoch, wantNodes := ds.Snapshot().Epoch(), ds.Snapshot().NumNodes()
+	if err := ds.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ds2, err := OpenDynamic(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds2.Close()
+	if ds2.Shards() != 4 || ds2.Snapshot().Epoch() != wantEpoch || ds2.Snapshot().NumNodes() != wantNodes {
+		t.Fatalf("reopen: %d shards, epoch %d, %d nodes (want 4/%d/%d)",
+			ds2.Shards(), ds2.Snapshot().Epoch(), ds2.Snapshot().NumNodes(), wantEpoch, wantNodes)
+	}
+}
+
 func TestFacadeScriptParsing(t *testing.T) {
 	s, err := ParseScript(`PATTERN n {?A;} SELECT ID, COUNTP(n, SUBGRAPH(ID, 1)) FROM nodes`)
 	if err != nil {

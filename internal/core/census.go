@@ -179,6 +179,25 @@ type Options struct {
 	// limit surfaces as a *LimitError carrying partial results. The zero
 	// value imposes no limits.
 	Limits Limits
+
+	// Partitioner, when enabled (more than one shard), makes the
+	// work-stealing scheduler seed focal-node chunks shard-affinely:
+	// chunks stay within shard boundaries and land on the shard's home
+	// worker, with cross-shard stealing only when a deque drains. The
+	// zero value disables affinity. Engines over a sharded store inject
+	// the store's partitioner automatically. Affinity never changes
+	// results, only which worker computes them.
+	Partitioner graph.Partitioner
+}
+
+// focalAffinity derives the scheduler affinity for a focal-node list, or
+// nil when the partitioner is disabled.
+func (o Options) focalAffinity(focal []graph.NodeID) *affinity {
+	if !o.Partitioner.Enabled() {
+		return nil
+	}
+	p := o.Partitioner
+	return &affinity{shards: p.Shards(), shard: func(i int) int { return p.Shard(focal[i]) }}
 }
 
 func (o Options) workers() int { return EffectiveWorkers(o.Workers) }

@@ -84,6 +84,28 @@ func NewEngineLive(w *graph.Writer) *Engine {
 	return NewEngineFromSource(plan.FromWriter(w))
 }
 
+// NewEngineLiveSharded is NewEngineLive over a sharded writer: queries
+// pin composed snapshots the same way, planning statistics aggregate
+// per-shard computations, and executions inherit the store's partitioner
+// so the census scheduler seeds work shard-affinely.
+func NewEngineLiveSharded(w *graph.ShardedWriter) *Engine {
+	return NewEngineFromSource(plan.FromShardedWriter(w))
+}
+
+// optionsFor resolves the execution options for one run: the engine's
+// defaults, plus — when the engine serves a partitioned source and the
+// caller has not pinned a partitioner explicitly — the source's
+// partitioner for shard-affine scheduling.
+func (e *Engine) optionsFor() Options {
+	opt := e.Opt
+	if !opt.Partitioner.Enabled() {
+		if ps, ok := e.Source.(plan.PartitionedSource); ok {
+			opt.Partitioner = ps.Partitioner()
+		}
+	}
+	return opt
+}
+
 // ConfigureCaches sizes the prepared-query caches: planEntries bounds the
 // plan cache entry count and resultBytes budgets the result cache
 // (approximate bytes of cached tables). Zero or negative disables the
@@ -428,7 +450,7 @@ func (e *Engine) runContext(ctx context.Context, q *lang.SelectStmt, params map[
 		g:      g,
 		epoch:  epoch,
 		seed:   e.Seed,
-		opt:    e.Opt,
+		opt:    e.optionsFor(),
 		params: params,
 		base:   base,
 	})

@@ -98,7 +98,7 @@ func countManyGuarded(g *graph.Graph, specs []Spec, opt Options, gd *guard) ([]*
 	focal := specs[0].focalList(g)
 	gd.setFocalTotal(len(focal))
 	focalCost := func(i int) int64 { return 1 + int64(g.Degree(focal[i])) }
-	parallelForCost(gd, opt.workers(), len(focal), focalCost, func(fi int) {
+	parallelForCostAff(gd, opt.workers(), len(focal), focalCost, opt.focalAffinity(focal), func(fi int) {
 		n := focal[fi]
 		s := graph.AcquireScratch(g.NumNodes())
 		defer s.Release()

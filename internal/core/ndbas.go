@@ -50,7 +50,7 @@ func countNDBas(g *graph.Graph, spec Spec, opt Options, gd *guard) (*Result, err
 		workers := opt.workers()
 		runs := make([]match.CountRun, workers)
 		masks := make([]*reachMask, workers)
-		parallelForWorkerCost(gd, workers, len(focal), focalCost, func(w, i int) {
+		parallelForWorkerCostAff(gd, workers, len(focal), focalCost, opt.focalAffinity(focal), func(w, i int) {
 			run := runs[w]
 			if run == nil {
 				run = mc.NewCountRun()
@@ -69,7 +69,7 @@ func countNDBas(g *graph.Graph, spec Spec, opt Options, gd *guard) (*Result, err
 	}
 
 	if mm, ok := m.(match.MaskedMatcher); ok {
-		parallelForCost(gd, opt.workers(), len(focal), focalCost, func(i int) {
+		parallelForCostAff(gd, opt.workers(), len(focal), focalCost, opt.focalAffinity(focal), func(i int) {
 			n := focal[i]
 			s := graph.AcquireScratch(g.NumNodes())
 			reach := g.KHop(n, spec.K, s)
@@ -80,7 +80,7 @@ func countNDBas(g *graph.Graph, spec Spec, opt Options, gd *guard) (*Result, err
 		return res, gd.failure(res, nil)
 	}
 
-	parallelForCost(gd, opt.workers(), len(focal), focalCost, func(i int) {
+	parallelForCostAff(gd, opt.workers(), len(focal), focalCost, opt.focalAffinity(focal), func(i int) {
 		n := focal[i]
 		sg := g.EgoSubgraph(n, spec.K)
 		emb := m.Embeddings(sg.G, spec.Pattern)
@@ -110,7 +110,7 @@ func countNDBasSubpattern(g *graph.Graph, spec Spec, opt Options, gd *guard) (*R
 	gd.setFocalTotal(len(focal))
 	prepare(g)
 	focalCost := func(i int) int64 { return 1 + int64(g.Degree(focal[i])) }
-	parallelForWorkerCost(gd, opt.workers(), len(focal), focalCost, func(w, i int) {
+	parallelForWorkerCostAff(gd, opt.workers(), len(focal), focalCost, opt.focalAffinity(focal), func(w, i int) {
 		n := focal[i]
 		s := graph.AcquireScratch(g.NumNodes())
 		reach := g.KHop(n, spec.K, s)

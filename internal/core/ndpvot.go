@@ -75,7 +75,7 @@ func countNDPvot(g *graph.Graph, spec Spec, opt Options, gd *guard) (*Result, er
 	focal := spec.focalList(g)
 	gd.setFocalTotal(len(focal))
 	focalCost := func(i int) int64 { return 1 + int64(g.Degree(focal[i])) }
-	parallelForCost(gd, opt.workers(), len(focal), focalCost, func(fi int) {
+	parallelForCostAff(gd, opt.workers(), len(focal), focalCost, opt.focalAffinity(focal), func(fi int) {
 		n := focal[fi]
 		s := graph.AcquireScratch(g.NumNodes())
 		defer s.Release()

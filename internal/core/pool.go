@@ -141,6 +141,18 @@ func (q *wsQueue) popBack() (chunk, bool) {
 	return q.chunks[q.tail], true
 }
 
+// affinity steers chunk seeding for partitioned graphs: items are
+// grouped by shard and each shard's chunks seed the shard's home worker
+// (shard mod workers), so workers start on data their shard's ingest
+// lane produced and cross-shard traffic happens only through stealing
+// when a deque drains. Affinity changes only the seeding, never the
+// result: bodies stay commutative, so censuses are bit-identical with
+// and without it.
+type affinity struct {
+	shards int
+	shard  func(i int) int
+}
+
 // buildSchedule orders the items by descending cost (identity order when
 // cost is nil) and cuts the order into chunks of roughly equal total
 // cost. Items whose individual cost exceeds the chunk target become
@@ -189,10 +201,66 @@ func buildSchedule(n, workers int, cost func(i int) int64) (ord []int32, chunks 
 	return ord, chunks
 }
 
+// buildScheduleAff is buildSchedule for a partitioned graph: items order
+// by (shard, descending cost), chunks never span a shard boundary, and
+// every chunk carries its shard's home worker. The chunk-size target is
+// still global, so a small shard just yields fewer chunks for thieves.
+func buildScheduleAff(n, workers int, cost func(i int) int64, aff *affinity) (ord []int32, chunks []chunk, home []int) {
+	ord = make([]int32, n)
+	for i := range ord {
+		ord[i] = int32(i)
+	}
+	shardOf := make([]int32, n)
+	costs := make([]int64, n)
+	total := int64(0)
+	for i := 0; i < n; i++ {
+		shardOf[i] = int32(aff.shard(i))
+		c := int64(1)
+		if cost != nil {
+			if c = cost(i); c < 1 {
+				c = 1
+			}
+		}
+		costs[i] = c
+		total += c
+	}
+	sort.SliceStable(ord, func(a, b int) bool {
+		sa, sb := shardOf[ord[a]], shardOf[ord[b]]
+		if sa != sb {
+			return sa < sb
+		}
+		return costs[ord[a]] > costs[ord[b]]
+	})
+	target := total / int64(workers*schedChunksPerWorker)
+	if target < 1 {
+		target = 1
+	}
+	var acc int64
+	start := 0
+	cut := func(end int) {
+		chunks = append(chunks, chunk{int32(start), int32(end)})
+		home = append(home, int(shardOf[ord[start]])%workers)
+		start = end
+		acc = 0
+	}
+	for idx := 0; idx < n; idx++ {
+		acc += costs[ord[idx]]
+		atBoundary := idx+1 < n && shardOf[ord[idx+1]] != shardOf[ord[idx]]
+		if acc >= target || atBoundary {
+			cut(idx + 1)
+		}
+	}
+	if start < n {
+		cut(n)
+	}
+	return ord, chunks, home
+}
+
 // runStealing executes every scheduled item across the workers with
 // work stealing. body observes (executing worker, item index); gd (nil
-// allowed) is polled per item.
-func runStealing(gd *guard, workers int, ord []int32, chunks []chunk, body func(w, i int)) {
+// allowed) is polled per item. home (nil allowed) assigns chunk k to a
+// specific worker's deque instead of round-robin.
+func runStealing(gd *guard, workers int, ord []int32, chunks []chunk, home []int, body func(w, i int)) {
 	queues := make([]*wsQueue, workers)
 	for w := range queues {
 		queues[w] = &wsQueue{}
@@ -200,9 +268,13 @@ func runStealing(gd *guard, workers int, ord []int32, chunks []chunk, body func(
 	// Deal chunks round-robin in descending-cost order: chunk k (the
 	// k-th costliest) goes to worker k mod workers, so every worker
 	// starts on heavy work and light chunks land at the deque backs
-	// where thieves take them first.
+	// where thieves take them first. Shard-affine schedules override the
+	// deal with each chunk's home worker.
 	for k, c := range chunks {
 		q := queues[k%workers]
+		if home != nil {
+			q = queues[home[k]]
+		}
 		q.chunks = append(q.chunks, c)
 		q.tail++
 	}
@@ -270,6 +342,12 @@ func parallelForCost(gd *guard, workers, n int, cost func(i int) int64, body fun
 	parallelForWorkerCost(gd, workers, n, cost, func(_, i int) { body(i) })
 }
 
+// parallelForCostAff is parallelForCost with optional shard affinity
+// (nil aff behaves exactly like parallelForCost).
+func parallelForCostAff(gd *guard, workers, n int, cost func(i int) int64, aff *affinity, body func(i int)) {
+	parallelForWorkerCostAff(gd, workers, n, cost, aff, func(_, i int) { body(i) })
+}
+
 // parallelForWorker is parallelFor with the worker index passed to the
 // body, for callers that keep per-worker state (scratch vectors, RNGs).
 // Stealing may run any item on any worker; bodies must not rely on a
@@ -281,6 +359,13 @@ func parallelForWorker(gd *guard, workers, n int, body func(w, i int)) {
 // parallelForWorkerCost is the scheduler's general form: per-item cost
 // estimates (nil = uniform) plus worker-indexed bodies.
 func parallelForWorkerCost(gd *guard, workers, n int, cost func(i int) int64, body func(w, i int)) {
+	parallelForWorkerCostAff(gd, workers, n, cost, nil, body)
+}
+
+// parallelForWorkerCostAff adds optional shard affinity to the general
+// form: with a non-nil aff, chunks stay within shard boundaries and seed
+// their shard's home worker.
+func parallelForWorkerCostAff(gd *guard, workers, n int, cost func(i int) int64, aff *affinity, body func(w, i int)) {
 	if workers > n {
 		workers = n
 	}
@@ -294,8 +379,15 @@ func parallelForWorkerCost(gd *guard, workers, n int, cost func(i int) int64, bo
 		}
 		return
 	}
-	ord, chunks := buildSchedule(n, workers, cost)
-	runStealing(gd, workers, ord, chunks, body)
+	var ord []int32
+	var chunks []chunk
+	var home []int
+	if aff != nil {
+		ord, chunks, home = buildScheduleAff(n, workers, cost, aff)
+	} else {
+		ord, chunks = buildSchedule(n, workers, cost)
+	}
+	runStealing(gd, workers, ord, chunks, home, body)
 }
 
 // parallelMerge runs body(w, counts, i) for every i in [0, n), giving each
@@ -315,6 +407,12 @@ func parallelMerge(gd *guard, workers, n int, dst []int64, body func(w int, coun
 // parallelMergeCost is parallelMerge with a per-item cost estimate
 // steering the work-stealing schedule (nil means uniform).
 func parallelMergeCost(gd *guard, workers, n int, cost func(i int) int64, dst []int64, body func(w int, counts []int64, i int)) {
+	parallelMergeCostAff(gd, workers, n, cost, nil, dst, body)
+}
+
+// parallelMergeCostAff is parallelMergeCost with optional shard affinity
+// (nil aff behaves exactly like parallelMergeCost).
+func parallelMergeCostAff(gd *guard, workers, n int, cost func(i int) int64, aff *affinity, dst []int64, body func(w int, counts []int64, i int)) {
 	if workers > n {
 		workers = n
 	}
@@ -333,8 +431,15 @@ func parallelMergeCost(gd *guard, workers, n int, cost func(i int) int64, dst []
 	for w := range perWorker {
 		perWorker[w] = make([]int64, len(dst))
 	}
-	ord, chunks := buildSchedule(n, workers, cost)
-	runStealing(gd, workers, ord, chunks, func(w, i int) { body(w, perWorker[w], i) })
+	var ord []int32
+	var chunks []chunk
+	var home []int
+	if aff != nil {
+		ord, chunks, home = buildScheduleAff(n, workers, cost, aff)
+	} else {
+		ord, chunks = buildSchedule(n, workers, cost)
+	}
+	runStealing(gd, workers, ord, chunks, home, func(w, i int) { body(w, perWorker[w], i) })
 	// Merge in worker-index order; addition commutes, so the result is
 	// independent of which worker executed which item.
 	for _, pc := range perWorker {

@@ -1,0 +1,164 @@
+package graph
+
+import "sync"
+
+// applyBatchSharded is the shard-parallel applyBatch used by
+// ShardedWriter for P > 1: it must produce a graph identical (field for
+// field) to the sequential applyBatch, and the parity tests hold it to
+// that.
+//
+// The work splits into two passes around the batch's only contended
+// state, the per-node adjacency rows:
+//
+//   - Pass one (sequential) performs every append that is cheap and
+//     order-dependent — the node header extension, edge table, label
+//     column, attribute columns, and dictionary interning — while
+//     collecting each adjacency-row append into the owning shard's list
+//     (a row belongs to Partitioner.Shard of its node).
+//   - Pass two (parallel) replays the per-shard lists: each worker owns a
+//     disjoint set of shards, so every []Half row is appended to by
+//     exactly one goroutine, in the original op order. The copy-on-write
+//     row-sharing rules of applyBatch carry over unchanged because row
+//     ownership, not op order, is what makes in-place appends safe.
+//
+// The CSR overlay extension runs after the barrier, exactly as in the
+// sequential path.
+func applyBatchSharded(base *Graph, ops []Op, epoch uint64, part Partitioner, workers int) *Graph {
+	baseNodes := len(base.out)
+	baseEdges := len(base.edgs)
+	adds := 0
+	for _, op := range ops {
+		if op.Kind == OpAddNode {
+			adds++
+		}
+	}
+
+	c := &Graph{
+		directed:  base.directed,
+		epoch:     epoch,
+		labelDict: base.labelDict,
+		edgs:      base.edgs,
+		labels:    base.labels,
+		nodeAttrs: base.nodeAttrs,
+		edgeAttrs: base.edgeAttrs,
+	}
+	c.out = make([][]Half, baseNodes, baseNodes+adds)
+	copy(c.out, base.out)
+	if base.directed {
+		c.in = make([][]Half, baseNodes, baseNodes+adds)
+		copy(c.in, base.in)
+	}
+
+	var (
+		ownLabels, ownDict           bool
+		ownNodeAttrs, ownEdgeAttrs   bool
+		ownedNodeMaps, ownedEdgeMaps map[int32]bool
+		dirty                        = make(map[NodeID]struct{}, 2*len(ops))
+	)
+
+	setLabel := func(n int32, name string) {
+		if int(n) < baseNodes && !ownLabels {
+			c.labels = append([]LabelID(nil), c.labels...)
+			ownLabels = true
+		}
+		if !ownDict {
+			if _, ok := c.labelDict.Lookup(name); !ok {
+				c.labelDict = c.labelDict.Clone()
+				ownDict = true
+			}
+		}
+		c.labels[n] = c.labelDict.Intern(name)
+	}
+
+	// rowHalf is one deferred adjacency append: Half h onto row's out list
+	// (or in list for the directed reverse entry).
+	type rowHalf struct {
+		row NodeID
+		h   Half
+		in  bool
+	}
+	shards := part.Shards()
+	perShard := make([][]rowHalf, shards)
+
+	for _, op := range ops {
+		switch op.Kind {
+		case OpAddNode:
+			c.out = append(c.out, nil)
+			if c.directed {
+				c.in = append(c.in, nil)
+			}
+			c.labels = append(c.labels, NoLabel)
+			c.nodeAttrs = append(c.nodeAttrs, nil)
+		case OpAddEdge:
+			from, to := NodeID(op.A), NodeID(op.B)
+			id := EdgeID(len(c.edgs))
+			c.edgs = append(c.edgs, Edge{From: from, To: to})
+			c.edgeAttrs = append(c.edgeAttrs, nil)
+			fs := part.Shard(from)
+			perShard[fs] = append(perShard[fs], rowHalf{row: from, h: Half{To: to, Edge: id}})
+			if c.directed {
+				ts := part.Shard(to)
+				perShard[ts] = append(perShard[ts], rowHalf{row: to, h: Half{To: from, Edge: id}, in: true})
+			} else if from != to {
+				ts := part.Shard(to)
+				perShard[ts] = append(perShard[ts], rowHalf{row: to, h: Half{To: from, Edge: id}})
+			}
+			dirty[from] = struct{}{}
+			dirty[to] = struct{}{}
+		case OpSetLabel:
+			setLabel(op.A, op.Val)
+		case OpSetNodeAttr:
+			if op.Key == LabelAttr {
+				setLabel(op.A, op.Val)
+				continue
+			}
+			if int(op.A) < baseNodes && !ownNodeAttrs {
+				c.nodeAttrs = append([]map[string]string(nil), c.nodeAttrs...)
+				ownNodeAttrs = true
+			}
+			if ownedNodeMaps == nil {
+				ownedNodeMaps = map[int32]bool{}
+			}
+			c.nodeAttrs[op.A] = cowSet(c.nodeAttrs[op.A], ownedNodeMaps, op.A, op.Key, op.Val)
+		case OpSetEdgeAttr:
+			if int(op.A) < baseEdges && !ownEdgeAttrs {
+				c.edgeAttrs = append([]map[string]string(nil), c.edgeAttrs...)
+				ownEdgeAttrs = true
+			}
+			if ownedEdgeMaps == nil {
+				ownedEdgeMaps = map[int32]bool{}
+			}
+			c.edgeAttrs[op.A] = cowSet(c.edgeAttrs[op.A], ownedEdgeMaps, op.A, op.Key, op.Val)
+		}
+	}
+
+	// Pass two: shard-parallel adjacency appends. Worker w owns shards
+	// s ≡ w (mod workers); rows of one shard never appear in another
+	// shard's list, so the appends are disjoint by construction.
+	if workers > shards {
+		workers = shards
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for s := w; s < shards; s += workers {
+				for _, rh := range perShard[s] {
+					if rh.in {
+						c.in[rh.row] = append(c.in[rh.row], rh.h)
+					} else {
+						c.out[rh.row] = append(c.out[rh.row], rh.h)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if bc := base.csr.Load(); bc != nil {
+		c.csr.Store(extendCSR(bc, c, dirty))
+	}
+	c.frozen = true
+	return c
+}

@@ -1,6 +1,8 @@
 package graph
 
 import (
+	"sync"
+
 	"egocensus/internal/bitset"
 )
 
@@ -55,6 +57,61 @@ func buildHubCache(c *csr, numNodes int) *hubCache {
 		hc.rows[n] = row
 	}
 	return hc
+}
+
+// buildHubCacheParallel is buildHubCache with the row construction split
+// across `workers` goroutines on node stripes. Rows are independent and
+// the stripe split changes only which goroutine builds a row, so the
+// cache is identical to the sequential build.
+func buildHubCacheParallel(c *csr, numNodes, workers int) *hubCache {
+	if workers <= 1 || numNodes < 1024 {
+		return buildHubCache(c, numNodes)
+	}
+	words := bitset.Words(numNodes)
+	hc := &hubCache{rows: make([][]uint64, numNodes), words: words}
+	thresh := HubDegreeThreshold(numNodes)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	stripe := (numNodes + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		go func(lo int) {
+			defer wg.Done()
+			hi := lo + stripe
+			if hi > numNodes {
+				hi = numNodes
+			}
+			for n := lo; n < hi; n++ {
+				nbrs := c.out(NodeID(n))
+				if len(nbrs) < thresh {
+					continue
+				}
+				row := make([]uint64, words)
+				for _, m := range nbrs {
+					bitset.SetBit(row, int(m))
+				}
+				hc.rows[n] = row
+			}
+		}(w * stripe)
+	}
+	wg.Wait()
+	return hc
+}
+
+// BuildHubBitmapsParallel eagerly materializes the hub-neighbor bitmaps
+// with up to `workers` goroutines (no-op for directed graphs, falls back
+// to the sequential build for small graphs). The result is identical to
+// BuildHubBitmaps; sharded stores use it so replay-on-open and the first
+// census after a publish pay the build across cores.
+func (g *Graph) BuildHubBitmapsParallel(workers int) {
+	if g.directed {
+		return
+	}
+	c := g.ensureCSR()
+	if c.hubs.Load() != nil {
+		return
+	}
+	hc := buildHubCacheParallel(c, g.NumNodes(), workers)
+	c.hubs.CompareAndSwap(nil, hc)
 }
 
 // ensureHubs returns the CSR view's hub cache, building it on first use.

@@ -1,6 +1,7 @@
 package plan
 
 import (
+	"runtime"
 	"sync"
 
 	"egocensus/internal/graph"
@@ -106,5 +107,72 @@ func (s *WriterSource) GraphStats() (*graph.Stats, error) {
 
 // Graph implements Source against the latest published version.
 func (s *WriterSource) Graph() (*graph.Graph, error) {
+	return s.Snapshot().Graph(), nil
+}
+
+// PartitionedSource extends SnapshotSource for sharded backends: the
+// engine injects the source's partitioner into execution options so the
+// census scheduler can seed work shard-affinely.
+type PartitionedSource interface {
+	SnapshotSource
+	// Partitioner returns the node partitioner the backing store was
+	// created with.
+	Partitioner() graph.Partitioner
+}
+
+// ShardedWriterSource adapts a graph.ShardedWriter as a
+// PartitionedSource: snapshots pin exactly like WriterSource, and the
+// per-epoch statistics snapshot is computed shard-parallel (one goroutine
+// per shard, capped at GOMAXPROCS) and merged.
+type ShardedWriterSource struct {
+	w *graph.ShardedWriter
+
+	mu         sync.Mutex
+	statsEpoch uint64
+	stats      *graph.Stats
+}
+
+// FromShardedWriter wraps a sharded writer's published snapshots as a
+// Source.
+func FromShardedWriter(w *graph.ShardedWriter) *ShardedWriterSource {
+	return &ShardedWriterSource{w: w}
+}
+
+// Snapshot implements SnapshotSource.
+func (s *ShardedWriterSource) Snapshot() *graph.Snapshot { return s.w.Snapshot() }
+
+// Partitioner implements PartitionedSource.
+func (s *ShardedWriterSource) Partitioner() graph.Partitioner { return s.w.Partitioner() }
+
+// StatsAt implements SnapshotSource, aggregating per-shard statistics in
+// parallel and memoizing the newest epoch's result.
+func (s *ShardedWriterSource) StatsAt(snap *graph.Snapshot) (*graph.Stats, error) {
+	s.mu.Lock()
+	if s.stats != nil && s.statsEpoch == snap.Epoch() {
+		st := s.stats
+		s.mu.Unlock()
+		return st, nil
+	}
+	s.mu.Unlock()
+	// Compute outside the lock: stats over a frozen snapshot are pure.
+	st := graph.ComputeStatsSharded(snap.Graph(), s.w.Partitioner(), runtime.GOMAXPROCS(0))
+	st.Epoch = snap.Epoch()
+	s.mu.Lock()
+	// Last writer wins; only overwrite a cache for an older epoch so a
+	// concurrent computation for a newer version is not clobbered.
+	if s.stats == nil || s.statsEpoch <= snap.Epoch() {
+		s.statsEpoch, s.stats = snap.Epoch(), st
+	}
+	s.mu.Unlock()
+	return st, nil
+}
+
+// GraphStats implements Source against the latest published version.
+func (s *ShardedWriterSource) GraphStats() (*graph.Stats, error) {
+	return s.StatsAt(s.Snapshot())
+}
+
+// Graph implements Source against the latest published version.
+func (s *ShardedWriterSource) Graph() (*graph.Graph, error) {
 	return s.Snapshot().Graph(), nil
 }

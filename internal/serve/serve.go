@@ -182,6 +182,11 @@ type StatsResponse struct {
 	BreakerTrips uint64 `json:"breaker_trips"`
 	// P50Micros is the median latency of the recent successful queries.
 	P50Micros int64 `json:"p50_us"`
+	// PlanEvictions and ResultEvictions flatten the caches' lifetime
+	// eviction counters (also nested under Cache) so monitors can alert
+	// on cache churn without digging into the nested objects.
+	PlanEvictions   uint64 `json:"plan_evictions"`
+	ResultEvictions uint64 `json:"result_evictions"`
 }
 
 // Server is the HTTP front end over one engine. Create with New; it
@@ -436,13 +441,16 @@ func (s *Server) execute(ctx context.Context, req *QueryRequest) ([]*core.Table,
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	cache := s.e.CacheStats()
 	resp := StatsResponse{
-		Cache:      s.e.CacheStats(),
-		InFlight:   s.inFlight.Load(),
-		Queued:     s.queued.Load(),
-		Requests:   s.requests.Load(),
-		Rejected:   s.rejected.Load(),
-		Statements: s.statementCount(),
+		Cache:           cache,
+		PlanEvictions:   cache.Plan.Evictions,
+		ResultEvictions: cache.Result.Evictions,
+		InFlight:        s.inFlight.Load(),
+		Queued:          s.queued.Load(),
+		Requests:        s.requests.Load(),
+		Rejected:        s.rejected.Load(),
+		Statements:      s.statementCount(),
 	}
 	if st, err := s.e.Stats(); err == nil {
 		resp.Epoch, resp.Nodes, resp.Edges = st.Epoch, st.Nodes, st.Edges

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"encoding/binary"
 	"fmt"
 	"os"
 	"sync"
@@ -10,28 +11,39 @@ import (
 )
 
 // DynamicStore is the durable backing of a mutating graph: a base .egoc
-// image plus an append-only mutation-log sidecar (<base>.log), fronted by
-// a graph.Writer. Opening replays the log onto the base image and resumes
-// the epoch sequence; every publish is WAL-appended and fsynced before it
-// becomes visible, so a crash at any point recovers exactly the last
-// published snapshot. A background compactor folds the log into the base
-// image (reusing Save's atomic temp-file/rename discipline) once the log
-// outgrows CompactAtBytes.
+// image plus append-only mutation-log sidecars, fronted by a
+// graph.ShardedWriter. Opening replays the log onto the base image and
+// resumes the epoch sequence; every publish is WAL-appended and fsynced
+// before it becomes visible, so a crash at any point recovers exactly the
+// last published snapshot. A background compactor folds the log into the
+// base image (reusing Save's atomic temp-file/rename discipline) once the
+// log outgrows CompactAtBytes.
 //
-// The log header carries the trailing CRC32 of the base image it extends.
-// That binding makes crash recovery around compaction unambiguous: a
-// crash between the base-image rename and the log swap leaves a new image
-// with an old log, which the CRC mismatch identifies as stale — its
-// batches are already folded into the image, so it is discarded and a
-// fresh log is started at the epoch where it ended.
+// The store's shard count is fixed at creation and recorded in the image
+// header. An unsharded (1-shard) store keeps the historical layout — a
+// single <base>.log sidecar in the v1 record format, byte-identical to
+// what the pre-sharding code wrote — and existing single-log stores open
+// unchanged. A P-shard store persists each epoch across P independent
+// segment files <base>.log.0 … <base>.log.P-1 (see shardlog.go), replays
+// them in parallel on open, and compacts all P together.
+//
+// Every log header carries the trailing CRC32 of the base image it
+// extends. That binding makes crash recovery around compaction
+// unambiguous: a crash between the base-image rename and the log swap
+// leaves a new image with old logs, which the CRC mismatch identifies as
+// stale — their batches are already folded into the image, so they are
+// discarded and fresh logs are started at the epoch where they ended. In
+// the sharded layout the swap is per segment, so the mismatch is resolved
+// per segment too.
 type DynamicStore struct {
 	fsys     fault.FS
 	basePath string
 	logPath  string
-	w        *graph.Writer
+	shards   int
+	w        *graph.ShardedWriter
 
 	mu     sync.Mutex // serializes Compact and Close; publishes take the writer's own lock
-	log    *Log
+	log    mutLog
 	closed bool
 
 	compactCh chan struct{}
@@ -43,25 +55,58 @@ type DynamicStore struct {
 	compactAtBytes int64
 }
 
+// mutLog is what DynamicStore needs from a mutation log, satisfied by
+// both the single-file *Log and the per-shard *ShardedLog.
+type mutLog interface {
+	graph.WAL
+	Records() int
+	Size() int64
+	BaseEpoch() uint64
+	LastEpoch() uint64
+	Close() error
+}
+
 // DefaultCompactAtBytes is the log size at which OpenDynamic's background
 // compactor folds the log into the base image.
 const DefaultCompactAtBytes = 4 << 20
 
-// CreateDynamic initializes a dynamic store at basePath from g: the base
-// image is saved atomically, an empty mutation log is created beside it,
-// and the opened store is returned. Fails if basePath already exists.
+// MaxShards bounds a dynamic store's shard count (the image header stores
+// it in 16 bits).
+const MaxShards = 1<<16 - 1
+
+// CreateDynamic initializes an unsharded dynamic store at basePath from
+// g: the base image is saved atomically, an empty mutation log is created
+// beside it, and the opened store is returned. Fails if basePath already
+// exists.
 func CreateDynamic(basePath string, g *graph.Graph) (*DynamicStore, error) {
-	return CreateDynamicFS(fault.OS{}, basePath, g)
+	return CreateDynamicShardedFS(fault.OS{}, basePath, g, 1)
 }
 
 // CreateDynamicFS is CreateDynamic through an explicit filesystem seam.
 func CreateDynamicFS(fsys fault.FS, basePath string, g *graph.Graph) (*DynamicStore, error) {
+	return CreateDynamicShardedFS(fsys, basePath, g, 1)
+}
+
+// CreateDynamicSharded initializes a dynamic store partitioned across
+// shards mutation-log lanes. The shard count is recorded in the image
+// header and fixed for the store's lifetime; shards <= 1 creates the
+// historical unsharded layout.
+func CreateDynamicSharded(basePath string, g *graph.Graph, shards int) (*DynamicStore, error) {
+	return CreateDynamicShardedFS(fault.OS{}, basePath, g, shards)
+}
+
+// CreateDynamicShardedFS is CreateDynamicSharded through a filesystem
+// seam.
+func CreateDynamicShardedFS(fsys fault.FS, basePath string, g *graph.Graph, shards int) (*DynamicStore, error) {
+	if shards > MaxShards {
+		return nil, fmt.Errorf("storage: shard count %d exceeds %d", shards, MaxShards)
+	}
 	if _, err := fsys.Stat(basePath); err == nil {
 		return nil, fmt.Errorf("storage: %s already exists", basePath)
 	} else if !os.IsNotExist(err) {
 		return nil, err
 	}
-	if err := SaveFS(fsys, basePath, g); err != nil {
+	if err := SaveShardedFS(fsys, basePath, g, shards); err != nil {
 		return nil, err
 	}
 	return OpenDynamicFS(fsys, basePath)
@@ -70,11 +115,33 @@ func CreateDynamicFS(fsys fault.FS, basePath string, g *graph.Graph) (*DynamicSt
 // OpenDynamic opens the dynamic store at basePath: the base image is
 // materialized, the sidecar log (if any) is replayed onto it — truncating
 // a torn tail from a crashed append, discarding a stale log from a
-// crashed compaction — and a Writer resumes at the recovered epoch. The
-// returned store's background compactor is active with the default
+// crashed compaction — and a writer resumes at the recovered epoch. The
+// store's layout (unsharded or P-shard) comes from the image header.
+// The returned store's background compactor is active with the default
 // threshold; tune it with SetCompactAtBytes.
 func OpenDynamic(basePath string) (*DynamicStore, error) {
 	return OpenDynamicFS(fault.OS{}, basePath)
+}
+
+// imageShardCountFS reads just enough of an image header to learn its
+// shard count.
+func imageShardCountFS(fsys fault.FS, path string) (int, error) {
+	f, err := fsys.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	var buf [10]byte
+	if _, err := f.ReadAt(buf[:], 0); err != nil {
+		return 0, &CorruptFileError{Path: path, Detail: "header unreadable"}
+	}
+	for i := range Magic {
+		if buf[i] != Magic[i] {
+			return 0, &CorruptFileError{Path: path, Detail: fmt.Sprintf("bad magic %q", buf[:6])}
+		}
+	}
+	h := header{Flags: binary.LittleEndian.Uint32(buf[6:])}
+	return h.shardCount(), nil
 }
 
 // OpenDynamicFS is OpenDynamic through an explicit filesystem seam: the
@@ -85,56 +152,75 @@ func OpenDynamicFS(fsys fault.FS, basePath string) (*DynamicStore, error) {
 	if err != nil {
 		return nil, err
 	}
+	shards, err := imageShardCountFS(fsys, basePath)
+	if err != nil {
+		return nil, err
+	}
 	baseCRC, err := baseImageCRC(fsys, basePath)
 	if err != nil {
 		return nil, err
 	}
 	logPath := basePath + ".log"
+	apply := func(d graph.Delta) error {
+		for _, op := range d.Ops {
+			if err := graph.ApplyOp(g, op); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 
-	var log *Log
+	var log mutLog
 	lastEpoch := uint64(0)
-	switch _, statErr := fsys.Stat(logPath); {
-	case os.IsNotExist(statErr):
-		if log, err = CreateLogFS(fsys, logPath, baseCRC, 0); err != nil {
+	if shards > 1 {
+		sl, err := OpenShardedLogFS(fsys, basePath, baseCRC, shards, apply)
+		if err != nil {
 			return nil, err
 		}
-	case statErr != nil:
-		return nil, statErr
-	default:
-		log, err = OpenLogFS(fsys, logPath, baseCRC, func(d graph.Delta) error {
-			for _, op := range d.Ops {
-				if err := graph.ApplyOp(g, op); err != nil {
-					return err
+		log = sl
+		lastEpoch = sl.LastEpoch()
+	} else {
+		switch _, statErr := fsys.Stat(logPath); {
+		case os.IsNotExist(statErr):
+			l, err := CreateLogFS(fsys, logPath, baseCRC, 0)
+			if err != nil {
+				return nil, err
+			}
+			log = l
+		case statErr != nil:
+			return nil, statErr
+		default:
+			l, err := OpenLogFS(fsys, logPath, baseCRC, apply)
+			if err != nil {
+				// A CRC-binding mismatch means a compaction crashed after
+				// renaming the new base image but before swapping the log:
+				// the old log's batches are already folded into the image.
+				// Discard it, but resume the epoch sequence past its last
+				// record.
+				staleCRC, staleLast, scanErr := logBaseCRCFS(fsys, logPath)
+				if scanErr != nil || staleCRC == baseCRC {
+					return nil, err
+				}
+				if l, err = CreateLogFS(fsys, logPath, baseCRC, staleLast); err != nil {
+					return nil, err
 				}
 			}
-			return nil
-		})
-		if err != nil {
-			// A CRC-binding mismatch means a compaction crashed after
-			// renaming the new base image but before swapping the log: the
-			// old log's batches are already folded into the image. Discard
-			// it, but resume the epoch sequence past its last record.
-			staleCRC, staleLast, scanErr := logBaseCRCFS(fsys, logPath)
-			if scanErr != nil || staleCRC == baseCRC {
-				return nil, err
-			}
-			if log, err = CreateLogFS(fsys, logPath, baseCRC, staleLast); err != nil {
-				return nil, err
-			}
+			log = l
+			lastEpoch = l.LastEpoch()
 		}
-		lastEpoch = log.LastEpoch()
 	}
 
 	ds := &DynamicStore{
 		fsys:           fsys,
 		basePath:       basePath,
 		logPath:        logPath,
+		shards:         shards,
 		log:            log,
 		compactCh:      make(chan struct{}, 1),
 		done:           make(chan struct{}),
 		compactAtBytes: DefaultCompactAtBytes,
 	}
-	ds.w = graph.NewWriterAt(g, lastEpoch)
+	ds.w = graph.NewShardedWriterAt(g, lastEpoch, shards)
 	ds.w.SetWAL(log)
 	// Nudge the compactor after every publish; the send never blocks the
 	// publish path (the channel holds one pending nudge).
@@ -150,11 +236,16 @@ func OpenDynamicFS(fsys fault.FS, basePath string) (*DynamicStore, error) {
 }
 
 // Writer returns the store's single mutation path. Batches published
-// through it are durable before they are visible.
-func (ds *DynamicStore) Writer() *graph.Writer { return ds.w }
+// through it are durable before they are visible. With one shard the
+// writer behaves exactly like the plain graph.Writer; with P shards a
+// failed segment degrades only the lane that owns it.
+func (ds *DynamicStore) Writer() *graph.ShardedWriter { return ds.w }
 
 // Snapshot returns the current published version (O(1)).
 func (ds *DynamicStore) Snapshot() *graph.Snapshot { return ds.w.Snapshot() }
+
+// Shards returns the store's shard count (1 for the unsharded layout).
+func (ds *DynamicStore) Shards() int { return ds.shards }
 
 // SetCompactAtBytes adjusts the background compaction threshold; <= 0
 // disables background compaction.
@@ -164,7 +255,8 @@ func (ds *DynamicStore) SetCompactAtBytes(n int64) {
 	ds.compactAtBytes = n
 }
 
-// LogStats reports the mutation log's current shape for monitoring.
+// LogStats reports the mutation log's current shape for monitoring. For
+// sharded stores the numbers aggregate every segment.
 func (ds *DynamicStore) LogStats() (records int, bytes int64, baseEpoch uint64) {
 	ds.mu.Lock()
 	defer ds.mu.Unlock()
@@ -191,13 +283,14 @@ func (ds *DynamicStore) compactor() {
 }
 
 // Compact folds the mutation log into the base image: the current
-// snapshot is saved atomically as the new base, then — under the writer's
-// publish barrier, so no batch can slip between — a fresh empty log bound
-// to the new image replaces the old one. Publishes are briefly blocked
-// during the save; readers never are. Crash-safe at every step: both the
-// image save and the log swap are temp-file-plus-rename, and a stale
-// old log left by a crash in between is detected by its CRC binding on
-// the next open.
+// snapshot is saved atomically as the new base (with the same shard
+// count), then — under the writer's publish barrier, so no batch can slip
+// between — fresh empty logs bound to the new image replace the old ones.
+// Publishes are briefly blocked during the save; readers never are.
+// Crash-safe at every step: the image save and each log swap are
+// temp-file-plus-rename, and stale old logs left by a crash in between
+// are detected by their CRC binding on the next open — per segment in the
+// sharded layout, since the P segment renames cannot be atomic together.
 func (ds *DynamicStore) Compact() error {
 	ds.mu.Lock()
 	defer ds.mu.Unlock()
@@ -205,12 +298,27 @@ func (ds *DynamicStore) Compact() error {
 		return fmt.Errorf("storage: dynamic store %s is closed", ds.basePath)
 	}
 	err := ds.w.Barrier(^uint64(0), func(cur *graph.Snapshot, _ []graph.Delta) (graph.WAL, error) {
-		if err := SaveFS(ds.fsys, ds.basePath, cur.Graph()); err != nil {
+		if err := SaveShardedFS(ds.fsys, ds.basePath, cur.Graph(), ds.shards); err != nil {
 			return nil, err
 		}
 		newCRC, err := baseImageCRC(ds.fsys, ds.basePath)
 		if err != nil {
 			return nil, err
+		}
+		if ds.shards > 1 {
+			tmpBase := ds.basePath + ".compact"
+			nl, err := CreateShardedLogFS(ds.fsys, tmpBase, newCRC, cur.Epoch(), ds.shards)
+			if err != nil {
+				return nil, err
+			}
+			if err := nl.renameSegmentsInto(ds.basePath); err != nil {
+				nl.Close()
+				nl.removeSegments()
+				return nil, err
+			}
+			ds.log.Close()
+			ds.log = nl
+			return nl, nil
 		}
 		tmp := ds.logPath + ".compact"
 		nl, err := CreateLogFS(ds.fsys, tmp, newCRC, cur.Epoch())

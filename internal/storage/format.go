@@ -26,6 +26,12 @@ var Magic = [6]byte{'E', 'G', 'O', 'C', 'v', '1'}
 
 const flagDirected = 1
 
+// shardShift positions the shard count in the header's upper Flags bits.
+// Unsharded images write 0 there (the historical value), so a 1-shard
+// store is byte-identical to the pre-sharding format and old images read
+// back as shard count 1.
+const shardShift = 16
+
 // header is the fixed-size file header. All integers are little-endian.
 type header struct {
 	Flags     uint32
@@ -46,6 +52,14 @@ type header struct {
 const headerSize = 6 + 4 + 8 + 8 + 4 + 8*8
 
 func (h *header) directed() bool { return h.Flags&flagDirected != 0 }
+
+// shardCount decodes the image's shard count (1 when unsharded).
+func (h *header) shardCount() int {
+	if s := int(h.Flags >> shardShift); s > 1 {
+		return s
+	}
+	return 1
+}
 
 // countingWriter tracks the number of bytes written and feeds the CRC.
 type countingWriter struct {
@@ -105,6 +119,23 @@ func Save(path string, g *graph.Graph) error {
 // harness substitute a fault.Injector to exercise the atomic-save
 // recovery paths.
 func SaveFS(fsys fault.FS, path string, g *graph.Graph) error {
+	return SaveShardedFS(fsys, path, g, 1)
+}
+
+// SaveSharded is Save with a shard count recorded in the image header:
+// opening the image as a dynamic store later creates (or replays) one
+// mutation-log segment per shard. shards <= 1 writes the historical
+// unsharded bytes.
+func SaveSharded(path string, g *graph.Graph, shards int) error {
+	return SaveShardedFS(fault.OS{}, path, g, shards)
+}
+
+// SaveShardedFS is SaveFS recording a shard count in the image header.
+// The shard count is fixed at store creation: compaction re-saves with
+// the same count, and opens reject nothing — the partitioner is derived
+// from whatever the header says. shards <= 1 writes the historical
+// unsharded header bytes.
+func SaveShardedFS(fsys fault.FS, path string, g *graph.Graph, shards int) error {
 	dir := filepath.Dir(path)
 	tmp, err := fsys.CreateTemp(dir, ".egoc-save-*")
 	if err != nil {
@@ -116,7 +147,7 @@ func SaveFS(fsys fault.FS, path string, g *graph.Graph) error {
 		fsys.Remove(tmpName)
 		return err
 	}
-	if err := Write(tmp, g); err != nil {
+	if err := writeSharded(tmp, g, shards); err != nil {
 		return cleanup(err)
 	}
 	if err := tmp.Sync(); err != nil {
@@ -160,12 +191,21 @@ func syncDir(fsys fault.FS, dir string) {
 // valid header; Write buffers sections in memory offsets and writes
 // front-to-back, so any Writer works.
 func Write(w io.Writer, g *graph.Graph) error {
+	return writeSharded(w, g, 1)
+}
+
+// writeSharded is Write with the shard count encoded in the header flags
+// (counts <= 1 write the historical zero bits).
+func writeSharded(w io.Writer, g *graph.Graph, shards int) error {
 	bw := bufio.NewWriter(w)
 	cw := &countingWriter{w: bw}
 
 	var h header
 	if g.Directed() {
 		h.Flags |= flagDirected
+	}
+	if shards > 1 {
+		h.Flags |= uint32(shards) << shardShift
 	}
 	h.NumNodes = uint64(g.NumNodes())
 	h.NumEdges = uint64(g.NumEdges())

@@ -339,6 +339,10 @@ func (st *Store) Close() error { return st.f.Close() }
 // Directed reports whether the stored graph is directed.
 func (st *Store) Directed() bool { return st.h.directed() }
 
+// ShardCount returns the shard count recorded at store creation (1 for
+// unsharded and pre-sharding images).
+func (st *Store) ShardCount() int { return st.h.shardCount() }
+
 // NumNodes returns the node count.
 func (st *Store) NumNodes() int { return int(st.h.NumNodes) }
 

@@ -8,9 +8,13 @@
 #   CHAOS_ITERS  soak iterations (default 25; CI smoke uses a short budget)
 #   CHAOS_SEED   master seed (default 0: derived from the clock; the
 #                driver prints it so any failure is reproducible)
+#   CHAOS_SHARDS shard count for the dynamic store (default 1; >1 adds
+#                kill-during-one-shard's-compaction-swap scenarios and
+#                asserts the other shards and the epoch sequence survive)
 set -eu
 
 iters=${CHAOS_ITERS:-25}
 seed=${CHAOS_SEED:-0}
+shards=${CHAOS_SHARDS:-1}
 
-go run ./cmd/chaos -iters "$iters" -seed "$seed"
+go run ./cmd/chaos -iters "$iters" -seed "$seed" -shards "$shards"

@@ -38,7 +38,13 @@ q='{"query":"SELECT ID, COUNTP(tri, SUBGRAPH(ID, 1)) FROM nodes LIMIT 7"}'
 curl -fsS -X POST -d "$q" "http://$addr/v1/query" | grep -q '"result_cached":false'
 curl -fsS -X POST -d "$q" "http://$addr/v1/query" | grep -q '"result_cached":true'
 
-curl -fsS "http://$addr/v1/stats" | grep -q '"prepared_statements":2'
+stats=$(curl -fsS "http://$addr/v1/stats")
+echo "$stats" | grep -q '"prepared_statements":2'
+# The flattened cache-eviction counters are always present and numeric
+# (zero here: nothing has been evicted from either cache yet).
+echo "$stats" | grep -q '"plan_evictions":0'
+echo "$stats" | grep -q '"result_evictions":0'
+echo "$stats" | grep -q '"evictions":0'
 
 # A parse error must come back as HTTP 400, not tear the server down.
 code=$(curl -s -o /dev/null -w '%{http_code}' -X POST -d '{"query":"SELEC"}' "http://$addr/v1/query")
