@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race stress chaos bench bench-report bench-planner bench-dynamic bench-parallel bench-serve bench-sharded vet fmt experiments-unit experiments-small clean
+.PHONY: all build test race stress chaos bench bench-report bench-planner bench-dynamic bench-parallel bench-serve bench-sharded vet fmt fmt-check lint vuln experiments-unit experiments-small clean
 
 all: build test
 
@@ -68,8 +68,27 @@ bench-sharded:
 vet:
 	$(GO) vet ./...
 
+# Full static-analysis gate: vet, staticcheck (skipped with a notice if
+# not installed locally; CI always runs it), and the repo's own egolint
+# suite (cmd/egolint) enforcing the invariants in doc/INVARIANTS.md.
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	else echo "staticcheck not installed; skipping (CI runs it)"; fi
+	$(GO) run ./cmd/egolint ./...
+
+# Known-vulnerability scan; skipped with a notice if govulncheck is not
+# installed locally (CI installs and runs it).
+vuln:
+	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
+	else echo "govulncheck not installed; skipping (CI runs it)"; fi
+
 fmt:
 	gofmt -w .
+
+# Fails listing any file gofmt would change (CI's formatting gate).
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+	echo "gofmt drift in:"; echo "$$out"; exit 1; fi
 
 # Regenerate the paper's figures (seconds / minutes respectively).
 experiments-unit:

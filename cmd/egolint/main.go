@@ -1,0 +1,89 @@
+// Command egolint is the multichecker driver for this repository's
+// custom invariant analyzers (internal/lint): faultfs, detrange,
+// ctxflow, errwrapcheck, and snapguard. CI builds it from the tree and
+// gates every PR on a clean run over ./... — see doc/INVARIANTS.md for
+// the catalogue of enforced invariants and the suppression directives.
+//
+// Usage:
+//
+//	egolint [-run name[,name...]] [-list] [packages...]
+//
+// Packages default to ./... relative to the current directory, which
+// must lie inside a Go module. Exit status is 1 if any finding survives
+// suppression, 2 on operational errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"egocensus/internal/lint"
+	"egocensus/internal/lint/analysis"
+	"egocensus/internal/lint/load"
+)
+
+func main() {
+	runList := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list available analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: egolint [-run name[,name...]] [-list] [packages...]\n\nAnalyzers:\n")
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
+		}
+	}
+	flag.Parse()
+
+	all := lint.Analyzers()
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-14s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
+		}
+		return
+	}
+
+	analyzers := all
+	if *runList != "" {
+		byName := map[string]*analysis.Analyzer{}
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*runList, ",") {
+			a, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "egolint: unknown analyzer %q (use -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "egolint: %v\n", err)
+		os.Exit(2)
+	}
+	pkgs, err := load.Packages(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "egolint: %v\n", err)
+		os.Exit(2)
+	}
+	findings, err := lint.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "egolint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Printf("%s: %s (egolint:%s)\n", f.Pos, f.Message, f.Analyzer)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "egolint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		os.Exit(1)
+	}
+}

@@ -34,7 +34,7 @@ type ApproxResult struct {
 // pattern-driven counting machinery. sampleRate must be in (0, 1]; a rate
 // of 1 reproduces the exact PT-OPT result.
 func CountApprox(g *graph.Graph, spec Spec, sampleRate float64, opt Options) (*ApproxResult, error) {
-	return CountApproxContext(context.Background(), g, spec, sampleRate, opt)
+	return CountApproxContext(context.Background(), g, spec, sampleRate, opt) //egolint:allow ctxflow sanctioned root: public non-Context convenience wrapper; cancellation-aware callers use the Context variant
 }
 
 // CountApproxContext is CountApprox under a context; cancellation and

@@ -252,7 +252,7 @@ type Result struct {
 
 // Count evaluates a single-node census with the chosen algorithm.
 func Count(g *graph.Graph, spec Spec, alg Algorithm, opt Options) (*Result, error) {
-	return CountContext(context.Background(), g, spec, alg, opt)
+	return CountContext(context.Background(), g, spec, alg, opt) //egolint:allow ctxflow sanctioned root: public non-Context convenience wrapper; cancellation-aware callers use the Context variant
 }
 
 // CountContext evaluates a single-node census under ctx: cancellation and
@@ -271,6 +271,8 @@ func CountContext(ctx context.Context, g *graph.Graph, spec Spec, alg Algorithm,
 
 // countGuarded dispatches to the drivers under an existing guard (the
 // engine shares one guard across a whole query pipeline).
+//
+//egolint:deterministic census drivers must be bit-identical across runs, algorithms, and worker counts
 func countGuarded(g *graph.Graph, spec Spec, alg Algorithm, opt Options, gd *guard) (*Result, error) {
 	switch alg {
 	case NDBas:

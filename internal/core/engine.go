@@ -322,7 +322,7 @@ func (e *Engine) adoptPatterns(parsed map[string]*pattern.Pattern) {
 // is a parse error (the policy DefinePattern also enforces), so only
 // genuinely new definitions are copied in.
 func (e *Engine) Execute(src string) ([]*Table, error) {
-	return e.ExecuteContext(context.Background(), src)
+	return e.ExecuteContext(context.Background(), src) //egolint:allow ctxflow sanctioned root: public non-Context convenience wrapper; cancellation-aware callers use the Context variant
 }
 
 // ExecuteContext is Execute under a context: every query runs cancellable
@@ -375,7 +375,7 @@ func (e *Engine) planWith(q *lang.SelectStmt, s *graph.Stats) (*plan.Physical, e
 // Run executes one parsed query: optimize, then (unless EXPLAIN) compile
 // to a physical pipeline and run it.
 func (e *Engine) Run(q *lang.SelectStmt) (*Table, error) {
-	return e.RunContext(context.Background(), q)
+	return e.RunContext(context.Background(), q) //egolint:allow ctxflow sanctioned root: public non-Context convenience wrapper; cancellation-aware callers use the Context variant
 }
 
 // RunContext is Run under a context. Cancellation, deadline expiry, and

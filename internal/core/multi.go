@@ -17,7 +17,7 @@ import (
 // Results are returned in spec order and are identical to running
 // Count(..., NDPvot, ...) per spec.
 func CountMany(g *graph.Graph, specs []Spec, opt Options) ([]*Result, error) {
-	return CountManyContext(context.Background(), g, specs, opt)
+	return CountManyContext(context.Background(), g, specs, opt) //egolint:allow ctxflow sanctioned root: public non-Context convenience wrapper; cancellation-aware callers use the Context variant
 }
 
 // CountManyContext is CountMany under a context: cancellation and
@@ -29,6 +29,7 @@ func CountManyContext(ctx context.Context, g *graph.Graph, specs []Spec, opt Opt
 	return countManyGuarded(g, specs, opt, gd)
 }
 
+//egolint:deterministic census drivers must be bit-identical across runs, algorithms, and worker counts
 func countManyGuarded(g *graph.Graph, specs []Spec, opt Options, gd *guard) ([]*Result, error) {
 	if len(specs) == 0 {
 		return nil, nil

@@ -26,6 +26,8 @@ import (
 // so for those the baseline degrades to the naive global scheme the paper
 // describes as the starting point of pivot indexing: match globally, then
 // containment-check every match against every focal node.
+//
+//egolint:deterministic census drivers must be bit-identical across runs, algorithms, and worker counts
 func countNDBas(g *graph.Graph, spec Spec, opt Options, gd *guard) (*Result, error) {
 	if spec.Subpattern != "" {
 		return countNDBasSubpattern(g, spec, opt, gd)

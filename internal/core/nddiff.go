@@ -19,6 +19,8 @@ import (
 // each chain owns disjoint result slots. Within a chain, the current match
 // set is an epoch-stamped dense vector and the two live neighborhoods are
 // pooled scratch reaches.
+//
+//egolint:deterministic census drivers must be bit-identical across runs, algorithms, and worker counts
 func countNDDiff(g *graph.Graph, spec Spec, opt Options, gd *guard) (*Result, error) {
 	res := &Result{Counts: make([]int64, g.NumNodes())}
 	gd.chargeMem(int64(g.NumNodes()) * 8)

@@ -25,6 +25,8 @@ func buildPMI(numNodes int, matches []pattern.Match, pivot int) [][]int32 {
 // only the pattern nodes that are distant enough from the pivot to be able
 // to escape the neighborhood. Focal nodes are processed in parallel across
 // Options.Workers; each owns a disjoint result slot.
+//
+//egolint:deterministic census drivers must be bit-identical across runs, algorithms, and worker counts
 func countNDPvot(g *graph.Graph, spec Spec, opt Options, gd *guard) (*Result, error) {
 	res := &Result{Counts: make([]int64, g.NumNodes())}
 	gd.chargeMem(int64(g.NumNodes()) * 8)

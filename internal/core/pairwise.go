@@ -62,7 +62,7 @@ type PairResult struct {
 // report every pair with a non-zero count; node-driven algorithms (ND-BAS,
 // ND-PVOT) require an explicit pair list.
 func CountPairs(g *graph.Graph, spec PairSpec, alg Algorithm, opt Options) (*PairResult, error) {
-	return CountPairsContext(context.Background(), g, spec, alg, opt)
+	return CountPairsContext(context.Background(), g, spec, alg, opt) //egolint:allow ctxflow sanctioned root: public non-Context convenience wrapper; cancellation-aware callers use the Context variant
 }
 
 // CountPairsContext is CountPairs under a context: cancellation and the
@@ -79,6 +79,8 @@ func CountPairsContext(ctx context.Context, g *graph.Graph, spec PairSpec, alg A
 
 // countPairsGuarded dispatches to the pairwise drivers under an existing
 // guard.
+//
+//egolint:deterministic census drivers must be bit-identical across runs, algorithms, and worker counts
 func countPairsGuarded(g *graph.Graph, spec PairSpec, alg Algorithm, opt Options, gd *guard) (*PairResult, error) {
 	switch alg {
 	case NDBas:

@@ -157,6 +157,8 @@ type affinity struct {
 // cost is nil) and cuts the order into chunks of roughly equal total
 // cost. Items whose individual cost exceeds the chunk target become
 // singleton chunks, so a hub focal never drags neighbors into its chunk.
+//
+//egolint:deterministic bit-identical merge contract (PR 1/PR 5): results must be equal across worker counts and steal timing
 func buildSchedule(n, workers int, cost func(i int) int64) (ord []int32, chunks []chunk) {
 	ord = make([]int32, n)
 	for i := range ord {
@@ -205,6 +207,8 @@ func buildSchedule(n, workers int, cost func(i int) int64) (ord []int32, chunks 
 // by (shard, descending cost), chunks never span a shard boundary, and
 // every chunk carries its shard's home worker. The chunk-size target is
 // still global, so a small shard just yields fewer chunks for thieves.
+//
+//egolint:deterministic bit-identical merge contract (PR 1/PR 5): results must be equal across worker counts and steal timing
 func buildScheduleAff(n, workers int, cost func(i int) int64, aff *affinity) (ord []int32, chunks []chunk, home []int) {
 	ord = make([]int32, n)
 	for i := range ord {
@@ -260,6 +264,8 @@ func buildScheduleAff(n, workers int, cost func(i int) int64, aff *affinity) (or
 // work stealing. body observes (executing worker, item index); gd (nil
 // allowed) is polled per item. home (nil allowed) assigns chunk k to a
 // specific worker's deque instead of round-robin.
+//
+//egolint:deterministic bit-identical merge contract (PR 1/PR 5): results must be equal across worker counts and steal timing
 func runStealing(gd *guard, workers int, ord []int32, chunks []chunk, home []int, body func(w, i int)) {
 	queues := make([]*wsQueue, workers)
 	for w := range queues {
@@ -332,18 +338,24 @@ func stealFrom(queues []*wsQueue, w int) (chunk, bool) {
 // gd (nil allowed) is checked before each item: once it stops, no
 // further items start and every worker drains within one item. Bodies
 // with long inner loops tick the guard themselves for sub-item latency.
+//
+//egolint:deterministic bit-identical merge contract (PR 1/PR 5): results must be equal across worker counts and steal timing
 func parallelFor(gd *guard, workers, n int, body func(i int)) {
 	parallelForWorkerCost(gd, workers, n, nil, func(_, i int) { body(i) })
 }
 
 // parallelForCost is parallelFor with a per-item cost estimate steering
 // the work-stealing schedule (nil means uniform).
+//
+//egolint:deterministic bit-identical merge contract (PR 1/PR 5): results must be equal across worker counts and steal timing
 func parallelForCost(gd *guard, workers, n int, cost func(i int) int64, body func(i int)) {
 	parallelForWorkerCost(gd, workers, n, cost, func(_, i int) { body(i) })
 }
 
 // parallelForCostAff is parallelForCost with optional shard affinity
 // (nil aff behaves exactly like parallelForCost).
+//
+//egolint:deterministic bit-identical merge contract (PR 1/PR 5): results must be equal across worker counts and steal timing
 func parallelForCostAff(gd *guard, workers, n int, cost func(i int) int64, aff *affinity, body func(i int)) {
 	parallelForWorkerCostAff(gd, workers, n, cost, aff, func(_, i int) { body(i) })
 }
@@ -352,12 +364,16 @@ func parallelForCostAff(gd *guard, workers, n int, cost func(i int) int64, aff *
 // body, for callers that keep per-worker state (scratch vectors, RNGs).
 // Stealing may run any item on any worker; bodies must not rely on a
 // fixed item→worker mapping for correctness.
+//
+//egolint:deterministic bit-identical merge contract (PR 1/PR 5): results must be equal across worker counts and steal timing
 func parallelForWorker(gd *guard, workers, n int, body func(w, i int)) {
 	parallelForWorkerCost(gd, workers, n, nil, body)
 }
 
 // parallelForWorkerCost is the scheduler's general form: per-item cost
 // estimates (nil = uniform) plus worker-indexed bodies.
+//
+//egolint:deterministic bit-identical merge contract (PR 1/PR 5): results must be equal across worker counts and steal timing
 func parallelForWorkerCost(gd *guard, workers, n int, cost func(i int) int64, body func(w, i int)) {
 	parallelForWorkerCostAff(gd, workers, n, cost, nil, body)
 }
@@ -365,6 +381,8 @@ func parallelForWorkerCost(gd *guard, workers, n int, cost func(i int) int64, bo
 // parallelForWorkerCostAff adds optional shard affinity to the general
 // form: with a non-nil aff, chunks stay within shard boundaries and seed
 // their shard's home worker.
+//
+//egolint:deterministic bit-identical merge contract (PR 1/PR 5): results must be equal across worker counts and steal timing
 func parallelForWorkerCostAff(gd *guard, workers, n int, cost func(i int) int64, aff *affinity, body func(w, i int)) {
 	if workers > n {
 		workers = n
@@ -400,18 +418,24 @@ func parallelForWorkerCostAff(gd *guard, workers, n int, cost func(i int) int64,
 //
 // On a guard stop, the per-worker vectors accumulated so far are still
 // merged, so dst holds the partial census the typed errors carry.
+//
+//egolint:deterministic bit-identical merge contract (PR 1/PR 5): results must be equal across worker counts and steal timing
 func parallelMerge(gd *guard, workers, n int, dst []int64, body func(w int, counts []int64, i int)) {
 	parallelMergeCost(gd, workers, n, nil, dst, body)
 }
 
 // parallelMergeCost is parallelMerge with a per-item cost estimate
 // steering the work-stealing schedule (nil means uniform).
+//
+//egolint:deterministic bit-identical merge contract (PR 1/PR 5): results must be equal across worker counts and steal timing
 func parallelMergeCost(gd *guard, workers, n int, cost func(i int) int64, dst []int64, body func(w int, counts []int64, i int)) {
 	parallelMergeCostAff(gd, workers, n, cost, nil, dst, body)
 }
 
 // parallelMergeCostAff is parallelMergeCost with optional shard affinity
 // (nil aff behaves exactly like parallelMergeCost).
+//
+//egolint:deterministic bit-identical merge contract (PR 1/PR 5): results must be equal across worker counts and steal timing
 func parallelMergeCostAff(gd *guard, workers, n int, cost func(i int) int64, aff *affinity, dst []int64, body func(w int, counts []int64, i int)) {
 	if workers > n {
 		workers = n

@@ -126,7 +126,7 @@ func (p *Prepared) Query() *lang.SelectStmt { return p.q }
 
 // Execute runs the prepared statement with the given parameter bindings.
 func (p *Prepared) Execute(params map[string]string) (*Table, error) {
-	return p.ExecuteContext(context.Background(), params, ExecOptions{})
+	return p.ExecuteContext(context.Background(), params, ExecOptions{}) //egolint:allow ctxflow sanctioned root: public non-Context convenience wrapper; cancellation-aware callers use the Context variant
 }
 
 // ExecuteContext runs the prepared statement: validate bindings, pin the

@@ -11,6 +11,8 @@ import (
 // processed in parallel across Options.Workers with per-worker count
 // vectors merged at the end (int64 sums are order-invariant, so parallel
 // results equal sequential ones exactly).
+//
+//egolint:deterministic census drivers must be bit-identical across runs, algorithms, and worker counts
 func countPTBas(g *graph.Graph, spec Spec, opt Options, gd *guard) (*Result, error) {
 	res := &Result{Counts: make([]int64, g.NumNodes())}
 	gd.chargeMem(int64(g.NumNodes()) * 8)

@@ -17,6 +17,8 @@ import (
 // shortcuts and center-based triangle-inequality bounds, and driven in
 // best-first order by an O(1) array bucket queue (or random order for the
 // PT-RND ablation).
+//
+//egolint:deterministic census drivers must be bit-identical across runs, algorithms, and worker counts
 func countPTDriven(g *graph.Graph, spec Spec, opt Options, randomOrder bool, gd *guard) (*Result, error) {
 	matches, err := globalMatchesGuarded(g, spec, opt, gd)
 	if err != nil {

@@ -29,7 +29,7 @@ type NodeCount struct {
 // the highest counts, ordered by count descending (ties broken by node ID
 // ascending, deterministically). k <= 0 returns nil.
 func TopK(g *graph.Graph, spec Spec, k int, alg Algorithm, opt Options) ([]NodeCount, error) {
-	return TopKContext(context.Background(), g, spec, k, alg, opt)
+	return TopKContext(context.Background(), g, spec, k, alg, opt) //egolint:allow ctxflow sanctioned root: public non-Context convenience wrapper; cancellation-aware callers use the Context variant
 }
 
 // TopKContext is TopK under a context; the underlying census evaluation is
@@ -74,7 +74,7 @@ func SelectTopK(counts []int64, focal []graph.NodeID, k int) []NodeCount {
 // TopKPairs evaluates a pairwise census and returns the k pairs with the
 // highest counts — the ranking step of the link-prediction experiment.
 func TopKPairs(g *graph.Graph, spec PairSpec, k int, alg Algorithm, opt Options) ([]PairCount, error) {
-	return TopKPairsContext(context.Background(), g, spec, k, alg, opt)
+	return TopKPairsContext(context.Background(), g, spec, k, alg, opt) //egolint:allow ctxflow sanctioned root: public non-Context convenience wrapper; cancellation-aware callers use the Context variant
 }
 
 // TopKPairsContext is TopKPairs under a context; the underlying pairwise

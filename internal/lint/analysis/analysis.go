@@ -1,0 +1,74 @@
+// Package analysis is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis API surface that egolint's analyzers are
+// written against. The container this repo builds in has no module proxy
+// access and an empty module cache, so the real x/tools package cannot be
+// vendored; this package mirrors its core types (Analyzer, Pass,
+// Diagnostic) closely enough that the analyzers port to the upstream
+// framework by changing one import line.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer is one static check: a name, a doc string, and a Run
+// function applied to one type-checked package at a time.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //egolint:allow directives. It must be a valid Go identifier.
+	Name string
+
+	// Doc is the analyzer's documentation: first line is a one-sentence
+	// summary, the rest elaborates.
+	Doc string
+
+	// Run applies the check to one package and reports diagnostics
+	// through pass.Report. The returned value is unused by egolint (the
+	// upstream API threads it to dependent analyzers) but kept for
+	// signature compatibility.
+	Run func(*Pass) (interface{}, error)
+}
+
+// A Pass provides one analyzed package to an Analyzer's Run function:
+// syntax, types, and a sink for diagnostics.
+type Pass struct {
+	// Analyzer is the analyzer being run.
+	Analyzer *Analyzer
+
+	// Fset maps token positions of Files to file/line/column.
+	Fset *token.FileSet
+
+	// Files is the package's parsed syntax, comments included.
+	// Test files are not loaded.
+	Files []*ast.File
+
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+
+	// TypesInfo holds type information for Files (Types, Defs, Uses,
+	// Selections, Implicits, and Scopes are populated).
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. The driver applies
+	// //egolint:allow suppression after the fact, so analyzers report
+	// every violation they see.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one reported violation.
+type Diagnostic struct {
+	// Pos is where the violation occurs.
+	Pos token.Pos
+
+	// Message describes the violation and, by convention, how to fix or
+	// suppress it.
+	Message string
+}

@@ -1,0 +1,188 @@
+// Package analysistest runs one egolint analyzer over a fixture package
+// under testdata/src and checks its diagnostics against `// want`
+// comments, mirroring golang.org/x/tools/go/analysis/analysistest:
+//
+//	f, err := os.Create(path) // want `direct os\.Create bypasses`
+//
+// Each want comment holds one or more quoted regular expressions; every
+// diagnostic on that line must match exactly one of them and vice versa.
+// Fixtures are loaded through the same pipeline as cmd/egolint —
+// including //egolint:allow suppression — so directive-suppressed cases
+// are testable as lines with no want.
+//
+// A fixture's directory under testdata/src is its import path, so a
+// fixture that must trigger a package-scoped analyzer (e.g. faultfs,
+// which only fires inside egocensus/internal/storage) lives at
+// testdata/src/egocensus/internal/storage. Fixtures may import the real
+// module's packages; imports resolve against the enclosing module.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"egocensus/internal/lint"
+	"egocensus/internal/lint/analysis"
+	"egocensus/internal/lint/load"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData() string {
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return dir
+}
+
+// Run loads testdata/src/<pkgRel> as package path <pkgRel>, applies the
+// analyzer (with directive suppression), and compares findings against
+// the fixture's want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgRel string) {
+	t.Helper()
+	moduleDir, err := moduleRoot()
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	pkgDir := filepath.Join(testdata, "src", filepath.FromSlash(pkgRel))
+	pkg, err := load.Dir(moduleDir, pkgDir, pkgRel)
+	if err != nil {
+		t.Fatalf("analysistest: loading %s: %v", pkgRel, err)
+	}
+	findings, err := lint.Run([]*load.Package{pkg}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("analysistest: running %s: %v", a.Name, err)
+	}
+	wants, err := collectWants(pkg)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	for _, f := range findings {
+		key := fmt.Sprintf("%s:%d", f.Pos.Filename, f.Pos.Line)
+		if !wants.match(key, f.Message) {
+			t.Errorf("%s: unexpected finding: %s (egolint:%s)", f.Pos, f.Message, f.Analyzer)
+		}
+	}
+	for key, res := range wants.byLine {
+		for _, w := range res {
+			if !w.matched {
+				t.Errorf("%s: no finding matched want %q", key, w.re.String())
+			}
+		}
+	}
+}
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+type wantSet struct {
+	byLine map[string][]*want
+}
+
+func (ws *wantSet) match(key, message string) bool {
+	for _, w := range ws.byLine[key] {
+		if !w.matched && w.re.MatchString(message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants scans the fixture's comments for want annotations.
+func collectWants(pkg *load.Package) (*wantSet, error) {
+	ws := &wantSet{byLine: map[string][]*want{}}
+	for _, f := range pkg.Files {
+		for _, grp := range f.Comments {
+			for _, c := range grp.List {
+				text := c.Text
+				i := strings.Index(text, "// want ")
+				if i < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Slash)
+				patterns, err := parseWantPatterns(text[i+len("// want "):])
+				if err != nil {
+					return nil, fmt.Errorf("%s: %w", pos, err)
+				}
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want regexp: %w", pos, err)
+					}
+					ws.byLine[key] = append(ws.byLine[key], &want{re: re})
+				}
+			}
+		}
+	}
+	return ws, nil
+}
+
+// parseWantPatterns extracts the quoted regexps ("..." or `...`)
+// following a want marker.
+func parseWantPatterns(s string) ([]string, error) {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			break
+		}
+		switch s[0] {
+		case '"', '`':
+			quote := s[0]
+			end := -1
+			for i := 1; i < len(s); i++ {
+				if s[i] == '\\' && quote == '"' {
+					i++
+					continue
+				}
+				if s[i] == quote {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated want pattern %q", s)
+			}
+			pat, err := strconv.Unquote(s[:end+1])
+			if err != nil {
+				return nil, fmt.Errorf("bad want pattern %q: %w", s[:end+1], err)
+			}
+			out = append(out, pat)
+			s = s[end+1:]
+		default:
+			return nil, fmt.Errorf("want patterns must be quoted strings, got %q", s)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("want marker with no patterns")
+	}
+	return out, nil
+}
+
+// moduleRoot walks up from the working directory to the enclosing go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,48 @@
+package lint
+
+import (
+	"go/ast"
+
+	"egocensus/internal/lint/analysis"
+)
+
+// CtxFlow flags context.Background() and context.TODO() in library
+// packages. PR 3 threaded context.Context from the public API through the
+// operator pipeline into every census driver and the worker pool; a
+// Background() minted mid-pipeline severs that chain, so a caller's
+// cancel or deadline silently stops propagating. Fresh roots belong in
+// package main (cmd/, examples/) and in tests — both outside this
+// analyzer's scope (test files are never loaded). The sanctioned
+// exception, annotated //egolint:allow ctxflow, is a public non-Context
+// convenience wrapper whose whole job is to supply the root for callers
+// that opted out of cancellation.
+var CtxFlow = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "flag context.Background/TODO in library packages\n\n" +
+		"Library code must thread the caller's context.Context; minting a fresh\n" +
+		"root mid-pipeline breaks cancellation and deadline propagation end to\n" +
+		"end. Allowed in package main and tests.",
+	Run: runCtxFlow,
+}
+
+func runCtxFlow(pass *analysis.Pass) (interface{}, error) {
+	if pass.Pkg.Name() == "main" {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, name, ok := pkgFunc(pass, call)
+			if !ok || pkg != "context" || (name != "Background" && name != "TODO") {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"context.%s() in a library package severs cancellation plumbing; accept a context.Context from the caller, or annotate //egolint:allow ctxflow <reason> if this is a sanctioned root", name)
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"egocensus/internal/lint/analysis"
+)
+
+// detRangePkgs are deterministic by default: every function in them is on
+// the bit-identical merge path. Elsewhere, functions opt in with an
+// //egolint:deterministic doc directive — the merge helpers in
+// internal/core/pool.go and the census drivers' merge sections carry it.
+var detRangePkgs = map[string]bool{
+	matchPkgPath: true,
+}
+
+// DetRange flags `range` over a map inside deterministic-path functions.
+// The repo's core contract (PR 1, PR 5) is that every census driver and
+// every merge is bit-identical across runs, worker counts, and steal
+// timing; Go map iteration order is randomized per run, so a map range on
+// that path is a determinism bug unless its effect is order-insensitive.
+// The one recognized-benign shape is the collect-then-sort idiom — a
+// range whose body only appends keys/values to a slice (the caller is
+// expected to sort it). Anything else needs an //egolint:allow detrange
+// annotation arguing order-insensitivity.
+var DetRange = &analysis.Analyzer{
+	Name: "detrange",
+	Doc: "flag map iteration on the deterministic merge path\n\n" +
+		"Functions in internal/match, plus any function whose doc comment carries\n" +
+		"//egolint:deterministic, must not range over maps: iteration order is\n" +
+		"randomized and would break bit-identical census results. Collect keys\n" +
+		"into a slice and sort, or annotate //egolint:allow detrange with an\n" +
+		"order-insensitivity argument.",
+	Run: runDetRange,
+}
+
+func runDetRange(pass *analysis.Pass) (interface{}, error) {
+	pkgDefault := detRangePkgs[pass.Pkg.Path()]
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !pkgDefault && !docHasDeterministic(fd.Doc) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				t := pass.TypesInfo.Types[rng.X].Type
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if isCollectLoop(rng) {
+					return true
+				}
+				pass.Reportf(rng.Pos(),
+					"map iteration order is randomized and this function is on the deterministic merge path; collect keys into a slice and sort, or annotate //egolint:allow detrange <order-insensitivity reason>")
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+// isCollectLoop recognizes the sanctioned collect-then-sort prelude: a
+// range whose body consists solely of append-assignments, e.g.
+//
+//	for k := range m { keys = append(keys, k) }
+//
+// The iteration order leaks only into slice order, which the caller
+// sorts before use; any other statement shape may observe the order.
+func isCollectLoop(rng *ast.RangeStmt) bool {
+	if len(rng.Body.List) == 0 {
+		return false
+	}
+	for _, stmt := range rng.Body.List {
+		asg, ok := stmt.(*ast.AssignStmt)
+		if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+			return false
+		}
+		call, ok := asg.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		fn, ok := call.Fun.(*ast.Ident)
+		if !ok || fn.Name != "append" {
+			return false
+		}
+	}
+	return true
+}

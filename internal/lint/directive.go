@@ -1,0 +1,179 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"egocensus/internal/lint/load"
+)
+
+// Egolint understands three comment directives (catalogued in
+// doc/INVARIANTS.md):
+//
+//	//egolint:allow <name>[,<name>...] [reason]
+//	    Suppress the named analyzers on the directive's line — or, when
+//	    the comment stands alone on its line, on the following line.
+//	    A reason is expected on every suppression; reviews enforce it.
+//
+//	//egolint:allowfile <name>[,<name>...] [reason]
+//	    Suppress the named analyzers for the whole file.
+//
+//	//egolint:deterministic [reason]
+//	    In a function's doc comment: opt the function onto the
+//	    deterministic merge path, enabling the detrange analyzer inside
+//	    it regardless of package. Consumed by detrange directly.
+//
+// Misspelled or malformed egolint: directives are themselves findings
+// (analyzer name "egolint"), so a typo cannot silently disable a check.
+
+const (
+	allowPrefix     = "//egolint:allow "
+	allowFilePrefix = "//egolint:allowfile "
+	detPrefix       = "//egolint:deterministic"
+	anyPrefix       = "//egolint:"
+)
+
+// suppressions records, for one package, which analyzers are silenced
+// where. Lines are 1-based per file path.
+type suppressions struct {
+	// byLine[path][line] holds analyzer names allowed on that line.
+	byLine map[string]map[int][]string
+	// byFile[path] holds analyzer names allowed anywhere in the file.
+	byFile map[string][]string
+}
+
+func (s *suppressions) suppressed(name string, pos token.Position) bool {
+	for _, a := range s.byFile[pos.Filename] {
+		if a == name {
+			return true
+		}
+	}
+	for _, a := range s.byLine[pos.Filename][pos.Line] {
+		if a == name {
+			return true
+		}
+	}
+	return false
+}
+
+// parseDirectives scans a package's comments for egolint directives,
+// returning the suppression table plus a finding for every malformed
+// directive.
+func parseDirectives(pkg *load.Package, known map[string]bool) (*suppressions, []Finding) {
+	sup := &suppressions{
+		byLine: map[string]map[int][]string{},
+		byFile: map[string][]string{},
+	}
+	var bad []Finding
+	report := func(pos token.Pos, msg string) {
+		bad = append(bad, Finding{
+			Analyzer: "egolint",
+			Pos:      pkg.Fset.Position(pos),
+			Message:  msg,
+		})
+	}
+	for _, f := range pkg.Files {
+		for _, grp := range f.Comments {
+			for _, c := range grp.List {
+				text := c.Text
+				if !strings.HasPrefix(text, anyPrefix) {
+					continue
+				}
+				switch {
+				case strings.HasPrefix(text, allowPrefix):
+					names, ok := parseNames(text[len(allowPrefix):], known)
+					if !ok {
+						report(c.Slash, "malformed //egolint:allow directive: want //egolint:allow <analyzer>[,<analyzer>...] <reason>")
+						continue
+					}
+					pos := pkg.Fset.Position(c.Slash)
+					line := pos.Line
+					if standsAlone(pkg.Sources[pos.Filename], pos) {
+						line++
+					}
+					m := sup.byLine[pos.Filename]
+					if m == nil {
+						m = map[int][]string{}
+						sup.byLine[pos.Filename] = m
+					}
+					m[line] = append(m[line], names...)
+				case strings.HasPrefix(text, allowFilePrefix):
+					names, ok := parseNames(text[len(allowFilePrefix):], known)
+					if !ok {
+						report(c.Slash, "malformed //egolint:allowfile directive: want //egolint:allowfile <analyzer>[,<analyzer>...] <reason>")
+						continue
+					}
+					pos := pkg.Fset.Position(c.Slash)
+					sup.byFile[pos.Filename] = append(sup.byFile[pos.Filename], names...)
+				case text == detPrefix || strings.HasPrefix(text, detPrefix+" "):
+					// Consumed by detrange via function doc comments;
+					// validated here only for placement-independent
+					// syntax (no arguments besides an optional reason).
+				case text == strings.TrimSpace(allowPrefix):
+					report(c.Slash, "malformed //egolint:allow directive: want //egolint:allow <analyzer>[,<analyzer>...] <reason>")
+				case text == strings.TrimSpace(allowFilePrefix):
+					report(c.Slash, "malformed //egolint:allowfile directive: want //egolint:allowfile <analyzer>[,<analyzer>...] <reason>")
+				default:
+					report(c.Slash, "unknown egolint directive "+firstWord(text)+": want //egolint:allow, //egolint:allowfile, or //egolint:deterministic")
+				}
+			}
+		}
+	}
+	return sup, bad
+}
+
+// parseNames splits the comma-separated analyzer list heading a
+// directive's argument text and validates every name against the known
+// set. The remainder (the reason) is free text.
+func parseNames(args string, known map[string]bool) ([]string, bool) {
+	args = strings.TrimSpace(args)
+	list := args
+	if i := strings.IndexAny(args, " \t"); i >= 0 {
+		list = args[:i]
+	}
+	if list == "" {
+		return nil, false
+	}
+	names := strings.Split(list, ",")
+	for _, n := range names {
+		if !known[n] {
+			return nil, false
+		}
+	}
+	return names, true
+}
+
+// standsAlone reports whether only whitespace precedes the comment on
+// its line, i.e. the directive is not trailing a statement.
+func standsAlone(src []byte, pos token.Position) bool {
+	if src == nil {
+		return false
+	}
+	start := pos.Offset - (pos.Column - 1)
+	if start < 0 || pos.Offset > len(src) {
+		return false
+	}
+	return len(strings.TrimSpace(string(src[start:pos.Offset]))) == 0
+}
+
+func firstWord(s string) string {
+	if i := strings.IndexAny(s, " \t"); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// docHasDeterministic reports whether a function's doc comment carries
+// the //egolint:deterministic directive. Shared by detrange.
+func docHasDeterministic(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.HasPrefix(c.Text, detPrefix) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"strings"
+
+	"egocensus/internal/lint/analysis"
+)
+
+// ErrWrapCheck enforces wrap-transparent error handling. The engine's
+// typed errors (*CanceledError, *LimitError, *TransientError,
+// *CorruptFileError, *DegradedError, ...) carry structured state —
+// partial counts, progress, epochs — that callers recover with
+// errors.As; storage and serve wrap them repeatedly on the way up. Three
+// shapes silently break that chain:
+//
+//  1. fmt.Errorf("...: %v", err) — formats the error into a string, so
+//     errors.Is/As can no longer see through it. Use %w.
+//  2. err == SomeErr / err != SomeErr — identity comparison fails once
+//     the sentinel is wrapped. Use errors.Is. (Comparisons to nil are
+//     fine.)
+//  3. err.(*SomeError) — a direct type assertion fails once wrapped.
+//     Use errors.As. (Type switches are not flagged: exhaustive
+//     unwrap-free dispatch over freshly produced errors is idiomatic.)
+var ErrWrapCheck = &analysis.Analyzer{
+	Name: "errwrapcheck",
+	Doc: "flag error handling that breaks under wrapping\n\n" +
+		"fmt.Errorf must use %w (not %v/%s) for wrapped errors; sentinel\n" +
+		"comparisons must use errors.Is; concrete-type extraction must use\n" +
+		"errors.As. The typed-error contracts in internal/core/errors.go only\n" +
+		"survive wrapping if every layer preserves the chain.",
+	Run: runErrWrapCheck,
+}
+
+func runErrWrapCheck(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkErrorf(pass, n)
+			case *ast.BinaryExpr:
+				checkErrCompare(pass, n)
+			case *ast.TypeAssertExpr:
+				checkErrAssert(pass, n)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkErrorf flags fmt.Errorf calls that pass an error argument but no
+// %w verb in a constant format string.
+func checkErrorf(pass *analysis.Pass, call *ast.CallExpr) {
+	pkg, name, ok := pkgFunc(pass, call)
+	if !ok || pkg != "fmt" || name != "Errorf" || len(call.Args) < 2 {
+		return
+	}
+	tv := pass.TypesInfo.Types[call.Args[0]]
+	if tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	format := constant.StringVal(tv.Value)
+	if strings.Contains(format, "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		if implementsError(pass.TypesInfo.Types[arg].Type) {
+			pass.Reportf(call.Pos(),
+				"fmt.Errorf formats an error argument without %%w, severing the errors.Is/As chain; use %%w (or annotate //egolint:allow errwrapcheck <reason> if flattening is intended)")
+			return
+		}
+	}
+}
+
+// checkErrCompare flags ==/!= between two error-typed operands (nil
+// comparisons excluded).
+func checkErrCompare(pass *analysis.Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	xt := pass.TypesInfo.Types[be.X].Type
+	yt := pass.TypesInfo.Types[be.Y].Type
+	if !implementsError(xt) || !implementsError(yt) {
+		return
+	}
+	pass.Reportf(be.Pos(),
+		"comparing errors with %s fails once the sentinel is wrapped; use errors.Is (or annotate //egolint:allow errwrapcheck <reason> for intentional identity comparison)", be.Op)
+}
+
+// checkErrAssert flags x.(*ConcreteError) where x is the error interface
+// and the asserted type implements error. Type switches produce
+// TypeAssertExprs with a nil Type and are skipped.
+func checkErrAssert(pass *analysis.Pass, ta *ast.TypeAssertExpr) {
+	if ta.Type == nil {
+		return
+	}
+	if !isErrorType(pass.TypesInfo.Types[ta.X].Type) {
+		return
+	}
+	at := pass.TypesInfo.Types[ta.Type].Type
+	if !implementsError(at) || isErrorType(at) {
+		return
+	}
+	pass.Reportf(ta.Pos(),
+		"type-asserting an error to a concrete error type fails once it is wrapped; use errors.As (or annotate //egolint:allow errwrapcheck <reason>)")
+}

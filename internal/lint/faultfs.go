@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"go/ast"
+
+	"egocensus/internal/lint/analysis"
+)
+
+// faultFSPkgs are the packages whose storage I/O must flow through the
+// fault.FS seam: the persistence layer itself and the graph core (whose
+// WAL retry and degraded-mode logic must stay injectable). internal/fault
+// is the seam's implementation and is deliberately out of scope.
+var faultFSPkgs = map[string]bool{
+	storagePkgPath: true,
+	graphPkgPath:   true,
+}
+
+// faultFSBanned is the set of direct os-package entry points that create,
+// mutate, or stat files. Predicate helpers (os.IsNotExist), error
+// sentinels (os.ErrNotExist), flag constants (os.O_RDWR), and types
+// (os.FileInfo) stay allowed: they don't perform I/O, so they can't dodge
+// fault injection.
+var faultFSBanned = map[string]bool{
+	"Open":       true,
+	"OpenFile":   true,
+	"Create":     true,
+	"CreateTemp": true,
+	"Rename":     true,
+	"Remove":     true,
+	"RemoveAll":  true,
+	"Truncate":   true,
+	"Stat":       true,
+	"Lstat":      true,
+	"ReadFile":   true,
+	"WriteFile":  true,
+	"Mkdir":      true,
+	"MkdirAll":   true,
+	"MkdirTemp":  true,
+	"ReadDir":    true,
+	"Chmod":      true,
+	"Chtimes":    true,
+}
+
+// FaultFS flags direct os file-I/O calls inside internal/storage and
+// internal/graph that bypass the fault.FS seam (PR 8). Every byte those
+// packages put on or take off disk must be interceptable by the fault
+// injector, or the crash-recovery soak (cmd/chaos) silently loses
+// coverage of that path.
+var FaultFS = &analysis.Analyzer{
+	Name: "faultfs",
+	Doc: "flag direct os file-I/O in storage/graph that bypasses the fault.FS seam\n\n" +
+		"internal/storage and internal/graph must perform file I/O through a\n" +
+		"fault.FS (fault.OS{} in production) so the deterministic fault injector\n" +
+		"and the chaos harness can intercept every durability-relevant operation.",
+	Run: runFaultFS,
+}
+
+func runFaultFS(pass *analysis.Pass) (interface{}, error) {
+	if !faultFSPkgs[pass.Pkg.Path()] {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, name, ok := pkgFunc(pass, call)
+			if !ok || pkg != "os" || !faultFSBanned[name] {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"direct os.%s bypasses the fault.FS seam; route through a fault.FS (fault.OS{} in production) so fault injection covers this path, or annotate //egolint:allow faultfs <reason>", name)
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,103 @@
+// Package lint is egolint: a suite of custom static analyzers that
+// machine-enforce this repository's correctness invariants — the fault.FS
+// storage seam, deterministic merge-path iteration, end-to-end context
+// plumbing, wrap-transparent error handling, and pointer-only snapshot
+// state. doc/INVARIANTS.md catalogues each invariant; cmd/egolint is the
+// driver CI runs.
+//
+// The analyzers are written against internal/lint/analysis, a minimal
+// stdlib-only mirror of golang.org/x/tools/go/analysis (unavailable in
+// this build environment); porting to the upstream framework is an import
+// swap.
+package lint
+
+import (
+	"go/token"
+	"sort"
+
+	"egocensus/internal/lint/analysis"
+	"egocensus/internal/lint/load"
+)
+
+// A Finding is one confirmed, unsuppressed violation.
+type Finding struct {
+	// Analyzer is the reporting analyzer's name ("egolint" for
+	// malformed directives).
+	Analyzer string
+	// Pos locates the violation.
+	Pos token.Position
+	// Message describes it.
+	Message string
+}
+
+// Analyzers returns the full egolint suite, sorted by name.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		CtxFlow,
+		DetRange,
+		ErrWrapCheck,
+		FaultFS,
+		SnapGuard,
+	}
+}
+
+// AnalyzerNames returns the names of the given analyzers plus the
+// reserved directive-checker name, as a set.
+func AnalyzerNames(as []*analysis.Analyzer) map[string]bool {
+	names := map[string]bool{}
+	for _, a := range as {
+		names[a.Name] = true
+	}
+	return names
+}
+
+// Run applies the analyzers to every package, resolves //egolint:allow
+// suppressions, and returns the surviving findings sorted by position.
+// Malformed directives surface as findings under the name "egolint".
+//
+// Suppression is resolved against the full suite's name set, so an
+// //egolint:allow for an analyzer not in this run is still recognized
+// (and a typo is still an error) when running a subset via -run.
+func Run(pkgs []*load.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	known := AnalyzerNames(Analyzers())
+	var findings []Finding
+	for _, pkg := range pkgs {
+		sup, bad := parseDirectives(pkg, known)
+		findings = append(findings, bad...)
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			var diags []analysis.Diagnostic
+			pass.Report = func(d analysis.Diagnostic) { diags = append(diags, d) }
+			if _, err := a.Run(pass); err != nil {
+				return nil, err
+			}
+			for _, d := range diags {
+				pos := pkg.Fset.Position(d.Pos)
+				if sup.suppressed(a.Name, pos) {
+					continue
+				}
+				findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}

@@ -1,0 +1,69 @@
+package lint_test
+
+import (
+	"testing"
+
+	"egocensus/internal/lint"
+	"egocensus/internal/lint/analysistest"
+)
+
+// Each analyzer gets golden coverage over fixtures under testdata/src:
+// positive cases (`// want` annotations), negative cases (legal shapes
+// with no annotation), and directive-suppressed cases (violations
+// silenced by //egolint:allow). Fixtures whose analyzers are
+// package-scoped carry the real import paths (egocensus/internal/...).
+
+func TestFaultFS(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lint.FaultFS, "egocensus/internal/storage")
+}
+
+func TestDetRangeDefaultPackage(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lint.DetRange, "egocensus/internal/match")
+}
+
+func TestDetRangeDirectiveOptIn(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lint.DetRange, "example.com/det")
+}
+
+func TestCtxFlowLibrary(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lint.CtxFlow, "example.com/lib")
+}
+
+func TestCtxFlowMainAllowed(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lint.CtxFlow, "example.com/mainpkg")
+}
+
+func TestErrWrapCheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lint.ErrWrapCheck, "example.com/errx")
+}
+
+func TestSnapGuard(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lint.SnapGuard, "example.com/snap")
+}
+
+func TestSnapGuardFacadeAlias(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lint.SnapGuard, "example.com/snapalias")
+}
+
+// TestDirectiveErrors verifies malformed/unknown egolint directives are
+// findings in their own right (reported under the reserved name
+// "egolint"), regardless of which analyzer runs.
+func TestDirectiveErrors(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lint.CtxFlow, "example.com/dirbad")
+}
+
+func TestAnalyzersHaveDocsAndUniqueNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range lint.Analyzers() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v missing name, doc, or run", a)
+		}
+		if a.Name == "egolint" {
+			t.Errorf("analyzer name %q collides with the reserved directive-checker name", a.Name)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+}

@@ -1,0 +1,238 @@
+// Package load turns Go packages on disk into type-checked syntax for
+// egolint's analyzers, using only the standard library. It shells out to
+// `go list -export -deps -json` — which compiles export data for every
+// dependency into the build cache and reports the file paths — then
+// parses each target package from source and type-checks it with a
+// go/importer gc importer whose lookup function reads that export data.
+// This is the same loading strategy golang.org/x/tools/go/packages uses
+// under LoadAllSyntax, without the dependency.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// A Package is one loaded, type-checked package.
+type Package struct {
+	// PkgPath is the package's import path (e.g. egocensus/internal/graph).
+	PkgPath string
+	// Dir is the directory holding the package's sources.
+	Dir string
+	// Fset maps positions in Files.
+	Fset *token.FileSet
+	// Files is the parsed syntax of the package's non-test Go files,
+	// with comments.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info is the type information for Files.
+	Info *types.Info
+	// Sources holds each file's raw bytes, keyed by the path recorded
+	// in Fset. Directive handling uses it to decide whether a comment
+	// stands alone on its line.
+	Sources map[string][]byte
+}
+
+// listedPkg is the subset of `go list -json` output the loader needs.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -export -deps -json` in dir over args and returns
+// the decoded package stream.
+func goList(dir string, args []string) ([]listedPkg, error) {
+	cmdArgs := append([]string{"list", "-export", "-deps", "-json"}, args...)
+	cmd := exec.Command("go", cmdArgs...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("load: go list %s: %w\n%s", strings.Join(args, " "), err, stderr.Bytes())
+	}
+	var pkgs []listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("load: decoding go list output: %w", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("load: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter returns a types.Importer that resolves import paths
+// through the given ImportPath -> export-data-file map.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("load: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// check parses the named files and type-checks them as one package.
+func check(fset *token.FileSet, pkgPath, dir string, goFiles []string, imp types.Importer) (*Package, error) {
+	files := make([]*ast.File, 0, len(goFiles))
+	sources := make(map[string][]byte, len(goFiles))
+	for _, name := range goFiles {
+		path := filepath.Join(dir, name)
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		f, err := parser.ParseFile(fset, path, src, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		sources[path] = src
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("load: type-checking %s: %w", pkgPath, err)
+	}
+	return &Package{
+		PkgPath: pkgPath,
+		Dir:     dir,
+		Fset:    fset,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+		Sources: sources,
+	}, nil
+}
+
+// Packages loads, parses, and type-checks the packages matched by the go
+// package patterns (e.g. "./...") relative to dir, which must lie inside
+// a module. Test files are not included. The returned slice is sorted by
+// import path.
+func Packages(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, append([]string{"--"}, patterns...))
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+	var out []*Package
+	for _, p := range listed {
+		if p.DepOnly || len(p.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := check(fset, p.ImportPath, p.Dir, p.GoFiles, imp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PkgPath < out[j].PkgPath })
+	return out, nil
+}
+
+// Dir loads the single package rooted at pkgDir — a directory that need
+// not be part of any module (analysistest fixtures live under testdata,
+// which the go tool ignores). Imports are resolved by running go list in
+// moduleDir, so fixtures may import both the standard library and this
+// module's own packages. pkgPath is the import path to assign.
+func Dir(moduleDir, pkgDir, pkgPath string) (*Package, error) {
+	entries, err := os.ReadDir(pkgDir)
+	if err != nil {
+		return nil, err
+	}
+	var goFiles []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			goFiles = append(goFiles, e.Name())
+		}
+	}
+	if len(goFiles) == 0 {
+		return nil, fmt.Errorf("load: no Go files in %s", pkgDir)
+	}
+	sort.Strings(goFiles)
+
+	// A fixture's imports aren't known until parsed, so parse once with
+	// a throwaway FileSet to collect them, list their export data, then
+	// parse and check for real.
+	imports := map[string]bool{}
+	tmpFset := token.NewFileSet()
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(tmpFset, filepath.Join(pkgDir, name), nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, err
+		}
+		for _, spec := range f.Imports {
+			path, err := strconv.Unquote(spec.Path.Value)
+			if err != nil {
+				return nil, err
+			}
+			imports[path] = true
+		}
+	}
+	exports := map[string]string{}
+	if len(imports) > 0 {
+		paths := make([]string, 0, len(imports))
+		for p := range imports {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		listed, err := goList(moduleDir, paths)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range listed {
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	fset := token.NewFileSet()
+	return check(fset, pkgPath, pkgDir, goFiles, exportImporter(fset, exports))
+}

@@ -1,0 +1,54 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"egocensus/internal/lint"
+	"egocensus/internal/lint/load"
+)
+
+// TestRepoLintsClean is the smoke test the acceptance criteria require:
+// the full analyzer suite over the entire repository, exactly as
+// cmd/egolint runs it in CI, must produce zero findings. A failure here
+// means a new violation landed without a fix or an //egolint:allow
+// annotation — see doc/INVARIANTS.md.
+func TestRepoLintsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping whole-repo lint in -short mode")
+	}
+	root := moduleRootT(t)
+	pkgs, err := load.Packages(root, "./...")
+	if err != nil {
+		t.Fatalf("loading ./...: %v", err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("suspiciously few packages loaded: %d", len(pkgs))
+	}
+	findings, err := lint.Run(pkgs, lint.Analyzers())
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s: %s (egolint:%s)", f.Pos, f.Message, f.Analyzer)
+	}
+}
+
+func moduleRootT(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatalf("no go.mod above working directory")
+		}
+		dir = parent
+	}
+}

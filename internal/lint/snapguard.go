@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"go/ast"
+
+	"egocensus/internal/lint/analysis"
+)
+
+// SnapGuard flags value copies of the epoch-stamped MVCC types
+// graph.Snapshot and graph.Graph outside internal/graph. Both types are
+// published by pointer: a Snapshot is an (epoch, *Graph) pair whose
+// identity is the atomic pointer the Writer swaps, and a Graph carries
+// frozen-flag and lazily CAS-published CSR/profile state. Copying either
+// by value forks that state — two "identical" snapshots whose lazily
+// built caches diverge, or a Graph whose frozen bit is copied while its
+// shared adjacency is still aliased. Constructors inside internal/graph
+// (Freeze, the Writer's publish path) are the only sanctioned producers.
+//
+// The analyzer flags three shapes outside internal/graph: dereferencing
+// a *Snapshot/*Graph into a value, declaring a variable/field/parameter/
+// result of bare Snapshot/Graph type, and constructing one with a
+// composite literal. The facade's `Snapshot = graph.Snapshot` alias is
+// resolved before matching, so egocensus.Snapshot is guarded too.
+var SnapGuard = &analysis.Analyzer{
+	Name: "snapguard",
+	Doc: "flag value copies of epoch-stamped snapshot state outside internal/graph\n\n" +
+		"graph.Snapshot and graph.Graph travel by pointer; a value copy forks\n" +
+		"frozen/epoch/CSR-cache state that must stay shared. Only internal/graph\n" +
+		"constructors may produce them.",
+	Run: runSnapGuard,
+}
+
+func runSnapGuard(pass *analysis.Pass) (interface{}, error) {
+	if pass.Pkg.Path() == graphPkgPath {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		// Selector bases auto-dereference without copying: (*s).Epoch()
+		// reads through the pointer, so its StarExpr is exempt.
+		selectorBase := map[ast.Expr]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if sel, ok := n.(*ast.SelectorExpr); ok {
+				base := sel.X
+				for {
+					if p, ok := base.(*ast.ParenExpr); ok {
+						base = p.X
+						continue
+					}
+					break
+				}
+				selectorBase[base] = true
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.StarExpr:
+				tv, ok := pass.TypesInfo.Types[n]
+				if !ok || !tv.IsValue() || selectorBase[ast.Expr(n)] {
+					return true
+				}
+				if name := guardedGraphType(tv.Type); name != "" {
+					pass.Reportf(n.Pos(),
+						"dereferencing copies graph.%s by value, forking epoch-stamped shared state; keep the pointer (or annotate //egolint:allow snapguard <reason>)", name)
+				}
+			case *ast.Field:
+				reportGuardedType(pass, n.Type, "declaring")
+			case *ast.ValueSpec:
+				if n.Type != nil {
+					reportGuardedType(pass, n.Type, "declaring")
+				}
+			case *ast.CompositeLit:
+				tv, ok := pass.TypesInfo.Types[n]
+				if !ok {
+					return true
+				}
+				if name := guardedGraphType(tv.Type); name != "" {
+					pass.Reportf(n.Pos(),
+						"constructing graph.%s outside internal/graph bypasses its constructors; use graph.Freeze or a Writer publish (or annotate //egolint:allow snapguard <reason>)", name)
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// reportGuardedType flags a type expression denoting a bare guarded type.
+func reportGuardedType(pass *analysis.Pass, typeExpr ast.Expr, verb string) {
+	tv, ok := pass.TypesInfo.Types[typeExpr]
+	if !ok || !tv.IsType() {
+		return
+	}
+	if name := guardedGraphType(tv.Type); name != "" {
+		pass.Reportf(typeExpr.Pos(),
+			"%s graph.%s by value forks epoch-stamped shared state; use *graph.%s (or annotate //egolint:allow snapguard <reason>)", verb, name, name)
+	}
+}

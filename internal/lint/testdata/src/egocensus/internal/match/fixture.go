@@ -1,0 +1,42 @@
+// Package match is a detrange fixture: it carries the import path
+// egocensus/internal/match, which is deterministic by default, so every
+// function here is on the merge path without an opt-in directive.
+package match
+
+import "sort"
+
+func rangesOverMap(m map[int]int) int {
+	sum := 0
+	for _, v := range m { // want `map iteration order is randomized`
+		sum += v
+	}
+	return sum
+}
+
+// collectThenSort is the sanctioned idiom: the range body only appends,
+// and the caller sorts before the order can leak.
+func collectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func slicesAreFine(s []int) int {
+	sum := 0
+	for _, v := range s {
+		sum += v
+	}
+	return sum
+}
+
+func suppressedSite(m map[int]int) int {
+	n := 0
+	//egolint:allow detrange fixture: order-insensitive count
+	for range m {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,49 @@
+// Package storage is a faultfs fixture: it carries the import path
+// egocensus/internal/storage, so the analyzer treats it as the real
+// persistence layer.
+package storage
+
+import "os"
+
+func bypassesSeam(path string) error {
+	f, err := os.Create(path) // want `direct os\.Create bypasses the fault\.FS seam`
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := os.Open(path); err != nil { // want `direct os\.Open bypasses the fault\.FS seam`
+		return err
+	}
+	if err := os.Rename(path, path+".bak"); err != nil { // want `direct os\.Rename bypasses the fault\.FS seam`
+		return err
+	}
+	_, err = os.Stat(path) // want `direct os\.Stat bypasses the fault\.FS seam`
+	return err
+}
+
+// predicatesAllowed shows the negative cases: error predicates,
+// sentinels, flag constants, and types from os perform no I/O and stay
+// legal.
+func predicatesAllowed(err error) (bool, os.FileMode) {
+	if os.IsNotExist(err) {
+		return true, 0
+	}
+	_ = os.O_WRONLY | os.O_CREATE
+	var fi os.FileInfo
+	_ = fi
+	return false, os.FileMode(0o644)
+}
+
+// suppressedSite shows an annotated exemption: the directive names the
+// analyzer and gives a reason, so the finding is silenced.
+func suppressedSite(path string) error {
+	_, err := os.Stat(path) //egolint:allow faultfs fixture: sanctioned direct stat
+	return err
+}
+
+// suppressedAbove shows the standalone-directive form applying to the
+// following line.
+func suppressedAbove(path string) error {
+	//egolint:allow faultfs fixture: sanctioned direct remove
+	return os.Remove(path)
+}

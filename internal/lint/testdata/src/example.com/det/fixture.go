@@ -1,0 +1,22 @@
+// Package det is a detrange fixture outside the default-deterministic
+// packages: only functions opted in with //egolint:deterministic are
+// checked.
+package det
+
+// mergeCounts is annotated onto the deterministic merge path.
+//
+//egolint:deterministic fixture: simulated merge helper
+func mergeCounts(m map[int]int64, dst []int64) {
+	for k, v := range m { // want `map iteration order is randomized`
+		dst[k] += v
+	}
+}
+
+// unannotated functions in ordinary packages may range over maps freely.
+func unannotated(m map[int]int64) int64 {
+	var sum int64
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,16 @@
+// Package dirbad verifies that misspelled or malformed egolint
+// directives are findings themselves: a typo must never silently disable
+// a check.
+package dirbad
+
+func typoDirective() {
+	//egolint:alow ctxflow oops // want `unknown egolint directive`
+}
+
+func unknownAnalyzer() {
+	//egolint:allow nosuchanalyzer reason // want `malformed //egolint:allow directive`
+}
+
+func missingNames() {
+	//egolint:allow // want `malformed //egolint:allow directive`
+}

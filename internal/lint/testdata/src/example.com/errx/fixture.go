@@ -1,0 +1,71 @@
+// Package errx is an errwrapcheck fixture.
+package errx
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errSentinel = errors.New("sentinel")
+
+// TimeoutError is a typed error like the engine's *CanceledError family.
+type TimeoutError struct{ Seconds int }
+
+func (e *TimeoutError) Error() string { return fmt.Sprintf("timeout after %ds", e.Seconds) }
+
+func flattensError(err error) error {
+	return fmt.Errorf("decode failed: %v", err) // want `fmt\.Errorf formats an error argument without %w`
+}
+
+func wrapsError(err error) error {
+	return fmt.Errorf("decode failed: %w", err)
+}
+
+func noErrorArgs(n int) error {
+	return fmt.Errorf("bad count %d of %v", n, []int{1})
+}
+
+func comparesIdentity(err error) bool {
+	return err == errSentinel // want `comparing errors with == fails once the sentinel is wrapped`
+}
+
+func comparesInequality(err error) bool {
+	if err != nil { // nil comparisons are fine
+		return err != errSentinel // want `comparing errors with != fails once the sentinel is wrapped`
+	}
+	return false
+}
+
+func usesErrorsIs(err error) bool {
+	return errors.Is(err, errSentinel)
+}
+
+func assertsConcrete(err error) int {
+	if te, ok := err.(*TimeoutError); ok { // want `type-asserting an error to a concrete error type fails once it is wrapped`
+		return te.Seconds
+	}
+	return 0
+}
+
+func usesErrorsAs(err error) int {
+	var te *TimeoutError
+	if errors.As(err, &te) {
+		return te.Seconds
+	}
+	return 0
+}
+
+// typeSwitchAllowed: exhaustive dispatch over freshly produced errors is
+// idiomatic and not flagged.
+func typeSwitchAllowed(err error) string {
+	switch err.(type) {
+	case *TimeoutError:
+		return "timeout"
+	default:
+		return "other"
+	}
+}
+
+func suppressedSite(err error) error {
+	return fmt.Errorf("terminal boundary: %v", err) //egolint:allow errwrapcheck fixture: flattening intended at this boundary
+}

@@ -1,0 +1,30 @@
+// Package lib is a ctxflow fixture: a library package where fresh
+// context roots are banned.
+package lib
+
+import "context"
+
+func mintsBackground() error {
+	ctx := context.Background() // want `context\.Background\(\) in a library package severs cancellation plumbing`
+	return work(ctx)
+}
+
+func mintsTODO() error {
+	return work(context.TODO()) // want `context\.TODO\(\) in a library package severs cancellation plumbing`
+}
+
+// threaded shows the correct shape: the caller's context flows through.
+func threaded(ctx context.Context) error {
+	return work(ctx)
+}
+
+// Convenience is the sanctioned exception — a public wrapper whose whole
+// job is to supply the root.
+func Convenience() error {
+	return threaded(context.Background()) //egolint:allow ctxflow fixture: public non-Context convenience wrapper
+}
+
+func work(ctx context.Context) error {
+	<-ctx.Done()
+	return ctx.Err()
+}

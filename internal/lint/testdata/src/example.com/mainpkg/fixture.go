@@ -1,0 +1,15 @@
+// Package main is a ctxflow fixture: fresh context roots are the
+// expected shape at the program's entry point, so nothing here is
+// flagged.
+package main
+
+import "context"
+
+func main() {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_ = run(ctx)
+	_ = context.TODO()
+}
+
+func run(ctx context.Context) error { return ctx.Err() }

@@ -1,0 +1,48 @@
+// Package snap is a snapguard fixture: it imports the real
+// internal/graph package and exercises every flagged copy shape plus the
+// sanctioned pointer forms.
+package snap
+
+import (
+	"egocensus/internal/graph"
+)
+
+// byValueParam copies the snapshot at every call.
+func byValueParam(s graph.Snapshot) uint64 { // want `declaring graph\.Snapshot by value forks epoch-stamped shared state`
+	return s.Epoch()
+}
+
+// byValueVar declares a zero-value snapshot outside its constructors.
+func byValueVar() {
+	var s graph.Snapshot // want `declaring graph\.Snapshot by value forks epoch-stamped shared state`
+	_ = s
+}
+
+// derefCopy forks the pointed-to snapshot.
+func derefCopy(p *graph.Snapshot) {
+	s := *p // want `dereferencing copies graph\.Snapshot by value`
+	_ = s
+}
+
+// literalConstruct bypasses Freeze / Writer publishes.
+func literalConstruct() {
+	_ = graph.Snapshot{} // want `constructing graph\.Snapshot outside internal/graph bypasses its constructors`
+}
+
+// graphField embeds the mutable core by value.
+type graphField struct {
+	g graph.Graph // want `declaring graph\.Graph by value forks epoch-stamped shared state`
+}
+
+// pointerForms shows the sanctioned shapes: pointers everywhere, reads
+// through the pointer (auto-deref and explicit) copy nothing.
+func pointerForms(p *graph.Snapshot) (uint64, *graph.Graph) {
+	var q *graph.Snapshot = p
+	e := q.Epoch() + (*q).Epoch()
+	return e, p.Graph()
+}
+
+func suppressedSite(p *graph.Snapshot) {
+	s := *p //egolint:allow snapguard fixture: sanctioned copy in a test harness
+	_ = s
+}

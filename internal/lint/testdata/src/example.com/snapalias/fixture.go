@@ -1,0 +1,16 @@
+// Package snapalias verifies snapguard sees through the public facade's
+// `Snapshot = graph.Snapshot` alias: copying egocensus.Snapshot is the
+// same violation as copying graph.Snapshot.
+package snapalias
+
+import (
+	"egocensus"
+)
+
+func aliasByValue(s egocensus.Snapshot) uint64 { // want `declaring graph\.Snapshot by value forks epoch-stamped shared state`
+	return s.Epoch()
+}
+
+func aliasPointerFine(s *egocensus.Snapshot) uint64 {
+	return s.Epoch()
+}

@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"egocensus/internal/lint/analysis"
+)
+
+// pkgFunc resolves a call expression to (package path, function name) if
+// its callee is a selector on an imported package (e.g. os.Open). The
+// boolean is false for method calls, local calls, and conversions.
+func pkgFunc(pass *analysis.Pass, call *ast.CallExpr) (string, string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	ident, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", "", false
+	}
+	pn, ok := pass.TypesInfo.Uses[ident].(*types.PkgName)
+	if !ok {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// errorIface is the universe error interface.
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// implementsError reports whether t's method set satisfies error.
+// Untyped nil and invalid types report false.
+func implementsError(t types.Type) bool {
+	if t == nil || t == types.Typ[types.Invalid] {
+		return false
+	}
+	if b, ok := t.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	return types.Implements(t, errorIface)
+}
+
+// isErrorType reports whether t is exactly the error interface.
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Identical(t, errorIface) || types.Identical(t.Underlying(), errorIface)
+}
+
+// guardedGraphType returns the name of the epoch-stamped
+// internal/graph type t denotes (after stripping aliases), or "" if t is
+// not one. Only value types match; pointers to them are the sanctioned
+// form and pass.
+func guardedGraphType(t types.Type) string {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != graphPkgPath {
+		return ""
+	}
+	switch obj.Name() {
+	case "Snapshot", "Graph":
+		return obj.Name()
+	}
+	return ""
+}
+
+const (
+	modulePath     = "egocensus"
+	graphPkgPath   = modulePath + "/internal/graph"
+	storagePkgPath = modulePath + "/internal/storage"
+	matchPkgPath   = modulePath + "/internal/match"
+)

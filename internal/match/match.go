@@ -183,6 +183,7 @@ func (pp patternProfile) matches(g *graph.Graph, n graph.NodeID) bool {
 		return false
 	}
 	np := g.NodeProfile(n)
+	//egolint:allow detrange order-insensitive conjunction: the loop only ANDs per-label requirement checks, so iteration order never reaches the result
 	for l, c := range pp.perLabel {
 		if int(l) >= len(np) || np[l] < c {
 			return false

@@ -271,10 +271,10 @@ func decodeLogPayload(p []byte) (graph.Delta, error) {
 		p = p[9:]
 		var err error
 		if op.Key, p, err = takeStr16(p); err != nil {
-			return d, fmt.Errorf("op %d key: %v", i, err)
+			return d, fmt.Errorf("op %d key: %w", i, err)
 		}
 		if op.Val, p, err = takeStr16(p); err != nil {
-			return d, fmt.Errorf("op %d val: %v", i, err)
+			return d, fmt.Errorf("op %d val: %w", i, err)
 		}
 		d.Ops = append(d.Ops, op)
 	}

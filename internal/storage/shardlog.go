@@ -213,10 +213,10 @@ func decodeSegPayload(p []byte) (segRecord, error) {
 		p = p[13:]
 		var err error
 		if op.Key, p, err = takeStr16(p); err != nil {
-			return r, fmt.Errorf("op %d key: %v", i, err)
+			return r, fmt.Errorf("op %d key: %w", i, err)
 		}
 		if op.Val, p, err = takeStr16(p); err != nil {
-			return r, fmt.Errorf("op %d val: %v", i, err)
+			return r, fmt.Errorf("op %d val: %w", i, err)
 		}
 		r.index = append(r.index, idx)
 		r.ops = append(r.ops, op)

@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"strings"
 
+	"egocensus/internal/fault"
 	"egocensus/internal/graph"
 )
 
@@ -178,8 +179,14 @@ func addTextEdge(gp **graph.Graph, node func(string) (graph.NodeID, error), a, b
 }
 
 // SaveText writes g to path in the text format.
-func SaveText(path string, g *graph.Graph) (err error) {
-	f, err := os.Create(path)
+func SaveText(path string, g *graph.Graph) error {
+	return SaveTextFS(fault.OS{}, path, g)
+}
+
+// SaveTextFS is SaveText through an explicit filesystem seam, so fault
+// injection covers text exports like every other storage write path.
+func SaveTextFS(fsys fault.FS, path string, g *graph.Graph) (err error) {
+	f, err := fsys.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
@@ -193,7 +200,12 @@ func SaveText(path string, g *graph.Graph) (err error) {
 
 // LoadText reads a text-format graph from path.
 func LoadText(path string) (*graph.Graph, error) {
-	f, err := os.Open(path)
+	return LoadTextFS(fault.OS{}, path)
+}
+
+// LoadTextFS is LoadText through an explicit filesystem seam.
+func LoadTextFS(fsys fault.FS, path string) (*graph.Graph, error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return nil, err
 	}
